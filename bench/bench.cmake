@@ -1,0 +1,31 @@
+# One binary per reproduced table/figure (E1..E11) plus the
+# google-benchmark microbenches. All are plain executables:
+#   for b in build/bench/*; do $b; done
+# Included from the top-level CMakeLists (not add_subdirectory) so
+# that build/bench/ contains nothing but the bench executables and
+# `for b in build/bench/*; do $b; done` runs them all.
+function(dp_add_bench name)
+    add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+    target_link_libraries(${name} PRIVATE dp_harness)
+    target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+dp_add_bench(bench_table1_workloads)
+dp_add_bench(bench_overhead_spare)
+dp_add_bench(bench_overhead_nospare)
+dp_add_bench(bench_logsize)
+dp_add_bench(bench_replay)
+dp_add_bench(bench_rollback)
+dp_add_bench(bench_epoch_sweep)
+dp_add_bench(bench_baselines)
+dp_add_bench(bench_scalability)
+dp_add_bench(bench_ckpt_cost)
+dp_add_bench(bench_host_pipeline)
+
+add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
+target_link_libraries(bench_micro PRIVATE
+    dp_os dp_log benchmark::benchmark)
+set_target_properties(bench_micro PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * E9 — Table: DoublePlay vs direct multiprocessor logging.
+ *
+ * The paper's motivation: logging shared-memory ordering directly on
+ * a multiprocessor is expensive. This compares uniparallel recording
+ * against a CREW page-ownership recorder (SMP-ReVirt-like; the paper
+ * cites ~9x at 4 cores) and a load-value recorder (Nirvana-like;
+ * multiple-x slowdown and fat logs). The shape to reproduce: both
+ * baselines cost multiples of native where DoublePlay costs tens of
+ * percent, and the value log dwarfs DoublePlay's log.
+ */
+
+#include "bench_common.hh"
+
+using namespace dp;
+using namespace dp::bench;
+
+int
+main()
+{
+    banner("E9 (Table: recorder comparison)",
+           "DoublePlay vs CREW ordering vs load-value logging",
+           "[recon] SMP-ReVirt ~9x @ 4 CPUs and value logging "
+           "multiple-x are the paper's motivating numbers");
+
+    Table t({"benchmark", "threads", "DoublePlay", "CREW",
+             "value-log", "DP log", "CREW log", "value log"});
+
+    RunningStat dp2, crew2, val2, dp4, crew4, val4;
+    for (const auto &w : workloads::allWorkloads()) {
+        for (std::uint32_t n : {2u, 4u}) {
+            harness::MeasureOptions o = defaultOptions(n);
+            o.scale = 8;
+            harness::Measurement m = harness::measure(w, o);
+            harness::BaselineMeasurement bm =
+                harness::measureBaselines(w, o);
+            if (!m.recordOk) {
+                std::cerr << "record failed for " << w.name << "\n";
+                return 1;
+            }
+            (n == 2 ? dp2 : dp4).add(m.slowdown);
+            (n == 2 ? crew2 : crew4).add(1.0 + bm.crewOverhead);
+            (n == 2 ? val2 : val4).add(1.0 + bm.valueOverhead);
+            t.addRow({w.name, std::to_string(n),
+                      Table::pct(m.overhead),
+                      Table::pct(bm.crewOverhead),
+                      Table::pct(bm.valueOverhead),
+                      Table::bytes(m.replayLogBytes),
+                      Table::bytes(bm.crewLogBytes),
+                      Table::bytes(bm.valueLogBytes)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\ngeomean slowdowns @2T: DoublePlay "
+              << Table::num(dp2.geomean(), 2) << "x, CREW "
+              << Table::num(crew2.geomean(), 2) << "x, value-log "
+              << Table::num(val2.geomean(), 2) << "x\n"
+              << "geomean slowdowns @4T: DoublePlay "
+              << Table::num(dp4.geomean(), 2) << "x, CREW "
+              << Table::num(crew4.geomean(), 2) << "x, value-log "
+              << Table::num(val4.geomean(), 2) << "x\n";
+    return 0;
+}

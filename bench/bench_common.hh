@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared scaffolding for the table/figure bench binaries.
+ */
+
+#ifndef DP_BENCH_BENCH_COMMON_HH
+#define DP_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+namespace dp::bench
+{
+
+/** Default measurement shape shared by the overhead experiments:
+ *  scale 32 gives ~25-50 epochs per run at the default epoch length,
+ *  long enough that the pipeline reaches steady state. */
+inline harness::MeasureOptions
+defaultOptions(std::uint32_t threads)
+{
+    harness::MeasureOptions o;
+    o.threads = threads;
+    o.totalCpus = 2 * threads; // the paper's "with spare cores" shape
+    o.scale = 32;
+    o.epochLength = 150'000;
+    return o;
+}
+
+/** Print the experiment banner every bench emits. */
+inline void
+banner(const std::string &id, const std::string &title,
+       const std::string &provenance)
+{
+    std::cout << "\n=== " << id << ": " << title << " ===\n"
+              << "provenance: " << provenance << "\n\n";
+}
+
+} // namespace dp::bench
+
+#endif // DP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * E8 — Figure: sensitivity to epoch length.
+ *
+ * Short epochs mean frequent checkpoints (more thread-parallel
+ * overhead) but a shallower pipeline and less work at risk per
+ * squash; long epochs amortize checkpoints but inflate the tail. The
+ * figure sweeps epoch length across ~1.5 decades for a compute-bound
+ * and a server workload.
+ */
+
+#include "bench_common.hh"
+
+using namespace dp;
+using namespace dp::bench;
+
+int
+main()
+{
+    banner("E8 (Fig: epoch length sweep)",
+           "overhead / log size / checkpoints vs epoch length, 2T",
+           "[recon] the paper discusses epoch-length tradeoffs; "
+           "shape: U-ish overhead curve, log bytes flat, checkpoint "
+           "pages linear in epoch count");
+
+    Table t({"benchmark", "epoch len", "epochs", "overhead",
+             "ckpt pages/epoch", "log bytes/Minstr", "mean lag"});
+
+    for (const char *name : {"pbzip2", "apache"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        for (Cycles len : {25'000ull, 50'000ull, 100'000ull,
+                           200'000ull, 400'000ull, 800'000ull}) {
+            harness::MeasureOptions o = defaultOptions(2);
+            o.scale = 16;
+            o.epochLength = len;
+            harness::Measurement m = harness::measure(*w, o);
+            if (!m.recordOk) {
+                std::cerr << "record failed for " << name << "\n";
+                return 1;
+            }
+            double per_epoch =
+                m.epochs ? static_cast<double>(
+                               m.stats.checkpointPages) /
+                               static_cast<double>(m.epochs)
+                         : 0.0;
+            double minstr =
+                static_cast<double>(m.stats.epInstrs) / 1e6;
+            t.addRow({name, Table::num(std::uint64_t{len}),
+                      Table::num(std::uint64_t{m.epochs}),
+                      Table::pct(m.overhead),
+                      Table::num(per_epoch, 1),
+                      Table::num(static_cast<double>(
+                                     m.replayLogBytes) /
+                                     minstr,
+                                 1),
+                      Table::num(m.pipeline.meanEpochLag / 1e3, 1) +
+                          " kcyc"});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * E5 — Table: log sizes.
+ *
+ * Uniparallelism's log is tiny: timeslice segments plus injectable
+ * syscall results. This regenerates the paper's log-size table with a
+ * per-stream breakdown, normalized per million guest instructions.
+ */
+
+#include "bench_common.hh"
+
+using namespace dp;
+using namespace dp::bench;
+
+int
+main()
+{
+    banner("E5 (Table: log size)",
+           "replay log size by stream, 2 worker threads",
+           "[recon] the paper reports small logs (<< MB/s); shape: "
+           "schedule+injectables dominate, growing with syscall rate");
+
+    Table t({"benchmark", "epochs", "schedule", "injectable",
+             "all syscalls", "replay total", "bytes/Minstr"});
+
+    for (const auto &w : workloads::allWorkloads()) {
+        harness::Measurement m = harness::measure(w, defaultOptions(2));
+        if (!m.recordOk) {
+            std::cerr << "record failed for " << w.name << "\n";
+            return 1;
+        }
+        double minstr = static_cast<double>(m.stats.epInstrs) / 1e6;
+        t.addRow({w.name,
+                  Table::num(static_cast<std::uint64_t>(m.epochs)),
+                  Table::bytes(m.scheduleBytes),
+                  Table::bytes(m.injectableBytes),
+                  Table::bytes(m.syscallBytes),
+                  Table::bytes(m.replayLogBytes),
+                  Table::num(static_cast<double>(m.replayLogBytes) /
+                                 minstr,
+                             1)});
+    }
+    t.print(std::cout);
+    return 0;
+}

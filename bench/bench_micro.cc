@@ -1,0 +1,156 @@
+/**
+ * @file
+ * M1-M3 — google-benchmark microbenchmarks of the substrate:
+ * interpreter throughput, CoW memory operations, state hashing, and
+ * log codec speed. These bound how much guest work the experiment
+ * harness can simulate per host second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hh"
+#include "log/logs.hh"
+#include "mem/paged_memory.hh"
+#include "os/simos.hh"
+#include "os/uni_runner.hh"
+#include "vm/assembler.hh"
+
+namespace
+{
+
+using namespace dp;
+
+GuestProgram
+arithProgram(std::int64_t iters)
+{
+    using enum Reg;
+    Assembler a;
+    a.li(r10, iters);
+    a.li(r11, 0x9e3779b9);
+    a.li(r12, 1);
+    Label loop = a.hereLabel();
+    Label done = a.newLabel();
+    a.beqz(r10, done);
+    a.mul(r12, r12, r11);
+    a.xor_(r12, r12, r10);
+    a.shri(r13, r12, 13);
+    a.add(r12, r12, r13);
+    a.addi(r10, r10, -1);
+    a.jmp(loop);
+    a.bind(done);
+    a.li(r1, 0);
+    a.sys(Sys::Exit);
+    return a.finish("bench_arith");
+}
+
+void
+BM_InterpreterArith(benchmark::State &state)
+{
+    GuestProgram prog = arithProgram(state.range(0));
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        Machine m(prog, {});
+        SimOS os;
+        UniRunner runner(m, os, {}, {});
+        StopReason r = runner.run();
+        if (r != StopReason::AllExited)
+            state.SkipWithError("guest did not finish");
+        instrs += runner.stats().instrs;
+    }
+    state.counters["instrs/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterArith)->Arg(10'000)->Arg(100'000);
+
+void
+BM_MemoryWrite64(benchmark::State &state)
+{
+    PagedMemory mem;
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        mem.write64(addr & 0xfffff, addr);
+        addr += 8;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryWrite64);
+
+void
+BM_MemoryRead64(benchmark::State &state)
+{
+    PagedMemory mem;
+    for (std::uint64_t a = 0; a < (1u << 20); a += 8)
+        mem.write64(a, a);
+    std::uint64_t addr = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sink ^= mem.read64(addr & 0xfffff);
+        addr += 8;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryRead64);
+
+void
+BM_SnapshotCow(benchmark::State &state)
+{
+    const std::int64_t dirty = state.range(0);
+    PagedMemory mem;
+    for (std::uint64_t pg = 0; pg < 4096; ++pg)
+        mem.write64(pg * Page::bytes, pg);
+    MemSnapshot snap = mem.snapshot();
+    for (auto _ : state) {
+        for (std::int64_t k = 0; k < dirty; ++k)
+            mem.write64((k % 4096) * Page::bytes, k);
+        benchmark::DoNotOptimize(mem.snapshot());
+    }
+    state.SetItemsProcessed(state.iterations() * dirty);
+}
+BENCHMARK(BM_SnapshotCow)->Arg(64)->Arg(1024);
+
+void
+BM_StateHash(benchmark::State &state)
+{
+    PagedMemory mem;
+    for (std::uint64_t a = 0; a < (1u << 22); a += 64)
+        mem.write64(a, a * 0x9e3779b9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.hash());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                mem.residentPages() * Page::bytes));
+}
+BENCHMARK(BM_StateHash);
+
+void
+BM_ScheduleLogRoundTrip(benchmark::State &state)
+{
+    ScheduleLog log;
+    for (std::uint32_t i = 0; i < 10'000; ++i)
+        log.append({i % 8, 1000 + i % 97, (i % 13) == 0});
+    for (auto _ : state) {
+        std::vector<std::uint8_t> bytes = log.encode();
+        ScheduleLog back = ScheduleLog::decode(bytes);
+        benchmark::DoNotOptimize(back.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_ScheduleLogRoundTrip);
+
+void
+BM_VarintEncode(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ByteWriter w;
+        for (std::uint64_t i = 0; i < 4096; ++i)
+            w.varu(i * 0x9e3779b97f4a7c15ull >> (i % 48));
+        benchmark::DoNotOptimize(w.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_VarintEncode);
+
+} // namespace
+
+BENCHMARK_MAIN();

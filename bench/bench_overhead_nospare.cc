@@ -1,0 +1,56 @@
+/**
+ * @file
+ * E4 — logging overhead WITHOUT spare cores (C = N).
+ *
+ * Uniparallelism runs the application twice; without spare cores the
+ * two executions contend for the same CPUs, so overhead should rise
+ * to roughly 100% (the second execution's work) and beyond for
+ * workloads whose single-CPU epoch runs are inflated by
+ * serialization. The crossover against the spare-core configuration
+ * is the figure's point.
+ */
+
+#include "bench_common.hh"
+
+using namespace dp;
+using namespace dp::bench;
+
+int
+main()
+{
+    banner("E4 (Fig: overhead, no spare cores)",
+           "DoublePlay logging overhead, C = N CPUs",
+           "[recon] the paper reports ~2x slowdown without spare "
+           "cores; shape: no-spare >> with-spare, near 100%+");
+
+    Table t({"benchmark", "threads", "with spare", "no spare",
+             "no-spare/with-spare"});
+
+    RunningStat spare_s, nospare_s;
+    for (const auto &w : workloads::allWorkloads()) {
+        for (std::uint32_t n : {2u, 4u}) {
+            harness::MeasureOptions with_spare = defaultOptions(n);
+            harness::MeasureOptions no_spare = with_spare;
+            no_spare.totalCpus = n;
+
+            harness::Measurement ms = harness::measure(w, with_spare);
+            harness::Measurement mn = harness::measure(w, no_spare);
+            if (!ms.recordOk || !mn.recordOk) {
+                std::cerr << "record failed for " << w.name << "\n";
+                return 1;
+            }
+            if (n == 2) {
+                spare_s.add(ms.slowdown);
+                nospare_s.add(mn.slowdown);
+            }
+            t.addRow({w.name, std::to_string(n),
+                      Table::pct(ms.overhead), Table::pct(mn.overhead),
+                      Table::num(mn.slowdown / ms.slowdown, 2) + "x"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\n2T geomean: with spare "
+              << Table::pct(spare_s.geomean() - 1.0) << ", no spare "
+              << Table::pct(nospare_s.geomean() - 1.0) << "\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * E2/E3 — the headline figure: DoublePlay logging overhead with spare
+ * cores, at 2 and 4 worker threads.
+ *
+ * Abstract: "with spare cores, DoublePlay reduces logging overhead to
+ * an average of 15% with two worker threads and 28% with four
+ * threads." The shape to reproduce: modest average overhead at 2
+ * threads, roughly double at 4; compute-bound kernels cheapest,
+ * syscall/lock-heavy server workloads most expensive.
+ */
+
+#include "bench_common.hh"
+
+using namespace dp;
+using namespace dp::bench;
+
+int
+main()
+{
+    banner("E2+E3 (Fig: overhead, spare cores)",
+           "DoublePlay logging overhead, C = 2N CPUs",
+           "[abstract] avg 15% @ 2 threads, 28% @ 4 threads");
+
+    Table t({"benchmark", "2T native Mcyc", "2T overhead",
+             "2T epochs", "4T native Mcyc", "4T overhead",
+             "4T epochs"});
+
+    RunningStat slow2, slow4;
+    for (const auto &w : workloads::allWorkloads()) {
+        harness::Measurement m2 = harness::measure(w,
+                                                   defaultOptions(2));
+        harness::Measurement m4 = harness::measure(w,
+                                                   defaultOptions(4));
+        if (!m2.recordOk || !m4.recordOk) {
+            std::cerr << "record failed for " << w.name << "\n";
+            return 1;
+        }
+        slow2.add(m2.slowdown);
+        slow4.add(m4.slowdown);
+        t.addRow({w.name,
+                  Table::num(static_cast<double>(m2.native.cycles) /
+                                 1e6,
+                             2),
+                  Table::pct(m2.overhead),
+                  Table::num(static_cast<std::uint64_t>(m2.epochs)),
+                  Table::num(static_cast<double>(m4.native.cycles) /
+                                 1e6,
+                             2),
+                  Table::pct(m4.overhead),
+                  Table::num(static_cast<std::uint64_t>(m4.epochs))});
+    }
+    t.addRow({"geomean", "", Table::pct(slow2.geomean() - 1.0), "", "",
+              Table::pct(slow4.geomean() - 1.0), ""});
+    t.print(std::cout);
+
+    std::cout << "\npaper:    15% @ 2T, 28% @ 4T (average)\n"
+              << "measured: " << Table::pct(slow2.geomean() - 1.0)
+              << " @ 2T, " << Table::pct(slow4.geomean() - 1.0)
+              << " @ 4T (geomean)\n";
+    return 0;
+}

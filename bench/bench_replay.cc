@@ -1,0 +1,52 @@
+/**
+ * @file
+ * E6 — Figure: replay time, sequential vs epoch-parallel.
+ *
+ * Sequential replay of a uniparallel recording is a single-CPU
+ * re-execution (~N x native). Replaying epochs in parallel from the
+ * retained checkpoints recovers the lost parallelism — the second
+ * dividend of uniparallelism the paper highlights.
+ */
+
+#include "bench_common.hh"
+
+using namespace dp;
+using namespace dp::bench;
+
+int
+main()
+{
+    banner("E6 (Fig: replay time)",
+           "replay time normalized to native, 2 worker threads",
+           "[recon] shape: sequential ~Nx native; parallel replay "
+           "approaches native");
+
+    Table t({"benchmark", "native Mcyc", "seq replay", "par replay",
+             "par speedup", "verified"});
+
+    RunningStat seq_s, par_s;
+    for (const auto &w : workloads::allWorkloads()) {
+        harness::MeasureOptions o = defaultOptions(2);
+        o.scale = 16; // replay triples the execution count
+        harness::Measurement m = harness::measureWithReplay(w, o);
+        if (!m.recordOk) {
+            std::cerr << "record failed for " << w.name << "\n";
+            return 1;
+        }
+        double native = static_cast<double>(m.native.cycles);
+        double seq = static_cast<double>(m.seqReplayCycles) / native;
+        double par = static_cast<double>(m.parReplayCycles) / native;
+        seq_s.add(seq);
+        par_s.add(par);
+        t.addRow({w.name, Table::num(native / 1e6, 2),
+                  Table::num(seq, 2) + "x", Table::num(par, 2) + "x",
+                  Table::num(seq / par, 2) + "x",
+                  m.replayOk ? "yes" : "NO"});
+    }
+    t.addRow({"geomean", "", Table::num(seq_s.geomean(), 2) + "x",
+              Table::num(par_s.geomean(), 2) + "x",
+              Table::num(seq_s.geomean() / par_s.geomean(), 2) + "x",
+              ""});
+    t.print(std::cout);
+    return 0;
+}

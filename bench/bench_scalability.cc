@@ -1,0 +1,41 @@
+/**
+ * @file
+ * E10 — Figure: overhead vs worker thread count.
+ *
+ * The epoch-parallel re-execution serializes each epoch, so its work
+ * is ~N x an epoch's wall time; with N spare cores the pipeline keeps
+ * up but the per-epoch tail and serialization inefficiencies grow
+ * with N. Overhead should rise monotonically with the thread count.
+ */
+
+#include "bench_common.hh"
+
+using namespace dp;
+using namespace dp::bench;
+
+int
+main()
+{
+    banner("E10 (Fig: scalability)",
+           "overhead vs worker threads (spare cores = N)",
+           "[recon] 15% @ 2T -> 28% @ 4T implies a rising curve; "
+           "shape: monotone growth, steepest for sync-heavy loads");
+
+    Table t({"benchmark", "1T", "2T", "4T", "8T"});
+
+    for (const char *name :
+         {"pbzip2", "pfscan", "mysql", "fft", "ocean", "water"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        std::vector<std::string> row{name};
+        for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+            harness::MeasureOptions o = defaultOptions(n);
+            o.scale = 16;
+            harness::Measurement m = harness::measure(*w, o);
+            row.push_back(m.recordOk ? Table::pct(m.overhead)
+                                     : "FAIL");
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * E1 — Table 1: benchmark descriptions and characteristics.
+ *
+ * The paper's Table 1 lists its client/server/scientific benchmarks;
+ * this regenerates the equivalent inventory for our synthetic suite,
+ * with measured execution characteristics from a native 2-thread run.
+ */
+
+#include "bench_common.hh"
+
+using namespace dp;
+using namespace dp::bench;
+
+int
+main()
+{
+    banner("E1 (Table 1)", "benchmark suite characteristics",
+           "[recon] suite composition from the abstract's 'client, "
+           "server, and scientific parallel benchmarks'");
+
+    Table t({"benchmark", "paper equivalent", "category",
+             "guest Minstr", "sync ops", "syscalls", "pages",
+             "sharing pattern"});
+
+    for (const auto &w : workloads::allWorkloads()) {
+        workloads::WorkloadParams params{.threads = 2, .scale = 32};
+        workloads::WorkloadBundle b = w.make(params);
+        NativeResult r =
+            runNativeBaseline(b.program, b.config, 2, /*seed=*/1);
+        t.addRow({w.name, w.paperEquiv, w.category,
+                  Table::num(static_cast<double>(r.instrs) / 1e6, 2),
+                  Table::num(r.syncOps), Table::num(r.syscalls),
+                  Table::num(r.residentPages), w.sharing});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Offline analysis on a replayed execution: race detection and
+ * time-travel debugging.
+ *
+ * The paper's pitch for deterministic replay is running heavyweight
+ * analyses offline against the exact production execution. This
+ * example records a buggy (racy) program once, then — without ever
+ * re-running it natively — finds the racy addresses with the
+ * happens-before detector, locates the first epoch where the damage
+ * is visible, and lists every access to the racy word in that epoch.
+ */
+
+#include <iostream>
+
+#include "analysis/debugger.hh"
+#include "analysis/race_detector.hh"
+#include "core/recorder.hh"
+#include "replay/replayer.hh"
+#include "workloads/registry.hh"
+
+using namespace dp;
+
+int
+main()
+{
+    // A program with real lost-update races on a handful of words.
+    workloads::WorkloadBundle racy =
+        workloads::makeRacyUpdates(3, 4'000, /*race_one_in=*/4);
+
+    RecorderOptions opts;
+    opts.workerCpus = 3;
+    opts.epochLength = 25'000;
+    UniparallelRecorder recorder(racy.program, racy.config, opts);
+    RecordOutcome out = recorder.record();
+    if (!out.ok) {
+        std::cerr << "recording failed\n";
+        return 1;
+    }
+    std::cout << "recorded " << out.recording.epochs.size()
+              << " epochs (" << out.recording.stats.rollbacks
+              << " rollbacks from the races)\n\n";
+
+    // Pass 1: replay under the happens-before race detector.
+    RaceDetector detector;
+    ReplayObserver obs = detector.observer();
+    Replayer replayer(out.recording);
+    ReplayResult r = replayer.replaySequential(&obs);
+    if (!r.ok) {
+        std::cerr << "replay failed\n";
+        return 1;
+    }
+    std::cout << "race detector: checked "
+              << detector.accessesChecked() << " accesses across "
+              << detector.syncOpsSeen() << " sync ops\n";
+    for (const RaceReport &race : detector.races()) {
+        const char *kind =
+            race.kind == RaceReport::Kind::WriteWrite ? "write-write"
+            : race.kind == RaceReport::Kind::WriteRead
+                ? "write-read"
+                : "read-write";
+        std::cout << "  RACE on word 0x" << std::hex << race.wordAddr
+                  << std::dec << ": threads " << race.first
+                  << " and " << race.second << " (" << kind
+                  << "), first seen in epoch " << race.epoch << "\n";
+    }
+    if (detector.races().empty()) {
+        std::cout << "no races (unexpected for this program)\n";
+        return 1;
+    }
+
+    // Pass 2: time-travel to the first racy epoch and watch the word.
+    const RaceReport &first = detector.races().front();
+    ReplayDebugger dbg(out.recording);
+    if (!dbg.seek(first.epoch)) {
+        std::cerr << "seek failed\n";
+        return 1;
+    }
+    std::cout << "\nat epoch " << first.epoch << " start, word 0x"
+              << std::hex << first.wordAddr << std::dec << " = "
+              << dbg.readWord(first.wordAddr) << "\n";
+    auto hits = dbg.watch(first.wordAddr, 8);
+    if (!hits) {
+        std::cerr << "watch failed\n";
+        return 1;
+    }
+    std::cout << "accesses to it during that epoch (first 10 of "
+              << hits->size() << "):\n";
+    std::size_t shown = 0;
+    for (const WatchedAccess &h : *hits) {
+        if (++shown > 10)
+            break;
+        std::cout << "  thread " << h.tid << " "
+                  << (h.isWrite ? "writes" : "reads ")
+                  << (h.isAtomic ? " (atomic)" : "") << "\n";
+    }
+    std::cout << "\nall from one recording; no lucky re-runs "
+                 "required.\n";
+    return 0;
+}

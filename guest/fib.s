@@ -1,0 +1,15 @@
+; fib.s — iterative Fibonacci; exits with fib(30) mod 2^16.
+    li r1, 0          ; a
+    li r2, 1          ; b
+    li r3, 30         ; n
+loop:
+    beqz r3, done
+    add  r4, r1, r2
+    mov  r1, r2
+    mov  r2, r4
+    addi r3, r3, -1
+    jmp  loop
+done:
+    andi r1, r1, 0xffff
+    li   r0, 0        ; exit(a)
+    syscall

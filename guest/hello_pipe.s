@@ -1,0 +1,19 @@
+; hello_pipe.s — single-threaded pipe round trip.
+.data 0x1000
+.ascii "pipes!"
+    li r1, 4          ; pipe id
+    li r2, 0x1000
+    li r3, 6
+    li r0, 15         ; pipe_write
+    syscall
+    li r1, 4
+    li r2, 0x2000
+    li r3, 6
+    li r0, 16         ; pipe_read
+    syscall
+    mov r15, r0       ; bytes read (6)
+    li r2, 0x2000
+    ld8 r1, r2, 0     ; 'p'
+    add r1, r1, r15
+    li r0, 0          ; exit('p' + 6)
+    syscall

@@ -1,0 +1,23 @@
+; signal_echo.s — self-signal: the handler stores the signal number,
+; main exits with it. A leading nop keeps the handler off pc 0
+; (handler address 0 means "no handler").
+.entry main
+    nop
+handler:
+    li   r4, 0x3000
+    st64 r4, 0, r1     ; remember the signal number
+    li   r0, 20        ; sigreturn
+    syscall
+main:
+    li   r1, 1         ; handler entry = instruction index 1
+    li   r0, 19        ; sighandler(1)
+    syscall
+    li   r1, 0         ; kill(self = tid 0, sig 42)
+    li   r2, 42
+    li   r0, 18
+    syscall
+    nop                ; delivery lands at the next boundary
+    li   r2, 0x3000
+    ld64 r1, r2, 0
+    li   r0, 0         ; exit(42)
+    syscall

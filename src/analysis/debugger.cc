@@ -1,0 +1,108 @@
+#include "analysis/debugger.hh"
+
+#include "common/logging.hh"
+
+namespace dp
+{
+
+ReplayDebugger::ReplayDebugger(const Recording &rec, CostModel costs)
+    : rec_(&rec), replayer_(rec, costs),
+      machine_(rec.program(), rec.config())
+{}
+
+std::uint32_t
+ReplayDebugger::epochCount() const
+{
+    return static_cast<std::uint32_t>(rec_->epochs.size());
+}
+
+void
+ReplayDebugger::resetToStart()
+{
+    machine_ = Machine(rec_->program(), rec_->config());
+    position_ = 0;
+}
+
+bool
+ReplayDebugger::seek(EpochId epoch)
+{
+    dp_assert(epoch <= epochCount(), "seek past the recording's end");
+    if (epoch < position_) {
+        if (rec_->hasCheckpoints()) {
+            // O(1) rewind: materialize the target boundary directly.
+            if (epoch < epochCount()) {
+                machine_ = rec_->checkpoints[epoch].materialize(
+                    rec_->program(), rec_->config());
+                position_ = epoch;
+                return true;
+            }
+        }
+        resetToStart();
+    }
+    // Forward jumps can also shortcut through checkpoints.
+    if (rec_->hasCheckpoints() && epoch < epochCount() &&
+        epoch > position_) {
+        machine_ = rec_->checkpoints[epoch].materialize(
+            rec_->program(), rec_->config());
+        position_ = epoch;
+        return true;
+    }
+    while (position_ < epoch) {
+        if (!step())
+            return false;
+    }
+    return true;
+}
+
+bool
+ReplayDebugger::step()
+{
+    dp_assert(position_ < epochCount(),
+              "stepping past the recording's end");
+    if (!replayer_.replayOneEpoch(machine_, position_)) {
+        dp_warn("debugger: epoch ", position_,
+                " failed to verify during replay");
+        return false;
+    }
+    ++position_;
+    return true;
+}
+
+std::optional<std::vector<WatchedAccess>>
+ReplayDebugger::watch(Addr addr, std::uint64_t len)
+{
+    dp_assert(position_ < epochCount(),
+              "watch needs an epoch ahead of the position");
+    std::vector<WatchedAccess> hits;
+    ReplayObserver obs;
+    obs.onMemAccess = [&](ThreadId tid, Addr a, unsigned size,
+                          bool is_write, bool is_atomic) {
+        if (a + size > addr && a < addr + len)
+            hits.push_back({position_, tid, a, size, is_write,
+                            is_atomic});
+    };
+
+    // Replay a scratch copy so the position is unchanged.
+    Machine scratch = machine_;
+    if (!replayer_.replayOneEpoch(scratch, position_, &obs))
+        return std::nullopt;
+    return hits;
+}
+
+std::optional<EpochId>
+ReplayDebugger::findFirstBoundary(
+    const std::function<bool(const Machine &)> &pred)
+{
+    if (!seek(0))
+        return std::nullopt;
+    for (;;) {
+        if (pred(machine_))
+            return position_;
+        if (position_ >= epochCount())
+            return std::nullopt;
+        if (!step())
+            return std::nullopt;
+    }
+}
+
+} // namespace dp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ReplayDebugger: time-travel inspection of a recording.
+ *
+ * Deterministic replay turns debugging from "hope it reproduces" into
+ * navigation: jump to any epoch of the recorded execution, inspect
+ * the exact machine state, watch every access to an address range,
+ * and search for the first epoch where a state predicate holds. When
+ * the recording retained checkpoints, backward jumps are O(1)
+ * materializations instead of replays from the start.
+ */
+
+#ifndef DP_ANALYSIS_DEBUGGER_HH
+#define DP_ANALYSIS_DEBUGGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "replay/replayer.hh"
+
+namespace dp
+{
+
+/** One observed access to a watched range. */
+struct WatchedAccess
+{
+    EpochId epoch = 0;
+    ThreadId tid = 0;
+    Addr addr = 0;
+    unsigned size = 0;
+    bool isWrite = false;
+    bool isAtomic = false;
+};
+
+/** Epoch-granular time-travel debugger over one Recording. */
+class ReplayDebugger
+{
+  public:
+    explicit ReplayDebugger(const Recording &rec,
+                            CostModel costs = {});
+
+    /** Epoch boundary the machine currently sits at (state = start
+     *  of this epoch). epochCount() means "after the last epoch". */
+    EpochId position() const { return position_; }
+    std::uint32_t epochCount() const;
+
+    /** The exact recorded machine state at the current boundary. */
+    const Machine &machine() const { return machine_; }
+
+    /**
+     * Move to the start of @p epoch (<= epochCount()). Backward moves
+     * rewind via checkpoints when available, else replay from the
+     * initial state. Returns false if a replayed epoch fails to
+     * verify (corrupt recording).
+     */
+    bool seek(EpochId epoch);
+
+    /** Replay the current epoch and advance one boundary. */
+    bool step();
+
+    /**
+     * Replay the current epoch collecting every access intersecting
+     * [addr, addr+len); the position does not advance.
+     */
+    std::optional<std::vector<WatchedAccess>> watch(Addr addr,
+                                                    std::uint64_t len);
+
+    /**
+     * First boundary index b (0..epochCount()) whose state satisfies
+     * @p pred, scanning forward from boundary 0; nullopt if none.
+     * The position afterwards is at the found boundary (or the end).
+     */
+    std::optional<EpochId>
+    findFirstBoundary(const std::function<bool(const Machine &)> &pred);
+
+    /// @name Convenience state accessors
+    /// @{
+    std::uint64_t readWord(Addr a) const { return machine_.mem.read64(a); }
+    const ThreadContext &thread(ThreadId t) const
+    {
+        return machine_.thread(t);
+    }
+    /// @}
+
+  private:
+    void resetToStart();
+
+    const Recording *rec_;
+    Replayer replayer_;
+    Machine machine_;
+    EpochId position_ = 0;
+};
+
+} // namespace dp
+
+#endif // DP_ANALYSIS_DEBUGGER_HH

@@ -1,0 +1,82 @@
+#include "analysis/profiler.hh"
+
+#include <algorithm>
+
+#include "mem/page.hh"
+
+namespace dp
+{
+
+ThreadProfile &
+ReplayProfiler::profileOf(ThreadId tid)
+{
+    if (tid >= threads_.size())
+        threads_.resize(tid + 1);
+    return threads_[tid];
+}
+
+ReplayObserver
+ReplayProfiler::observer()
+{
+    ReplayObserver obs;
+    obs.onEpochStart = [this](EpochId e) {
+        currentEpoch_ = e;
+        if (epochAccesses_.size() <= e)
+            epochAccesses_.resize(e + 1, 0);
+    };
+    obs.onMemAccess = [this](ThreadId tid, Addr addr, unsigned,
+                             bool is_write, bool is_atomic) {
+        ThreadProfile &p = profileOf(tid);
+        if (is_atomic)
+            ++p.atomics;
+        else if (is_write)
+            ++p.writes;
+        else
+            ++p.reads;
+        ++totalAccesses_;
+        if (currentEpoch_ < epochAccesses_.size())
+            ++epochAccesses_[currentEpoch_];
+        auto &[count, mask] = pages_[addr >> Page::logBytes];
+        ++count;
+        if (tid < 64)
+            mask |= std::uint64_t{1} << tid;
+    };
+    obs.onSync = [this](ThreadId, SyncKind, SyncKey) {
+        ++totalSyncOps_;
+    };
+    obs.onSyscall = [this](ThreadId tid, Sys sys, std::uint64_t,
+                           bool) {
+        ThreadProfile &p = profileOf(tid);
+        ++p.syscalls;
+        ++p.bySyscall[sys];
+    };
+    obs.onWake = [this](ThreadId waker, ThreadId woken) {
+        ++profileOf(waker).wakesGiven;
+        ++profileOf(woken).wakesReceived;
+    };
+    return obs;
+}
+
+std::vector<HotPage>
+ReplayProfiler::hottestPages(std::size_t n) const
+{
+    std::vector<HotPage> all;
+    all.reserve(pages_.size());
+    for (const auto &[page, info] : pages_) {
+        HotPage hp;
+        hp.pageAddr = page << Page::logBytes;
+        hp.accesses = info.first;
+        hp.threadsTouching = static_cast<std::uint32_t>(
+            __builtin_popcountll(info.second));
+        all.push_back(hp);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const HotPage &a, const HotPage &b) {
+                  return a.accesses > b.accesses;
+              });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+} // namespace dp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ReplayProfiler: execution profiling over a replayed recording.
+ *
+ * Another paper-motivated offline analysis: because replay reproduces
+ * the production execution exactly, profiling it gives exact counts
+ * (not samples) with zero perturbation of the original run. Tracks
+ * per-thread memory/sync/syscall behaviour, per-epoch activity, the
+ * hottest guest pages, and wake edges (a proxy for blocking
+ * contention).
+ */
+
+#ifndef DP_ANALYSIS_PROFILER_HH
+#define DP_ANALYSIS_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "replay/replayer.hh"
+
+namespace dp
+{
+
+/** Aggregated behaviour of one guest thread. */
+struct ThreadProfile
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t syscalls = 0;
+    /** Times this thread was woken (futex/join/pipe wakes received:
+     *  each one is a completed blocking wait). */
+    std::uint64_t wakesReceived = 0;
+    /** Times this thread's syscalls woke someone else. */
+    std::uint64_t wakesGiven = 0;
+    /** Per-syscall-number counts. */
+    std::map<Sys, std::uint64_t> bySyscall;
+};
+
+/** One hot page entry. */
+struct HotPage
+{
+    Addr pageAddr = 0; ///< page-aligned base address
+    std::uint64_t accesses = 0;
+    std::uint32_t threadsTouching = 0;
+};
+
+/** Exact-count profiler fed by ReplayObserver events. */
+class ReplayProfiler
+{
+  public:
+    /** Hooks to attach to Replayer::replaySequential(). */
+    ReplayObserver observer();
+
+    const std::vector<ThreadProfile> &threads() const
+    {
+        return threads_;
+    }
+
+    /** Memory accesses observed per epoch. */
+    const std::vector<std::uint64_t> &epochAccesses() const
+    {
+        return epochAccesses_;
+    }
+
+    /** The @p n most-accessed guest pages, descending. */
+    std::vector<HotPage> hottestPages(std::size_t n) const;
+
+    std::uint64_t totalAccesses() const { return totalAccesses_; }
+    std::uint64_t totalSyncOps() const { return totalSyncOps_; }
+
+  private:
+    ThreadProfile &profileOf(ThreadId tid);
+
+    std::vector<ThreadProfile> threads_;
+    std::vector<std::uint64_t> epochAccesses_;
+    /** page index -> (accesses, bitmap of low thread ids). */
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::uint64_t, std::uint64_t>>
+        pages_;
+    EpochId currentEpoch_ = 0;
+    std::uint64_t totalAccesses_ = 0;
+    std::uint64_t totalSyncOps_ = 0;
+};
+
+} // namespace dp
+
+#endif // DP_ANALYSIS_PROFILER_HH

@@ -1,0 +1,153 @@
+#include "analysis/race_detector.hh"
+
+#include <algorithm>
+
+namespace dp
+{
+
+ReplayObserver
+RaceDetector::observer()
+{
+    ReplayObserver obs;
+    obs.onEpochStart = [this](EpochId e) { currentEpoch_ = e; };
+    obs.onMemAccess = [this](ThreadId tid, Addr addr, unsigned size,
+                             bool is_write, bool is_atomic) {
+        handleMemAccess(tid, addr, size, is_write, is_atomic);
+    };
+    obs.onSync = [this](ThreadId tid, SyncKind, SyncKey key) {
+        handleSync(tid, key);
+    };
+    obs.onWake = [this](ThreadId waker, ThreadId woken) {
+        handleWake(waker, woken);
+    };
+    return obs;
+}
+
+RaceDetector::VectorClock &
+RaceDetector::clockOf(ThreadId tid)
+{
+    if (tid >= threadClocks_.size())
+        threadClocks_.resize(tid + 1);
+    VectorClock &vc = threadClocks_[tid];
+    if (vc.size() <= tid)
+        vc.resize(tid + 1, 0);
+    if (vc[tid] == 0)
+        vc[tid] = 1; // birth tick
+    return vc;
+}
+
+void
+RaceDetector::joinInto(VectorClock &dst, const VectorClock &src)
+{
+    if (dst.size() < src.size())
+        dst.resize(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = std::max(dst[i], src[i]);
+}
+
+std::uint32_t
+RaceDetector::clockEntry(const VectorClock &vc, ThreadId tid)
+{
+    return tid < vc.size() ? vc[tid] : 0;
+}
+
+void
+RaceDetector::report(Addr word, ThreadId first, ThreadId second,
+                     RaceReport::Kind kind)
+{
+    races_.push_back({word, first, second, kind, currentEpoch_});
+}
+
+void
+RaceDetector::handleSync(ThreadId tid, SyncKey key)
+{
+    ++syncOps_;
+    VectorClock &ct = clockOf(tid);
+    VectorClock &lm = objectClocks_[key];
+    // Our atomics and syscalls are acquire+release: pull the object's
+    // knowledge in, publish ours out, then advance our own clock.
+    joinInto(ct, lm);
+    lm = ct;
+    ++ct[tid];
+}
+
+void
+RaceDetector::handleWake(ThreadId waker, ThreadId woken)
+{
+    // Materialize both clocks before taking references: clockOf may
+    // grow threadClocks_ and invalidate earlier references.
+    (void)clockOf(std::max(waker, woken));
+    VectorClock &cw = clockOf(waker);
+    VectorClock &ct = clockOf(woken);
+    joinInto(ct, cw);
+    ++cw[waker];
+}
+
+void
+RaceDetector::handleMemAccess(ThreadId tid, Addr addr, unsigned size,
+                              bool is_write, bool is_atomic)
+{
+    ++accesses_;
+    VectorClock &ct = clockOf(tid);
+    const Addr first_word = addr & ~Addr{7};
+    const Addr last_word = (addr + size - 1) & ~Addr{7};
+
+    for (Addr word = first_word; word <= last_word; word += 8) {
+        WordState &ws = words_[word];
+        if (ws.reported)
+            continue; // dedup per word
+
+        // Check against the last write.
+        if (ws.writeTid != invalidThread && ws.writeTid != tid &&
+            !(is_atomic && ws.writeWasAtomic) &&
+            ws.writeClock > clockEntry(ct, ws.writeTid)) {
+            report(word, ws.writeTid, tid,
+                   is_write ? RaceReport::Kind::WriteWrite
+                            : RaceReport::Kind::WriteRead);
+            ws.reported = true;
+            continue;
+        }
+
+        if (is_write) {
+            // A write also conflicts with unordered earlier reads.
+            bool raced = false;
+            for (ThreadId u = 0; u < ws.readClocks.size(); ++u) {
+                if (u == tid || ws.readClocks[u] == 0)
+                    continue;
+                if (is_atomic && ws.readWasAtomic)
+                    continue; // atomic-atomic never races
+                if (ws.readClocks[u] > clockEntry(ct, u)) {
+                    report(word, u, tid,
+                           RaceReport::Kind::ReadWrite);
+                    ws.reported = true;
+                    raced = true;
+                    break;
+                }
+            }
+            if (raced)
+                continue;
+            ws.writeTid = tid;
+            ws.writeClock = ct[tid];
+            ws.writeWasAtomic = is_atomic;
+            // A new write supersedes the read set.
+            ws.readClocks.clear();
+            ws.readWasAtomic = false;
+        } else {
+            if (ws.readClocks.size() <= tid)
+                ws.readClocks.resize(tid + 1, 0);
+            ws.readClocks[tid] = ct[tid];
+            ws.readWasAtomic = ws.readWasAtomic || is_atomic;
+        }
+    }
+}
+
+bool
+RaceDetector::isRacyWord(Addr word_addr) const
+{
+    for (const RaceReport &r : races_)
+        if (r.wordAddr == word_addr)
+            return true;
+    return false;
+}
+
+} // namespace dp

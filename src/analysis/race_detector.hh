@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Happens-before data-race detection over replayed executions.
+ *
+ * The paper's motivation for deterministic replay is running
+ * heavyweight dynamic analyses offline, against the exact production
+ * execution. This is such an analysis: a vector-clock happens-before
+ * race detector in the FastTrack tradition, driven entirely by
+ * ReplayObserver events.
+ *
+ * Happens-before edges tracked:
+ *  - program order within each thread;
+ *  - release/acquire through every synchronization object (atomic
+ *    RMW words, futex words, and the global OS object for other
+ *    syscalls) — our atomics are RMWs, so each is both;
+ *  - waker -> woken edges (futex wakes, exit waking joiners, spawn).
+ *
+ * Granularity is the 8-byte-aligned word (the guest's atomic
+ * granule); the simulated kernel's buffer accesses inside syscalls
+ * are not tracked. Atomic accesses participate in race checks against
+ * *plain* accesses (atomic-vs-plain without ordering is a race) but
+ * never race with each other.
+ */
+
+#ifndef DP_ANALYSIS_RACE_DETECTOR_HH
+#define DP_ANALYSIS_RACE_DETECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "replay/replayer.hh"
+
+namespace dp
+{
+
+/** One reported race (deduplicated per word address). */
+struct RaceReport
+{
+    enum class Kind : std::uint8_t
+    {
+        WriteWrite,
+        WriteRead, ///< earlier write, racing read
+        ReadWrite, ///< earlier read, racing write
+    };
+
+    Addr wordAddr = 0;     ///< 8-byte-aligned address
+    ThreadId first = 0;    ///< thread of the earlier access
+    ThreadId second = 0;   ///< thread of the racing access
+    Kind kind = Kind::WriteWrite;
+    EpochId epoch = 0;     ///< epoch the race was observed in
+};
+
+/** Vector-clock happens-before detector. */
+class RaceDetector
+{
+  public:
+    RaceDetector() = default;
+
+    /** Hooks to pass to Replayer::replaySequential(). The detector
+     *  must outlive the replay. */
+    ReplayObserver observer();
+
+    /** Races found so far (one per word address). */
+    const std::vector<RaceReport> &races() const { return races_; }
+
+    /** True if @p word_addr (8-aligned) was reported racy. */
+    bool isRacyWord(Addr word_addr) const;
+
+    /// @name Statistics
+    /// @{
+    std::uint64_t accessesChecked() const { return accesses_; }
+    std::uint64_t syncOpsSeen() const { return syncOps_; }
+    /// @}
+
+  private:
+    using VectorClock = std::vector<std::uint32_t>;
+
+    struct WordState
+    {
+        /** Last writer epoch (thread + its clock at the write). */
+        ThreadId writeTid = invalidThread;
+        std::uint32_t writeClock = 0;
+        bool writeWasAtomic = false;
+        /** Per-thread clock of each thread's last read. */
+        VectorClock readClocks;
+        bool readWasAtomic = false;
+        bool reported = false;
+    };
+
+    void handleMemAccess(ThreadId tid, Addr addr, unsigned size,
+                         bool is_write, bool is_atomic);
+    void handleSync(ThreadId tid, SyncKey key);
+    void handleWake(ThreadId waker, ThreadId woken);
+
+    VectorClock &clockOf(ThreadId tid);
+    static void joinInto(VectorClock &dst, const VectorClock &src);
+    std::uint32_t clockEntry(const VectorClock &vc, ThreadId tid);
+    void report(Addr word, ThreadId first, ThreadId second,
+                RaceReport::Kind kind);
+
+    std::vector<VectorClock> threadClocks_;
+    std::unordered_map<SyncKey, VectorClock> objectClocks_;
+    std::unordered_map<Addr, WordState> words_;
+    std::vector<RaceReport> races_;
+    EpochId currentEpoch_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t syncOps_ = 0;
+};
+
+} // namespace dp
+
+#endif // DP_ANALYSIS_RACE_DETECTOR_HH

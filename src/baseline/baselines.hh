@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Direct multiprocessor-logging baselines for the E9 comparison.
+ *
+ * DoublePlay's motivation is that logging shared-memory ordering on a
+ * multiprocessor is expensive. These two recorders implement the
+ * classical alternatives on the same multiprocessor simulator so the
+ * benches can reproduce the comparison:
+ *
+ *  - CrewRecorder: SMP-ReVirt-style CREW page ownership. Every
+ *    ownership transition (concurrent-read <-> exclusive-write) takes
+ *    a page-protection fault on the participating CPUs and appends an
+ *    ordering entry to the log.
+ *
+ *  - ValueLogRecorder: iDNA/Nirvana-style load-value logging. Every
+ *    load that may observe another thread's write (its page has a
+ *    different last writer) logs the loaded value.
+ *
+ * Both also log syscall results, as any replay system must.
+ */
+
+#ifndef DP_BASELINE_BASELINES_HH
+#define DP_BASELINE_BASELINES_HH
+
+#include <cstdint>
+
+#include "os/machine.hh"
+#include "os/run_types.hh"
+#include "timing/cost_model.hh"
+#include "vm/program.hh"
+
+namespace dp
+{
+
+/** Shared configuration for baseline record runs. */
+struct BaselineOptions
+{
+    CpuId cpus = 4;
+    std::uint64_t seed = 1;
+    std::uint64_t fuel = std::uint64_t{1} << 33;
+};
+
+/** Outcome of a baseline record run. */
+struct BaselineResult
+{
+    StopReason reason = StopReason::AllExited;
+    Cycles cycles = 0;          ///< recorded-run virtual duration
+    std::uint64_t instrs = 0;
+    std::uint64_t events = 0;   ///< ownership faults / logged loads
+    std::uint64_t logBytes = 0; ///< modeled log size
+    std::uint64_t exitCode = 0;
+};
+
+/** CREW page-ownership order logging (SMP-ReVirt-like). */
+class CrewRecorder
+{
+  public:
+    CrewRecorder(const GuestProgram &prog, MachineConfig cfg,
+                 BaselineOptions opts = {}, CostModel costs = {});
+    BaselineResult record();
+
+  private:
+    const GuestProgram *prog_;
+    MachineConfig cfg_;
+    BaselineOptions opts_;
+    CostModel costs_;
+};
+
+/** Shared-load value logging (Nirvana/iDNA-like). */
+class ValueLogRecorder
+{
+  public:
+    ValueLogRecorder(const GuestProgram &prog, MachineConfig cfg,
+                     BaselineOptions opts = {}, CostModel costs = {});
+    BaselineResult record();
+
+  private:
+    const GuestProgram *prog_;
+    MachineConfig cfg_;
+    BaselineOptions opts_;
+    CostModel costs_;
+};
+
+/** Uninstrumented native run (the overhead denominator). */
+struct NativeResult
+{
+    StopReason reason = StopReason::AllExited;
+    Cycles cycles = 0;
+    std::uint64_t instrs = 0;
+    std::uint64_t syncOps = 0;
+    std::uint64_t syscalls = 0;
+    std::uint64_t exitCode = 0;
+    std::uint64_t residentPages = 0;
+    std::uint64_t stdoutLen = 0;
+    std::uint32_t threadsPeak = 0;
+};
+
+/** Run @p prog natively on @p cpus simulated CPUs. */
+NativeResult runNativeBaseline(const GuestProgram &prog,
+                               const MachineConfig &cfg, CpuId cpus,
+                               std::uint64_t seed,
+                               std::uint64_t fuel = std::uint64_t{1}
+                                                    << 33,
+                               CostModel costs = {});
+
+} // namespace dp
+
+#endif // DP_BASELINE_BASELINES_HH

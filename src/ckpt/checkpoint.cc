@@ -1,0 +1,38 @@
+#include "ckpt/checkpoint.hh"
+
+#include "common/hash.hh"
+
+namespace dp
+{
+
+Checkpoint
+Checkpoint::capture(Machine &m)
+{
+    Checkpoint c;
+    c.stateHash_ = m.stateHash();
+    c.mem_ = m.mem.snapshot();
+    c.threads_ = m.threads;
+    c.os_ = m.os;
+    c.now_ = m.now;
+    return c;
+}
+
+Machine
+Checkpoint::materialize(const GuestProgram &prog,
+                        const MachineConfig &cfg) const
+{
+    Machine m(prog, cfg);
+    restoreInto(m);
+    return m;
+}
+
+void
+Checkpoint::restoreInto(Machine &m) const
+{
+    m.mem.restore(mem_);
+    m.threads = threads_;
+    m.os = os_;
+    m.now = now_;
+}
+
+} // namespace dp

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Byte-stream writer/reader with LEB128 varint support.
+ *
+ * All uniplay logs are encoded with these primitives so that log sizes
+ * reported by the benchmarks reflect a realistic compact encoding rather
+ * than in-memory struct sizes.
+ */
+
+#ifndef DP_COMMON_BYTES_HH
+#define DP_COMMON_BYTES_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dp
+{
+
+/** Append-only byte buffer with varint encoders. */
+class ByteWriter
+{
+  public:
+    /** Append one raw byte. */
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    /** Append a fixed-width little-endian 64-bit value. */
+    void
+    u64fixed(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /** Append an unsigned LEB128 varint. */
+    void
+    varu(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        buf_.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    /** Append a zigzag-encoded signed varint. */
+    void
+    vari(std::int64_t v)
+    {
+        varu((static_cast<std::uint64_t>(v) << 1) ^
+             static_cast<std::uint64_t>(v >> 63));
+    }
+
+    /** Append a length-prefixed byte string. */
+    void
+    blob(std::span<const std::uint8_t> b)
+    {
+        varu(b.size());
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+
+    /** Append a length-prefixed UTF-8 string. */
+    void
+    str(const std::string &s)
+    {
+        varu(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    std::size_t size() const { return buf_.size(); }
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Sequential reader over an encoded byte buffer; panics on underrun. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    /** Read one raw byte. */
+    std::uint8_t
+    u8()
+    {
+        dp_assert(pos_ < data_.size(), "ByteReader underrun");
+        return data_[pos_++];
+    }
+
+    /** Read a fixed-width little-endian 64-bit value. */
+    std::uint64_t
+    u64fixed()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    /** Read an unsigned LEB128 varint. */
+    std::uint64_t
+    varu()
+    {
+        std::uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            std::uint8_t b = u8();
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return v;
+            shift += 7;
+            dp_assert(shift < 64, "varint too long");
+        }
+    }
+
+    /** Read a zigzag-encoded signed varint. */
+    std::int64_t
+    vari()
+    {
+        std::uint64_t z = varu();
+        return static_cast<std::int64_t>((z >> 1) ^ (0 - (z & 1)));
+    }
+
+    /** Read a length-prefixed byte string. */
+    std::vector<std::uint8_t>
+    blob()
+    {
+        std::uint64_t n = varu();
+        dp_assert(pos_ + n <= data_.size(), "ByteReader blob underrun");
+        std::vector<std::uint8_t> out(data_.begin() + pos_,
+                                      data_.begin() + pos_ + n);
+        pos_ += n;
+        return out;
+    }
+
+    /** Read a length-prefixed UTF-8 string. */
+    std::string
+    str()
+    {
+        std::uint64_t n = varu();
+        dp_assert(pos_ + n <= data_.size(), "ByteReader str underrun");
+        std::string out(data_.begin() + pos_, data_.begin() + pos_ + n);
+        pos_ += n;
+        return out;
+    }
+
+    bool atEnd() const { return pos_ == data_.size(); }
+    std::size_t pos() const { return pos_; }
+
+  private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace dp
+
+#endif // DP_COMMON_BYTES_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Small non-cryptographic hashing utilities used for state digests.
+ *
+ * Divergence detection and replay verification compare 64-bit digests of
+ * guest memory, thread contexts, and OS state. These only need to be
+ * fast and well mixed; they are never exposed to adversarial input.
+ */
+
+#ifndef DP_COMMON_HASH_HH
+#define DP_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dp
+{
+
+/** FNV-1a over a byte range. */
+inline std::uint64_t
+fnv1a64(std::span<const std::uint8_t> bytes,
+        std::uint64_t seed = 0xcbf29ce484222325ull)
+{
+    std::uint64_t h = seed;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer; good avalanche for combining words. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Order-dependent combination of two 64-bit digests. */
+inline std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+/**
+ * Word-at-a-time hash over a byte range; much faster than fnv1a64 for
+ * page-sized inputs. Reads 8-byte chunks via memcpy, mixes the tail.
+ */
+inline std::uint64_t
+fastHash64(std::span<const std::uint8_t> bytes,
+           std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+{
+    std::uint64_t h = seed;
+    std::size_t i = 0;
+    const std::size_t n = bytes.size();
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t w;
+        __builtin_memcpy(&w, bytes.data() + i, 8);
+        h = mix64(h ^ w) + 0x2545f4914f6cdd1dull;
+    }
+    std::uint64_t tail = 0;
+    const std::size_t rem = n - i; // < 8 by the loop above
+    for (std::size_t k = 0; k < rem && k < 8; ++k)
+        tail |= static_cast<std::uint64_t>(bytes[i + k]) << (8 * k);
+    h = mix64(h ^ tail);
+    return mix64(h ^ n);
+}
+
+/**
+ * Incremental digest builder with value semantics.
+ *
+ * Feed words or byte ranges; the result depends on feed order, which is
+ * what state comparison wants (structure-sensitive digests).
+ */
+class Digest
+{
+  public:
+    /** Mix one 64-bit word into the digest. */
+    void
+    word(std::uint64_t w)
+    {
+        state_ = hashCombine(state_, mix64(w));
+    }
+
+    /** Mix a byte range into the digest. */
+    void
+    bytes(std::span<const std::uint8_t> b)
+    {
+        state_ = hashCombine(state_, fnv1a64(b));
+    }
+
+    /** Final digest value. */
+    std::uint64_t value() const { return state_; }
+
+  private:
+    std::uint64_t state_ = 0x2545f4914f6cdd1dull;
+};
+
+} // namespace dp
+
+#endif // DP_COMMON_HASH_HH

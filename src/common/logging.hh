@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error and status reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a uniplay bug); aborts.
+ * fatal()  - the caller/user asked for something impossible; exits(1).
+ * warn()   - something suspicious happened but execution can continue.
+ * inform() - a plain status message.
+ */
+
+#ifndef DP_COMMON_LOGGING_HH
+#define DP_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dp
+{
+
+namespace detail
+{
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message; use for internal bugs that should never happen. */
+#define dp_panic(...) \
+    ::dp::detail::panicImpl(__FILE__, __LINE__, \
+                            ::dp::detail::concat(__VA_ARGS__))
+
+/** Exit with a message; use for unusable input or configuration. */
+#define dp_fatal(...) \
+    ::dp::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::dp::detail::concat(__VA_ARGS__))
+
+/** Print a warning; execution continues. */
+#define dp_warn(...) \
+    ::dp::detail::warnImpl(::dp::detail::concat(__VA_ARGS__))
+
+/** Print an informational message. */
+#define dp_inform(...) \
+    ::dp::detail::informImpl(::dp::detail::concat(__VA_ARGS__))
+
+/** Assert an invariant with a formatted explanation on failure. */
+#define dp_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            dp_panic("assertion '", #cond, "' failed: ", \
+                     ::dp::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace dp
+
+#endif // DP_COMMON_LOGGING_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every source of nondeterminism in the simulator (multiprocessor
+ * interleaving jitter, workload input generation, property-test program
+ * generation) draws from an explicitly seeded Rng so runs are exactly
+ * reproducible from their seed.
+ */
+
+#ifndef DP_COMMON_RNG_HH
+#define DP_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace dp
+{
+
+/** xoshiro256** generator with splitmix64 seeding; value semantics. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        // splitmix64 stream seeds the four state words.
+        std::uint64_t x = seed;
+        for (auto &w : s_) {
+            x += 0x9e3779b97f4a7c15ull;
+            w = mix64(x);
+        }
+        if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
+            s_[0] = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        dp_assert(bound > 0, "Rng::below requires a positive bound");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t v = next();
+            if (v >= threshold)
+                return v % bound;
+        }
+    }
+
+    /** Uniform value in the inclusive range [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        dp_assert(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Derive an independent generator (for per-component streams). */
+    Rng
+    split()
+    {
+        return Rng(next() ^ 0xa0761d6478bd642full);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> s_;
+};
+
+} // namespace dp
+
+#endif // DP_COMMON_RNG_HH

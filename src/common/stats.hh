@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the benchmark harness.
+ */
+
+#ifndef DP_COMMON_STATS_HH
+#define DP_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dp
+{
+
+/** Streaming accumulator for min/max/mean over double samples. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        logSum_ += (x > 0) ? std::log(x) : 0.0;
+        allPositive_ = allPositive_ && x > 0;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+
+    double
+    mean() const
+    {
+        dp_assert(n_ > 0, "mean of empty RunningStat");
+        return sum_ / static_cast<double>(n_);
+    }
+
+    /** Geometric mean; requires all samples positive. */
+    double
+    geomean() const
+    {
+        dp_assert(n_ > 0, "geomean of empty RunningStat");
+        dp_assert(allPositive_, "geomean requires positive samples");
+        return std::exp(logSum_ / static_cast<double>(n_));
+    }
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double logSum_ = 0.0;
+    bool allPositive_ = true;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-capacity percentile sampler (stores all samples; small runs). */
+class Percentiles
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+
+    /** p in [0, 100]; nearest-rank percentile. */
+    double
+    at(double p) const
+    {
+        dp_assert(!samples_.empty(), "percentile of empty sampler");
+        std::vector<double> s = samples_;
+        std::sort(s.begin(), s.end());
+        double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+        auto idx = static_cast<std::size_t>(rank + 0.5);
+        return s[std::min(idx, s.size() - 1)];
+    }
+
+    std::size_t count() const { return samples_.size(); }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace dp
+
+#endif // DP_COMMON_STATS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table printer for benchmark output.
+ *
+ * Every bench binary prints its results as an aligned table so the
+ * regenerated "paper tables" are readable directly from stdout and easy
+ * to diff between runs. Cells are strings; numeric helpers format with
+ * fixed precision.
+ */
+
+#ifndef DP_COMMON_TABLE_HH
+#define DP_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dp
+{
+
+/** Row/column text table with aligned column output. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a full row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a double with @p digits decimal places. */
+    static std::string num(double v, int digits = 2);
+    /** Format an integer with thousands separators. */
+    static std::string num(std::uint64_t v);
+    /** Format a ratio as a percentage string, e.g. "15.3%". */
+    static std::string pct(double ratio, int digits = 1);
+    /** Format a byte count with a binary-unit suffix. */
+    static std::string bytes(std::uint64_t n);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dp
+
+#endif // DP_COMMON_TABLE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every uniplay module.
+ */
+
+#ifndef DP_COMMON_TYPES_HH
+#define DP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dp
+{
+
+/** Guest virtual address (byte granularity, flat 64-bit space). */
+using Addr = std::uint64_t;
+
+/** Virtual time, measured in guest cycles. */
+using Cycles = std::uint64_t;
+
+/** Guest thread identifier; dense, assigned at spawn in creation order. */
+using ThreadId = std::uint32_t;
+
+/** Index of an epoch within a recording (0-based). */
+using EpochId = std::uint32_t;
+
+/** Simulated CPU index. */
+using CpuId = std::uint32_t;
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId invalidThread = ~ThreadId{0};
+
+} // namespace dp
+
+#endif // DP_COMMON_TYPES_HH

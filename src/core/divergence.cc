@@ -1,0 +1,27 @@
+#include "core/divergence.hh"
+
+namespace dp
+{
+
+DivergenceReport
+DivergenceDetector::report(const Machine &end_state,
+                           const Checkpoint &expected)
+{
+    DivergenceReport rep;
+    rep.pages = end_state.mem.diffPages(expected.memory());
+
+    const auto &a = end_state.threads;
+    const auto &b = expected.threads();
+    std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i >= a.size() || i >= b.size() || !(a[i] == b[i]))
+            rep.threads.push_back(static_cast<ThreadId>(i));
+    }
+
+    rep.osDiffers = end_state.os.hash() != expected.osState().hash();
+    rep.equal =
+        rep.pages.empty() && rep.threads.empty() && !rep.osDiffers;
+    return rep;
+}
+
+} // namespace dp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Divergence detection: did the epoch-parallel execution end an epoch
+ * in the state the thread-parallel run speculated?
+ *
+ * The fast path is a single digest comparison. When states differ,
+ * report() produces a structured explanation (which pages, which
+ * threads, whether OS state differs) for diagnostics and tests.
+ */
+
+#ifndef DP_CORE_DIVERGENCE_HH
+#define DP_CORE_DIVERGENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "os/machine.hh"
+
+namespace dp
+{
+
+/** Structured description of a state mismatch. */
+struct DivergenceReport
+{
+    bool equal = true;
+    /** Guest page indices whose content differs. */
+    std::vector<std::uint32_t> pages;
+    /** Thread ids whose contexts differ (or exist on one side only). */
+    std::vector<ThreadId> threads;
+    bool osDiffers = false;
+};
+
+/** Compares epoch-end states. */
+class DivergenceDetector
+{
+  public:
+    /** Fast check: digests only. */
+    static bool
+    matches(const Machine &end_state, const Checkpoint &expected)
+    {
+        return end_state.stateHash() == expected.stateHash();
+    }
+
+    /** Full structural diff for diagnostics. */
+    static DivergenceReport report(const Machine &end_state,
+                                   const Checkpoint &expected);
+};
+
+} // namespace dp
+
+#endif // DP_CORE_DIVERGENCE_HH

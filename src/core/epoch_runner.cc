@@ -1,0 +1,94 @@
+#include "core/epoch_runner.hh"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "os/simos.hh"
+
+namespace dp
+{
+
+EpochRunResult
+EpochRunner::run(const EpochTask &task) const
+{
+    dp_assert(task.start, "epoch task without a start checkpoint");
+
+    EpochRunResult res(task.start->materialize(*prog_, *cfg_));
+    SimOS os(costs_);
+
+    // Per-object sync-order queues: each key's suborder from the
+    // thread-parallel run must be followed; different objects are
+    // unordered relative to each other (that is the happens-before
+    // relation for data-race-free programs). Cursors only advance on
+    // a match, so a diverged execution relies on relaxation.
+    std::unordered_map<SyncKey, std::deque<SyncEvent>> order_queues;
+    if (task.syncOrder)
+        for (const SyncEvent &e : task.syncOrder->events())
+            order_queues[e.key].push_back(e);
+
+    // Injectable-result cursor (the injectable calls all carry the
+    // global sync key, so their relative order is enforced and one
+    // FIFO suffices).
+    std::size_t inject_cursor = 0;
+
+    UniHooks hooks;
+    if (task.syncOrder) {
+        hooks.permitSync = [&](ThreadId tid, SyncKind kind,
+                               SyncKey key) {
+            auto it = order_queues.find(key);
+            if (it == order_queues.end() || it->second.empty())
+                return true; // past this object's horizon: free-run
+            const SyncEvent &e = it->second.front();
+            return e.tid == tid && e.kind == kind;
+        };
+        hooks.onSync = [&](ThreadId tid, SyncKind kind, SyncKey key) {
+            auto it = order_queues.find(key);
+            if (it != order_queues.end() && !it->second.empty() &&
+                it->second.front() == SyncEvent{tid, kind, key})
+                it->second.pop_front();
+        };
+    }
+    hooks.injectSyscall =
+        [&](ThreadId tid, Sys sys) -> std::optional<std::uint64_t> {
+        if (inject_cursor >= task.injectables.size()) {
+            res.injectMismatch = true;
+            return std::nullopt;
+        }
+        const SyscallRecord &rec = task.injectables[inject_cursor];
+        if (rec.tid != tid || rec.sys != sys) {
+            res.injectMismatch = true;
+            return std::nullopt;
+        }
+        ++inject_cursor;
+        return rec.value;
+    };
+    hooks.onSyscall = [&](ThreadId tid, Sys sys, std::uint64_t value,
+                          bool injectable) {
+        res.syscalls.append({tid, sys, value, injectable});
+    };
+    hooks.onSegment = [&](const ScheduleSegment &seg) {
+        res.schedule.append(seg);
+    };
+    hooks.onSignal = [&](const SignalEvent &e) {
+        res.signals.append(e);
+    };
+
+    UniOptions opts;
+    opts.quantum = task.quantum;
+    opts.fuel = task.fuel;
+    opts.targets = task.targets;
+    opts.chargeRecordCosts = task.chargeRecordCosts;
+    opts.planSignals = true;
+    opts.signalPlan = task.signalPlan;
+
+    UniRunner runner(res.end, os, std::move(opts), std::move(hooks));
+    res.reason = runner.run();
+    res.relaxed = runner.constraintsRelaxed();
+    res.epCycles = runner.stats().cycles;
+    res.instrs = runner.stats().instrs;
+    res.endStateHash = res.end.stateHash();
+    return res;
+}
+
+} // namespace dp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * EpochRunner: the epoch-parallel half of uniparallelism.
+ *
+ * Executes one epoch — from a thread-parallel checkpoint to the
+ * per-thread instruction targets of the next checkpoint — with all
+ * threads timesliced on a single virtual CPU over the epoch's own copy
+ * of memory. While doing so it:
+ *   - follows the synchronization order the thread-parallel run
+ *     observed (so data-race-free programs reconverge exactly),
+ *   - injects the logged results of clock-dependent syscalls,
+ *   - records its own timeslice schedule and syscall results — the
+ *     replay log.
+ *
+ * Instances are self-contained (own Machine, own SimOS); epoch runs
+ * for different epochs can execute on different host threads.
+ */
+
+#ifndef DP_CORE_EPOCH_RUNNER_HH
+#define DP_CORE_EPOCH_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "log/logs.hh"
+#include "os/machine.hh"
+#include "os/run_types.hh"
+#include "os/uni_runner.hh"
+#include "timing/cost_model.hh"
+#include "vm/program.hh"
+
+namespace dp
+{
+
+/** Inputs for one epoch execution. */
+struct EpochTask
+{
+    const Checkpoint *start = nullptr;
+    /** Per-tid (retired, end state) goals from the next checkpoint. */
+    std::vector<EpochTarget> targets;
+    /** Sync order observed by the thread-parallel run; nullptr
+     *  disables enforcement (the E7 ablation). */
+    const SyncOrderLog *syncOrder = nullptr;
+    /** Logged results of injectable syscalls, in global order. */
+    std::vector<SyscallRecord> injectables;
+    /** Signal-delivery points observed by the thread-parallel run. */
+    std::vector<SignalEvent> signalPlan;
+    std::uint64_t quantum = 50'000;
+    std::uint64_t fuel = ~std::uint64_t{0};
+    bool chargeRecordCosts = true;
+};
+
+/** Outputs of one epoch execution. */
+struct EpochRunResult
+{
+    explicit EpochRunResult(Machine end_state)
+        : end(std::move(end_state))
+    {}
+
+    StopReason reason = StopReason::TargetsReached;
+    ScheduleLog schedule;
+    SyscallLog syscalls;
+    SignalLog signals;
+    std::uint64_t endStateHash = 0;
+    Cycles epCycles = 0;
+    std::uint64_t instrs = 0;
+    /** Constraints were dropped to make progress (divergence). */
+    bool relaxed = false;
+    /** Injected-result stream desynchronized (divergence). */
+    bool injectMismatch = false;
+    /** The machine at the epoch's end (the authoritative state). */
+    Machine end;
+};
+
+/** Runs epochs on a single virtual CPU. */
+class EpochRunner
+{
+  public:
+    EpochRunner(const GuestProgram &prog, const MachineConfig &cfg,
+                CostModel costs = {})
+        : prog_(&prog), cfg_(&cfg), costs_(costs)
+    {}
+    EpochRunner(GuestProgram &&, const MachineConfig &,
+                CostModel = {}) = delete;
+
+    /** Execute @p task to completion of its targets. */
+    EpochRunResult run(const EpochTask &task) const;
+
+  private:
+    const GuestProgram *prog_;
+    const MachineConfig *cfg_;
+    CostModel costs_;
+};
+
+} // namespace dp
+
+#endif // DP_CORE_EPOCH_RUNNER_HH

@@ -1,0 +1,342 @@
+#include "core/recorder.hh"
+
+#include <deque>
+#include <future>
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/epoch_runner.hh"
+#include "os/multicpu_sim.hh"
+#include "os/simos.hh"
+
+namespace dp
+{
+
+namespace
+{
+
+/** Everything one thread-parallel epoch hands to its epoch run. */
+struct TpEpoch
+{
+    StopReason reason = StopReason::TimeLimit;
+    bool programEnded = false; ///< tp reached AllExited
+    bool empty = false;        ///< boundary epoch with no content
+    Checkpoint next;           ///< state at the epoch's end
+    std::vector<EpochTarget> targets;
+    SyncOrderLog syncOrder;
+    std::vector<SyscallRecord> injectables;
+    std::vector<SignalEvent> signals;
+    Cycles tpCycles = 0;
+    Cycles ckptCost = 0;
+    std::uint64_t dirtyPages = 0;
+};
+
+} // namespace
+
+UniparallelRecorder::UniparallelRecorder(const GuestProgram &prog,
+                                         MachineConfig cfg,
+                                         RecorderOptions opts,
+                                         CostModel costs)
+    : prog_(&prog), cfg_(std::move(cfg)), opts_(opts), costs_(costs)
+{
+    dp_assert(opts_.workerCpus > 0, "need at least one worker CPU");
+    dp_assert(opts_.epochLength > 0, "epoch length must be positive");
+}
+
+RecordOutcome
+UniparallelRecorder::record(const RecordObserver *observer)
+{
+    RecordOutcome out{Recording(*prog_, cfg_)};
+    Recording &rec = out.recording;
+
+    Machine m(*prog_, cfg_);
+    SimOS os(costs_);
+    EpochRunner epoch_runner(*prog_, cfg_, costs_);
+
+    // Per-epoch collectors filled by the thread-parallel run's hooks.
+    SyncOrderLog sync_order;
+    std::vector<SyscallRecord> injectables;
+    std::vector<SignalEvent> signals;
+
+    MpHooks hooks;
+    hooks.onSync = [&](ThreadId tid, SyncKind kind, SyncKey key) {
+        sync_order.append(tid, kind, key);
+    };
+    hooks.onSyscall = [&](ThreadId tid, Sys sys, std::uint64_t value,
+                          bool injectable) {
+        if (injectable)
+            injectables.push_back({tid, sys, value, true});
+    };
+    hooks.onSignal = [&](const SignalEvent &e) {
+        signals.push_back(e);
+    };
+
+    auto make_sim = [&](std::uint64_t seed) {
+        MpOptions mp;
+        mp.cpus = opts_.workerCpus;
+        mp.seed = seed;
+        mp.quantum = opts_.mpQuantum;
+        mp.jitterNum = opts_.jitterNum;
+        mp.jitterDen = opts_.jitterDen;
+        mp.record = opts_.chargeCosts;
+        mp.fuel = opts_.fuel;
+        return std::make_unique<MultiCpuSim>(m, os, mp, hooks);
+    };
+
+    auto sim = make_sim(opts_.seed);
+    Checkpoint current = Checkpoint::capture(m);
+
+    // Advance the thread-parallel run by one epoch: run to the next
+    // boundary, quiesce, checkpoint, package the epoch's constraints.
+    auto run_tp_epoch = [&]() -> TpEpoch {
+        TpEpoch e;
+        sync_order = {};
+        injectables.clear();
+        signals.clear();
+        const Cycles epoch_start_now = m.now;
+        const std::uint64_t retired_before = m.totalRetired();
+
+        e.reason = sim->run(m.now + opts_.epochLength);
+        out.tpReason = e.reason;
+        e.programEnded = e.reason == StopReason::AllExited;
+        if (e.reason == StopReason::Deadlock ||
+            e.reason == StopReason::FuelExhausted)
+            return e;
+        if (m.totalRetired() == retired_before && e.programEnded) {
+            e.empty = true;
+            return e;
+        }
+
+        // Epoch barrier + checkpoint, charged to the tp timeline.
+        const std::uint64_t dirty = m.mem.dirtyPages().size();
+        if (opts_.chargeCosts) {
+            e.ckptCost = costs_.checkpointFixedCycles +
+                         costs_.epochBarrierCyclesPerThread *
+                             m.threads.size() +
+                         costs_.checkpointPageCycles * dirty;
+            m.now += e.ckptCost;
+        }
+        e.next = Checkpoint::capture(m);
+        e.dirtyPages = dirty;
+
+        e.targets.reserve(e.next.threads().size());
+        for (const ThreadContext &tc : e.next.threads())
+            e.targets.push_back({tc.retired, tc.state});
+        e.syncOrder = sync_order;
+        e.injectables = injectables;
+        e.signals = signals;
+        e.tpCycles = m.now - epoch_start_now;
+        return e;
+    };
+
+    // Run the epoch-parallel half for one tp epoch (any host thread).
+    auto run_epoch = [&epoch_runner,
+                      this](const Checkpoint &start,
+                            const TpEpoch &tp) -> EpochRunResult {
+        EpochTask task;
+        task.start = &start;
+        task.targets = tp.targets;
+        task.syncOrder =
+            opts_.enforceSyncOrder ? &tp.syncOrder : nullptr;
+        task.injectables = tp.injectables;
+        task.signalPlan = tp.signals;
+        task.quantum = opts_.quantum;
+        task.fuel = opts_.fuel;
+        task.chargeRecordCosts = opts_.chargeCosts;
+        return epoch_runner.run(task);
+    };
+
+    // Validate an epoch run against its speculation and append the
+    // epoch record; returns whether it diverged.
+    auto commit_epoch = [&](const Checkpoint &start, TpEpoch &tp,
+                            EpochRunResult &er) -> bool {
+        Cycles check_cost = 0;
+        if (opts_.chargeCosts) {
+            check_cost = costs_.divergenceCheckPageCycles *
+                         er.end.mem.residentPages();
+        }
+        const bool diverged =
+            er.endStateHash != tp.next.stateHash();
+
+        EpochRecord record;
+        record.schedule = std::move(er.schedule);
+        record.syscalls = std::move(er.syscalls);
+        record.signals = std::move(er.signals);
+        record.endStateHash = er.endStateHash;
+        record.targets = std::move(tp.targets);
+        record.stdoutLen = er.end.stdoutBytes().size();
+        record.diverged = diverged;
+        record.tpCycles = tp.tpCycles;
+        record.ckptCycles = tp.ckptCost;
+        record.epCycles = er.epCycles + check_cost;
+        record.epInstrs = er.instrs;
+
+        rec.stats.tpTotalCycles += record.tpCycles;
+        rec.stats.epTotalCycles += record.epCycles;
+        rec.stats.epInstrs += er.instrs;
+        rec.stats.checkpointPages += tp.dirtyPages;
+        ++rec.stats.epochs;
+
+        if (opts_.keepCheckpoints)
+            rec.checkpoints.push_back(start);
+        rec.epochs.push_back(std::move(record));
+        if (observer && observer->onEpochCommitted)
+            observer->onEpochCommitted(
+                rec.epochs.back(),
+                static_cast<EpochId>(rec.epochs.size() - 1));
+        return diverged;
+    };
+
+    // Squash the speculation after a diverged epoch: the epoch-
+    // parallel end state is the truth; restart the tp run from it.
+    // The clock resumes from the diverged epoch's boundary — any
+    // speculative epochs beyond it (parallel mode) never happened,
+    // including their time.
+    auto rollback = [&](Machine &truth, Cycles resume_clock) -> bool {
+        ++rec.stats.rollbacks;
+        if (rec.stats.rollbacks > opts_.maxRollbacks) {
+            dp_warn("recorder hit the rollback fuse");
+            out.tpReason = StopReason::Stalled;
+            return false;
+        }
+        current = Checkpoint::capture(truth);
+        current.restoreInto(m);
+        m.now = resume_clock;
+        m.mem.clearDirty();
+        sim = make_sim(opts_.seed +
+                       0xd1342543de82ef95ull * rec.stats.rollbacks);
+        return true;
+    };
+
+    auto finish = [&](const Checkpoint &final_state) {
+        rec.finalStateHash = final_state.stateHash();
+        out.ok = true;
+        if (!m.threads.empty())
+            out.mainExitCode = m.threads[0].exitCode;
+    };
+
+    if (opts_.hostWorkers == 0) {
+        // ---- synchronous reference pipeline ----
+        for (;;) {
+            if (rec.epochs.size() >= opts_.maxEpochs) {
+                dp_warn("recorder hit the epoch fuse");
+                out.tpReason = StopReason::FuelExhausted;
+                return out;
+            }
+            TpEpoch tp = run_tp_epoch();
+            if (tp.reason == StopReason::Deadlock ||
+                tp.reason == StopReason::FuelExhausted) {
+                dp_warn("thread-parallel run stopped: ",
+                        stopReasonName(tp.reason));
+                return out;
+            }
+            if (tp.empty)
+                break;
+
+            EpochRunResult er = run_epoch(current, tp);
+            Checkpoint next = tp.next;
+            const Cycles boundary_clock = next.capturedAt();
+            if (commit_epoch(current, tp, er)) {
+                if (!rollback(er.end, boundary_clock))
+                    return out;
+                if (m.allExited())
+                    break;
+                continue;
+            }
+            current = next;
+            if (tp.programEnded)
+                break;
+        }
+        finish(current);
+        return out;
+    }
+
+    // ---- host-parallel pipeline ----
+    // The tp run stays on this thread; epoch runs execute as async
+    // tasks. Results are validated strictly in order; a divergence
+    // squashes every younger in-flight epoch (their checkpoints came
+    // from the now-discarded speculation).
+    struct InFlight
+    {
+        // Owns the start checkpoint the async task points into;
+        // deque never relocates elements.
+        Checkpoint start;
+        TpEpoch tp;
+        std::future<EpochRunResult> fut;
+    };
+    std::deque<InFlight> window;
+    bool tp_done = false;
+    bool tp_failed = false;
+
+    const unsigned max_in_flight =
+        std::max(1u, opts_.maxInFlight);
+
+    for (;;) {
+        // Launch tp epochs until the window fills or the program ends.
+        while (!tp_done && !tp_failed &&
+               window.size() < max_in_flight &&
+               rec.epochs.size() + window.size() < opts_.maxEpochs) {
+            TpEpoch tp = run_tp_epoch();
+            if (tp.reason == StopReason::Deadlock ||
+                tp.reason == StopReason::FuelExhausted) {
+                dp_warn("thread-parallel run stopped: ",
+                        stopReasonName(tp.reason));
+                tp_failed = true;
+                break;
+            }
+            if (tp.empty) {
+                tp_done = true;
+                break;
+            }
+            if (tp.programEnded)
+                tp_done = true;
+
+            window.push_back(
+                {current, std::move(tp), std::future<EpochRunResult>{}});
+            InFlight &inf = window.back();
+            inf.fut = std::async(std::launch::async,
+                                 [&run_epoch, &inf] {
+                                     return run_epoch(inf.start,
+                                                      inf.tp);
+                                 });
+            current = inf.tp.next;
+        }
+
+        if (window.empty()) {
+            if (tp_failed)
+                return out;
+            break;
+        }
+
+        // Retire the oldest epoch. The async task reads start/tp out
+        // of the deque slot, so the future must complete before the
+        // slot is moved from.
+        EpochRunResult er = window.front().fut.get();
+        InFlight inf = std::move(window.front());
+        window.pop_front();
+        const Cycles boundary_clock = inf.tp.next.capturedAt();
+        if (commit_epoch(inf.start, inf.tp, er)) {
+            // Divergence: every younger speculation is invalid.
+            for (InFlight &junk : window)
+                junk.fut.wait();
+            window.clear();
+            if (!rollback(er.end, boundary_clock))
+                return out;
+            tp_done = m.allExited();
+            tp_failed = false;
+            continue;
+        }
+        // Note: `current` is the launch-side cursor (start of the
+        // next epoch the tp run will produce); retiring an old epoch
+        // must not move it.
+        if (rec.epochs.size() >= opts_.maxEpochs && !tp_done) {
+            dp_warn("recorder hit the epoch fuse");
+            out.tpReason = StopReason::FuelExhausted;
+            return out;
+        }
+    }
+    finish(current);
+    return out;
+}
+
+} // namespace dp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * UniparallelRecorder: DoublePlay's record pipeline.
+ *
+ * Runs the application twice, concurrently in virtual time:
+ *
+ *   thread-parallel run (MultiCpuSim, N CPUs)
+ *       |  every epochLength cycles: quiesce, checkpoint,
+ *       |  hand off {checkpoint, targets, sync order, injectables}
+ *       v
+ *   epoch-parallel runs (EpochRunner, 1 CPU each, own memory copy)
+ *       |  produce the official logs; end state compared against the
+ *       |  next checkpoint
+ *       v
+ *   divergence? -> squash the speculation, resume the thread-parallel
+ *                  run from the epoch-parallel run's state
+ *
+ * The host-side implementation executes the pipeline stages
+ * sequentially and reconstructs the concurrent timing with the fluid
+ * pipeline model (timing/pipeline.hh); the benchmark harness reports
+ * overheads from that model.
+ */
+
+#ifndef DP_CORE_RECORDER_HH
+#define DP_CORE_RECORDER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/recording.hh"
+#include "os/machine.hh"
+#include "os/run_types.hh"
+#include "timing/cost_model.hh"
+#include "vm/program.hh"
+
+namespace dp
+{
+
+/** Record-session configuration. */
+struct RecorderOptions
+{
+    /** N: worker CPUs for the thread-parallel execution. */
+    CpuId workerCpus = 2;
+    /** Epoch length in virtual cycles. */
+    Cycles epochLength = 400'000;
+    /** Interleaving seed of the thread-parallel run. */
+    std::uint64_t seed = 1;
+    /** Epoch-parallel timeslice quantum (instructions). */
+    std::uint64_t quantum = 50'000;
+    /** Retain epoch-start checkpoints for parallel replay. */
+    bool keepCheckpoints = true;
+    /** Feed the thread-parallel sync order into the epoch-parallel
+     *  runs (disable only for the E7 ablation). */
+    bool enforceSyncOrder = true;
+    /** Charge instrumentation costs to virtual time. */
+    bool chargeCosts = true;
+    /** Per-execution instruction fuse. */
+    std::uint64_t fuel = std::uint64_t{1} << 33;
+    /** Abort after this many epochs (runaway guard). */
+    std::uint32_t maxEpochs = 1 << 16;
+    /** Abort after this many rollbacks (livelock guard). */
+    std::uint32_t maxRollbacks = 256;
+    /** Thread-parallel per-CPU jitter (see MpOptions). */
+    std::uint32_t jitterNum = 1;
+    std::uint32_t jitterDen = 8;
+    /** Thread-parallel migration quantum. */
+    std::uint64_t mpQuantum = 20'000;
+    /**
+     * Host threads executing epoch-parallel runs concurrently with
+     * the thread-parallel run (the deployment's real pipeline).
+     * 0 = synchronous reference mode. Both modes produce identical
+     * recordings; the parallel mode also overlaps host wall-clock.
+     */
+    unsigned hostWorkers = 0;
+    /** Epochs allowed in flight before the thread-parallel run
+     *  stalls (parallel mode only). */
+    unsigned maxInFlight = 4;
+};
+
+/**
+ * Callbacks observing a record session as it progresses. Committed
+ * epochs are final (a divergence squashes the *speculation*, never an
+ * already-committed epoch), so onEpochCommitted can stream them to a
+ * LiveReplica or to storage.
+ */
+struct RecordObserver
+{
+    /** Epoch @p index was validated and appended, in order. */
+    std::function<void(const EpochRecord &, EpochId index)>
+        onEpochCommitted;
+};
+
+/** Result of a record session. */
+struct RecordOutcome
+{
+    Recording recording;
+    /** Final stop reason of the thread-parallel run. */
+    StopReason tpReason = StopReason::AllExited;
+    /** The recording is complete and every epoch validated. */
+    bool ok = false;
+    /** Guest exit code of the main thread. */
+    std::uint64_t mainExitCode = 0;
+};
+
+/** Records a program with uniparallelism. */
+class UniparallelRecorder
+{
+  public:
+    UniparallelRecorder(const GuestProgram &prog, MachineConfig cfg,
+                        RecorderOptions opts = {}, CostModel costs = {});
+    /** The recorder keeps a pointer to the program; see Machine. */
+    UniparallelRecorder(GuestProgram &&, MachineConfig,
+                        RecorderOptions = {}, CostModel = {}) = delete;
+
+    /** Run the full record pipeline to program completion;
+     *  @p observer (optional) sees each epoch as it commits. */
+    RecordOutcome record(const RecordObserver *observer = nullptr);
+
+  private:
+    const GuestProgram *prog_;
+    MachineConfig cfg_;
+    RecorderOptions opts_;
+    CostModel costs_;
+};
+
+} // namespace dp
+
+#endif // DP_CORE_RECORDER_HH

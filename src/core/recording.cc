@@ -1,0 +1,38 @@
+#include "core/recording.hh"
+
+namespace dp
+{
+
+std::size_t
+EpochRecord::replayLogBytes() const
+{
+    return schedule.sizeBytes() + syscalls.injectableSizeBytes() +
+           signals.sizeBytes();
+}
+
+std::size_t
+EpochRecord::totalLogBytes() const
+{
+    return schedule.sizeBytes() + syscalls.sizeBytes() +
+           signals.sizeBytes();
+}
+
+std::size_t
+Recording::replayLogBytes() const
+{
+    std::size_t n = 0;
+    for (const EpochRecord &e : epochs)
+        n += e.replayLogBytes();
+    return n;
+}
+
+std::size_t
+Recording::totalLogBytes() const
+{
+    std::size_t n = 0;
+    for (const EpochRecord &e : epochs)
+        n += e.totalLogBytes();
+    return n;
+}
+
+} // namespace dp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The Recording artifact a DoublePlay record session produces.
+ *
+ * Per epoch: the timeslice schedule and syscall results of the
+ * *epoch-parallel* execution (the official one), the end-state digest,
+ * and timing metadata for the pipeline model. Optionally the
+ * epoch-start checkpoints are retained so replay can run epochs in
+ * parallel; without them replay runs epochs sequentially from the
+ * initial state, needing nothing but the logs.
+ */
+
+#ifndef DP_CORE_RECORDING_HH
+#define DP_CORE_RECORDING_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "log/logs.hh"
+#include "os/machine.hh"
+#include "os/uni_runner.hh"
+#include "vm/program.hh"
+
+namespace dp
+{
+
+/** Everything recorded about one epoch. */
+struct EpochRecord
+{
+    ScheduleLog schedule;
+    SyscallLog syscalls;
+    SignalLog signals;
+    /** Digest of the machine state at the epoch's end. */
+    std::uint64_t endStateHash = 0;
+    /** Per-tid end-of-epoch targets (diagnostic metadata). */
+    std::vector<EpochTarget> targets;
+    /** stdout length at the epoch's end: the output-commit point. */
+    std::uint64_t stdoutLen = 0;
+    /** This epoch's end state disagreed with the thread-parallel
+     *  speculation (a rollback followed). */
+    bool diverged = false;
+
+    /// @name Timing metadata (virtual cycles)
+    /// @{
+    Cycles tpCycles = 0;   ///< thread-parallel duration incl. ckpt
+    Cycles epCycles = 0;   ///< epoch-parallel (1-CPU) duration
+    Cycles ckptCycles = 0; ///< checkpoint portion of tpCycles
+    std::uint64_t epInstrs = 0;
+    /// @}
+
+    /** Replay-relevant log bytes (schedule + injectable results). */
+    std::size_t replayLogBytes() const;
+    /** All log bytes incl. the validation syscall stream. */
+    std::size_t totalLogBytes() const;
+};
+
+/** Counters describing a record session. */
+struct RecorderStats
+{
+    std::uint32_t epochs = 0;
+    std::uint32_t rollbacks = 0;
+    std::uint64_t checkpointPages = 0; ///< total dirty pages copied
+    std::uint64_t tpInstrs = 0;
+    std::uint64_t epInstrs = 0;
+    Cycles tpTotalCycles = 0;
+    Cycles epTotalCycles = 0;
+};
+
+/**
+ * A complete deterministic-replay recording. Owns a copy of the guest
+ * program so the artifact is self-contained and never dangles when
+ * the recorder's program goes out of scope.
+ */
+class Recording
+{
+  public:
+    Recording(const GuestProgram &prog, MachineConfig cfg)
+        : prog_(std::make_shared<const GuestProgram>(prog)),
+          cfg_(std::move(cfg))
+    {}
+
+    const GuestProgram &program() const { return *prog_; }
+    const MachineConfig &config() const { return cfg_; }
+
+    std::vector<EpochRecord> epochs;
+    /** checkpoints[i] = state at epoch i's start (may be empty). */
+    std::vector<Checkpoint> checkpoints;
+    std::uint64_t finalStateHash = 0;
+    RecorderStats stats;
+
+    bool hasCheckpoints() const
+    {
+        return checkpoints.size() == epochs.size();
+    }
+
+    /** Replay-relevant log bytes across all epochs. */
+    std::size_t replayLogBytes() const;
+    /** All log bytes across all epochs. */
+    std::size_t totalLogBytes() const;
+
+  private:
+    std::shared_ptr<const GuestProgram> prog_;
+    MachineConfig cfg_;
+};
+
+} // namespace dp
+
+#endif // DP_CORE_RECORDING_HH

@@ -1,0 +1,146 @@
+#include "harness/experiment.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dp::harness
+{
+
+namespace
+{
+
+RecorderOptions
+recorderOptions(const MeasureOptions &opts)
+{
+    RecorderOptions ro;
+    ro.workerCpus = opts.threads;
+    ro.epochLength = opts.epochLength;
+    ro.seed = opts.seed;
+    ro.enforceSyncOrder = opts.enforceSyncOrder;
+    ro.keepCheckpoints = opts.keepCheckpoints;
+    return ro;
+}
+
+Measurement
+measureImpl(const workloads::Workload &w, const MeasureOptions &opts,
+            bool with_replay)
+{
+    dp_assert(opts.totalCpus >= opts.threads,
+              "totalCpus must cover the worker CPUs");
+
+    workloads::WorkloadParams params;
+    params.threads = opts.threads;
+    params.scale = opts.scale;
+
+    Measurement m;
+    m.workload = w.name;
+    m.opts = opts;
+
+    workloads::WorkloadBundle bundle = w.make(params);
+
+    m.native = runNativeBaseline(bundle.program, bundle.config,
+                                 opts.threads, opts.seed);
+    if (m.native.reason != StopReason::AllExited) {
+        dp_warn(w.name, ": native run stopped with ",
+                stopReasonName(m.native.reason));
+        return m;
+    }
+
+    UniparallelRecorder rec(bundle.program, bundle.config,
+                            recorderOptions(opts));
+    RecordOutcome out = rec.record();
+    m.recordOk = out.ok;
+    m.recordExit = out.mainExitCode;
+    m.stats = out.recording.stats;
+    m.epochs = out.recording.epochs.size();
+    if (!out.ok)
+        return m;
+
+    std::vector<EpochTiming> timings;
+    timings.reserve(out.recording.epochs.size());
+    for (const EpochRecord &e : out.recording.epochs) {
+        timings.push_back({e.tpCycles, e.epCycles, e.diverged});
+        m.scheduleBytes += e.schedule.sizeBytes();
+        m.syscallBytes += e.syscalls.sizeBytes();
+        m.injectableBytes += e.syscalls.injectableSizeBytes();
+        m.signalBytes += e.signals.sizeBytes();
+    }
+    m.replayLogBytes = out.recording.replayLogBytes();
+
+    PipelineOptions po;
+    po.workerCpus = opts.threads;
+    po.totalCpus = opts.totalCpus;
+    po.maxInFlight = opts.maxInFlight;
+    m.pipeline = PipelineModel::run(timings, po);
+
+    m.slowdown = static_cast<double>(m.pipeline.completion) /
+                 static_cast<double>(m.native.cycles);
+    m.overhead = m.slowdown - 1.0;
+
+    if (with_replay) {
+        Replayer rep(out.recording);
+        ReplayResult seq = rep.replaySequential();
+        m.seqReplayCycles = seq.replayCycles;
+        m.replayOk = seq.ok;
+        ReplayResult par = rep.replayParallel(opts.threads);
+        m.parReplayCycles = par.replayCycles;
+        m.replayOk = m.replayOk && par.ok;
+    }
+    return m;
+}
+
+} // namespace
+
+Measurement
+measure(const workloads::Workload &w, const MeasureOptions &opts)
+{
+    return measureImpl(w, opts, false);
+}
+
+Measurement
+measureWithReplay(const workloads::Workload &w,
+                  const MeasureOptions &opts)
+{
+    return measureImpl(w, opts, true);
+}
+
+BaselineMeasurement
+measureBaselines(const workloads::Workload &w,
+                 const MeasureOptions &opts)
+{
+    workloads::WorkloadParams params;
+    params.threads = opts.threads;
+    params.scale = opts.scale;
+
+    BaselineMeasurement bm;
+    bm.workload = w.name;
+
+    workloads::WorkloadBundle bundle = w.make(params);
+    NativeResult native = runNativeBaseline(
+        bundle.program, bundle.config, opts.threads, opts.seed);
+    bm.nativeCycles = native.cycles;
+
+    BaselineOptions bo;
+    bo.cpus = opts.threads;
+    bo.seed = opts.seed;
+
+    CrewRecorder crew(bundle.program, bundle.config, bo);
+    BaselineResult cr = crew.record();
+    bm.crewOverhead = static_cast<double>(cr.cycles) /
+                          static_cast<double>(native.cycles) -
+                      1.0;
+    bm.crewLogBytes = cr.logBytes;
+    bm.crewEvents = cr.events;
+
+    ValueLogRecorder value(bundle.program, bundle.config, bo);
+    BaselineResult vr = value.record();
+    bm.valueOverhead = static_cast<double>(vr.cycles) /
+                           static_cast<double>(native.cycles) -
+                       1.0;
+    bm.valueLogBytes = vr.logBytes;
+    bm.valueEvents = vr.events;
+    return bm;
+}
+
+} // namespace dp::harness

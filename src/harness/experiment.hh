@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment harness: one-call measurements the bench binaries share.
+ *
+ * Every number the benches print flows through here: native baseline
+ * runs, DoublePlay record sessions with the pipeline-model overhead
+ * computation, replay timings, and the comparison recorders.
+ */
+
+#ifndef DP_HARNESS_EXPERIMENT_HH
+#define DP_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "baseline/baselines.hh"
+#include "core/recorder.hh"
+#include "replay/replayer.hh"
+#include "timing/pipeline.hh"
+#include "workloads/registry.hh"
+
+namespace dp::harness
+{
+
+/** Knobs for one DoublePlay measurement. */
+struct MeasureOptions
+{
+    std::uint32_t threads = 2;   ///< N worker CPUs
+    std::uint32_t totalCpus = 4; ///< C machine CPUs (spare = C - N)
+    std::uint32_t scale = 4;
+    std::uint64_t seed = 1;
+    Cycles epochLength = 250'000;
+    bool enforceSyncOrder = true;
+    bool keepCheckpoints = true;
+    /** Outstanding-checkpoint bound fed to the pipeline model. */
+    std::uint32_t maxInFlight = 0;
+};
+
+/** Everything a bench needs from one workload measurement. */
+struct Measurement
+{
+    std::string workload;
+    MeasureOptions opts;
+
+    NativeResult native;
+    RecorderStats stats;
+    PipelineResult pipeline;
+    bool recordOk = false;
+    std::uint64_t recordExit = 0;
+
+    /** Recorded-run completion relative to native (1.0 = no cost). */
+    double slowdown = 0.0;
+    /** slowdown - 1. */
+    double overhead = 0.0;
+
+    /// @name Log accounting
+    /// @{
+    std::uint64_t scheduleBytes = 0;
+    std::uint64_t syscallBytes = 0;
+    std::uint64_t injectableBytes = 0;
+    std::uint64_t signalBytes = 0;
+    std::uint64_t replayLogBytes = 0;
+    std::uint64_t epochs = 0;
+    /// @}
+
+    /// @name Replay timings (filled by measureWithReplay)
+    /// @{
+    Cycles seqReplayCycles = 0;
+    Cycles parReplayCycles = 0; ///< modeled makespan, N workers
+    bool replayOk = false;
+    /// @}
+};
+
+/** Run native + DoublePlay for one workload; no replay pass. */
+Measurement measure(const workloads::Workload &w,
+                    const MeasureOptions &opts);
+
+/** measure() plus sequential and parallel replay passes. */
+Measurement measureWithReplay(const workloads::Workload &w,
+                              const MeasureOptions &opts);
+
+/** One baseline-recorder measurement (overhead vs the same native). */
+struct BaselineMeasurement
+{
+    std::string workload;
+    double crewOverhead = 0.0;
+    std::uint64_t crewLogBytes = 0;
+    std::uint64_t crewEvents = 0;
+    double valueOverhead = 0.0;
+    std::uint64_t valueLogBytes = 0;
+    std::uint64_t valueEvents = 0;
+    Cycles nativeCycles = 0;
+};
+
+BaselineMeasurement measureBaselines(const workloads::Workload &w,
+                                     const MeasureOptions &opts);
+
+} // namespace dp::harness
+
+#endif // DP_HARNESS_EXPERIMENT_HH

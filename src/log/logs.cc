@@ -1,0 +1,186 @@
+#include "log/logs.hh"
+
+namespace dp
+{
+
+void
+SyncOrderLog::append(ThreadId tid, SyncKind kind, SyncKey key)
+{
+    events_.push_back({tid, kind, key});
+}
+
+std::vector<std::uint8_t>
+SyncOrderLog::encode() const
+{
+    ByteWriter w;
+    w.varu(events_.size());
+    for (const SyncEvent &e : events_) {
+        w.varu((static_cast<std::uint64_t>(e.tid) << 1) |
+               (e.kind == SyncKind::Syscall ? 1 : 0));
+        // 0 denotes the global key; addresses shift up by one.
+        w.varu(e.key == globalSyncKey ? 0 : e.key + 1);
+    }
+    return w.take();
+}
+
+SyncOrderLog
+SyncOrderLog::decode(std::span<const std::uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    SyncOrderLog log;
+    std::uint64_t n = r.varu();
+    log.events_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t v = r.varu();
+        std::uint64_t k = r.varu();
+        log.events_.push_back(
+            {static_cast<ThreadId>(v >> 1),
+             (v & 1) ? SyncKind::Syscall : SyncKind::Atomic,
+             k == 0 ? globalSyncKey : k - 1});
+    }
+    return log;
+}
+
+std::size_t
+SyncOrderLog::sizeBytes() const
+{
+    return encode().size();
+}
+
+void
+ScheduleLog::append(const ScheduleSegment &seg)
+{
+    segments_.push_back(seg);
+}
+
+std::vector<std::uint8_t>
+ScheduleLog::encode() const
+{
+    ByteWriter w;
+    w.varu(segments_.size());
+    for (const ScheduleSegment &s : segments_) {
+        w.varu((static_cast<std::uint64_t>(s.tid) << 1) |
+               (s.endedBlocked ? 1 : 0));
+        w.varu(s.instrs);
+    }
+    return w.take();
+}
+
+ScheduleLog
+ScheduleLog::decode(std::span<const std::uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    ScheduleLog log;
+    std::uint64_t n = r.varu();
+    log.segments_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t head = r.varu();
+        std::uint64_t instrs = r.varu();
+        log.segments_.push_back({static_cast<ThreadId>(head >> 1),
+                                 instrs, (head & 1) != 0});
+    }
+    return log;
+}
+
+std::size_t
+ScheduleLog::sizeBytes() const
+{
+    return encode().size();
+}
+
+std::vector<std::uint8_t>
+SignalLog::encode() const
+{
+    ByteWriter w;
+    w.varu(events_.size());
+    for (const SignalEvent &e : events_) {
+        w.varu(e.tid);
+        w.varu(e.retired);
+        w.u8(e.sig);
+    }
+    return w.take();
+}
+
+SignalLog
+SignalLog::decode(std::span<const std::uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    SignalLog log;
+    std::uint64_t n = r.varu();
+    log.events_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        SignalEvent e;
+        e.tid = static_cast<ThreadId>(r.varu());
+        e.retired = r.varu();
+        e.sig = r.u8();
+        log.events_.push_back(e);
+    }
+    return log;
+}
+
+std::size_t
+SignalLog::sizeBytes() const
+{
+    return encode().size();
+}
+
+void
+SyscallLog::append(const SyscallRecord &rec)
+{
+    records_.push_back(rec);
+}
+
+std::vector<std::uint8_t>
+SyscallLog::encode() const
+{
+    ByteWriter w;
+    w.varu(records_.size());
+    for (const SyscallRecord &rec : records_) {
+        // 5 bits of syscall id + the injectable flag under the tid.
+        w.varu((static_cast<std::uint64_t>(rec.tid) << 6) |
+               (static_cast<std::uint64_t>(rec.sys) << 1) |
+               (rec.injectable ? 1 : 0));
+        w.varu(rec.value);
+    }
+    return w.take();
+}
+
+SyscallLog
+SyscallLog::decode(std::span<const std::uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    SyscallLog log;
+    std::uint64_t n = r.varu();
+    log.records_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t head = r.varu();
+        SyscallRecord rec;
+        rec.tid = static_cast<ThreadId>(head >> 6);
+        rec.sys = static_cast<Sys>((head >> 1) & 0x1f);
+        rec.injectable = (head & 1) != 0;
+        rec.value = r.varu();
+        log.records_.push_back(rec);
+    }
+    return log;
+}
+
+std::size_t
+SyscallLog::injectableSizeBytes() const
+{
+    ByteWriter w;
+    for (const SyscallRecord &rec : records_) {
+        if (!rec.injectable)
+            continue;
+        w.varu(static_cast<std::uint64_t>(rec.tid));
+        w.varu(rec.value);
+    }
+    return w.size();
+}
+
+std::size_t
+SyscallLog::sizeBytes() const
+{
+    return encode().size();
+}
+
+} // namespace dp

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Replay log containers with compact binary encodings.
+ *
+ * Three streams make up a DoublePlay recording:
+ *  - ScheduleLog: the epoch-parallel run's timeslice segments — the
+ *    entire scheduling nondeterminism of a uniprocessor execution;
+ *  - SyscallLog: completed syscall results (injectable ones are what
+ *    replay injects; the rest serve as validation);
+ *  - SyncOrderLog: the global order of synchronization operations
+ *    observed by the thread-parallel run. This stream never leaves the
+ *    recorder (it constrains the epoch-parallel run) but is accounted
+ *    separately so benchmarks can report its size.
+ *
+ * Sizes reported by sizeBytes() are the actual varint-encoded sizes,
+ * so E5's log-size table reflects a realistic on-disk format.
+ */
+
+#ifndef DP_LOG_LOGS_HH
+#define DP_LOG_LOGS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/types.hh"
+#include "os/uni_runner.hh"
+#include "vm/abi.hh"
+
+namespace dp
+{
+
+/** One observed synchronization operation. */
+struct SyncEvent
+{
+    ThreadId tid = 0;
+    SyncKind kind = SyncKind::Atomic;
+    /** The synchronization object acted on (see SyncKey). */
+    SyncKey key = globalSyncKey;
+
+    bool operator==(const SyncEvent &) const = default;
+};
+
+/**
+ * Sync operations of one epoch in thread-parallel execution order.
+ * Consumers enforce the *per-key* suborders; the flat sequence is just
+ * the storage format.
+ */
+class SyncOrderLog
+{
+  public:
+    void append(ThreadId tid, SyncKind kind, SyncKey key);
+
+    const std::vector<SyncEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+
+    std::vector<std::uint8_t> encode() const;
+    static SyncOrderLog decode(std::span<const std::uint8_t> bytes);
+    std::size_t sizeBytes() const;
+
+    bool operator==(const SyncOrderLog &) const = default;
+
+  private:
+    std::vector<SyncEvent> events_;
+};
+
+/** Timeslice schedule of one epoch's uniprocessor execution. */
+class ScheduleLog
+{
+  public:
+    void append(const ScheduleSegment &seg);
+
+    const std::vector<ScheduleSegment> &segments() const
+    {
+        return segments_;
+    }
+    std::size_t size() const { return segments_.size(); }
+
+    std::vector<std::uint8_t> encode() const;
+    static ScheduleLog decode(std::span<const std::uint8_t> bytes);
+    std::size_t sizeBytes() const;
+
+    bool operator==(const ScheduleLog &) const = default;
+
+  private:
+    std::vector<ScheduleSegment> segments_;
+};
+
+/** Signal-delivery points of one epoch (see SignalEvent). */
+class SignalLog
+{
+  public:
+    void append(const SignalEvent &e) { events_.push_back(e); }
+
+    const std::vector<SignalEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+
+    std::vector<std::uint8_t> encode() const;
+    static SignalLog decode(std::span<const std::uint8_t> bytes);
+    std::size_t sizeBytes() const;
+
+    bool operator==(const SignalLog &) const = default;
+
+  private:
+    std::vector<SignalEvent> events_;
+};
+
+/** One completed syscall. */
+struct SyscallRecord
+{
+    ThreadId tid = 0;
+    Sys sys = Sys::Exit;
+    std::uint64_t value = 0;
+    bool injectable = false;
+
+    bool operator==(const SyscallRecord &) const = default;
+};
+
+/** Completed syscalls of one epoch, in execution order. */
+class SyscallLog
+{
+  public:
+    void append(const SyscallRecord &rec);
+
+    const std::vector<SyscallRecord> &records() const
+    {
+        return records_;
+    }
+    std::size_t size() const { return records_.size(); }
+
+    /** Bytes for the injectable subset only (the part replay strictly
+     *  needs). */
+    std::size_t injectableSizeBytes() const;
+
+    std::vector<std::uint8_t> encode() const;
+    static SyscallLog decode(std::span<const std::uint8_t> bytes);
+    std::size_t sizeBytes() const;
+
+    bool operator==(const SyscallLog &) const = default;
+
+  private:
+    std::vector<SyscallRecord> records_;
+};
+
+} // namespace dp
+
+#endif // DP_LOG_LOGS_HH

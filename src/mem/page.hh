@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Guest memory page: the unit of copy-on-write sharing.
+ */
+
+#ifndef DP_MEM_PAGE_HH
+#define DP_MEM_PAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/hash.hh"
+
+namespace dp
+{
+
+/**
+ * One fixed-size guest page. Pages are immutable once shared between
+ * page tables: PagedMemory clones a page before the first write whenever
+ * the page is referenced by more than one table (checkpoint or sibling
+ * epoch). An absent table entry denotes an all-zero page.
+ */
+struct Page
+{
+    static constexpr std::size_t logBytes = 12;
+    static constexpr std::size_t bytes = std::size_t{1} << logBytes;
+
+    std::array<std::uint8_t, bytes> data{};
+
+    /** Content digest of this page. */
+    std::uint64_t
+    hash() const
+    {
+        return fastHash64(std::span<const std::uint8_t>(data));
+    }
+
+    /** Digest shared by every all-zero page (and absent entries). */
+    static std::uint64_t
+    zeroHash()
+    {
+        static const std::uint64_t h = Page{}.hash();
+        return h;
+    }
+};
+
+/** Shared ownership handle; use_count()==1 means exclusively writable. */
+using PageRef = std::shared_ptr<Page>;
+
+} // namespace dp
+
+#endif // DP_MEM_PAGE_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Copy-on-write paged guest memory.
+ *
+ * This is the checkpointing substrate that stands in for the kernel
+ * fork()/CoW machinery DoublePlay used: snapshot() is O(resident pages)
+ * pointer copies, and the cost of owning a snapshot is proportional to
+ * the pages the execution subsequently dirties — the same cost structure
+ * as hardware copy-on-write.
+ *
+ * Concurrency contract: a PagedMemory instance is used by one thread at
+ * a time, but distinct instances may share pages (via snapshots) across
+ * threads. Pages referenced by more than one table are never written in
+ * place; shared_ptr reference counts arbitrate cloning.
+ */
+
+#ifndef DP_MEM_PAGED_MEMORY_HH
+#define DP_MEM_PAGED_MEMORY_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/page.hh"
+
+namespace dp
+{
+
+/**
+ * Immutable snapshot of an address space: a page table whose entries are
+ * shared with (not copied from) the live memory it was taken from.
+ */
+class MemSnapshot
+{
+  public:
+    MemSnapshot() = default;
+
+    /** Content digest (absent and all-zero pages hash identically). */
+    std::uint64_t hash() const;
+
+    /** Number of table entries that reference a materialized page. */
+    std::size_t residentPages() const;
+
+  private:
+    friend class PagedMemory;
+    std::vector<PageRef> pages_;
+};
+
+/**
+ * A flat 64-bit byte-addressable guest address space backed by
+ * demand-allocated 4 KiB pages with copy-on-write snapshots.
+ */
+class PagedMemory
+{
+  public:
+    /** @param max_pages hard cap on resident pages (OOM guard). */
+    explicit PagedMemory(std::size_t max_pages = defaultMaxPages);
+
+    /// @name Typed accessors (little-endian, any alignment)
+    /// @{
+    std::uint8_t read8(Addr a) const;
+    std::uint16_t read16(Addr a) const;
+    std::uint32_t read32(Addr a) const;
+    std::uint64_t read64(Addr a) const;
+    void write8(Addr a, std::uint8_t v);
+    void write16(Addr a, std::uint16_t v);
+    void write32(Addr a, std::uint32_t v);
+    void write64(Addr a, std::uint64_t v);
+    /// @}
+
+    /** Copy a byte range out of guest memory. */
+    void readBytes(Addr a, std::span<std::uint8_t> out) const;
+    /** Copy a byte range into guest memory. */
+    void writeBytes(Addr a, std::span<const std::uint8_t> in);
+    /** Read a NUL-terminated guest string (bounded by @p max_len). */
+    std::string readCString(Addr a, std::size_t max_len = 4096) const;
+
+    /**
+     * Take a snapshot and reset dirty tracking. All currently resident
+     * pages become shared; the next write to each clones it.
+     */
+    MemSnapshot snapshot();
+
+    /** Replace the address space contents with @p snap. */
+    void restore(const MemSnapshot &snap);
+
+    /** Content digest of the whole space (matches MemSnapshot::hash). */
+    std::uint64_t hash() const;
+
+    /** Page indices written since the last snapshot()/clearDirty(). */
+    const std::vector<std::uint32_t> &dirtyPages() const
+    {
+        return dirtyList_;
+    }
+
+    /** Forget dirty tracking without snapshotting. */
+    void clearDirty();
+
+    /** Number of materialized pages. */
+    std::size_t residentPages() const;
+
+    /**
+     * Page indices whose content differs from @p other (diagnostics for
+     * divergence reports; compares actual bytes, not hashes).
+     */
+    std::vector<std::uint32_t> diffPages(const MemSnapshot &other) const;
+
+    static constexpr std::size_t defaultMaxPages = std::size_t{1} << 20;
+
+  private:
+    /** Table slot for @p a's page, or nullptr if never materialized. */
+    const Page *pageFor(Addr a) const;
+    /** Materialize (and privatize) the page containing @p a. */
+    Page &writablePage(Addr a);
+
+    static std::size_t pageIndex(Addr a) { return a >> Page::logBytes; }
+    static std::size_t pageOffset(Addr a)
+    {
+        return a & (Page::bytes - 1);
+    }
+
+    template <typename T> T readScalar(Addr a) const;
+    template <typename T> void writeScalar(Addr a, T v);
+
+    std::vector<PageRef> pages_;
+    std::vector<bool> dirtyBitmap_;
+    std::vector<std::uint32_t> dirtyList_;
+    std::size_t maxPages_;
+};
+
+} // namespace dp
+
+#endif // DP_MEM_PAGED_MEMORY_HH

@@ -1,0 +1,193 @@
+#include "os/multicpu_sim.hh"
+
+#include "common/logging.hh"
+
+namespace dp
+{
+
+MultiCpuSim::MultiCpuSim(Machine &m, SimOS &os, MpOptions opts,
+                         MpHooks hooks)
+    : m_(m), os_(os), interp_(m.program()), opts_(opts),
+      hooks_(std::move(hooks)), rng_(opts.seed)
+{
+    dp_assert(opts_.cpus > 0, "need at least one CPU");
+    cpus_.resize(opts_.cpus);
+    queued_.resize(m_.threads.size(), 0);
+    for (ThreadId t = 0; t < m_.threads.size(); ++t)
+        enqueueIfRunnable(t);
+}
+
+void
+MultiCpuSim::enqueueIfRunnable(ThreadId tid)
+{
+    if (tid >= queued_.size())
+        queued_.resize(m_.threads.size(), 0);
+    if (queued_[tid] || m_.thread(tid).state != RunState::Runnable)
+        return;
+    // Skip threads already on a CPU (woken threads are never on one,
+    // but defensive against double-enqueue after preemption).
+    for (const Cpu &c : cpus_)
+        if (c.tid == tid)
+            return;
+    ready_.push_back(tid);
+    queued_[tid] = 1;
+}
+
+void
+MultiCpuSim::releaseCpu(Cpu &cpu)
+{
+    cpu.tid = invalidThread;
+    cpu.sliceLeft = 0;
+}
+
+bool
+MultiCpuSim::stepCpu(Cpu &cpu, CpuId cpu_id)
+{
+    const CostModel &cm = os_.costs();
+    ThreadId tid = cpu.tid;
+    ThreadContext &tc = m_.thread(tid);
+
+    if (tc.state != RunState::Runnable) {
+        // Woken-and-exited elsewhere or bookkeeping race; drop it.
+        releaseCpu(cpu);
+        return false;
+    }
+
+    if (tc.signalDeliverable()) {
+        SignalEvent e{tid, tc.retired, 0};
+        e.sig = tc.deliverSignal();
+        cpu.busyUntil = m_.now + cm.syscallCycles;
+        if (hooks_.onSignal)
+            hooks_.onSignal(e);
+        return true;
+    }
+
+    Opcode op = interp_.nextOpcode(tc);
+
+    if (op == Opcode::Syscall) {
+        const std::optional<SyncKey> key =
+            syscallSyncKey(tc.reg(Reg::r0), tc.reg(Reg::r1));
+        // The thread-parallel run never injects: it is the execution
+        // that *defines* the nondeterministic results. Note: dispatch
+        // may reallocate the thread table (Spawn); `tc` is dead after
+        // this call — re-read through m_.thread(tid).
+        SimOS::Outcome out = os_.dispatch(m_, tid);
+        ++stats_.syscalls;
+        Cycles busy = out.cost;
+        if (opts_.record)
+            busy += cm.syscallLogCycles;
+        cpu.busyUntil = m_.now + busy;
+        if (hooks_.onSync && key)
+            hooks_.onSync(tid, SyncKind::Syscall, *key);
+        if (!out.blocked && hooks_.onSyscall)
+            hooks_.onSyscall(tid, out.sys, out.value, out.injectable);
+        for (ThreadId w : out.woken)
+            enqueueIfRunnable(w);
+        if (out.blocked ||
+            m_.thread(tid).state == RunState::Exited) {
+            releaseCpu(cpu);
+        } else {
+            ++stats_.instrs;
+            if (out.sys == Sys::Yield && !ready_.empty()) {
+                ThreadId next = ready_.front();
+                ready_.pop_front();
+                queued_[next] = 0;
+                cpu.tid = next; // reassign before requeueing the
+                cpu.sliceLeft = opts_.quantum; // yielder, or the
+                ++stats_.switches; // on-a-cpu check rejects it
+                enqueueIfRunnable(tid);
+                return true;
+            }
+        }
+        return true;
+    }
+
+    if (hooks_.onMemAccess && isMemOp(op)) {
+        auto [addr, is_write] = interp_.nextMemAccess(tc);
+        Cycles penalty = hooks_.onMemAccess(tid, cpu_id, addr, is_write);
+        if (penalty > 0)
+            cpu.busyUntil = std::max<Cycles>(cpu.busyUntil,
+                                             m_.now + penalty);
+    }
+
+    bool atomic = isAtomicOp(op);
+    if (atomic) {
+        if (hooks_.onSync)
+            hooks_.onSync(tid, SyncKind::Atomic,
+                          interp_.nextAtomicAddr(tc));
+        if (opts_.record)
+            cpu.busyUntil = m_.now + cm.syncLogCycles;
+        ++stats_.syncOps;
+    }
+
+    StepKind k = interp_.step(tc, m_.mem);
+    ++stats_.instrs;
+    if (cm.instrCycles > 1)
+        cpu.busyUntil =
+            std::max<Cycles>(cpu.busyUntil,
+                             m_.now + cm.instrCycles - 1);
+
+    if (k == StepKind::Halted || k == StepKind::Fault)
+        releaseCpu(cpu);
+    return true;
+}
+
+StopReason
+MultiCpuSim::run(Cycles until_time)
+{
+    while (m_.now < until_time) {
+        if (stats_.instrs >= opts_.fuel)
+            return StopReason::FuelExhausted;
+
+        bool any_active = false;
+        for (Cpu &cpu : cpus_) {
+            if (cpu.busyUntil > m_.now) {
+                any_active = true;
+                continue;
+            }
+            if (cpu.tid == invalidThread) {
+                if (ready_.empty())
+                    continue;
+                cpu.tid = ready_.front();
+                ready_.pop_front();
+                queued_[cpu.tid] = 0;
+                cpu.sliceLeft = opts_.quantum;
+                ++stats_.switches;
+            }
+            any_active = true;
+
+            // Seeded jitter decorrelates the per-CPU streams so race
+            // outcomes vary across seeds rather than being locked to
+            // one alignment.
+            if (opts_.jitterNum &&
+                rng_.chance(opts_.jitterNum, opts_.jitterDen))
+                continue;
+
+            if (!stepCpu(cpu, static_cast<CpuId>(&cpu - cpus_.data())))
+                continue;
+
+            if (cpu.tid != invalidThread && cpu.sliceLeft > 0) {
+                if (--cpu.sliceLeft == 0 && !ready_.empty()) {
+                    ThreadId out = cpu.tid;
+                    releaseCpu(cpu);
+                    enqueueIfRunnable(out);
+                }
+            }
+        }
+
+        ++m_.now;
+        ++stats_.cycles;
+
+        if (!any_active) {
+            if (m_.allExited())
+                return StopReason::AllExited;
+            if (ready_.empty() && m_.runnableCount() == 0)
+                return StopReason::Deadlock;
+            // Otherwise runnable work exists but every CPU stalled on
+            // jitter this tick; keep going.
+        }
+    }
+    return StopReason::TimeLimit;
+}
+
+} // namespace dp

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * MultiCpuSim: deterministic multiprocessor interleaving simulator.
+ *
+ * Plays the role of the real SMP hardware in DoublePlay: guest threads
+ * run "simultaneously" on P virtual CPUs over shared memory, so data
+ * races genuinely resolve differently under different interleavings
+ * (controlled by a seed). The recorder uses it for the thread-parallel
+ * execution: it generates checkpoints at epoch boundaries and logs the
+ * global order of synchronization operations plus the results of
+ * clock-dependent syscalls.
+ *
+ * Lockstep model: each tick of virtual time, every free CPU executes
+ * one instruction of its assigned thread (with seeded per-tick jitter
+ * so interleavings are not trivially aligned). Syscalls keep a CPU
+ * busy for their cost. The simulator is single-OS-threaded and exactly
+ * reproducible from (machine state, seed).
+ */
+
+#ifndef DP_OS_MULTICPU_SIM_HH
+#define DP_OS_MULTICPU_SIM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "os/machine.hh"
+#include "os/run_types.hh"
+#include "os/simos.hh"
+#include "vm/interp.hh"
+
+namespace dp
+{
+
+/** Configuration for a MultiCpuSim. */
+struct MpOptions
+{
+    CpuId cpus = 4;
+    /** Interleaving seed; different seeds = different race outcomes. */
+    std::uint64_t seed = 1;
+    /** Instructions before a thread is rotated off an oversubscribed
+     *  CPU. */
+    std::uint64_t quantum = 20'000;
+    /** Per-tick probability (num/den) that a CPU stalls, decorrelating
+     *  the lockstep streams. */
+    std::uint32_t jitterNum = 1;
+    std::uint32_t jitterDen = 8;
+    /** Charge recording instrumentation (sync-order + syscall logs). */
+    bool record = false;
+    /** Global instruction fuse. */
+    std::uint64_t fuel = ~std::uint64_t{0};
+};
+
+/** Observation hooks for the recorder. */
+struct MpHooks
+{
+    /** A synchronization operation executed; per-object order is
+     *  what the recorder logs. */
+    std::function<void(ThreadId, SyncKind, SyncKey)> onSync;
+    /** A syscall completed. */
+    std::function<void(ThreadId, Sys, std::uint64_t, bool injectable)>
+        onSyscall;
+    /**
+     * Called before each memory-touching instruction with its
+     * effective address; the returned cycles stall the CPU. Used by
+     * the comparison recorders (CREW page faults, value logging).
+     */
+    std::function<Cycles(ThreadId, CpuId, Addr, bool is_write)>
+        onMemAccess;
+    /** A pending signal was delivered at an instruction boundary. */
+    std::function<void(const SignalEvent &)> onSignal;
+};
+
+/**
+ * The multiprocessor engine. Keep one instance alive across epochs:
+ * CPU assignments, in-flight syscall costs, and the jitter stream
+ * carry over checkpoint boundaries.
+ */
+class MultiCpuSim
+{
+  public:
+    MultiCpuSim(Machine &m, SimOS &os, MpOptions opts, MpHooks hooks);
+
+    /**
+     * Run until @p until_time (TimeLimit), program completion
+     * (AllExited), deadlock, or the fuel fuse. Guest state is clean
+     * (between instructions) whenever this returns.
+     */
+    StopReason run(Cycles until_time);
+
+    const RunStats &stats() const { return stats_; }
+
+  private:
+    struct Cpu
+    {
+        ThreadId tid = invalidThread;
+        Cycles busyUntil = 0;
+        std::uint64_t sliceLeft = 0;
+    };
+
+    void enqueueIfRunnable(ThreadId tid);
+    /** One instruction (or syscall) on @p cpu; true if it ran. */
+    bool stepCpu(Cpu &cpu, CpuId cpu_id);
+    void releaseCpu(Cpu &cpu);
+
+    Machine &m_;
+    SimOS &os_;
+    Interpreter interp_;
+    MpOptions opts_;
+    MpHooks hooks_;
+    RunStats stats_;
+    Rng rng_;
+
+    std::vector<Cpu> cpus_;
+    std::deque<ThreadId> ready_;
+    std::vector<std::uint8_t> queued_;
+};
+
+} // namespace dp
+
+#endif // DP_OS_MULTICPU_SIM_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Types shared by the execution engines.
+ */
+
+#ifndef DP_OS_RUN_TYPES_HH
+#define DP_OS_RUN_TYPES_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace dp
+{
+
+/** Classification of a guest synchronization point. */
+enum class SyncKind : std::uint8_t
+{
+    Atomic,  ///< Cas / FetchAdd / Xchg instruction
+    Syscall, ///< any system call
+};
+
+/**
+ * Identity of the synchronization object an operation acts on. The
+ * recorder logs (and the epoch-parallel run enforces) a *per-object*
+ * order, not a global one — exactly the happens-before DoublePlay's
+ * thread-parallel run captures. Atomic instructions and futex calls
+ * on the same guest word share that word's key (a futex wait races
+ * with the releasing store, so they must be ordered together); every
+ * other state-touching syscall shares one conservative global key.
+ */
+using SyncKey = std::uint64_t;
+
+/** Key for OS-wide syscalls (files, threads, clock, network). */
+inline constexpr SyncKey globalSyncKey = ~SyncKey{0};
+
+/**
+ * Sync key for the pending syscall given its number and first
+ * argument; nullopt for Yield, which has no shared-state effect and
+ * needs no ordering.
+ */
+std::optional<SyncKey> syscallSyncKey(std::uint64_t sysno,
+                                      std::uint64_t a1);
+
+/** Why an engine's run() returned. */
+enum class StopReason : std::uint8_t
+{
+    AllExited,      ///< every guest thread exited
+    TimeLimit,      ///< the requested virtual-time limit was reached
+    TargetsReached, ///< every thread satisfied its epoch target
+    Deadlock,       ///< live threads exist but all are blocked
+    Stalled,        ///< progress impossible under targets/constraints
+                    ///< (divergence suspected)
+    FuelExhausted,  ///< the instruction fuse tripped
+    ScheduleEnded,  ///< replay consumed the entire schedule log
+};
+
+/**
+ * One asynchronous signal delivery: signal @p sig entered thread
+ * @p tid's handler when the thread had retired exactly @p retired
+ * instructions. The thread-parallel run logs these; epoch-parallel
+ * runs and replay deliver exactly at the same points.
+ */
+struct SignalEvent
+{
+    ThreadId tid = 0;
+    std::uint64_t retired = 0;
+    std::uint8_t sig = 0;
+
+    bool operator==(const SignalEvent &) const = default;
+};
+
+/** Human-readable StopReason name. */
+const char *stopReasonName(StopReason r);
+
+/** Aggregate counters for one engine run. */
+struct RunStats
+{
+    Cycles cycles = 0;           ///< virtual time consumed
+    std::uint64_t instrs = 0;    ///< guest instructions retired
+    std::uint64_t syncOps = 0;   ///< atomic instructions executed
+    std::uint64_t syscalls = 0;  ///< syscalls executed (incl. blocked)
+    std::uint64_t switches = 0;  ///< context switches / migrations
+};
+
+} // namespace dp
+
+#endif // DP_OS_RUN_TYPES_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SimOS: the simulated kernel's syscall engine.
+ *
+ * dispatch() executes the system call a thread has trapped into,
+ * including all side effects (file writes, futex queueing, thread
+ * creation, waking joiners). It is a pure function of Machine state
+ * plus — for the two genuinely nondeterministic calls, GetTime and
+ * NetRecv — the virtual clock. The recorder captures those results in
+ * the thread-parallel run and injects them into the epoch-parallel run
+ * and into replay via the @p inject parameter, which is exactly the
+ * paper's "log and inject system call results" mechanism.
+ */
+
+#ifndef DP_OS_SIMOS_HH
+#define DP_OS_SIMOS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "os/machine.hh"
+#include "timing/cost_model.hh"
+#include "vm/abi.hh"
+
+namespace dp
+{
+
+/** The simulated kernel; stateless apart from the cost model. */
+class SimOS
+{
+  public:
+    explicit SimOS(CostModel cm = {}) : costs_(cm) {}
+
+    /** Everything an engine needs to know about a completed call. */
+    struct Outcome
+    {
+        Sys sys = Sys::Exit;
+        /** Caller is now Blocked; its pc still points at the syscall. */
+        bool blocked = false;
+        /** Result depends on the virtual clock: log in the
+         *  thread-parallel run; inject everywhere else. */
+        bool injectable = false;
+        /** Result value delivered to r0 (invalid while blocked). */
+        std::uint64_t value = 0;
+        /** Extra virtual cycles beyond one instruction. */
+        Cycles cost = 0;
+        /** Threads made runnable by this call (woken or spawned). */
+        std::vector<ThreadId> woken;
+    };
+
+    /**
+     * Execute the syscall thread @p tid has trapped into (its pc points
+     * at the Syscall instruction; the number is in r0, args r1..r5).
+     *
+     * Unless the call blocks, this completes it: result in r0, pc and
+     * retired advanced. @p inject overrides the computed result of an
+     * injectable call (it must only be supplied for injectable calls —
+     * the engine learns which from a prior recording's log stream).
+     */
+    Outcome dispatch(Machine &m, ThreadId tid,
+                     std::optional<std::uint64_t> inject = {});
+
+    /**
+     * Deterministic network stream content: byte at absolute stream
+     * offset @p off of connection @p conn.
+     */
+    static std::uint8_t netByte(const MachineConfig &cfg,
+                                std::uint64_t conn, std::uint64_t off);
+
+    const CostModel &costs() const { return costs_; }
+
+  private:
+    Outcome doExit(Machine &m, ThreadId tid, std::uint64_t code);
+    std::uint64_t doWrite(Machine &m, std::uint64_t fd, Addr buf,
+                          std::uint64_t len);
+    std::uint64_t doRead(Machine &m, std::uint64_t fd, Addr buf,
+                         std::uint64_t len);
+    std::uint64_t doOpen(Machine &m, Addr path, std::uint64_t flags);
+    std::uint64_t doClose(Machine &m, std::uint64_t fd);
+    std::uint64_t doNetRecv(Machine &m, std::uint64_t conn, Addr buf,
+                            std::uint64_t max_len,
+                            std::optional<std::uint64_t> inject);
+    std::uint64_t doNetSend(Machine &m, std::uint64_t conn,
+                            std::uint64_t len);
+
+    CostModel costs_;
+};
+
+} // namespace dp
+
+#endif // DP_OS_SIMOS_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * UniRunner: deterministic uniprocessor timesliced execution.
+ *
+ * This engine is uniparallelism's workhorse. It runs all guest threads
+ * of a Machine on one virtual CPU, switching at quantum expiry, blocks,
+ * and yields. Because only one thread runs at a time, the *only*
+ * scheduling facts needed to reproduce an execution are the timeslice
+ * segments — (thread, #instructions, ended-blocked) triples — plus the
+ * injected results of clock-dependent syscalls. That is the entire
+ * content of a DoublePlay epoch log.
+ *
+ * The same engine serves three roles, selected by hooks:
+ *  - free-running record: picks its own round-robin schedule and
+ *    reports segments via onSegment (recording an epoch);
+ *  - constrained record: additionally asks permitSync before every
+ *    sync operation, so the epoch-parallel run follows the sync order
+ *    observed by the thread-parallel run;
+ *  - replay: consumes segments from nextSegment and re-executes them
+ *    exactly.
+ */
+
+#ifndef DP_OS_UNI_RUNNER_HH
+#define DP_OS_UNI_RUNNER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "os/machine.hh"
+#include "os/run_types.hh"
+#include "os/simos.hh"
+#include "vm/interp.hh"
+
+namespace dp
+{
+
+/** One timeslice in a schedule log. */
+struct ScheduleSegment
+{
+    ThreadId tid = 0;
+    /** Instructions retired while scheduled in this slice. */
+    std::uint64_t instrs = 0;
+    /**
+     * The slice ended with the thread executing a syscall that
+     * blocked (the attempt does not retire but must be replayed so
+     * wait-queue state evolves identically).
+     */
+    bool endedBlocked = false;
+
+    bool operator==(const ScheduleSegment &) const = default;
+};
+
+/**
+ * Per-thread end-of-epoch target, taken from the thread-parallel run's
+ * next checkpoint: run the thread until it has retired this many
+ * instructions and (if the checkpoint shows it blocked) until its
+ * blocking attempt has been made.
+ */
+struct EpochTarget
+{
+    std::uint64_t retired = 0;
+    RunState endState = RunState::Runnable;
+};
+
+/** Tuning and stop conditions for a UniRunner invocation. */
+struct UniOptions
+{
+    /** Timeslice length in instructions (free-running modes). */
+    std::uint64_t quantum = 50'000;
+    /** Global instruction fuse. */
+    std::uint64_t fuel = ~std::uint64_t{0};
+    /** Per-tid epoch targets; empty = run to completion. */
+    std::vector<EpochTarget> targets;
+    /** Charge recording instrumentation costs to virtual time. */
+    bool chargeRecordCosts = false;
+    /**
+     * When true, asynchronous signals are delivered only at the
+     * points listed in signalPlan (epoch-parallel record and replay);
+     * when false, pending signals deliver eagerly at the next
+     * instruction boundary (free-running execution).
+     */
+    bool planSignals = false;
+    /** Per-thread delivery points, each thread's events sorted by
+     *  retired count. */
+    std::vector<SignalEvent> signalPlan;
+};
+
+/** Callback bundle; any member may be left empty. */
+struct UniHooks
+{
+    /** Consulted before each sync op; false defers the thread. */
+    std::function<bool(ThreadId, SyncKind, SyncKey)> permitSync;
+    /** A sync op was executed (advance its object's order cursor). */
+    std::function<void(ThreadId, SyncKind, SyncKey)> onSync;
+    /** A memory instruction is about to execute (replay analyses). */
+    std::function<void(ThreadId, Addr, unsigned size, bool is_write,
+                       bool is_atomic)>
+        onMemAccess;
+    /** @p woken became runnable because of @p waker's syscall (futex
+     *  wake, exit waking a joiner, or spawn); a happens-before edge. */
+    std::function<void(ThreadId waker, ThreadId woken)> onWake;
+    /** A signal was delivered (for signal-plan logging). */
+    std::function<void(const SignalEvent &)> onSignal;
+    /** Provide the injected result for an injectable syscall. */
+    std::function<std::optional<std::uint64_t>(ThreadId, Sys)>
+        injectSyscall;
+    /** A syscall completed (for result logging). Not called for
+     *  attempts that blocked. */
+    std::function<void(ThreadId, Sys, std::uint64_t, bool injectable)>
+        onSyscall;
+    /** A timeslice finished (for schedule logging). */
+    std::function<void(const ScheduleSegment &)> onSegment;
+    /** Replay driver: the next segment to execute; disengages the
+     *  engine's own scheduler entirely. */
+    std::function<std::optional<ScheduleSegment>()> nextSegment;
+};
+
+/** Uniprocessor timesliced execution engine. */
+class UniRunner
+{
+  public:
+    UniRunner(Machine &m, SimOS &os, UniOptions opts, UniHooks hooks);
+
+    /** Execute until a stop condition; see StopReason. */
+    StopReason run();
+
+    const RunStats &stats() const { return stats_; }
+
+    /** True if a constrained run had to drop its sync-order
+     *  constraints to make progress (divergence suspected). */
+    bool constraintsRelaxed() const { return relaxed_; }
+
+  private:
+    /** Execute one scheduling slice of @p tid. */
+    struct SliceResult
+    {
+        std::uint64_t instrs = 0;
+        bool endedBlocked = false;
+        bool progress = false; ///< retired instrs or executed a block
+        bool delivered = false; ///< a signal entered its handler
+    };
+    SliceResult runSlice(ThreadId tid, std::uint64_t budget,
+                         bool allow_block_attempt, bool exact);
+
+    bool targetSatisfied(ThreadId tid) const;
+    std::uint64_t budgetFor(ThreadId tid) const;
+    void enqueueIfRunnable(ThreadId tid);
+    void chargeSwitch(ThreadId tid);
+
+    StopReason runFree();
+    StopReason runReplay();
+
+    Machine &m_;
+    SimOS &os_;
+    Interpreter interp_;
+    UniOptions opts_;
+    UniHooks hooks_;
+    RunStats stats_;
+
+    /** Deliver a planned/pending signal for @p tid if due; true if a
+     *  delivery happened. */
+    bool maybeDeliverSignal(ThreadId tid);
+    /** True if tid still owes a planned delivery at or below its
+     *  current retired count. */
+    bool plannedDeliveryDue(ThreadId tid) const;
+
+    std::deque<ThreadId> ready_;
+    std::vector<std::uint8_t> queued_; ///< per-tid "in ready_" flag
+    /** Plan events grouped per tid (plan mode), each in order. */
+    std::vector<std::vector<SignalEvent>> planByTid_;
+    /** Per-tid cursor into planByTid_. */
+    std::vector<std::size_t> planCursor_;
+    ThreadId lastRun_ = invalidThread;
+    bool relaxed_ = false;
+};
+
+} // namespace dp
+
+#endif // DP_OS_UNI_RUNNER_HH

@@ -1,0 +1,25 @@
+#include "replay/live_replica.hh"
+
+#include "common/logging.hh"
+#include "replay/replayer.hh"
+
+namespace dp
+{
+
+bool
+LiveReplica::apply(const EpochRecord &epoch)
+{
+    if (!healthy_) {
+        dp_warn("apply on an unhealthy replica ignored");
+        return false;
+    }
+    if (!replayEpochOnMachine(machine_, epoch, costs_, cycles_,
+                              instrs_)) {
+        healthy_ = false;
+        return false;
+    }
+    ++applied_;
+    return true;
+}
+
+} // namespace dp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * LiveReplica: a hot-standby machine fed committed epochs online.
+ *
+ * The paper points out that uniparallel logs are cheap enough to
+ * stream to another machine, which can replay epochs as they commit
+ * and stand ready to take over (fault tolerance via replay). This is
+ * that consumer: feed it each validated EpochRecord in order and it
+ * maintains a machine whose state always equals the last committed
+ * epoch boundary — verified against the recorded digest on every
+ * apply.
+ */
+
+#ifndef DP_REPLAY_LIVE_REPLICA_HH
+#define DP_REPLAY_LIVE_REPLICA_HH
+
+#include <cstdint>
+
+#include "core/recording.hh"
+#include "timing/cost_model.hh"
+
+namespace dp
+{
+
+/** An incrementally-replayed standby of a recorded execution. */
+class LiveReplica
+{
+  public:
+    LiveReplica(const GuestProgram &prog, MachineConfig cfg,
+                CostModel costs = {})
+        : machine_(prog, std::move(cfg)), costs_(costs)
+    {}
+    /** The replica keeps a pointer to the program; see Machine. */
+    LiveReplica(GuestProgram &&, MachineConfig, CostModel = {}) =
+        delete;
+
+    /**
+     * Replay @p epoch on the standby; must be called in commit
+     * order. Returns false (and marks the replica unhealthy) if the
+     * epoch fails digest verification.
+     */
+    bool apply(const EpochRecord &epoch);
+
+    /** The standby's state: the last committed epoch boundary. */
+    const Machine &machine() const { return machine_; }
+
+    /** Take over: hand the standby machine to the caller. The
+     *  replica must not be used afterwards. */
+    Machine takeOver() && { return std::move(machine_); }
+
+    std::uint32_t epochsApplied() const { return applied_; }
+    bool healthy() const { return healthy_; }
+    Cycles replayCycles() const { return cycles_; }
+
+  private:
+    Machine machine_;
+    CostModel costs_;
+    std::uint32_t applied_ = 0;
+    bool healthy_ = true;
+    Cycles cycles_ = 0;
+    std::uint64_t instrs_ = 0;
+};
+
+} // namespace dp
+
+#endif // DP_REPLAY_LIVE_REPLICA_HH

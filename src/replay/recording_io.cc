@@ -1,0 +1,177 @@
+#include "replay/recording_io.hh"
+
+#include "common/bytes.hh"
+#include "common/logging.hh"
+
+namespace dp
+{
+
+namespace
+{
+
+constexpr std::uint32_t artifactMagic = 0x44504c59; // "DPLY"
+constexpr std::uint32_t artifactVersion = 3; // v3: signal logs
+
+void
+writeProgram(ByteWriter &w, const GuestProgram &prog)
+{
+    w.str(prog.name);
+    w.varu(prog.entry);
+    w.varu(prog.code.size());
+    for (const Instr &in : prog.code) {
+        w.u8(static_cast<std::uint8_t>(in.op));
+        w.u8(static_cast<std::uint8_t>(in.rd));
+        w.u8(static_cast<std::uint8_t>(in.rs1));
+        w.u8(static_cast<std::uint8_t>(in.rs2));
+        w.vari(in.imm);
+    }
+    w.varu(prog.dataSegments.size());
+    for (const auto &[base, bytes] : prog.dataSegments) {
+        w.varu(base);
+        w.blob(bytes);
+    }
+}
+
+GuestProgram
+readProgram(ByteReader &r)
+{
+    GuestProgram prog;
+    prog.name = r.str();
+    prog.entry = r.varu();
+    std::uint64_t n = r.varu();
+    prog.code.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Instr in;
+        std::uint8_t op = r.u8();
+        dp_assert(op < static_cast<std::uint8_t>(Opcode::NumOpcodes),
+                  "artifact contains an invalid opcode");
+        in.op = static_cast<Opcode>(op);
+        in.rd = static_cast<Reg>(r.u8() & 15);
+        in.rs1 = static_cast<Reg>(r.u8() & 15);
+        in.rs2 = static_cast<Reg>(r.u8() & 15);
+        in.imm = r.vari();
+        prog.code.push_back(in);
+    }
+    std::uint64_t segs = r.varu();
+    for (std::uint64_t i = 0; i < segs; ++i) {
+        Addr base = r.varu();
+        prog.dataSegments.emplace_back(base, r.blob());
+    }
+    return prog;
+}
+
+void
+writeConfig(ByteWriter &w, const MachineConfig &cfg)
+{
+    w.varu(cfg.netSeed);
+    w.varu(cfg.netBytesPerConn);
+    w.varu(cfg.netCyclesPerByte);
+    w.varu(cfg.initialFiles.size());
+    for (const auto &[path, content] : cfg.initialFiles) {
+        w.str(path);
+        w.blob(content);
+    }
+}
+
+MachineConfig
+readConfig(ByteReader &r)
+{
+    MachineConfig cfg;
+    cfg.netSeed = r.varu();
+    cfg.netBytesPerConn = r.varu();
+    cfg.netCyclesPerByte = r.varu();
+    std::uint64_t n = r.varu();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string path = r.str();
+        cfg.initialFiles.emplace_back(std::move(path), r.blob());
+    }
+    return cfg;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeRecording(const Recording &rec)
+{
+    ByteWriter w;
+    w.u64fixed((std::uint64_t{artifactMagic} << 32) | artifactVersion);
+    writeProgram(w, rec.program());
+    writeConfig(w, rec.config());
+
+    w.varu(rec.epochs.size());
+    for (const EpochRecord &e : rec.epochs) {
+        w.blob(e.schedule.encode());
+        w.blob(e.syscalls.encode());
+        w.blob(e.signals.encode());
+        w.u64fixed(e.endStateHash);
+        w.varu(e.stdoutLen);
+        w.u8(e.diverged ? 1 : 0);
+        w.varu(e.tpCycles);
+        w.varu(e.epCycles);
+        w.varu(e.ckptCycles);
+        w.varu(e.epInstrs);
+        w.varu(e.targets.size());
+        for (const EpochTarget &t : e.targets) {
+            w.varu(t.retired);
+            w.u8(static_cast<std::uint8_t>(t.endState));
+        }
+    }
+    w.u64fixed(rec.finalStateHash);
+    w.varu(rec.stats.epochs);
+    w.varu(rec.stats.rollbacks);
+    w.varu(rec.stats.checkpointPages);
+    return w.take();
+}
+
+LoadedRecording
+deserializeRecording(std::span<const std::uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    std::uint64_t header = r.u64fixed();
+    dp_assert(header >> 32 == artifactMagic,
+              "not a uniplay recording artifact");
+    dp_assert((header & 0xffffffff) == artifactVersion,
+              "unsupported artifact version ", header & 0xffffffff);
+
+    LoadedRecording out;
+    GuestProgram prog = readProgram(r);
+    MachineConfig cfg = readConfig(r);
+    out.recording = std::make_unique<Recording>(prog, std::move(cfg));
+
+    std::uint64_t n = r.varu();
+    out.recording->epochs.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        EpochRecord e;
+        std::vector<std::uint8_t> sched = r.blob();
+        e.schedule = ScheduleLog::decode(sched);
+        std::vector<std::uint8_t> sys = r.blob();
+        e.syscalls = SyscallLog::decode(sys);
+        std::vector<std::uint8_t> sigs = r.blob();
+        e.signals = SignalLog::decode(sigs);
+        e.endStateHash = r.u64fixed();
+        e.stdoutLen = r.varu();
+        e.diverged = r.u8() != 0;
+        e.tpCycles = r.varu();
+        e.epCycles = r.varu();
+        e.ckptCycles = r.varu();
+        e.epInstrs = r.varu();
+        std::uint64_t targets = r.varu();
+        for (std::uint64_t t = 0; t < targets; ++t) {
+            EpochTarget tgt;
+            tgt.retired = r.varu();
+            tgt.endState = static_cast<RunState>(r.u8());
+            e.targets.push_back(tgt);
+        }
+        out.recording->epochs.push_back(std::move(e));
+    }
+    out.recording->finalStateHash = r.u64fixed();
+    out.recording->stats.epochs =
+        static_cast<std::uint32_t>(r.varu());
+    out.recording->stats.rollbacks =
+        static_cast<std::uint32_t>(r.varu());
+    out.recording->stats.checkpointPages = r.varu();
+    dp_assert(r.atEnd(), "trailing bytes in recording artifact");
+    return out;
+}
+
+} // namespace dp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Recording serialization: turn a Recording into a self-contained
+ * byte artifact and back.
+ *
+ * The artifact embeds the guest program (code + data segments), the
+ * machine configuration, and every epoch's logs and digests — enough
+ * for sequential replay in a different process with no other inputs.
+ * Checkpoints are deliberately not serialized (they are an in-memory
+ * acceleration for parallel replay; a consumer can regenerate them by
+ * replaying once and capturing boundaries).
+ */
+
+#ifndef DP_REPLAY_RECORDING_IO_HH
+#define DP_REPLAY_RECORDING_IO_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/recording.hh"
+
+namespace dp
+{
+
+/** A deserialized artifact (the Recording owns its program copy). */
+struct LoadedRecording
+{
+    std::unique_ptr<Recording> recording;
+
+    const GuestProgram &program() const
+    {
+        return recording->program();
+    }
+};
+
+/** Serialize @p rec (without checkpoints) into a byte artifact. */
+std::vector<std::uint8_t> serializeRecording(const Recording &rec);
+
+/**
+ * Parse an artifact produced by serializeRecording. Panics on a
+ * corrupt or version-mismatched artifact.
+ */
+LoadedRecording deserializeRecording(
+    std::span<const std::uint8_t> bytes);
+
+} // namespace dp
+
+#endif // DP_REPLAY_RECORDING_IO_HH

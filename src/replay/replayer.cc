@@ -1,0 +1,198 @@
+#include "replay/replayer.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+#include "os/simos.hh"
+#include "os/uni_runner.hh"
+
+namespace dp
+{
+
+bool
+replayEpochOnMachine(Machine &m, const EpochRecord &epoch,
+                     const CostModel &costs, Cycles &cycles,
+                     std::uint64_t &instrs,
+                     const ReplayObserver *observer)
+{
+    SimOS os(costs);
+
+    std::size_t seg_cursor = 0;
+    std::size_t rec_cursor = 0;
+    std::size_t inject_cursor = 0;
+    bool syscall_mismatch = false;
+
+    // Pre-extract the injectable subset in order.
+    std::vector<const SyscallRecord *> injectables;
+    for (const SyscallRecord &r : epoch.syscalls.records())
+        if (r.injectable)
+            injectables.push_back(&r);
+
+    UniHooks hooks;
+    hooks.nextSegment = [&]() -> std::optional<ScheduleSegment> {
+        if (seg_cursor >= epoch.schedule.segments().size())
+            return std::nullopt;
+        return epoch.schedule.segments()[seg_cursor++];
+    };
+    hooks.injectSyscall =
+        [&](ThreadId tid, Sys sys) -> std::optional<std::uint64_t> {
+        if (inject_cursor >= injectables.size()) {
+            syscall_mismatch = true;
+            return std::nullopt;
+        }
+        const SyscallRecord &r = *injectables[inject_cursor];
+        if (r.tid != tid || r.sys != sys) {
+            syscall_mismatch = true;
+            return std::nullopt;
+        }
+        ++inject_cursor;
+        return r.value;
+    };
+    hooks.onSyscall = [&](ThreadId tid, Sys sys, std::uint64_t value,
+                          bool injectable) {
+        // Deterministic calls re-execute; every completion must match
+        // the recorded stream exactly (an end-to-end integrity check).
+        const auto &recs = epoch.syscalls.records();
+        if (rec_cursor >= recs.size()) {
+            syscall_mismatch = true;
+            return;
+        }
+        const SyscallRecord &r = recs[rec_cursor++];
+        if (r.tid != tid || r.sys != sys || r.value != value ||
+            r.injectable != injectable)
+            syscall_mismatch = true;
+    };
+
+    if (observer) {
+        hooks.onMemAccess = observer->onMemAccess;
+        hooks.onSync = observer->onSync;
+        hooks.onWake = observer->onWake;
+        if (observer->onSyscall) {
+            auto validate = hooks.onSyscall;
+            auto observe = observer->onSyscall;
+            hooks.onSyscall = [validate, observe](
+                                  ThreadId tid, Sys sys,
+                                  std::uint64_t value,
+                                  bool injectable) {
+                validate(tid, sys, value, injectable);
+                observe(tid, sys, value, injectable);
+            };
+        }
+    }
+
+    UniOptions opts;
+    opts.fuel = epoch.epInstrs + m.threads.size() + 16;
+    opts.planSignals = true;
+    opts.signalPlan = epoch.signals.events();
+
+    UniRunner runner(m, os, std::move(opts), std::move(hooks));
+    StopReason reason = runner.run();
+    cycles += runner.stats().cycles;
+    instrs += runner.stats().instrs;
+
+    if (reason != StopReason::ScheduleEnded) {
+        dp_warn("epoch replay stopped early: ", stopReasonName(reason));
+        return false;
+    }
+    if (syscall_mismatch) {
+        dp_warn("epoch replay: syscall stream mismatch");
+        return false;
+    }
+    if (rec_cursor != epoch.syscalls.records().size()) {
+        dp_warn("epoch replay: unconsumed syscall records");
+        return false;
+    }
+    return m.stateHash() == epoch.endStateHash;
+}
+
+bool
+Replayer::replayEpochOn(Machine &m, const EpochRecord &epoch,
+                        Cycles &cycles, std::uint64_t &instrs,
+                        const ReplayObserver *observer) const
+{
+    return replayEpochOnMachine(m, epoch, costs_, cycles, instrs,
+                                observer);
+}
+
+ReplayResult
+Replayer::replaySequential(const ReplayObserver *observer) const
+{
+    ReplayResult res;
+    Machine m(rec_->program(), rec_->config());
+
+    for (std::uint32_t i = 0; i < rec_->epochs.size(); ++i) {
+        if (observer && observer->onEpochStart)
+            observer->onEpochStart(i);
+        if (!replayEpochOn(m, rec_->epochs[i], res.replayCycles,
+                           res.instrs, observer)) {
+            res.firstFailedEpoch = i;
+            return res;
+        }
+        ++res.epochsVerified;
+    }
+    res.ok = res.epochsVerified == rec_->epochs.size() &&
+             m.stateHash() == rec_->finalStateHash;
+    res.stdoutBytes = m.stdoutBytes();
+    return res;
+}
+
+ReplayResult
+Replayer::replayParallel(unsigned host_threads) const
+{
+    ReplayResult res;
+    if (!rec_->hasCheckpoints()) {
+        dp_warn("parallel replay requires retained checkpoints");
+        return res;
+    }
+    host_threads = std::max(1u, host_threads);
+
+    const auto n = static_cast<std::uint32_t>(rec_->epochs.size());
+    std::vector<std::uint8_t> ok(n, 0);
+    std::vector<Cycles> cycles(n, 0);
+    std::vector<std::uint64_t> instrs(n, 0);
+    std::atomic<std::uint32_t> next{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            std::uint32_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            Machine m = rec_->checkpoints[i].materialize(
+                rec_->program(), rec_->config());
+            ok[i] = replayEpochOn(m, rec_->epochs[i], cycles[i],
+                                  instrs[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(host_threads);
+    for (unsigned t = 0; t < host_threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    // Modeled makespan: longest-processing-time list scheduling of the
+    // epoch durations over the worker count.
+    std::vector<Cycles> sorted(cycles.begin(), cycles.end());
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::vector<Cycles> load(host_threads, 0);
+    for (Cycles c : sorted)
+        *std::min_element(load.begin(), load.end()) += c;
+    res.replayCycles =
+        load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        res.instrs += instrs[i];
+        if (ok[i]) {
+            ++res.epochsVerified;
+        } else if (res.firstFailedEpoch == ~std::uint32_t{0}) {
+            res.firstFailedEpoch = i;
+        }
+    }
+    res.ok = res.epochsVerified == n;
+    return res;
+}
+
+} // namespace dp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Replayer: deterministic re-execution of a Recording.
+ *
+ * Sequential replay needs nothing but the initial state and the logs:
+ * each epoch's timeslice schedule is followed exactly and injectable
+ * syscall results are fed from the log; every other syscall re-executes
+ * deterministically and is cross-checked against the recorded result
+ * stream. Epoch end states are verified against the recorded digests.
+ *
+ * Parallel replay exploits uniparallelism's second dividend: with the
+ * epoch-start checkpoints retained, epochs are independent jobs and
+ * replay runs them concurrently on real host threads.
+ */
+
+#ifndef DP_REPLAY_REPLAYER_HH
+#define DP_REPLAY_REPLAYER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include <functional>
+
+#include "core/recording.hh"
+#include "timing/cost_model.hh"
+
+namespace dp
+{
+
+/**
+ * Observation hooks a replay consumer (race detector, debugger,
+ * profiler) can attach to a sequential replay. Replay is where the
+ * paper says heavyweight analyses belong: they see the exact recorded
+ * execution without perturbing the original run.
+ */
+struct ReplayObserver
+{
+    /** A new epoch's re-execution begins. */
+    std::function<void(EpochId)> onEpochStart;
+    /** A memory instruction is about to execute. */
+    std::function<void(ThreadId, Addr, unsigned size, bool is_write,
+                       bool is_atomic)>
+        onMemAccess;
+    /** A synchronization operation executed. */
+    std::function<void(ThreadId, SyncKind, SyncKey)> onSync;
+    /** A syscall completed. */
+    std::function<void(ThreadId, Sys, std::uint64_t value,
+                       bool injectable)>
+        onSyscall;
+    /** @p woken became runnable because of @p waker (futex wake,
+     *  exit-join, spawn): a happens-before edge. */
+    std::function<void(ThreadId waker, ThreadId woken)> onWake;
+};
+
+/** Outcome of a replay. */
+struct ReplayResult
+{
+    bool ok = false;
+    std::uint32_t epochsVerified = 0;
+    /** First epoch whose replay failed verification (or ~0u). */
+    std::uint32_t firstFailedEpoch = ~std::uint32_t{0};
+    /** Virtual cycles consumed (sequential: total; parallel: modeled
+     *  makespan over the worker pool). */
+    Cycles replayCycles = 0;
+    std::uint64_t instrs = 0;
+    /** Reproduced stdout (sequential replay only). */
+    std::vector<std::uint8_t> stdoutBytes;
+};
+
+/**
+ * Re-execute one recorded epoch on @p m (which must hold the epoch's
+ * start state): follow the timeslice schedule, inject logged results,
+ * cross-check the deterministic syscall stream, and verify the
+ * end-state digest. The building block under Replayer and LiveReplica.
+ */
+bool replayEpochOnMachine(Machine &m, const EpochRecord &epoch,
+                          const CostModel &costs, Cycles &cycles,
+                          std::uint64_t &instrs,
+                          const ReplayObserver *observer = nullptr);
+
+/** Replays recordings produced by UniparallelRecorder. */
+class Replayer
+{
+  public:
+    explicit Replayer(const Recording &rec, CostModel costs = {})
+        : rec_(&rec), costs_(costs)
+    {}
+
+    /** Whole-run replay from the initial state; verifies every epoch
+     *  digest and the recorded syscall result stream. @p observer
+     *  (optional) watches the re-execution. */
+    ReplayResult
+    replaySequential(const ReplayObserver *observer = nullptr) const;
+
+    /**
+     * Replay all epochs concurrently from their checkpoints on
+     * @p host_threads OS threads. Requires the recording to have
+     * retained checkpoints. replayCycles is the modeled makespan with
+     * @p host_threads single-CPU workers.
+     */
+    ReplayResult replayParallel(unsigned host_threads) const;
+
+    /**
+     * Re-execute a single epoch on @p m (which must hold the epoch's
+     * start state); true if its end digest verifies. Building block
+     * for the debugger and other epoch-at-a-time consumers.
+     */
+    bool
+    replayOneEpoch(Machine &m, EpochId epoch,
+                   const ReplayObserver *observer = nullptr) const
+    {
+        Cycles cycles = 0;
+        std::uint64_t instrs = 0;
+        return replayEpochOn(m, rec_->epochs[epoch], cycles, instrs,
+                             observer);
+    }
+
+    const Recording &recording() const { return *rec_; }
+
+  private:
+    /** Replay one epoch on @p m; true if it verifies. */
+    bool replayEpochOn(Machine &m, const EpochRecord &epoch,
+                       Cycles &cycles, std::uint64_t &instrs,
+                       const ReplayObserver *observer = nullptr) const;
+
+    const Recording *rec_;
+    CostModel costs_;
+};
+
+} // namespace dp
+
+#endif // DP_REPLAY_REPLAYER_HH

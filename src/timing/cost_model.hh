@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Virtual-time cost model.
+ *
+ * All performance results in the benchmark harness are expressed in
+ * guest cycles computed from this model, so they are deterministic and
+ * machine-independent. Default constants are chosen so that the
+ * relative costs (syscall ≫ atomic ≈ instruction; checkpoint cost
+ * proportional to dirty pages) mirror the ratios on the paper's
+ * hardware; EXPERIMENTS.md documents the calibration.
+ */
+
+#ifndef DP_TIMING_COST_MODEL_HH
+#define DP_TIMING_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dp
+{
+
+/** Cycle costs charged by the execution engines and the recorder. */
+struct CostModel
+{
+    /// @name Baseline execution costs (charged in every run)
+    /// @{
+    /** Cycles per ordinary retired instruction. */
+    Cycles instrCycles = 1;
+    /** Extra cycles for executing any syscall (kernel entry/exit). */
+    Cycles syscallCycles = 150;
+    /** Extra cycles for a blocking syscall that actually blocks. */
+    Cycles blockCycles = 150;
+    /** Uniprocessor context switch (timeslice change). */
+    Cycles contextSwitchCycles = 80;
+    /// @}
+
+    /// @name Recording instrumentation costs (DoublePlay only)
+    /// @{
+    /** Logging one sync-order entry in the thread-parallel run. */
+    Cycles syncLogCycles = 4;
+    /** Logging one syscall result record. */
+    Cycles syscallLogCycles = 40;
+    /** Quiescing all threads at an epoch barrier (per thread). */
+    Cycles epochBarrierCyclesPerThread = 600;
+    /** Copy-on-write checkpoint: per dirty page. */
+    Cycles checkpointPageCycles = 100;
+    /** Fixed checkpoint bookkeeping cost. */
+    Cycles checkpointFixedCycles = 2500;
+    /** Divergence check: per resident page compared (hash). */
+    Cycles divergenceCheckPageCycles = 10;
+    /// @}
+
+    /// @name Baseline recorder costs (for the E9 comparison)
+    /// @{
+    /** CREW recorder: cost of a page-ownership transition (a page
+     *  fault plus remote TLB/permission shootdown). */
+    Cycles crewFaultCycles = 1500;
+    /** Value-logging recorder: per-access dynamic instrumentation
+     *  (binary-translation dispatch on every memory op). */
+    Cycles valueInstrumentCycles = 16;
+    /** Value-logging recorder: cost per logged shared load. */
+    Cycles valueLogCycles = 12;
+    /// @}
+};
+
+} // namespace dp
+
+#endif // DP_TIMING_COST_MODEL_HH

@@ -1,0 +1,130 @@
+#include "timing/pipeline.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dp
+{
+
+namespace
+{
+
+/** One in-flight epoch-parallel job. */
+struct EpJob
+{
+    std::uint32_t index;
+    double remaining; ///< duration units left
+    double readyAt;
+};
+
+} // namespace
+
+PipelineResult
+PipelineModel::run(std::span<const EpochTiming> epochs,
+                   const PipelineOptions &opts)
+{
+    dp_assert(opts.totalCpus >= opts.workerCpus && opts.workerCpus > 0,
+              "pipeline model needs totalCpus >= workerCpus >= 1");
+
+    PipelineResult res;
+    if (epochs.empty())
+        return res;
+
+    const double C = opts.totalCpus;
+    const double N = opts.workerCpus;
+
+    double t = 0.0;
+    std::uint32_t tp_index = 0; // epoch the tp task is executing
+    double tp_rem = static_cast<double>(epochs[0].tp);
+    bool tp_done = false;
+    // Index of a diverged epoch the tp task is flushed behind, or -1.
+    std::int64_t flush_on = -1;
+
+    std::vector<EpJob> jobs;
+    double lag_sum = 0.0;
+    std::uint32_t lag_count = 0;
+    double completion = 0.0;
+    double tp_completion = 0.0;
+
+    auto in_flight = [&] {
+        return static_cast<std::uint32_t>(jobs.size());
+    };
+
+    for (;;) {
+        const bool window_full = opts.maxInFlight > 0 &&
+                                 in_flight() >= opts.maxInFlight;
+        const bool tp_active =
+            !tp_done && flush_on < 0 && !window_full;
+
+        double demand =
+            (tp_active ? N : 0.0) + static_cast<double>(jobs.size());
+        if (demand == 0.0) {
+            // Nothing runnable: tp stalled with no jobs cannot happen
+            // (stalls require in-flight jobs), so we are done.
+            dp_assert(tp_done && jobs.empty(),
+                      "pipeline model wedged");
+            break;
+        }
+        const double f = std::min(1.0, C / demand);
+
+        // Time until the nearest task completion at rate f.
+        double dt = std::numeric_limits<double>::infinity();
+        if (tp_active)
+            dt = std::min(dt, tp_rem / f);
+        for (const EpJob &j : jobs)
+            dt = std::min(dt, j.remaining / f);
+
+        t += dt;
+        const double step = f * dt;
+        if (tp_active)
+            tp_rem -= step;
+        for (EpJob &j : jobs)
+            j.remaining -= step;
+
+        constexpr double eps = 1e-9;
+
+        // Epoch-parallel completions.
+        for (std::size_t k = 0; k < jobs.size();) {
+            if (jobs[k].remaining <= eps) {
+                lag_sum += t - jobs[k].readyAt;
+                ++lag_count;
+                completion = std::max(completion, t);
+                if (flush_on >= 0 &&
+                    jobs[k].index ==
+                        static_cast<std::uint32_t>(flush_on))
+                    flush_on = -1; // squash resolved; tp may resume
+                jobs.erase(jobs.begin() + static_cast<long>(k));
+            } else {
+                ++k;
+            }
+        }
+
+        // Thread-parallel epoch completion: hand off a checkpoint.
+        if (tp_active && tp_rem <= eps) {
+            jobs.push_back({tp_index,
+                            static_cast<double>(epochs[tp_index].ep),
+                            t});
+            res.peakInFlight =
+                std::max(res.peakInFlight, in_flight());
+            if (epochs[tp_index].diverged)
+                flush_on = tp_index;
+            ++tp_index;
+            if (tp_index >= epochs.size()) {
+                tp_done = true;
+                tp_completion = t;
+            } else {
+                tp_rem = static_cast<double>(epochs[tp_index].tp);
+            }
+        }
+    }
+
+    res.completion = static_cast<Cycles>(completion);
+    res.tpCompletion = static_cast<Cycles>(tp_completion);
+    res.meanEpochLag = lag_count ? lag_sum / lag_count : 0.0;
+    return res;
+}
+
+} // namespace dp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fluid pipeline model of a uniparallel record session.
+ *
+ * The host implementation executes the two runs stage-by-stage, but in
+ * a deployment they proceed concurrently: the thread-parallel run on N
+ * cores generates checkpoints while epoch-parallel runs consume spare
+ * cores. This model reconstructs that concurrency: tasks progress at
+ * rates set by fair-sharing C cores between the thread-parallel task
+ * (demand N) and each in-flight epoch task (demand 1). It yields the
+ * recorded run's completion time, from which the harness computes the
+ * paper's logging-overhead numbers — including the with-spare-cores
+ * (C = 2N) and no-spare-cores (C = N) configurations.
+ *
+ * Divergence is modeled as a pipeline flush: the thread-parallel task
+ * may not proceed past a diverged epoch until that epoch's
+ * epoch-parallel run has finished (squash-and-restart serialization).
+ */
+
+#ifndef DP_TIMING_PIPELINE_HH
+#define DP_TIMING_PIPELINE_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hh"
+
+namespace dp
+{
+
+/** Per-epoch durations fed to the model. */
+struct EpochTiming
+{
+    /** Thread-parallel duration of the epoch (on N CPUs), including
+     *  barrier + checkpoint time. */
+    Cycles tp = 0;
+    /** Epoch-parallel duration (one CPU), including the divergence
+     *  check. */
+    Cycles ep = 0;
+    /** Epoch ended in a squash (pipeline flush after it). */
+    bool diverged = false;
+};
+
+/** Machine shape for the model. */
+struct PipelineOptions
+{
+    CpuId workerCpus = 2; ///< N: CPUs the thread-parallel run uses
+    CpuId totalCpus = 4;  ///< C: CPUs in the machine
+    /** Checkpoints allowed outstanding before the thread-parallel run
+     *  stalls (memory bound); 0 = unbounded. */
+    std::uint32_t maxInFlight = 0;
+};
+
+/** Model outputs. */
+struct PipelineResult
+{
+    /** When the last epoch-parallel run finishes: the recorded run's
+     *  completion (all output committed). */
+    Cycles completion = 0;
+    /** When the thread-parallel run finishes. */
+    Cycles tpCompletion = 0;
+    /** Mean delay from checkpoint handoff to epoch validation. */
+    double meanEpochLag = 0.0;
+    /** Peak number of simultaneously in-flight epochs. */
+    std::uint32_t peakInFlight = 0;
+};
+
+/** Evaluates the fluid pipeline model. */
+class PipelineModel
+{
+  public:
+    static PipelineResult run(std::span<const EpochTiming> epochs,
+                              const PipelineOptions &opts);
+};
+
+} // namespace dp
+
+#endif // DP_TIMING_PIPELINE_HH

@@ -1,0 +1,35 @@
+#include "vm/abi.hh"
+
+namespace dp
+{
+
+std::string_view
+syscallName(Sys s)
+{
+    switch (s) {
+      case Sys::Exit: return "exit";
+      case Sys::Write: return "write";
+      case Sys::Read: return "read";
+      case Sys::Open: return "open";
+      case Sys::Close: return "close";
+      case Sys::Spawn: return "spawn";
+      case Sys::Join: return "join";
+      case Sys::Yield: return "yield";
+      case Sys::FutexWait: return "futex_wait";
+      case Sys::FutexWake: return "futex_wake";
+      case Sys::GetTime: return "gettime";
+      case Sys::NetRecv: return "net_recv";
+      case Sys::NetSend: return "net_send";
+      case Sys::Random: return "random";
+      case Sys::Seek: return "seek";
+      case Sys::PipeWrite: return "pipe_write";
+      case Sys::PipeRead: return "pipe_read";
+      case Sys::PipeClose: return "pipe_close";
+      case Sys::Kill: return "kill";
+      case Sys::SigHandler: return "sighandler";
+      case Sys::SigReturn: return "sigreturn";
+      default: return "<invalid>";
+    }
+}
+
+} // namespace dp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Guest/OS ABI: system call numbers and calling convention.
+ *
+ * Convention: the syscall number is in r0 and arguments in r1..r5; the
+ * result is returned in r0. On thread start, r1 holds the spawn
+ * argument and r2 the thread's own id.
+ */
+
+#ifndef DP_VM_ABI_HH
+#define DP_VM_ABI_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace dp
+{
+
+/** System call numbers understood by SimOS. */
+enum class Sys : std::uint64_t
+{
+    Exit = 0,      ///< exit(code): terminate the calling thread
+    Write = 1,     ///< write(fd, buf, len) -> written
+    Read = 2,      ///< read(fd, buf, len) -> read (0 at EOF)
+    Open = 3,      ///< open(path_cstr, flags) -> fd or -1
+    Close = 4,     ///< close(fd) -> 0 or -1
+    Spawn = 5,     ///< spawn(entry_pc, arg) -> tid
+    Join = 6,      ///< join(tid) -> exit code; blocks until tid exits
+    Yield = 7,     ///< yield() -> 0: scheduling hint
+    FutexWait = 8, ///< futex_wait(addr, expected) -> 0 woken, 1 mismatch
+    FutexWake = 9, ///< futex_wake(addr, count) -> #woken
+    GetTime = 10,  ///< gettime() -> virtual cycles (nondeterministic)
+    NetRecv = 11,  ///< net_recv(conn, buf, maxlen) -> len (0 at stream end)
+    NetSend = 12,  ///< net_send(conn, buf, len) -> len
+    Random = 13,   ///< random() -> 64-bit value (from OS rng state)
+    Seek = 14,     ///< seek(fd, offset) -> previous offset
+    PipeWrite = 15, ///< pipe_write(pipe, buf, len) -> len
+    PipeRead = 16, ///< pipe_read(pipe, buf, maxlen) -> len; blocks
+                   ///< while the pipe is empty and writers exist
+    PipeClose = 17, ///< pipe_close(pipe): EOF for blocked readers
+    Kill = 18,      ///< kill(tid, sig): queue an async signal
+    SigHandler = 19, ///< sighandler(entry_pc): register this thread's
+                     ///< handler (sig arrives in r1; return via
+                     ///< sigreturn)
+    SigReturn = 20, ///< sigreturn(): resume the interrupted context
+
+    NumSyscalls,
+};
+
+/** open() flag bits. */
+enum OpenFlags : std::uint64_t
+{
+    openRead = 0,
+    openWrite = 1,
+    openCreate = 2,
+};
+
+/** Well-known file descriptors. */
+inline constexpr std::int64_t fdStdout = 1;
+inline constexpr std::int64_t fdStderr = 2;
+
+/** Human-readable syscall name. */
+std::string_view syscallName(Sys s);
+
+/**
+ * Syscalls whose result depends on the virtual clock rather than on
+ * checkpointable machine state: GetTime reads the clock and NetRecv's
+ * length depends on how much of the stream has arrived "by now". Their
+ * results are captured from the thread-parallel run and injected into
+ * the epoch-parallel run and into replay. Every other syscall is a
+ * deterministic function of machine state and is simply re-executed.
+ */
+inline bool
+isInjectableSyscall(Sys s)
+{
+    return s == Sys::GetTime || s == Sys::NetRecv;
+}
+
+} // namespace dp
+
+#endif // DP_VM_ABI_HH

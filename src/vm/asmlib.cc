@@ -1,0 +1,117 @@
+#include "vm/asmlib.hh"
+
+#include "common/logging.hh"
+
+namespace dp::asmlib
+{
+
+using enum Reg;
+
+void
+lockAcquire(Assembler &a, Reg lock_addr, Reg scratch)
+{
+    dp_assert(lock_addr != r0 && lock_addr != r1 && lock_addr != r2,
+              "lock_addr register clobbered by the helper itself");
+    Label retry = a.newLabel();
+    Label acquired = a.newLabel();
+    a.bind(retry);
+    a.li(scratch, 0);           // expected: free
+    a.li(r2, 1);                // desired: locked
+    a.cas(scratch, lock_addr, r2);
+    a.beqz(scratch, acquired);  // old value was 0: we own it
+    a.mov(r1, lock_addr);       // park while the word reads locked
+    a.li(r2, 1);
+    a.sys(Sys::FutexWait);
+    a.jmp(retry);
+    a.bind(acquired);
+}
+
+void
+lockRelease(Assembler &a, Reg lock_addr, Reg scratch)
+{
+    dp_assert(lock_addr != r0 && lock_addr != r1 && lock_addr != r2,
+              "lock_addr register clobbered by the helper itself");
+    a.li(scratch, 0);
+    a.xchg(scratch, lock_addr, scratch); // atomic release store
+    a.mov(r1, lock_addr);
+    a.li(r2, 1);                         // wake one waiter
+    a.sys(Sys::FutexWake);
+}
+
+void
+barrierWait(Assembler &a, Reg bar_addr, Reg nthreads, Reg s1, Reg s2)
+{
+    dp_assert(bar_addr != r0 && bar_addr != r1 && bar_addr != r2,
+              "bar_addr register clobbered by the helper itself");
+    dp_assert(nthreads != r0 && nthreads != r1 && nthreads != r2,
+              "nthreads register clobbered by the helper itself");
+    Label wait_path = a.newLabel();
+    Label recheck = a.newLabel();
+    Label done = a.newLabel();
+
+    a.ld64(s1, bar_addr, 8);    // s1 = my generation
+    a.li(s2, 1);
+    a.fetchAdd(s2, bar_addr, s2); // s2 = old arrival count
+    a.addi(s2, s2, 1);
+    a.bne(s2, nthreads, wait_path);
+
+    // Last arriver: reset the count, advance the generation, wake all.
+    a.li(s2, 0);
+    a.xchg(s2, bar_addr, s2);
+    a.addi(r1, bar_addr, 8);
+    a.li(s2, 1);
+    a.fetchAdd(s2, r1, s2);
+    a.li(r2, std::int64_t{1} << 32); // wake "all"
+    a.sys(Sys::FutexWake);
+    a.jmp(done);
+
+    a.bind(wait_path);
+    a.addi(r1, bar_addr, 8);
+    a.mov(r2, s1);              // wait while generation unchanged
+    a.sys(Sys::FutexWait);
+    a.bind(recheck);
+    a.ld64(s2, bar_addr, 8);
+    a.beq(s2, s1, wait_path);   // spurious wake: generation unchanged
+    a.bind(done);
+}
+
+void
+exitWith(Assembler &a, std::uint64_t code)
+{
+    a.li(r1, static_cast<std::int64_t>(code));
+    a.sys(Sys::Exit);
+}
+
+void
+spawnThread(Assembler &a, Label entry, Reg arg_reg)
+{
+    // ABI: spawn(entry_pc, arg) takes r1 = entry, r2 = arg. Copy the
+    // argument first so loading the entry pc cannot clobber it.
+    if (arg_reg != r2)
+        a.mov(r2, arg_reg);
+    a.liLabel(r1, entry);
+    a.sys(Sys::Spawn);
+}
+
+void
+joinThread(Assembler &a, Reg tid_reg)
+{
+    if (tid_reg != r1)
+        a.mov(r1, tid_reg);
+    a.sys(Sys::Join);
+}
+
+void
+writeFd(Assembler &a, std::int64_t fd, Reg buf_reg, Reg len_reg)
+{
+    dp_assert(buf_reg != r1 && buf_reg != r3,
+              "buf_reg conflicts with syscall registers");
+    dp_assert(len_reg != r1 && len_reg != r2,
+              "len_reg conflicts with syscall registers");
+    a.li(r1, fd);
+    a.mov(r2, buf_reg);
+    a.mov(r3, len_reg);
+    a.sys(Sys::Write);
+}
+
+} // namespace dp::asmlib

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Guest "standard library": synchronization and OS-call idioms emitted
+ * as instruction sequences.
+ *
+ * These are the guest-side equivalents of the pthread/libc operations
+ * DoublePlay intercepts. Every cross-thread ordering they create flows
+ * through atomic instructions (Cas/FetchAdd/Xchg), which is what makes
+ * sync-order logging sufficient for data-race-free programs.
+ *
+ * Register convention: all helpers may clobber r0, r1, r2 (the syscall
+ * registers) plus any scratch registers they take. Workload code keeps
+ * long-lived values in r5..r15.
+ */
+
+#ifndef DP_VM_ASMLIB_HH
+#define DP_VM_ASMLIB_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "vm/assembler.hh"
+
+namespace dp::asmlib
+{
+
+/**
+ * Acquire the two-state futex lock whose word is at address in
+ * @p lock_addr. Spins once via CAS, then parks on the futex.
+ * Clobbers r0, r1, r2, @p scratch.
+ */
+void lockAcquire(Assembler &a, Reg lock_addr, Reg scratch);
+
+/**
+ * Release the lock at address in @p lock_addr (atomic Xchg to 0, then
+ * wake one waiter). Clobbers r0, r1, r2, @p scratch.
+ */
+void lockRelease(Assembler &a, Reg lock_addr, Reg scratch);
+
+/**
+ * Generation barrier. The barrier object is two u64 words at the
+ * address in @p bar_addr: [arrival count][generation]. @p nthreads
+ * holds the participant count. Clobbers r0, r1, r2, s1, s2.
+ */
+void barrierWait(Assembler &a, Reg bar_addr, Reg nthreads, Reg s1,
+                 Reg s2);
+
+/** exit(code) with an immediate code. Clobbers r0, r1. */
+void exitWith(Assembler &a, std::uint64_t code);
+
+/**
+ * spawn(entry, arg): starts a thread at label @p entry with r1 = the
+ * value in @p arg_reg. Thread id lands in r0. Clobbers r0, r1, r2.
+ */
+void spawnThread(Assembler &a, Label entry, Reg arg_reg);
+
+/** join(tid in @p tid_reg); exit code lands in r0. Clobbers r0, r1. */
+void joinThread(Assembler &a, Reg tid_reg);
+
+/**
+ * write(fd, buf, len) with buf/len taken from registers.
+ * Clobbers r0, r1, r2, r3.
+ */
+void writeFd(Assembler &a, std::int64_t fd, Reg buf_reg, Reg len_reg);
+
+} // namespace dp::asmlib
+
+#endif // DP_VM_ASMLIB_HH

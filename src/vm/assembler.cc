@@ -1,0 +1,267 @@
+#include "vm/assembler.hh"
+
+#include "common/logging.hh"
+
+namespace dp
+{
+
+Label
+Assembler::newLabel()
+{
+    Label l{static_cast<std::uint32_t>(labelPos_.size())};
+    labelPos_.push_back(unresolved);
+    return l;
+}
+
+void
+Assembler::bind(Label l)
+{
+    dp_assert(l.id < labelPos_.size(), "bind of unknown label");
+    dp_assert(labelPos_[l.id] == unresolved, "label bound twice");
+    labelPos_[l.id] = static_cast<std::int64_t>(code_.size());
+}
+
+Label
+Assembler::hereLabel()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+void
+Assembler::emit(Opcode op, Reg rd, Reg rs1, Reg rs2, std::int64_t imm)
+{
+    code_.push_back(Instr{op, rd, rs1, rs2, imm});
+}
+
+void
+Assembler::emitBranch(Opcode op, Reg rs1, Reg rs2, Label t)
+{
+    dp_assert(t.id < labelPos_.size(), "branch to unknown label");
+    fixups_.emplace_back(code_.size(), t.id);
+    emit(op, Reg::r0, rs1, rs2, unresolved);
+}
+
+void Assembler::nop() { emit(Opcode::Nop, Reg::r0, Reg::r0, Reg::r0, 0); }
+
+void
+Assembler::li(Reg rd, std::int64_t imm)
+{
+    emit(Opcode::Li, rd, Reg::r0, Reg::r0, imm);
+}
+
+void
+Assembler::liLabel(Reg rd, Label t)
+{
+    dp_assert(t.id < labelPos_.size(), "liLabel of unknown label");
+    fixups_.emplace_back(code_.size(), t.id);
+    emit(Opcode::Li, rd, Reg::r0, Reg::r0, unresolved);
+}
+
+void
+Assembler::mov(Reg rd, Reg rs)
+{
+    emit(Opcode::Mov, rd, rs, Reg::r0, 0);
+}
+
+#define DP_ALU3(fn, OP) \
+    void Assembler::fn(Reg rd, Reg a, Reg b) \
+    { \
+        emit(Opcode::OP, rd, a, b, 0); \
+    }
+
+DP_ALU3(add, Add)
+DP_ALU3(sub, Sub)
+DP_ALU3(mul, Mul)
+DP_ALU3(divu, Divu)
+DP_ALU3(remu, Remu)
+DP_ALU3(and_, And)
+DP_ALU3(or_, Or)
+DP_ALU3(xor_, Xor)
+DP_ALU3(shl, Shl)
+DP_ALU3(shr, Shr)
+DP_ALU3(sar, Sar)
+DP_ALU3(sltu, SltU)
+DP_ALU3(slts, SltS)
+DP_ALU3(seq, Seq)
+
+#undef DP_ALU3
+
+#define DP_ALUI(fn, OP) \
+    void Assembler::fn(Reg rd, Reg a, std::int64_t imm) \
+    { \
+        emit(Opcode::OP, rd, a, Reg::r0, imm); \
+    }
+
+DP_ALUI(addi, Addi)
+DP_ALUI(andi, Andi)
+DP_ALUI(ori, Ori)
+DP_ALUI(xori, Xori)
+DP_ALUI(shli, Shli)
+DP_ALUI(shri, Shri)
+DP_ALUI(muli, Muli)
+
+#undef DP_ALUI
+
+#define DP_LOAD(fn, OP) \
+    void Assembler::fn(Reg rd, Reg base, std::int64_t off) \
+    { \
+        emit(Opcode::OP, rd, base, Reg::r0, off); \
+    }
+
+DP_LOAD(ld8, Ld8)
+DP_LOAD(ld16, Ld16)
+DP_LOAD(ld32, Ld32)
+DP_LOAD(ld64, Ld64)
+
+#undef DP_LOAD
+
+#define DP_STORE(fn, OP) \
+    void Assembler::fn(Reg base, std::int64_t off, Reg src) \
+    { \
+        emit(Opcode::OP, Reg::r0, base, src, off); \
+    }
+
+DP_STORE(st8, St8)
+DP_STORE(st16, St16)
+DP_STORE(st32, St32)
+DP_STORE(st64, St64)
+
+#undef DP_STORE
+
+void Assembler::beq(Reg a, Reg b, Label t)
+{
+    emitBranch(Opcode::Beq, a, b, t);
+}
+void Assembler::bne(Reg a, Reg b, Label t)
+{
+    emitBranch(Opcode::Bne, a, b, t);
+}
+void Assembler::bltu(Reg a, Reg b, Label t)
+{
+    emitBranch(Opcode::BltU, a, b, t);
+}
+void Assembler::blts(Reg a, Reg b, Label t)
+{
+    emitBranch(Opcode::BltS, a, b, t);
+}
+void Assembler::bgeu(Reg a, Reg b, Label t)
+{
+    emitBranch(Opcode::BgeU, a, b, t);
+}
+void Assembler::bges(Reg a, Reg b, Label t)
+{
+    emitBranch(Opcode::BgeS, a, b, t);
+}
+void Assembler::beqz(Reg a, Label t)
+{
+    emitBranch(Opcode::Beqz, a, Reg::r0, t);
+}
+void Assembler::bnez(Reg a, Label t)
+{
+    emitBranch(Opcode::Bnez, a, Reg::r0, t);
+}
+
+void Assembler::jmp(Label t) { emitBranch(Opcode::Jmp, Reg::r0, Reg::r0, t); }
+
+void
+Assembler::jal(Reg rd, Label t)
+{
+    dp_assert(t.id < labelPos_.size(), "jal to unknown label");
+    fixups_.emplace_back(code_.size(), t.id);
+    emit(Opcode::Jal, rd, Reg::r0, Reg::r0, unresolved);
+}
+
+void Assembler::jr(Reg rs) { emit(Opcode::Jr, Reg::r0, rs, Reg::r0, 0); }
+
+void
+Assembler::cas(Reg rd_expected_old, Reg addr, Reg desired)
+{
+    emit(Opcode::Cas, rd_expected_old, addr, desired, 0);
+}
+
+void
+Assembler::fetchAdd(Reg rd_old, Reg addr, Reg delta)
+{
+    emit(Opcode::FetchAdd, rd_old, addr, delta, 0);
+}
+
+void
+Assembler::xchg(Reg rd_old, Reg addr, Reg val)
+{
+    emit(Opcode::Xchg, rd_old, addr, val, 0);
+}
+
+void
+Assembler::syscall()
+{
+    emit(Opcode::Syscall, Reg::r0, Reg::r0, Reg::r0, 0);
+}
+
+void Assembler::halt() { emit(Opcode::Halt, Reg::r0, Reg::r0, Reg::r0, 0); }
+
+void
+Assembler::sys(Sys s)
+{
+    li(Reg::r0, static_cast<std::int64_t>(s));
+    syscall();
+}
+
+void
+Assembler::dataBytes(Addr base, std::span<const std::uint8_t> bytes)
+{
+    data_.emplace_back(base,
+                       std::vector<std::uint8_t>(bytes.begin(),
+                                                 bytes.end()));
+}
+
+void
+Assembler::dataU64(Addr base, std::uint64_t value)
+{
+    std::vector<std::uint8_t> b(8);
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    data_.emplace_back(base, std::move(b));
+}
+
+void
+Assembler::dataU64s(Addr base, std::span<const std::uint64_t> values)
+{
+    std::vector<std::uint8_t> b(values.size() * 8);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        for (int j = 0; j < 8; ++j)
+            b[i * 8 + j] =
+                static_cast<std::uint8_t>(values[i] >> (8 * j));
+    data_.emplace_back(base, std::move(b));
+}
+
+void
+Assembler::setEntry(Label l)
+{
+    dp_assert(l.id < labelPos_.size(), "entry label unknown");
+    entryLabel_ = static_cast<std::int64_t>(l.id);
+}
+
+GuestProgram
+Assembler::finish(std::string name)
+{
+    for (auto [index, label] : fixups_) {
+        std::int64_t pos = labelPos_[label];
+        dp_assert(pos != unresolved, "program '", name,
+                  "': referenced label ", label, " was never bound");
+        code_[index].imm = pos;
+    }
+    GuestProgram prog;
+    prog.name = std::move(name);
+    prog.code = std::move(code_);
+    prog.dataSegments = std::move(data_);
+    if (entryLabel_ >= 0) {
+        std::int64_t pos = labelPos_[static_cast<std::size_t>(entryLabel_)];
+        dp_assert(pos != unresolved, "entry label never bound");
+        prog.entry = static_cast<std::uint64_t>(pos);
+    }
+    return prog;
+}
+
+} // namespace dp

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * In-C++ builder DSL for authoring guest programs.
+ *
+ * Workloads construct programs by calling one method per instruction;
+ * labels provide forward references that finish() resolves. The DSL is
+ * deliberately thin — richer idioms (locks, barriers) live in
+ * vm/asmlib.hh on top of it.
+ */
+
+#ifndef DP_VM_ASSEMBLER_HH
+#define DP_VM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "vm/abi.hh"
+#include "vm/isa.hh"
+#include "vm/program.hh"
+
+namespace dp
+{
+
+/** Forward-referenceable code position. */
+struct Label
+{
+    std::uint32_t id = ~std::uint32_t{0};
+};
+
+/** Single-pass assembler with label fixups. */
+class Assembler
+{
+  public:
+    /// @name Labels
+    /// @{
+    Label newLabel();
+    /** Attach @p l to the next emitted instruction. */
+    void bind(Label l);
+    /** Convenience: newLabel() + bind(). */
+    Label hereLabel();
+    /// @}
+
+    /// @name Instructions
+    /// @{
+    void nop();
+    void li(Reg rd, std::int64_t imm);
+    void lia(Reg rd, Addr a) { li(rd, static_cast<std::int64_t>(a)); }
+    /** Load the code position of @p t (for spawn entry points). */
+    void liLabel(Reg rd, Label t);
+    void mov(Reg rd, Reg rs);
+
+    void add(Reg rd, Reg a, Reg b);
+    void sub(Reg rd, Reg a, Reg b);
+    void mul(Reg rd, Reg a, Reg b);
+    void divu(Reg rd, Reg a, Reg b);
+    void remu(Reg rd, Reg a, Reg b);
+    void and_(Reg rd, Reg a, Reg b);
+    void or_(Reg rd, Reg a, Reg b);
+    void xor_(Reg rd, Reg a, Reg b);
+    void shl(Reg rd, Reg a, Reg b);
+    void shr(Reg rd, Reg a, Reg b);
+    void sar(Reg rd, Reg a, Reg b);
+    void sltu(Reg rd, Reg a, Reg b);
+    void slts(Reg rd, Reg a, Reg b);
+    void seq(Reg rd, Reg a, Reg b);
+
+    void addi(Reg rd, Reg a, std::int64_t imm);
+    void andi(Reg rd, Reg a, std::int64_t imm);
+    void ori(Reg rd, Reg a, std::int64_t imm);
+    void xori(Reg rd, Reg a, std::int64_t imm);
+    void shli(Reg rd, Reg a, std::int64_t imm);
+    void shri(Reg rd, Reg a, std::int64_t imm);
+    void muli(Reg rd, Reg a, std::int64_t imm);
+
+    void ld8(Reg rd, Reg base, std::int64_t off = 0);
+    void ld16(Reg rd, Reg base, std::int64_t off = 0);
+    void ld32(Reg rd, Reg base, std::int64_t off = 0);
+    void ld64(Reg rd, Reg base, std::int64_t off = 0);
+    void st8(Reg base, std::int64_t off, Reg src);
+    void st16(Reg base, std::int64_t off, Reg src);
+    void st32(Reg base, std::int64_t off, Reg src);
+    void st64(Reg base, std::int64_t off, Reg src);
+
+    void beq(Reg a, Reg b, Label t);
+    void bne(Reg a, Reg b, Label t);
+    void bltu(Reg a, Reg b, Label t);
+    void blts(Reg a, Reg b, Label t);
+    void bgeu(Reg a, Reg b, Label t);
+    void bges(Reg a, Reg b, Label t);
+    void beqz(Reg a, Label t);
+    void bnez(Reg a, Label t);
+    void jmp(Label t);
+    void jal(Reg rd, Label t);
+    void jr(Reg rs);
+
+    void cas(Reg rd_expected_old, Reg addr, Reg desired);
+    void fetchAdd(Reg rd_old, Reg addr, Reg delta);
+    void xchg(Reg rd_old, Reg addr, Reg val);
+
+    void syscall();
+    void halt();
+    /// @}
+
+    /** li(r0, number) + syscall — args must already be in r1..r5. */
+    void sys(Sys s);
+
+    /// @name Initial data image
+    /// @{
+    void dataBytes(Addr base, std::span<const std::uint8_t> bytes);
+    void dataU64(Addr base, std::uint64_t value);
+    void dataU64s(Addr base, std::span<const std::uint64_t> values);
+    /// @}
+
+    /** Entry point of the initial thread (defaults to index 0). */
+    void setEntry(Label l);
+
+    /** Current instruction count (next emission index). */
+    std::size_t position() const { return code_.size(); }
+
+    /** Resolve labels and produce the program. Panics on unbound
+     *  labels that are referenced. */
+    GuestProgram finish(std::string name);
+
+  private:
+    void emit(Opcode op, Reg rd, Reg rs1, Reg rs2, std::int64_t imm);
+    void emitBranch(Opcode op, Reg rs1, Reg rs2, Label t);
+
+    static constexpr std::int64_t unresolved = -1;
+
+    std::vector<Instr> code_;
+    /** labelId -> bound instruction index (or unresolved). */
+    std::vector<std::int64_t> labelPos_;
+    /** (instruction index, labelId) pairs awaiting resolution. */
+    std::vector<std::pair<std::size_t, std::uint32_t>> fixups_;
+    std::vector<std::pair<Addr, std::vector<std::uint8_t>>> data_;
+    std::int64_t entryLabel_ = -1;
+};
+
+} // namespace dp
+
+#endif // DP_VM_ASSEMBLER_HH

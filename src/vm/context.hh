@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Snapshottable per-thread execution state.
+ */
+
+#ifndef DP_VM_CONTEXT_HH
+#define DP_VM_CONTEXT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/types.hh"
+#include "vm/isa.hh"
+
+namespace dp
+{
+
+/** Scheduling state of a guest thread. */
+enum class RunState : std::uint8_t
+{
+    Runnable, ///< may be picked by a scheduler
+    Blocked,  ///< waiting inside a blocking syscall (futex/join)
+    Exited,   ///< finished; context retained for join()
+};
+
+/**
+ * Complete architectural state of one guest thread. Everything replay
+ * and divergence checking need is here: copying a ThreadContext is a
+ * full thread checkpoint.
+ */
+struct ThreadContext
+{
+    ThreadId tid = 0;
+    std::array<std::uint64_t, numRegs> regs{};
+    std::uint64_t pc = 0;
+    RunState state = RunState::Runnable;
+
+    /** Guest instructions retired by this thread since program start.
+     *  Epoch boundaries are expressed as per-thread retired targets. */
+    std::uint64_t retired = 0;
+
+    /** Exit code, valid once state == Exited. */
+    std::uint64_t exitCode = 0;
+
+    /// @name Asynchronous signals
+    /// @{
+    /** Handler entry pc registered via sighandler(); 0 = none. */
+    std::uint64_t handlerPc = 0;
+    /** Kernel-style signal frame: the full interrupted context, live
+     *  while inHandler. Handlers may clobber anything; sigreturn
+     *  restores it all. */
+    std::uint64_t savedPc = 0;
+    std::array<std::uint64_t, numRegs> savedRegs{};
+    bool inHandler = false;
+    /** Queued, not-yet-delivered signal numbers (FIFO). */
+    std::vector<std::uint8_t> pendingSigs;
+    /// @}
+
+    /** True if a signal could be delivered right now. */
+    bool
+    signalDeliverable() const
+    {
+        return state == RunState::Runnable && !inHandler &&
+               handlerPc != 0 && !pendingSigs.empty();
+    }
+
+    /**
+     * Enter the handler for the oldest pending signal: saves pc/r1,
+     * jumps to the handler with the signal number in r1. Delivery
+     * does not retire an instruction. Caller checks
+     * signalDeliverable(). Returns the delivered signal.
+     */
+    std::uint8_t
+    deliverSignal()
+    {
+        std::uint8_t sig = pendingSigs.front();
+        pendingSigs.erase(pendingSigs.begin());
+        savedPc = pc;
+        savedRegs = regs;
+        reg(Reg::r1) = sig;
+        pc = handlerPc;
+        inHandler = true;
+        return sig;
+    }
+
+    std::uint64_t &reg(Reg r) { return regs[static_cast<unsigned>(r)]; }
+    std::uint64_t reg(Reg r) const
+    {
+        return regs[static_cast<unsigned>(r)];
+    }
+
+    /** Digest of the architectural state (for divergence checks). */
+    std::uint64_t
+    hash() const
+    {
+        Digest d;
+        d.word(tid);
+        for (std::uint64_t r : regs)
+            d.word(r);
+        d.word(pc);
+        d.word(static_cast<std::uint64_t>(state));
+        d.word(retired);
+        d.word(exitCode);
+        d.word(handlerPc);
+        d.word(savedPc);
+        if (inHandler)
+            for (std::uint64_t r : savedRegs)
+                d.word(r);
+        d.word(inHandler ? 1 : 0);
+        for (std::uint8_t s : pendingSigs)
+            d.word(0x5160000u | s);
+        return d.value();
+    }
+
+    bool
+    operator==(const ThreadContext &o) const
+    {
+        return tid == o.tid && regs == o.regs && pc == o.pc &&
+               state == o.state && retired == o.retired &&
+               exitCode == o.exitCode && handlerPc == o.handlerPc &&
+               savedPc == o.savedPc &&
+               (!inHandler || savedRegs == o.savedRegs) &&
+               inHandler == o.inHandler &&
+               pendingSigs == o.pendingSigs;
+    }
+};
+
+} // namespace dp
+
+#endif // DP_VM_CONTEXT_HH

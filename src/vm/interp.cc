@@ -1,0 +1,212 @@
+#include "vm/interp.hh"
+
+#include "common/logging.hh"
+#include "mem/paged_memory.hh"
+
+namespace dp
+{
+
+namespace
+{
+
+/** Faulting threads exit with this code (visible to join()). */
+constexpr std::uint64_t faultExitCode = 0xdead;
+
+} // namespace
+
+StepKind
+Interpreter::step(ThreadContext &tc, PagedMemory &mem) const
+{
+    dp_assert(tc.state == RunState::Runnable,
+              "stepping a non-runnable thread ", tc.tid);
+
+    if (tc.pc >= prog_->code.size()) {
+        tc.state = RunState::Exited;
+        tc.exitCode = faultExitCode;
+        return StepKind::Fault;
+    }
+
+    const Instr &in = prog_->code[tc.pc];
+    auto rs1 = [&] { return tc.reg(in.rs1); };
+    auto rs2 = [&] { return tc.reg(in.rs2); };
+    auto setRd = [&](std::uint64_t v) { tc.reg(in.rd) = v; };
+    std::uint64_t next_pc = tc.pc + 1;
+
+    switch (in.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Li:
+        setRd(static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::Mov:
+        setRd(rs1());
+        break;
+
+      case Opcode::Add: setRd(rs1() + rs2()); break;
+      case Opcode::Sub: setRd(rs1() - rs2()); break;
+      case Opcode::Mul: setRd(rs1() * rs2()); break;
+      case Opcode::Divu:
+        // RISC-V semantics: division by zero yields all ones.
+        setRd(rs2() == 0 ? ~std::uint64_t{0} : rs1() / rs2());
+        break;
+      case Opcode::Remu:
+        setRd(rs2() == 0 ? rs1() : rs1() % rs2());
+        break;
+      case Opcode::And: setRd(rs1() & rs2()); break;
+      case Opcode::Or:  setRd(rs1() | rs2()); break;
+      case Opcode::Xor: setRd(rs1() ^ rs2()); break;
+      case Opcode::Shl: setRd(rs1() << (rs2() & 63)); break;
+      case Opcode::Shr: setRd(rs1() >> (rs2() & 63)); break;
+      case Opcode::Sar:
+        setRd(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(rs1()) >> (rs2() & 63)));
+        break;
+      case Opcode::SltU: setRd(rs1() < rs2() ? 1 : 0); break;
+      case Opcode::SltS:
+        setRd(static_cast<std::int64_t>(rs1()) <
+                      static_cast<std::int64_t>(rs2())
+                  ? 1
+                  : 0);
+        break;
+      case Opcode::Seq: setRd(rs1() == rs2() ? 1 : 0); break;
+
+      case Opcode::Addi:
+        setRd(rs1() + static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::Andi:
+        setRd(rs1() & static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::Ori:
+        setRd(rs1() | static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::Xori:
+        setRd(rs1() ^ static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::Shli:
+        setRd(rs1() << (static_cast<std::uint64_t>(in.imm) & 63));
+        break;
+      case Opcode::Shri:
+        setRd(rs1() >> (static_cast<std::uint64_t>(in.imm) & 63));
+        break;
+      case Opcode::Muli:
+        setRd(rs1() * static_cast<std::uint64_t>(in.imm));
+        break;
+
+      case Opcode::Ld8:
+        setRd(mem.read8(rs1() + static_cast<std::uint64_t>(in.imm)));
+        break;
+      case Opcode::Ld16:
+        setRd(mem.read16(rs1() + static_cast<std::uint64_t>(in.imm)));
+        break;
+      case Opcode::Ld32:
+        setRd(mem.read32(rs1() + static_cast<std::uint64_t>(in.imm)));
+        break;
+      case Opcode::Ld64:
+        setRd(mem.read64(rs1() + static_cast<std::uint64_t>(in.imm)));
+        break;
+      case Opcode::St8:
+        mem.write8(rs1() + static_cast<std::uint64_t>(in.imm),
+                   static_cast<std::uint8_t>(rs2()));
+        break;
+      case Opcode::St16:
+        mem.write16(rs1() + static_cast<std::uint64_t>(in.imm),
+                    static_cast<std::uint16_t>(rs2()));
+        break;
+      case Opcode::St32:
+        mem.write32(rs1() + static_cast<std::uint64_t>(in.imm),
+                    static_cast<std::uint32_t>(rs2()));
+        break;
+      case Opcode::St64:
+        mem.write64(rs1() + static_cast<std::uint64_t>(in.imm), rs2());
+        break;
+
+      case Opcode::Beq:
+        if (rs1() == rs2())
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::Bne:
+        if (rs1() != rs2())
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::BltU:
+        if (rs1() < rs2())
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::BltS:
+        if (static_cast<std::int64_t>(rs1()) <
+            static_cast<std::int64_t>(rs2()))
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::BgeU:
+        if (rs1() >= rs2())
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::BgeS:
+        if (static_cast<std::int64_t>(rs1()) >=
+            static_cast<std::int64_t>(rs2()))
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::Beqz:
+        if (rs1() == 0)
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::Bnez:
+        if (rs1() != 0)
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::Jmp:
+        next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::Jal:
+        setRd(tc.pc + 1);
+        next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::Jr:
+        next_pc = rs1();
+        break;
+
+      case Opcode::Cas: {
+        std::uint64_t addr = rs1();
+        std::uint64_t old = mem.read64(addr);
+        if (old == tc.reg(in.rd))
+            mem.write64(addr, rs2());
+        setRd(old);
+        break;
+      }
+      case Opcode::FetchAdd: {
+        std::uint64_t addr = rs1();
+        std::uint64_t old = mem.read64(addr);
+        mem.write64(addr, old + rs2());
+        setRd(old);
+        break;
+      }
+      case Opcode::Xchg: {
+        std::uint64_t addr = rs1();
+        std::uint64_t old = mem.read64(addr);
+        mem.write64(addr, rs2());
+        setRd(old);
+        break;
+      }
+
+      case Opcode::Syscall:
+        // The OS completes the call and advances pc/retired.
+        return StepKind::SyscallTrap;
+
+      case Opcode::Halt:
+        tc.state = RunState::Exited;
+        tc.exitCode = tc.reg(Reg::r0);
+        ++tc.retired;
+        return StepKind::Halted;
+
+      default:
+        tc.state = RunState::Exited;
+        tc.exitCode = faultExitCode;
+        return StepKind::Fault;
+    }
+
+    tc.pc = next_pc;
+    ++tc.retired;
+    return StepKind::Ok;
+}
+
+} // namespace dp

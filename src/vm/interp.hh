@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The guest instruction interpreter.
+ *
+ * The interpreter is stateless: all mutable state lives in the
+ * ThreadContext and PagedMemory it is given, so the same Interpreter
+ * can drive any number of concurrent epoch executions.
+ */
+
+#ifndef DP_VM_INTERP_HH
+#define DP_VM_INTERP_HH
+
+#include <cstdint>
+
+#include "vm/context.hh"
+#include "vm/program.hh"
+
+namespace dp
+{
+
+class PagedMemory;
+
+/** Outcome of executing (or attempting) one instruction. */
+enum class StepKind : std::uint8_t
+{
+    Ok,          ///< instruction retired normally
+    SyscallTrap, ///< Syscall reached: OS must complete it (pc unchanged)
+    Halted,      ///< Halt retired: thread exited with r0 as code
+    Fault,       ///< invalid pc or opcode: thread terminated
+};
+
+/** Interprets guest code for one program. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const GuestProgram &prog) : prog_(&prog) {}
+
+    /**
+     * Execute one instruction of @p tc against @p mem.
+     *
+     * On Ok, pc and tc.retired advance. On SyscallTrap, pc and retired
+     * are left untouched: the OS layer completes the call, writes the
+     * result to r0, and calls completeSyscall(). Halt and Fault mark
+     * the context Exited.
+     */
+    StepKind step(ThreadContext &tc, PagedMemory &mem) const;
+
+    /** Retire the trapped syscall: set the result and advance. */
+    static void
+    completeSyscall(ThreadContext &tc, std::uint64_t result)
+    {
+        tc.reg(Reg::r0) = result;
+        ++tc.pc;
+        ++tc.retired;
+    }
+
+    /** Opcode of the instruction @p tc will execute next (for
+     *  sync-order classification); Nop if pc is out of range. */
+    Opcode
+    nextOpcode(const ThreadContext &tc) const
+    {
+        if (tc.pc >= prog_->code.size())
+            return Opcode::Nop;
+        return prog_->code[tc.pc].op;
+    }
+
+    /** Effective address of the atomic op at @p tc's pc. */
+    std::uint64_t
+    nextAtomicAddr(const ThreadContext &tc) const
+    {
+        const Instr &in = prog_->code[tc.pc];
+        return tc.reg(in.rs1);
+    }
+
+    /** The instruction at @p tc's pc (which must be in range). */
+    const Instr &
+    instrAt(const ThreadContext &tc) const
+    {
+        return prog_->code[tc.pc];
+    }
+
+    /**
+     * Effective address and write-ness of the memory instruction at
+     * @p tc's pc; only meaningful when isMemOp(nextOpcode(tc)).
+     */
+    std::pair<std::uint64_t, bool>
+    nextMemAccess(const ThreadContext &tc) const
+    {
+        const Instr &in = prog_->code[tc.pc];
+        if (isAtomicOp(in.op))
+            return {tc.reg(in.rs1), true};
+        bool is_write = in.op >= Opcode::St8 && in.op <= Opcode::St64;
+        return {tc.reg(in.rs1) + static_cast<std::uint64_t>(in.imm),
+                is_write};
+    }
+
+    const GuestProgram &program() const { return *prog_; }
+
+  private:
+    const GuestProgram *prog_;
+};
+
+} // namespace dp
+
+#endif // DP_VM_INTERP_HH

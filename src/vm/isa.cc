@@ -1,0 +1,62 @@
+#include "vm/isa.hh"
+
+namespace dp
+{
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Li: return "li";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Divu: return "divu";
+      case Opcode::Remu: return "remu";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Sar: return "sar";
+      case Opcode::SltU: return "sltu";
+      case Opcode::SltS: return "slts";
+      case Opcode::Seq: return "seq";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Shli: return "shli";
+      case Opcode::Shri: return "shri";
+      case Opcode::Muli: return "muli";
+      case Opcode::Ld8: return "ld8";
+      case Opcode::Ld16: return "ld16";
+      case Opcode::Ld32: return "ld32";
+      case Opcode::Ld64: return "ld64";
+      case Opcode::St8: return "st8";
+      case Opcode::St16: return "st16";
+      case Opcode::St32: return "st32";
+      case Opcode::St64: return "st64";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::BltU: return "bltu";
+      case Opcode::BltS: return "blts";
+      case Opcode::BgeU: return "bgeu";
+      case Opcode::BgeS: return "bges";
+      case Opcode::Beqz: return "beqz";
+      case Opcode::Bnez: return "bnez";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jr: return "jr";
+      case Opcode::Cas: return "cas";
+      case Opcode::FetchAdd: return "fetchadd";
+      case Opcode::Xchg: return "xchg";
+      case Opcode::Syscall: return "syscall";
+      case Opcode::Halt: return "halt";
+      default: return "<invalid>";
+    }
+}
+
+} // namespace dp

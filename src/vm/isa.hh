@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The uniplay guest ISA.
+ *
+ * A deliberately small RISC-style instruction set executed by an
+ * interpreter. It exists because uniparallelism needs three properties
+ * real binaries do not portably give us: instruction-granular
+ * preemption, snapshottable thread contexts, and exactly-reexecutable
+ * code. Atomic read-modify-write instructions (Cas/FetchAdd/Xchg) are
+ * the synchronization operations whose global order DoublePlay's
+ * thread-parallel run records and whose order the epoch-parallel run is
+ * constrained to follow.
+ */
+
+#ifndef DP_VM_ISA_HH
+#define DP_VM_ISA_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace dp
+{
+
+/** Guest register names; 16 general-purpose 64-bit registers. */
+enum class Reg : std::uint8_t
+{
+    r0, r1, r2, r3, r4, r5, r6, r7,
+    r8, r9, r10, r11, r12, r13, r14, r15,
+};
+
+inline constexpr int numRegs = 16;
+
+/** Guest opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+
+    // Register / immediate moves.
+    Li,     ///< rd = imm
+    Mov,    ///< rd = rs1
+
+    // Integer ALU (register-register).
+    Add, Sub, Mul, Divu, Remu,
+    And, Or, Xor,
+    Shl, Shr, Sar,
+    SltU,   ///< rd = (rs1 <u rs2)
+    SltS,   ///< rd = (rs1 <s rs2)
+    Seq,    ///< rd = (rs1 == rs2)
+
+    // Integer ALU (register-immediate).
+    Addi,   ///< rd = rs1 + imm
+    Andi, Ori, Xori,
+    Shli, Shri,
+    Muli,
+
+    // Memory. Effective address is rs1 + imm.
+    Ld8, Ld16, Ld32, Ld64,  ///< zero-extending loads
+    St8, St16, St32, St64,  ///< stores of rs2's low bits
+
+    // Control. Branch/jump targets are absolute instruction indices
+    // carried in imm (resolved by the assembler).
+    Beq, Bne, BltU, BltS, BgeU, BgeS,
+    Beqz,   ///< branch if rs1 == 0
+    Bnez,   ///< branch if rs1 != 0
+    Jmp,    ///< pc = imm
+    Jal,    ///< rd = pc + 1; pc = imm
+    Jr,     ///< pc = rs1
+
+    // Atomic read-modify-write on the 64-bit word at [rs1].
+    // These are the guest's synchronization operations.
+    Cas,      ///< old = M[rs1]; if (old == rd) M[rs1] = rs2; rd = old
+    FetchAdd, ///< old = M[rs1]; M[rs1] = old + rs2; rd = old
+    Xchg,     ///< old = M[rs1]; M[rs1] = rs2; rd = old
+
+    Syscall,  ///< trap to the simulated OS (ABI in vm/abi.hh)
+    Halt,     ///< terminate the executing thread (exit code in r0)
+
+    NumOpcodes,
+};
+
+/** One decoded guest instruction (fixed-width in-memory form). */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    Reg rd = Reg::r0;
+    Reg rs1 = Reg::r0;
+    Reg rs2 = Reg::r0;
+    std::int64_t imm = 0;
+};
+
+/** Human-readable mnemonic for an opcode. */
+std::string_view opcodeName(Opcode op);
+
+/** True for Cas/FetchAdd/Xchg: guest synchronization operations. */
+inline bool
+isAtomicOp(Opcode op)
+{
+    return op == Opcode::Cas || op == Opcode::FetchAdd ||
+           op == Opcode::Xchg;
+}
+
+/** True for any instruction that reads or writes guest memory. */
+inline bool
+isMemOp(Opcode op)
+{
+    return (op >= Opcode::Ld8 && op <= Opcode::St64) || isAtomicOp(op);
+}
+
+/** Bytes touched by a memory instruction (atomics are 8). */
+inline unsigned
+memAccessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ld8:
+      case Opcode::St8:
+        return 1;
+      case Opcode::Ld16:
+      case Opcode::St16:
+        return 2;
+      case Opcode::Ld32:
+      case Opcode::St32:
+        return 4;
+      default:
+        return 8;
+    }
+}
+
+} // namespace dp
+
+#endif // DP_VM_ISA_HH

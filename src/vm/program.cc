@@ -1,0 +1,37 @@
+#include "vm/program.hh"
+
+#include "common/hash.hh"
+#include "mem/paged_memory.hh"
+
+namespace dp
+{
+
+void
+GuestProgram::loadInto(PagedMemory &mem) const
+{
+    for (const auto &[base, bytes] : dataSegments)
+        mem.writeBytes(base, bytes);
+}
+
+std::uint64_t
+GuestProgram::hash() const
+{
+    Digest d;
+    d.bytes({reinterpret_cast<const std::uint8_t *>(name.data()),
+             name.size()});
+    for (const Instr &in : code) {
+        d.word(static_cast<std::uint64_t>(in.op));
+        d.word(static_cast<std::uint64_t>(in.rd));
+        d.word(static_cast<std::uint64_t>(in.rs1) |
+               (static_cast<std::uint64_t>(in.rs2) << 8));
+        d.word(static_cast<std::uint64_t>(in.imm));
+    }
+    for (const auto &[base, bytes] : dataSegments) {
+        d.word(base);
+        d.bytes(bytes);
+    }
+    d.word(entry);
+    return d.value();
+}
+
+} // namespace dp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A loaded guest program: code plus initial memory image.
+ */
+
+#ifndef DP_VM_PROGRAM_HH
+#define DP_VM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "vm/isa.hh"
+
+namespace dp
+{
+
+class PagedMemory;
+
+/**
+ * Immutable program artifact produced by the Assembler. Code addresses
+ * are instruction indices (the guest has a Harvard-style code space);
+ * data segments are byte images copied into guest memory at load time.
+ */
+struct GuestProgram
+{
+    std::string name;
+    std::vector<Instr> code;
+
+    /** (base address, bytes) pairs loaded before execution starts. */
+    std::vector<std::pair<Addr, std::vector<std::uint8_t>>> dataSegments;
+
+    /** Entry point of the initial thread. */
+    std::uint64_t entry = 0;
+
+    /** Copy all data segments into @p mem. */
+    void loadInto(PagedMemory &mem) const;
+
+    /** Content digest over code + data (identifies the program). */
+    std::uint64_t hash() const;
+};
+
+} // namespace dp
+
+#endif // DP_VM_PROGRAM_HH

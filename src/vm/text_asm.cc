@@ -1,0 +1,570 @@
+#include "vm/text_asm.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "vm/assembler.hh"
+
+namespace dp
+{
+
+namespace
+{
+
+/** How an opcode's operands are written in text. */
+enum class OperandForm
+{
+    None,        ///< nop, syscall, halt
+    RdImm,       ///< li rd, imm
+    RdRs1,       ///< mov rd, rs1
+    RdRs1Rs2,    ///< ALU / atomics
+    RdRs1Imm,    ///< ALU-immediate and loads (rd, base, off)
+    Rs1ImmRs2,   ///< stores (base, off, src)
+    Rs1Rs2Label, ///< two-register branches
+    Rs1Label,    ///< beqz / bnez
+    Label,       ///< jmp
+    RdLabel,     ///< jal
+    Rs1,         ///< jr
+};
+
+OperandForm
+formOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Syscall:
+      case Opcode::Halt:
+        return OperandForm::None;
+      case Opcode::Li:
+        return OperandForm::RdImm;
+      case Opcode::Mov:
+        return OperandForm::RdRs1;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Divu:
+      case Opcode::Remu:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Sar:
+      case Opcode::SltU:
+      case Opcode::SltS:
+      case Opcode::Seq:
+      case Opcode::Cas:
+      case Opcode::FetchAdd:
+      case Opcode::Xchg:
+        return OperandForm::RdRs1Rs2;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Shli:
+      case Opcode::Shri:
+      case Opcode::Muli:
+      case Opcode::Ld8:
+      case Opcode::Ld16:
+      case Opcode::Ld32:
+      case Opcode::Ld64:
+        return OperandForm::RdRs1Imm;
+      case Opcode::St8:
+      case Opcode::St16:
+      case Opcode::St32:
+      case Opcode::St64:
+        return OperandForm::Rs1ImmRs2;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::BltU:
+      case Opcode::BltS:
+      case Opcode::BgeU:
+      case Opcode::BgeS:
+        return OperandForm::Rs1Rs2Label;
+      case Opcode::Beqz:
+      case Opcode::Bnez:
+        return OperandForm::Rs1Label;
+      case Opcode::Jmp:
+        return OperandForm::Label;
+      case Opcode::Jal:
+        return OperandForm::RdLabel;
+      case Opcode::Jr:
+        return OperandForm::Rs1;
+      default:
+        dp_panic("formOf: unhandled opcode ",
+                 static_cast<int>(op));
+    }
+}
+
+const std::map<std::string, Opcode, std::less<>> &
+mnemonicTable()
+{
+    static const auto table = [] {
+        std::map<std::string, Opcode, std::less<>> t;
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+            auto op = static_cast<Opcode>(i);
+            t.emplace(std::string(opcodeName(op)), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** Tokenizer state for one line. */
+struct Line
+{
+    std::vector<std::string> tokens;
+    std::size_t lineNo;
+};
+
+std::vector<Line>
+tokenize(std::string_view text)
+{
+    std::vector<Line> lines;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        std::string_view line = text.substr(pos, eol - pos);
+        ++line_no;
+        pos = eol + 1;
+
+        Line out{{}, line_no};
+        std::size_t i = 0;
+        while (i < line.size()) {
+            char c = line[i];
+            if (c == ';' || c == '#')
+                break; // comment
+            if (std::isspace(static_cast<unsigned char>(c)) ||
+                c == ',') {
+                ++i;
+                continue;
+            }
+            if (c == '"') { // quoted string token (kept with quotes)
+                std::size_t end = i + 1;
+                while (end < line.size() && line[end] != '"')
+                    ++end;
+                dp_assert(end < line.size(),
+                          "line ", line_no, ": unterminated string");
+                out.tokens.emplace_back(line.substr(i, end - i + 1));
+                i = end + 1;
+                continue;
+            }
+            std::size_t end = i;
+            while (end < line.size() && line[end] != ',' &&
+                   line[end] != ';' && line[end] != '#' &&
+                   !std::isspace(static_cast<unsigned char>(
+                       line[end])))
+                ++end;
+            out.tokens.emplace_back(line.substr(i, end - i));
+            i = end;
+        }
+        if (!out.tokens.empty())
+            lines.push_back(std::move(out));
+        if (eol == text.size())
+            break;
+    }
+    return lines;
+}
+
+std::optional<Reg>
+parseReg(std::string_view t)
+{
+    if (t.size() < 2 || t.size() > 3 || (t[0] != 'r' && t[0] != 'R'))
+        return std::nullopt;
+    unsigned n = 0;
+    for (char c : t.substr(1)) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+        n = n * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (n >= numRegs)
+        return std::nullopt;
+    return static_cast<Reg>(n);
+}
+
+std::optional<std::int64_t>
+parseInt(std::string_view t)
+{
+    if (t.empty())
+        return std::nullopt;
+    bool neg = t[0] == '-';
+    if (neg)
+        t.remove_prefix(1);
+    if (t.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+        for (char c : t.substr(2)) {
+            int d;
+            if (c >= '0' && c <= '9')
+                d = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                d = c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F')
+                d = c - 'A' + 10;
+            else
+                return std::nullopt;
+            value = value * 16 + static_cast<std::uint64_t>(d);
+        }
+    } else {
+        for (char c : t) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                return std::nullopt;
+            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+    }
+    auto sv = static_cast<std::int64_t>(value);
+    return neg ? -sv : sv;
+}
+
+} // namespace
+
+GuestProgram
+assembleText(std::string_view text, std::string name)
+{
+    std::vector<Line> lines = tokenize(text);
+
+    Assembler a;
+    std::map<std::string, Label, std::less<>> labels;
+    std::string entry_label;
+    auto labelFor = [&](std::string_view n) {
+        auto it = labels.find(n);
+        if (it != labels.end())
+            return it->second;
+        Label l = a.newLabel();
+        labels.emplace(std::string(n), l);
+        return l;
+    };
+
+    // Data-segment accumulation state.
+    bool in_data = false;
+    Addr data_base = 0;
+    std::vector<std::uint8_t> data_bytes;
+    auto flushData = [&] {
+        if (in_data && !data_bytes.empty())
+            a.dataBytes(data_base, data_bytes);
+        data_bytes.clear();
+        in_data = false;
+    };
+
+    for (const Line &line : lines) {
+        const auto &toks = line.tokens;
+        auto fail = [&](const std::string &why) {
+            dp_fatal(name, " line ", line.lineNo, ": ", why);
+        };
+        auto reg = [&](std::size_t i) {
+            if (i >= toks.size())
+                fail("missing register operand");
+            auto r = parseReg(toks[i]);
+            if (!r)
+                fail("bad register '" + toks[i] + "'");
+            return *r;
+        };
+        auto imm = [&](std::size_t i) {
+            if (i >= toks.size())
+                fail("missing immediate operand");
+            auto v = parseInt(toks[i]);
+            if (!v)
+                fail("bad immediate '" + toks[i] + "'");
+            return *v;
+        };
+        auto target = [&](std::size_t i) {
+            if (i >= toks.size())
+                fail("missing branch target");
+            return labelFor(toks[i]);
+        };
+        auto expectArity = [&](std::size_t n) {
+            if (toks.size() != n + 1)
+                fail("expected " + std::to_string(n) + " operands");
+        };
+
+        const std::string &head = toks[0];
+
+        if (head.back() == ':') { // label definition
+            flushData();
+            std::string lbl = head.substr(0, head.size() - 1);
+            if (lbl.empty())
+                fail("empty label");
+            Label l = labelFor(lbl);
+            a.bind(l);
+            if (toks.size() > 1)
+                fail("label must be alone on its line");
+            continue;
+        }
+
+        if (head == ".entry") {
+            expectArity(1);
+            entry_label = toks[1];
+            continue;
+        }
+        if (head == ".data") {
+            expectArity(1);
+            flushData();
+            in_data = true;
+            data_base = static_cast<Addr>(imm(1));
+            continue;
+        }
+        if (head == ".u64") {
+            if (!in_data)
+                fail(".u64 outside a .data segment");
+            for (std::size_t i = 1; i < toks.size(); ++i) {
+                auto v = static_cast<std::uint64_t>(imm(i));
+                for (int b = 0; b < 8; ++b)
+                    data_bytes.push_back(
+                        static_cast<std::uint8_t>(v >> (8 * b)));
+            }
+            continue;
+        }
+        if (head == ".byte") {
+            if (!in_data)
+                fail(".byte outside a .data segment");
+            for (std::size_t i = 1; i < toks.size(); ++i)
+                data_bytes.push_back(
+                    static_cast<std::uint8_t>(imm(i)));
+            continue;
+        }
+        if (head == ".ascii") {
+            if (!in_data)
+                fail(".ascii outside a .data segment");
+            expectArity(1);
+            const std::string &s = toks[1];
+            if (s.size() < 2 || s.front() != '"' || s.back() != '"')
+                fail(".ascii needs a quoted string");
+            for (std::size_t i = 1; i + 1 < s.size(); ++i)
+                data_bytes.push_back(
+                    static_cast<std::uint8_t>(s[i]));
+            continue;
+        }
+        if (head[0] == '.')
+            fail("unknown directive '" + head + "'");
+
+        flushData();
+        auto it = mnemonicTable().find(head);
+        if (it == mnemonicTable().end())
+            fail("unknown mnemonic '" + head + "'");
+        Opcode op = it->second;
+
+        switch (formOf(op)) {
+          case OperandForm::None:
+            expectArity(0);
+            if (op == Opcode::Nop)
+                a.nop();
+            else if (op == Opcode::Syscall)
+                a.syscall();
+            else
+                a.halt();
+            break;
+          case OperandForm::RdImm:
+            expectArity(2);
+            a.li(reg(1), imm(2));
+            break;
+          case OperandForm::RdRs1:
+            expectArity(2);
+            a.mov(reg(1), reg(2));
+            break;
+          case OperandForm::RdRs1Rs2: {
+            expectArity(3);
+            Reg rd = reg(1), rs1 = reg(2), rs2 = reg(3);
+            switch (op) {
+              case Opcode::Add: a.add(rd, rs1, rs2); break;
+              case Opcode::Sub: a.sub(rd, rs1, rs2); break;
+              case Opcode::Mul: a.mul(rd, rs1, rs2); break;
+              case Opcode::Divu: a.divu(rd, rs1, rs2); break;
+              case Opcode::Remu: a.remu(rd, rs1, rs2); break;
+              case Opcode::And: a.and_(rd, rs1, rs2); break;
+              case Opcode::Or: a.or_(rd, rs1, rs2); break;
+              case Opcode::Xor: a.xor_(rd, rs1, rs2); break;
+              case Opcode::Shl: a.shl(rd, rs1, rs2); break;
+              case Opcode::Shr: a.shr(rd, rs1, rs2); break;
+              case Opcode::Sar: a.sar(rd, rs1, rs2); break;
+              case Opcode::SltU: a.sltu(rd, rs1, rs2); break;
+              case Opcode::SltS: a.slts(rd, rs1, rs2); break;
+              case Opcode::Seq: a.seq(rd, rs1, rs2); break;
+              case Opcode::Cas: a.cas(rd, rs1, rs2); break;
+              case Opcode::FetchAdd: a.fetchAdd(rd, rs1, rs2); break;
+              case Opcode::Xchg: a.xchg(rd, rs1, rs2); break;
+              default: fail("bad three-register opcode");
+            }
+            break;
+          }
+          case OperandForm::RdRs1Imm: {
+            expectArity(3);
+            Reg rd = reg(1), rs1 = reg(2);
+            std::int64_t v = imm(3);
+            switch (op) {
+              case Opcode::Addi: a.addi(rd, rs1, v); break;
+              case Opcode::Andi: a.andi(rd, rs1, v); break;
+              case Opcode::Ori: a.ori(rd, rs1, v); break;
+              case Opcode::Xori: a.xori(rd, rs1, v); break;
+              case Opcode::Shli: a.shli(rd, rs1, v); break;
+              case Opcode::Shri: a.shri(rd, rs1, v); break;
+              case Opcode::Muli: a.muli(rd, rs1, v); break;
+              case Opcode::Ld8: a.ld8(rd, rs1, v); break;
+              case Opcode::Ld16: a.ld16(rd, rs1, v); break;
+              case Opcode::Ld32: a.ld32(rd, rs1, v); break;
+              case Opcode::Ld64: a.ld64(rd, rs1, v); break;
+              default: fail("bad register-immediate opcode");
+            }
+            break;
+          }
+          case OperandForm::Rs1ImmRs2: {
+            expectArity(3);
+            Reg base = reg(1);
+            std::int64_t off = imm(2);
+            Reg src = reg(3);
+            switch (op) {
+              case Opcode::St8: a.st8(base, off, src); break;
+              case Opcode::St16: a.st16(base, off, src); break;
+              case Opcode::St32: a.st32(base, off, src); break;
+              case Opcode::St64: a.st64(base, off, src); break;
+              default: fail("bad store opcode");
+            }
+            break;
+          }
+          case OperandForm::Rs1Rs2Label: {
+            expectArity(3);
+            Reg rs1 = reg(1), rs2 = reg(2);
+            Label t = target(3);
+            switch (op) {
+              case Opcode::Beq: a.beq(rs1, rs2, t); break;
+              case Opcode::Bne: a.bne(rs1, rs2, t); break;
+              case Opcode::BltU: a.bltu(rs1, rs2, t); break;
+              case Opcode::BltS: a.blts(rs1, rs2, t); break;
+              case Opcode::BgeU: a.bgeu(rs1, rs2, t); break;
+              case Opcode::BgeS: a.bges(rs1, rs2, t); break;
+              default: fail("bad branch opcode");
+            }
+            break;
+          }
+          case OperandForm::Rs1Label:
+            expectArity(2);
+            if (op == Opcode::Beqz)
+                a.beqz(reg(1), target(2));
+            else
+                a.bnez(reg(1), target(2));
+            break;
+          case OperandForm::Label:
+            expectArity(1);
+            a.jmp(target(1));
+            break;
+          case OperandForm::RdLabel:
+            expectArity(2);
+            a.jal(reg(1), target(2));
+            break;
+          case OperandForm::Rs1:
+            expectArity(1);
+            a.jr(reg(1));
+            break;
+        }
+    }
+    flushData();
+    if (!entry_label.empty()) {
+        auto it = labels.find(entry_label);
+        if (it == labels.end())
+            dp_fatal(name, ": .entry label '", entry_label,
+                     "' is never defined");
+        a.setEntry(it->second);
+    }
+    return a.finish(std::move(name));
+}
+
+std::string
+disassembleInstr(const Instr &in)
+{
+    std::ostringstream os;
+    auto r = [](Reg x) {
+        return "r" + std::to_string(static_cast<unsigned>(x));
+    };
+    os << opcodeName(in.op);
+    switch (formOf(in.op)) {
+      case OperandForm::None:
+        break;
+      case OperandForm::RdImm:
+        os << " " << r(in.rd) << ", " << in.imm;
+        break;
+      case OperandForm::RdRs1:
+        os << " " << r(in.rd) << ", " << r(in.rs1);
+        break;
+      case OperandForm::RdRs1Rs2:
+        os << " " << r(in.rd) << ", " << r(in.rs1) << ", "
+           << r(in.rs2);
+        break;
+      case OperandForm::RdRs1Imm:
+        os << " " << r(in.rd) << ", " << r(in.rs1) << ", " << in.imm;
+        break;
+      case OperandForm::Rs1ImmRs2:
+        os << " " << r(in.rs1) << ", " << in.imm << ", " << r(in.rs2);
+        break;
+      case OperandForm::Rs1Rs2Label:
+        os << " " << r(in.rs1) << ", " << r(in.rs2) << ", L"
+           << in.imm;
+        break;
+      case OperandForm::Rs1Label:
+        os << " " << r(in.rs1) << ", L" << in.imm;
+        break;
+      case OperandForm::Label:
+        os << " L" << in.imm;
+        break;
+      case OperandForm::RdLabel:
+        os << " " << r(in.rd) << ", L" << in.imm;
+        break;
+      case OperandForm::Rs1:
+        os << " " << r(in.rs1);
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const GuestProgram &prog)
+{
+    // Collect control-flow targets so they get labels.
+    std::set<std::uint64_t> targets;
+    for (const Instr &in : prog.code) {
+        switch (formOf(in.op)) {
+          case OperandForm::Rs1Rs2Label:
+          case OperandForm::Rs1Label:
+          case OperandForm::Label:
+          case OperandForm::RdLabel:
+            targets.insert(static_cast<std::uint64_t>(in.imm));
+            break;
+          default:
+            break;
+        }
+    }
+    targets.insert(prog.entry);
+
+    std::ostringstream os;
+    os << "; program: " << prog.name << "\n";
+    for (const auto &[base, bytes] : prog.dataSegments) {
+        os << ".data 0x" << std::hex << base << std::dec << "\n";
+        os << ".byte";
+        for (std::size_t i = 0; i < bytes.size(); ++i) {
+            if (i && i % 16 == 0)
+                os << "\n.byte";
+            os << " " << static_cast<unsigned>(bytes[i]);
+        }
+        os << "\n";
+    }
+    os << ".entry L" << prog.entry << "\n";
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        if (targets.count(i))
+            os << "L" << i << ":\n";
+        os << "    " << disassembleInstr(prog.code[i]) << "\n";
+    }
+    // A trailing label target (branch to one-past-the-end).
+    if (targets.count(prog.code.size()))
+        os << "L" << prog.code.size() << ":\n";
+    return os.str();
+}
+
+} // namespace dp

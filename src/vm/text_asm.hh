@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Text assembler and disassembler for the guest ISA.
+ *
+ * The builder DSL (vm/assembler.hh) is what programs-as-code use; the
+ * text form exists for tooling: dumping programs for inspection,
+ * writing test inputs by hand, and the CLI. Syntax:
+ *
+ *     ; comment
+ *     .entry main          ; entry label (default: first instruction)
+ *     .data 0x1000         ; open a data segment at an address
+ *     .u64 1 2 0xff        ; 64-bit little-endian words
+ *     .byte 1 2 3          ; raw bytes
+ *     .ascii "hello"       ; string bytes (no terminator)
+ *
+ *     main:
+ *         li   r1, 42
+ *         addi r1, r1, -1
+ *         ld64 r2, r1, 8   ; rd, base, offset
+ *         st64 r1, 8, r2   ; base, offset, src
+ *         beq  r1, r2, main
+ *         cas  r3, r4, r5
+ *         syscall
+ *         halt
+ *
+ * assembleText() panics (dp_fatal) with a line number on malformed
+ * input; disassemble() produces text that assembles back to an
+ * identical program (label names aside).
+ */
+
+#ifndef DP_VM_TEXT_ASM_HH
+#define DP_VM_TEXT_ASM_HH
+
+#include <string>
+#include <string_view>
+
+#include "vm/program.hh"
+
+namespace dp
+{
+
+/** Assemble guest assembly text into a program. */
+GuestProgram assembleText(std::string_view text,
+                          std::string name = "text");
+
+/** Render @p prog as assembly text that round-trips. */
+std::string disassemble(const GuestProgram &prog);
+
+/** Render one instruction (no label resolution). */
+std::string disassembleInstr(const Instr &in);
+
+} // namespace dp
+
+#endif // DP_VM_TEXT_ASM_HH

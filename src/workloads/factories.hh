@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Internal workload factory declarations (see registry.hh for the
+ * public catalogue).
+ */
+
+#ifndef DP_WORKLOADS_FACTORIES_HH
+#define DP_WORKLOADS_FACTORIES_HH
+
+#include "workloads/registry.hh"
+
+namespace dp::workloads
+{
+
+WorkloadBundle makePbzip2(const WorkloadParams &p);
+WorkloadBundle makePfscan(const WorkloadParams &p);
+WorkloadBundle makeAget(const WorkloadParams &p);
+WorkloadBundle makeApache(const WorkloadParams &p);
+WorkloadBundle makeMysql(const WorkloadParams &p);
+WorkloadBundle makeFft(const WorkloadParams &p);
+WorkloadBundle makeLu(const WorkloadParams &p);
+WorkloadBundle makeRadix(const WorkloadParams &p);
+WorkloadBundle makeOcean(const WorkloadParams &p);
+WorkloadBundle makeWater(const WorkloadParams &p);
+
+} // namespace dp::workloads
+
+#endif // DP_WORKLOADS_FACTORIES_HH

@@ -1,0 +1,46 @@
+#include "workloads/registry.hh"
+
+#include "workloads/factories.hh"
+
+namespace dp::workloads
+{
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> registry = {
+        {"pbzip2", "pbzip2 (parallel compression)", "client",
+         "block pool (atomic counter), independent blocks", makePbzip2},
+        {"pfscan", "pfscan (parallel file scan)", "client",
+         "chunk pool + lock-protected match list", makePfscan},
+        {"aget", "aget (parallel download)", "client",
+         "per-thread net streams + shared file", makeAget},
+        {"apache", "Apache web server", "server",
+         "locked request queue + futex condvar + net I/O", makeApache},
+        {"mysql", "MySQL server", "server",
+         "lock-striped hash table, read/write transactions",
+         makeMysql},
+        {"fft", "SPLASH-2 fft", "scientific",
+         "barrier-phased butterflies, disjoint writes", makeFft},
+        {"lu", "SPLASH-2 lu", "scientific",
+         "barrier-phased elimination, pivot row read-shared", makeLu},
+        {"radix", "SPLASH-2 radix", "scientific",
+         "histogram/prefix/scatter with serial phase", makeRadix},
+        {"ocean", "SPLASH-2 ocean", "scientific",
+         "row-partitioned stencil, neighbour reads", makeOcean},
+        {"water", "SPLASH-2 water", "scientific",
+         "n-body all-read force phase, owner writes", makeWater},
+    };
+    return registry;
+}
+
+const Workload *
+findWorkload(std::string_view name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+} // namespace dp::workloads

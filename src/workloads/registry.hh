@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Workload registry: synthetic equivalents of the paper's benchmark
+ * suite, preserving each benchmark's concurrency structure.
+ *
+ * | name    | paper benchmark        | structure                     |
+ * |---------|------------------------|-------------------------------|
+ * | pbzip2  | pbzip2 (client)        | block pool + RLE compression  |
+ * | pfscan  | pfscan (client)        | chunk pool + pattern scan     |
+ * | aget    | aget (client)          | per-thread net streams + file |
+ * | apache  | Apache (server)        | request queue + worker pool   |
+ * | mysql   | MySQL (server)         | lock-striped key-value store  |
+ * | fft     | SPLASH-2 fft           | barrier-phased butterflies    |
+ * | lu      | SPLASH-2 lu            | barrier-phased elimination    |
+ * | radix   | SPLASH-2 radix         | histogram/prefix/scatter      |
+ * | ocean   | SPLASH-2 ocean         | barrier-phased stencil sweeps |
+ * | water   | SPLASH-2 water         | n-body force/integrate phases |
+ *
+ * Total work is independent of the thread count (strong scaling), so
+ * overhead comparisons across thread counts are apples-to-apples.
+ */
+
+#ifndef DP_WORKLOADS_REGISTRY_HH
+#define DP_WORKLOADS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/machine.hh"
+#include "vm/program.hh"
+
+namespace dp::workloads
+{
+
+/** Knobs every workload factory accepts. */
+struct WorkloadParams
+{
+    /** Worker threads (the paper's 2- and 4-thread configurations).
+     *  Must divide the workload's partitionable sizes; 1, 2, 4 and 8
+     *  are always safe. */
+    std::uint32_t threads = 2;
+    /** Problem-size multiplier (total work scales linearly). */
+    std::uint32_t scale = 1;
+    /** Input-generation seed. */
+    std::uint64_t seed = 7;
+};
+
+/** A ready-to-run workload instance. */
+struct WorkloadBundle
+{
+    GuestProgram program;
+    MachineConfig config;
+    /** Expected main exit code; 0 means "not checked" (workloads whose
+     *  result is schedule-dependent by design). */
+    std::uint64_t expectedExit = 0;
+};
+
+/** Registry entry. */
+struct Workload
+{
+    std::string name;
+    std::string paperEquiv;
+    std::string category; ///< "client" | "server" | "scientific"
+    std::string sharing;  ///< dominant sharing pattern
+    std::function<WorkloadBundle(const WorkloadParams &)> make;
+};
+
+/** All registered workloads, in the paper's presentation order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up by name; nullptr if absent. */
+const Workload *findWorkload(std::string_view name);
+
+/**
+ * Deliberately racy program for the divergence/rollback experiments:
+ * each of @p threads workers performs @p updates iterations; one in
+ * @p race_one_in (a power of two) is an unprotected load-add-store on
+ * one of 16 shared words, the rest update a private word. Larger
+ * race_one_in = sparser races = fewer epoch divergences. The result
+ * is schedule-dependent by design (expectedExit is 0).
+ */
+WorkloadBundle makeRacyUpdates(std::uint32_t threads,
+                               std::uint64_t updates,
+                               std::uint64_t race_one_in);
+
+/**
+ * Pipe-structured variant of the compression workload, mirroring the
+ * real pbzip2's architecture: a reader thread pushes input blocks
+ * into a work pipe, @p threads compressor workers pull blocks,
+ * RLE-compress them, and push results into an output pipe, and a
+ * writer thread drains it. Same total work as makePbzip2 at the same
+ * scale; expectedExit is the total compressed byte count.
+ */
+WorkloadBundle makePbzip2Pipe(std::uint32_t threads,
+                              std::uint32_t scale,
+                              std::uint64_t seed = 7);
+
+} // namespace dp::workloads
+
+#endif // DP_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Client workloads: pbzip2 (block compression), pfscan (parallel
+ * scan), aget (parallel download).
+ */
+
+#include "workloads/factories.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+WorkloadBundle
+makePbzip2(const WorkloadParams &p)
+{
+    const std::uint64_t block = 1024;
+    const std::uint64_t nblocks = 32 * p.scale;
+    std::vector<std::uint8_t> input =
+        makeInputBytes(nblocks * block, p.seed, true);
+
+    Assembler a;
+    Label worker = a.newLabel();
+    a.dataBytes(wlInput, input);
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult);
+
+    // ---- worker: grab blocks from the pool, RLE-compress each ----
+    a.bind(worker);
+    a.lia(r8, wlGlobals);
+    a.li(r9, static_cast<std::int64_t>(nblocks));
+
+    Label grab = a.hereLabel();
+    Label wdone = a.newLabel();
+    a.li(r4, 1);
+    a.fetchAdd(r4, r8, r4); // r4 = my block index
+    a.bgeu(r4, r9, wdone);
+    a.muli(r10, r4, static_cast<std::int64_t>(block));
+    a.addi(r10, r10, static_cast<std::int64_t>(wlInput)); // in base
+    a.muli(r11, r4, static_cast<std::int64_t>(2 * block));
+    a.addi(r11, r11, static_cast<std::int64_t>(wlOutput)); // out base
+
+    emitRleBlock(a, block);
+
+    a.addi(r5, r8, gResult);
+    a.fetchAdd(r4, r5, r15); // total compressed bytes
+    a.jmp(grab);
+
+    a.bind(wdone);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("pbzip2"), {}, rleLength(input, block)};
+    return b;
+}
+
+WorkloadBundle
+makePfscan(const WorkloadParams &p)
+{
+    const std::uint64_t chunk = 4096;
+    const std::uint64_t nchunks = 16 * p.scale;
+    // Pattern "GREP" as a little-endian 32-bit load.
+    const std::int64_t pattern =
+        'G' | ('R' << 8) | ('E' << 16) | (std::int64_t{'P'} << 24);
+
+    std::vector<std::uint8_t> input =
+        makeInputBytes(nchunks * chunk, p.seed, false);
+    // Scrub accidental pattern bytes so the planted count is exact.
+    for (auto &byte : input)
+        if (byte == 'G')
+            byte = 'g';
+    // Plant occurrences at known spots, skipping chunk tails the scan
+    // window (i <= chunk-4 within each chunk) cannot see.
+    std::uint64_t planted = 0;
+    for (std::size_t pos = 313; pos + 4 < input.size(); pos += 997) {
+        if ((pos % chunk) > chunk - 4)
+            continue;
+        input[pos] = 'G';
+        input[pos + 1] = 'R';
+        input[pos + 2] = 'E';
+        input[pos + 3] = 'P';
+        ++planted;
+    }
+
+    Assembler a;
+    Label worker = a.newLabel();
+    a.dataBytes(wlInput, input);
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult2); // match count
+
+    // ---- worker ----
+    a.bind(worker);
+    a.lia(r8, wlGlobals);
+    a.li(r9, static_cast<std::int64_t>(nchunks));
+    a.li(r13, pattern);
+    a.lia(r7, wlLockBase); // match-list lock
+
+    Label grab = a.hereLabel();
+    Label wdone = a.newLabel();
+    a.li(r4, 1);
+    a.fetchAdd(r4, r8, r4); // r4 = chunk index
+    a.bgeu(r4, r9, wdone);
+    a.muli(r10, r4, static_cast<std::int64_t>(chunk));
+    a.addi(r10, r10, static_cast<std::int64_t>(wlInput));
+    a.li(r11, 0); // i within chunk
+
+    Label scan = a.hereLabel();
+    Label scanned = a.newLabel();
+    Label nomatch = a.newLabel();
+    a.li(r5, static_cast<std::int64_t>(chunk - 3));
+    a.bgeu(r11, r5, scanned);
+    a.add(r5, r10, r11);
+    a.ld32(r6, r5, 0);
+    a.bne(r6, r13, nomatch);
+    //
+
+    // Record the match position in the shared list under the lock.
+    lib::lockAcquire(a, r7, r3);
+    a.ld64(r5, r8, gResult2); // match count
+    a.shli(r6, r5, 3);
+    a.li(r12, static_cast<std::int64_t>(wlOutput));
+    a.add(r6, r6, r12);
+    a.muli(r12, r4, static_cast<std::int64_t>(chunk));
+    a.add(r12, r12, r11); // absolute position
+    a.st64(r6, 0, r12);
+    a.addi(r5, r5, 1);
+    a.st64(r8, gResult2, r5);
+    lib::lockRelease(a, r7, r3);
+
+    a.bind(nomatch);
+    a.addi(r11, r11, 1);
+    a.jmp(scan);
+    a.bind(scanned);
+    a.jmp(grab);
+
+    a.bind(wdone);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("pfscan"), {}, planted};
+    return b;
+}
+
+WorkloadBundle
+makeAget(const WorkloadParams &p)
+{
+    const std::uint64_t total = 131'072ull * p.scale;
+    dp_assert(total % p.threads == 0,
+              "aget total must divide by thread count");
+    const std::uint64_t share = total / p.threads;
+
+    Assembler a;
+    Label worker = a.newLabel();
+    const Addr path = wlGlobals + 0x800;
+    const std::string_view fname = "dl.out";
+    a.dataBytes(path,
+                {reinterpret_cast<const std::uint8_t *>(fname.data()),
+                 fname.size()});
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult2); // bytes downloaded
+
+    // ---- worker: stream conn (index+1) into its file region ----
+    a.bind(worker);
+    a.mov(r13, r1); // my index
+    a.lia(r1, path);
+    a.li(r2, openCreate | openWrite);
+    a.sys(Sys::Open);
+    a.mov(r14, r0); // fd
+    a.mov(r1, r14);
+    a.muli(r2, r13, static_cast<std::int64_t>(share));
+    a.sys(Sys::Seek);
+    a.addi(r15, r13, 1); // connection id
+    a.li(r12, static_cast<std::int64_t>(share)); // remaining
+    emitThreadBase(a, r13, r9); // receive buffer
+
+    Label recv = a.hereLabel();
+    Label wdone = a.newLabel();
+    Label gotbytes = a.newLabel();
+    Label noclamp = a.newLabel();
+    a.beqz(r12, wdone);
+    a.mov(r1, r15);
+    a.mov(r2, r9);
+    a.li(r3, 4096);
+    a.bgeu(r12, r3, noclamp);
+    a.mov(r3, r12);
+    a.bind(noclamp);
+    a.sys(Sys::NetRecv);
+    a.bnez(r0, gotbytes);
+    a.sys(Sys::Yield); // nothing arrived yet
+    a.jmp(recv);
+    a.bind(gotbytes);
+    a.mov(r11, r0); // n
+    a.mov(r1, r14);
+    a.mov(r2, r9);
+    a.mov(r3, r11);
+    a.sys(Sys::Write);
+    a.sub(r12, r12, r11);
+    a.jmp(recv);
+
+    a.bind(wdone);
+    a.ld8(r4, r9, 0); // first byte into the checksum
+    a.lia(r5, wlGlobals + gResult);
+    a.fetchAdd(r6, r5, r4);
+    a.lia(r5, wlGlobals + gResult2);
+    a.li(r4, static_cast<std::int64_t>(share));
+    a.fetchAdd(r6, r5, r4);
+    lib::exitWith(a, 0);
+
+    MachineConfig cfg;
+    cfg.netSeed = p.seed;
+    cfg.netBytesPerConn = share;
+    cfg.netCyclesPerByte = 2;
+    WorkloadBundle b{a.finish("aget"), std::move(cfg), total};
+    return b;
+}
+
+} // namespace dp::workloads

@@ -1,0 +1,185 @@
+#include "workloads/wl_common.hh"
+
+#include <span>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+void
+emitSpawnLoop(Assembler &a, std::uint64_t nthreads, Label worker)
+{
+    a.li(r10, 0);
+    a.li(r11, static_cast<std::int64_t>(nthreads));
+    a.lia(r12, wlTidArray);
+
+    Label spawn_loop = a.hereLabel();
+    Label spawned = a.newLabel();
+    a.bgeu(r10, r11, spawned);
+    lib::spawnThread(a, worker, r10);
+    a.shli(r3, r10, 3);
+    a.add(r3, r12, r3);
+    a.st64(r3, 0, r0);
+    a.addi(r10, r10, 1);
+    a.jmp(spawn_loop);
+    a.bind(spawned);
+}
+
+void
+emitJoinLoop(Assembler &a, std::uint64_t nthreads)
+{
+    a.li(r10, 0);
+    a.li(r11, static_cast<std::int64_t>(nthreads));
+    a.lia(r12, wlTidArray);
+    Label join_loop = a.hereLabel();
+    Label joined = a.newLabel();
+    a.bgeu(r10, r11, joined);
+    a.shli(r3, r10, 3);
+    a.add(r3, r12, r3);
+    a.ld64(r4, r3, 0);
+    lib::joinThread(a, r4);
+    a.addi(r10, r10, 1);
+    a.jmp(join_loop);
+    a.bind(joined);
+}
+
+void
+emitSpawnJoin(Assembler &a, std::uint64_t nthreads, Label worker)
+{
+    emitSpawnLoop(a, nthreads, worker);
+    emitJoinLoop(a, nthreads);
+}
+
+void
+emitWriteGlobalAndExit(Assembler &a, std::int64_t result_off)
+{
+    a.lia(r5, wlGlobals + static_cast<Addr>(result_off));
+    a.li(r6, 8);
+    lib::writeFd(a, fdStdout, r5, r6);
+    a.ld64(r1, r5, 0);
+    a.sys(Sys::Exit);
+}
+
+void
+emitRngNext(Assembler &a, Reg state, Reg out)
+{
+    dp_assert(state != out, "rng state and output must differ");
+    // LCG advance + xorshift mix.
+    a.muli(state, state, 6364136223846793005ll);
+    a.addi(state, state, 1442695040888963407ll);
+    a.shri(out, state, 29);
+    a.xor_(out, out, state);
+    a.muli(out, out, 0x9e3779b97f4a7c15ll);
+}
+
+void
+emitThreadBase(Assembler &a, Reg idx, Reg out)
+{
+    a.muli(out, idx, static_cast<std::int64_t>(wlPerThreadStride));
+    a.addi(out, out, static_cast<std::int64_t>(wlPerThread));
+}
+
+void
+emitRleBlock(Assembler &a, std::uint64_t block_bytes)
+{
+    a.li(r12, 0);  // i
+    a.li(r13, -1); // prev byte (sentinel)
+    a.li(r14, 0);  // run length
+    a.li(r15, 0);  // out length
+
+    Label rle_loop = a.hereLabel();
+    Label rle_flush = a.newLabel();
+    Label rle_emit = a.newLabel();
+    Label rle_new = a.newLabel();
+    Label rle_next = a.newLabel();
+    a.li(r5, static_cast<std::int64_t>(block_bytes));
+    a.bgeu(r12, r5, rle_flush);
+    a.add(r5, r10, r12);
+    a.ld8(r4, r5, 0); // current byte
+    a.beqz(r14, rle_new);
+    a.bne(r4, r13, rle_emit);
+    a.li(r5, 255);
+    a.bgeu(r14, r5, rle_emit);
+    a.addi(r14, r14, 1);
+    a.jmp(rle_next);
+    a.bind(rle_emit);
+    a.add(r5, r11, r15);
+    a.st8(r5, 0, r13);
+    a.st8(r5, 1, r14);
+    a.addi(r15, r15, 2);
+    a.bind(rle_new);
+    a.mov(r13, r4);
+    a.li(r14, 1);
+    a.bind(rle_next);
+    a.addi(r12, r12, 1);
+    a.jmp(rle_loop);
+
+    a.bind(rle_flush);
+    Label rle_done = a.newLabel();
+    a.beqz(r14, rle_done);
+    a.add(r5, r11, r15);
+    a.st8(r5, 0, r13);
+    a.st8(r5, 1, r14);
+    a.addi(r15, r15, 2);
+    a.bind(rle_done);
+}
+
+std::uint64_t
+rleLength(std::span<const std::uint8_t> bytes, std::size_t block)
+{
+    std::uint64_t total = 0;
+    for (std::size_t base = 0; base < bytes.size(); base += block) {
+        std::size_t end = std::min(bytes.size(), base + block);
+        std::uint64_t run = 0;
+        int prev = -1;
+        for (std::size_t i = base; i < end; ++i) {
+            if (run != 0 && bytes[i] == prev && run < 255) {
+                ++run;
+            } else {
+                if (run != 0)
+                    total += 2;
+                prev = bytes[i];
+                run = 1;
+            }
+        }
+        if (run != 0)
+            total += 2;
+    }
+    return total;
+}
+
+std::vector<std::uint8_t>
+makeInputBytes(std::size_t n, std::uint64_t seed, bool compressible)
+{
+    std::vector<std::uint8_t> out(n);
+    Rng rng(seed);
+    std::size_t i = 0;
+    while (i < n) {
+        if (compressible && rng.chance(3, 4)) {
+            // A run of a repeated byte (what RLE compression eats).
+            auto len = static_cast<std::size_t>(rng.range(4, 60));
+            auto b = static_cast<std::uint8_t>(rng.below(16));
+            for (std::size_t k = 0; k < len && i < n; ++k)
+                out[i++] = b;
+        } else {
+            out[i++] = static_cast<std::uint8_t>(rng.below(256));
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+makeInputWords(std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::uint64_t> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = mix64(seed + i);
+    return out;
+}
+
+} // namespace dp::workloads

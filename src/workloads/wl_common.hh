@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared conventions and emit helpers for the benchmark workloads.
+ *
+ * All workloads follow one register discipline so the asmlib helpers
+ * compose safely: r0..r3 are syscall/scratch registers any helper may
+ * clobber, r4..r7 are short-lived temporaries, and r8..r15 hold a
+ * worker's long-lived state.
+ */
+
+#ifndef DP_WORKLOADS_WL_COMMON_HH
+#define DP_WORKLOADS_WL_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "vm/asmlib.hh"
+#include "vm/assembler.hh"
+
+namespace dp::workloads
+{
+
+/// @name Shared guest memory map
+/// @{
+inline constexpr Addr wlLockBase = 0x1000;   ///< lock stripes, 8 B each
+inline constexpr Addr wlBarrier = 0x2000;    ///< [count][generation]
+inline constexpr Addr wlTidArray = 0x3000;   ///< spawned thread ids
+inline constexpr Addr wlGlobals = 0x4000;    ///< shared counters
+inline constexpr Addr wlQueue = 0x5000;      ///< request ring buffer
+inline constexpr Addr wlInput = 0x100000;    ///< input data region
+inline constexpr Addr wlOutput = 0x800000;   ///< output data region
+inline constexpr Addr wlPerThread = 0x1000000; ///< per-thread blocks
+inline constexpr Addr wlPerThreadStride = 0x10000;
+/// @}
+
+/** Well-known global counter slots (offsets from wlGlobals). */
+inline constexpr std::int64_t gNextWork = 0x00;  ///< work-stealing ctr
+inline constexpr std::int64_t gResult = 0x08;    ///< aggregated result
+inline constexpr std::int64_t gResult2 = 0x10;   ///< secondary result
+inline constexpr std::int64_t gQueueHead = 0x18;
+inline constexpr std::int64_t gQueueTail = 0x20;
+
+/**
+ * Emit the standard main-thread scaffold: spawn @p nthreads workers at
+ * @p worker (arg = worker index), join them all in order. On return
+ * the assembler is positioned right after the joins; the caller emits
+ * the epilogue (result aggregation, write, exit) and then the worker
+ * body. Clobbers r0..r4, r10..r12 in main.
+ */
+void emitSpawnJoin(Assembler &a, std::uint64_t nthreads, Label worker);
+
+/** Just the spawn half of emitSpawnJoin (producer mains that do work
+ *  between spawning and joining). Clobbers r0..r4, r10..r12. */
+void emitSpawnLoop(Assembler &a, std::uint64_t nthreads, Label worker);
+
+/** Just the join half. Clobbers r0..r4, r10..r12. */
+void emitJoinLoop(Assembler &a, std::uint64_t nthreads);
+
+/**
+ * Emit main's standard epilogue: write the 8-byte global at
+ * wlGlobals + @p result_off to stdout and exit with its value.
+ */
+void emitWriteGlobalAndExit(Assembler &a, std::int64_t result_off);
+
+/**
+ * Advance a per-thread LCG whose state lives in @p state and leave
+ * well-mixed bits in @p out (state and out must differ; neither may
+ * be r0..r3).
+ */
+void emitRngNext(Assembler &a, Reg state, Reg out);
+
+/** Compute this worker's scratch block base into @p out from the
+ *  worker index in @p idx. */
+void emitThreadBase(Assembler &a, Reg idx, Reg out);
+
+/**
+ * Emit the RLE compression of one @p block_bytes-byte block.
+ * Expects r10 = input base, r11 = output base; leaves the compressed
+ * length in r15. Clobbers r4, r5, r12..r15.
+ */
+void emitRleBlock(Assembler &a, std::uint64_t block_bytes);
+
+/** Host-side mirror of emitRleBlock over consecutive blocks: total
+ *  compressed length. */
+std::uint64_t rleLength(std::span<const std::uint8_t> bytes,
+                        std::size_t block);
+
+/** Host-side: deterministic input bytes for workload data segments. */
+std::vector<std::uint8_t> makeInputBytes(std::size_t n,
+                                         std::uint64_t seed,
+                                         bool compressible);
+
+/** Host-side: input filled with u64 values mixed from @p seed. */
+std::vector<std::uint64_t> makeInputWords(std::size_t n,
+                                          std::uint64_t seed);
+
+} // namespace dp::workloads
+
+#endif // DP_WORKLOADS_WL_COMMON_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * fft workload: barrier-phased butterfly network over a shared array
+ * (the SPLASH-2 fft sharing pattern: disjoint writes within a stage,
+ * all-to-all reads across stages).
+ */
+
+#include "workloads/factories.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+namespace
+{
+
+constexpr std::uint64_t fftN = 2048;  // power of two
+constexpr std::uint64_t fftLog = 11;
+constexpr std::int64_t mixConst = 0x9e3779b97f4a7c15ll;
+
+/** Host reference: the exact integer butterfly the guest runs. */
+std::uint64_t
+fftReference(std::vector<std::uint64_t> data, std::uint32_t reps)
+{
+    for (std::uint32_t r = 0; r < reps; ++r) {
+        for (std::uint64_t s = 0; s < fftLog; ++s) {
+            std::uint64_t stride = std::uint64_t{1} << s;
+            for (std::uint64_t p = 0; p < fftN / 2; ++p) {
+                std::uint64_t i =
+                    ((p >> s) << (s + 1)) | (p & (stride - 1));
+                std::uint64_t j = i + stride;
+                std::uint64_t av = data[i];
+                std::uint64_t bv = data[j];
+                data[i] = av + bv;
+                data[j] = (av - bv) *
+                          static_cast<std::uint64_t>(mixConst);
+            }
+        }
+    }
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : data)
+        sum += v;
+    return sum;
+}
+
+} // namespace
+
+WorkloadBundle
+makeFft(const WorkloadParams &p)
+{
+    dp_assert((fftN / 2) % p.threads == 0,
+              "fft pair count must divide by thread count");
+    const std::uint64_t pairsPerThread = (fftN / 2) / p.threads;
+    const std::uint64_t wordsPerThread = fftN / p.threads;
+    const std::uint64_t totalStages = fftLog * p.scale;
+
+    std::vector<std::uint64_t> input = makeInputWords(fftN, p.seed);
+
+    Assembler a;
+    Label worker = a.newLabel();
+    a.dataU64s(wlInput, input);
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult);
+
+    // ---- worker ----
+    a.bind(worker);
+    a.mov(r13, r1); // my index
+    a.lia(r8, wlBarrier);
+    a.li(r9, static_cast<std::int64_t>(p.threads));
+    a.lia(r14, wlInput);
+    a.li(r11, 0); // flat stage counter (stage = r11 % fftLog)
+
+    Label stage_loop = a.hereLabel();
+    Label stages_done = a.newLabel();
+    a.li(r1, static_cast<std::int64_t>(totalStages));
+    a.bgeu(r11, r1, stages_done);
+    // s = r11 % fftLog -> r15
+    a.li(r1, static_cast<std::int64_t>(fftLog));
+    a.remu(r15, r11, r1);
+
+    a.muli(r10, r13, static_cast<std::int64_t>(pairsPerThread));
+    a.addi(r12, r10, static_cast<std::int64_t>(pairsPerThread));
+
+    Label pair_loop = a.hereLabel();
+    Label pairs_done = a.newLabel();
+    a.bgeu(r10, r12, pairs_done);
+    // stride = 1 << s
+    a.li(r4, 1);
+    a.shl(r4, r4, r15);
+    // i = ((p >> s) << (s+1)) | (p & (stride-1))
+    a.shr(r5, r10, r15);
+    a.addi(r6, r15, 1);
+    a.shl(r5, r5, r6);
+    a.addi(r6, r4, -1);
+    a.and_(r7, r10, r6);
+    a.or_(r5, r5, r7); // i
+    a.add(r6, r5, r4); // j = i + stride
+    a.shli(r5, r5, 3);
+    a.add(r5, r5, r14); // &data[i]
+    a.shli(r6, r6, 3);
+    a.add(r6, r6, r14); // &data[j]
+    a.ld64(r4, r5, 0);  // a
+    a.ld64(r7, r6, 0);  // b
+    a.add(r1, r4, r7);
+    a.st64(r5, 0, r1);
+    a.sub(r1, r4, r7);
+    a.muli(r1, r1, mixConst);
+    a.st64(r6, 0, r1);
+    a.addi(r10, r10, 1);
+    a.jmp(pair_loop);
+
+    a.bind(pairs_done);
+    lib::barrierWait(a, r8, r9, r5, r6);
+    a.addi(r11, r11, 1);
+    a.jmp(stage_loop);
+
+    a.bind(stages_done);
+    // Checksum my contiguous slice into the shared result.
+    a.muli(r10, r13, static_cast<std::int64_t>(wordsPerThread * 8));
+    a.add(r10, r10, r14); // slice base
+    a.li(r11, static_cast<std::int64_t>(wordsPerThread));
+    a.li(r12, 0);
+    Label csum = a.hereLabel();
+    Label cdone = a.newLabel();
+    a.beqz(r11, cdone);
+    a.ld64(r4, r10, 0);
+    a.add(r12, r12, r4);
+    a.addi(r10, r10, 8);
+    a.addi(r11, r11, -1);
+    a.jmp(csum);
+    a.bind(cdone);
+    a.lia(r5, wlGlobals + gResult);
+    a.fetchAdd(r4, r5, r12);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("fft"), {},
+                     fftReference(input, p.scale)};
+    return b;
+}
+
+} // namespace dp::workloads

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * lu workload: barrier-phased integer Gaussian elimination with
+ * round-robin row ownership (the SPLASH-2 lu sharing pattern: one
+ * pivot row read by all, trailing rows written by their owners).
+ */
+
+#include "workloads/factories.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+namespace
+{
+
+constexpr std::uint64_t luM = 40; // matrix dimension
+
+/** Host reference mirroring the guest's integer elimination. */
+std::uint64_t
+luReference(std::vector<std::uint64_t> m, std::uint32_t iters)
+{
+    for (std::uint32_t it = 0; it < iters; ++it) {
+        for (std::uint64_t k = 0; k + 1 < luM; ++k) {
+            std::uint64_t piv = m[k * luM + k] | 1;
+            for (std::uint64_t i = k + 1; i < luM; ++i) {
+                std::uint64_t f = m[i * luM + k] / piv;
+                for (std::uint64_t j = k; j < luM; ++j)
+                    m[i * luM + j] -= f * m[k * luM + j];
+            }
+        }
+    }
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < luM; ++i)
+        sum += m[i * luM];
+    return sum;
+}
+
+} // namespace
+
+WorkloadBundle
+makeLu(const WorkloadParams &p)
+{
+    const std::uint32_t iters = p.scale;
+    std::vector<std::uint64_t> input =
+        makeInputWords(luM * luM, p.seed);
+
+    Assembler a;
+    Label worker = a.newLabel();
+    a.dataU64s(wlInput, input);
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult);
+
+    // ---- worker ----
+    // r7=iters left, r8=barrier, r9=T, r10=k, r11=i, r12=j,
+    // r13=index, r14=base, r15=M; r4=f, r5=rowK, r6=rowI.
+    a.bind(worker);
+    a.mov(r13, r1);
+    a.lia(r8, wlBarrier);
+    a.li(r9, static_cast<std::int64_t>(p.threads));
+    a.lia(r14, wlInput);
+    a.li(r15, luM);
+    a.li(r7, iters);
+
+    Label iter_loop = a.hereLabel();
+    Label iters_done = a.newLabel();
+    a.beqz(r7, iters_done);
+    a.li(r10, 0);
+
+    Label k_loop = a.hereLabel();
+    Label k_done = a.newLabel();
+    a.li(r1, luM - 1);
+    a.bgeu(r10, r1, k_done);
+    lib::barrierWait(a, r8, r9, r4, r5);
+
+    a.addi(r11, r10, 1);
+    Label i_loop = a.hereLabel();
+    Label i_done = a.newLabel();
+    Label i_next = a.newLabel();
+    a.bgeu(r11, r15, i_done);
+    a.remu(r1, r11, r9);
+    a.bne(r1, r13, i_next); // not my row
+
+    a.muli(r5, r10, luM * 8);
+    a.add(r5, r5, r14); // rowK
+    a.muli(r6, r11, luM * 8);
+    a.add(r6, r6, r14); // rowI
+    a.shli(r2, r10, 3);
+    a.add(r1, r5, r2);
+    a.ld64(r1, r1, 0); // A[k][k]
+    a.ori(r1, r1, 1);  // pivot (never zero)
+    a.add(r2, r6, r2);
+    a.ld64(r4, r2, 0); // A[i][k]
+    a.divu(r4, r4, r1); // f
+
+    a.mov(r12, r10);
+    Label j_loop = a.hereLabel();
+    Label j_done = a.newLabel();
+    a.bgeu(r12, r15, j_done);
+    a.shli(r2, r12, 3);
+    a.add(r1, r5, r2);
+    a.ld64(r1, r1, 0); // A[k][j]
+    a.mul(r1, r1, r4);
+    a.add(r2, r6, r2);
+    a.ld64(r3, r2, 0);
+    a.sub(r3, r3, r1);
+    a.st64(r2, 0, r3);
+    a.addi(r12, r12, 1);
+    a.jmp(j_loop);
+    a.bind(j_done);
+
+    a.bind(i_next);
+    a.addi(r11, r11, 1);
+    a.jmp(i_loop);
+    a.bind(i_done);
+    a.addi(r10, r10, 1);
+    a.jmp(k_loop);
+
+    a.bind(k_done);
+    a.addi(r7, r7, -1);
+    a.jmp(iter_loop);
+    a.bind(iters_done);
+
+    // Checksum column 0 of my rows.
+    a.li(r10, 0);
+    a.li(r6, 0);
+    Label csum = a.hereLabel();
+    Label cdone = a.newLabel();
+    Label cnext = a.newLabel();
+    a.bgeu(r10, r15, cdone);
+    a.remu(r1, r10, r9);
+    a.bne(r1, r13, cnext);
+    a.muli(r2, r10, luM * 8);
+    a.add(r2, r2, r14);
+    a.ld64(r1, r2, 0);
+    a.add(r6, r6, r1);
+    a.bind(cnext);
+    a.addi(r10, r10, 1);
+    a.jmp(csum);
+    a.bind(cdone);
+    a.lia(r5, wlGlobals + gResult);
+    a.fetchAdd(r4, r5, r6);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("lu"), {}, luReference(input, iters)};
+    return b;
+}
+
+} // namespace dp::workloads

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * ocean workload: barrier-phased 5-point stencil sweeps over a shared
+ * grid with double buffering (the SPLASH-2 ocean sharing pattern:
+ * row-partitioned writes, neighbour reads across partitions).
+ */
+
+#include "workloads/factories.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+namespace
+{
+
+constexpr std::uint64_t oceanG = 66;   // grid side (64 interior rows)
+constexpr Addr bufA = wlInput;
+constexpr Addr bufB = wlOutput;
+
+/** Host reference mirroring the guest stencil exactly. */
+std::uint64_t
+oceanReference(std::vector<std::uint64_t> grid, std::uint32_t sweeps)
+{
+    std::vector<std::uint64_t> other(grid.size(), 0);
+    const std::uint64_t g = oceanG;
+    for (std::uint32_t s = 0; s < sweeps; ++s) {
+        auto &src = (s % 2 == 0) ? grid : other;
+        auto &dst = (s % 2 == 0) ? other : grid;
+        for (std::uint64_t i = 1; i + 1 < g; ++i) {
+            for (std::uint64_t j = 1; j + 1 < g; ++j) {
+                std::uint64_t sum = src[(i - 1) * g + j] +
+                                    src[(i + 1) * g + j] +
+                                    src[i * g + j - 1] +
+                                    src[i * g + j + 1];
+                dst[i * g + j] = (sum >> 2) + (src[i * g + j] >> 3);
+            }
+        }
+    }
+    // sweeps is even, so the final state is in `grid` (buffer A).
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 1; i + 1 < g; ++i)
+        for (std::uint64_t j = 1; j + 1 < g; ++j)
+            sum += grid[i * g + j];
+    return sum;
+}
+
+} // namespace
+
+WorkloadBundle
+makeOcean(const WorkloadParams &p)
+{
+    const std::uint64_t interior = oceanG - 2;
+    dp_assert(interior % p.threads == 0,
+              "ocean interior rows must divide by thread count");
+    const std::uint64_t rowsPerThread = interior / p.threads;
+    const std::uint32_t sweeps = 4 * p.scale; // even by construction
+
+    std::vector<std::uint64_t> input =
+        makeInputWords(oceanG * oceanG, p.seed);
+
+    Assembler a;
+    Label worker = a.newLabel();
+    a.dataU64s(bufA, input);
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult);
+
+    // ---- worker ----
+    // Persistent: r7=sweep, r8=barrier, r9=T, r13=index,
+    // r15=my first row. Per sweep: r12=src, r14=dst, r10=i, r11=j.
+    a.bind(worker);
+    a.mov(r13, r1);
+    a.lia(r8, wlBarrier);
+    a.li(r9, static_cast<std::int64_t>(p.threads));
+    a.muli(r15, r13, static_cast<std::int64_t>(rowsPerThread));
+    a.addi(r15, r15, 1);
+    a.li(r7, 0); // sweep counter
+
+    Label sweep_loop = a.hereLabel();
+    Label sweeps_done = a.newLabel();
+    a.li(r1, sweeps);
+    a.bgeu(r7, r1, sweeps_done);
+
+    Label odd = a.newLabel();
+    Label bases_set = a.newLabel();
+    a.andi(r1, r7, 1);
+    a.bnez(r1, odd);
+    a.lia(r12, bufA);
+    a.lia(r14, bufB);
+    a.jmp(bases_set);
+    a.bind(odd);
+    a.lia(r12, bufB);
+    a.lia(r14, bufA);
+    a.bind(bases_set);
+
+    a.mov(r10, r15); // i = my first row
+    a.addi(r2, r15, static_cast<std::int64_t>(rowsPerThread));
+    a.mov(r6, r2); // i limit (r6 survives the row loop)
+
+    Label i_loop = a.hereLabel();
+    Label i_done = a.newLabel();
+    a.bgeu(r10, r6, i_done);
+    a.li(r11, 1); // j
+
+    Label j_loop = a.hereLabel();
+    Label j_done = a.newLabel();
+    a.li(r1, oceanG - 1);
+    a.bgeu(r11, r1, j_done);
+    // &src[i][j] = src + (i*G + j)*8
+    a.muli(r1, r10, oceanG);
+    a.add(r1, r1, r11);
+    a.shli(r1, r1, 3);
+    a.add(r2, r12, r1); // src cell
+    a.add(r3, r14, r1); // dst cell
+    a.ld64(r4, r2, -static_cast<std::int64_t>(oceanG) * 8); // north
+    a.ld64(r5, r2, static_cast<std::int64_t>(oceanG) * 8);  // south
+    a.add(r4, r4, r5);
+    a.ld64(r5, r2, -8); // west
+    a.add(r4, r4, r5);
+    a.ld64(r5, r2, 8);  // east
+    a.add(r4, r4, r5);
+    a.shri(r4, r4, 2);
+    a.ld64(r5, r2, 0);
+    a.shri(r5, r5, 3);
+    a.add(r4, r4, r5);
+    a.st64(r3, 0, r4);
+    a.addi(r11, r11, 1);
+    a.jmp(j_loop);
+    a.bind(j_done);
+    a.addi(r10, r10, 1);
+    a.jmp(i_loop);
+    a.bind(i_done);
+
+    lib::barrierWait(a, r8, r9, r4, r5);
+    a.addi(r7, r7, 1);
+    a.jmp(sweep_loop);
+    a.bind(sweeps_done);
+
+    // Checksum my interior rows of buffer A.
+    a.lia(r12, bufA);
+    a.mov(r10, r15);
+    a.addi(r6, r15, static_cast<std::int64_t>(rowsPerThread));
+    a.li(r14, 0);
+    Label ci = a.hereLabel();
+    Label cdone = a.newLabel();
+    a.bgeu(r10, r6, cdone);
+    a.li(r11, 1);
+    Label cj = a.hereLabel();
+    Label cj_done = a.newLabel();
+    a.li(r1, oceanG - 1);
+    a.bgeu(r11, r1, cj_done);
+    a.muli(r1, r10, oceanG);
+    a.add(r1, r1, r11);
+    a.shli(r1, r1, 3);
+    a.add(r1, r12, r1);
+    a.ld64(r2, r1, 0);
+    a.add(r14, r14, r2);
+    a.addi(r11, r11, 1);
+    a.jmp(cj);
+    a.bind(cj_done);
+    a.addi(r10, r10, 1);
+    a.jmp(ci);
+    a.bind(cdone);
+    a.lia(r5, wlGlobals + gResult);
+    a.fetchAdd(r4, r5, r14);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("ocean"), {},
+                     oceanReference(input, sweeps)};
+    return b;
+}
+
+} // namespace dp::workloads

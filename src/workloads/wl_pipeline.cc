@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Pipe-structured compression workload: the real pbzip2's
+ * reader -> compressor pool -> writer architecture, built on the
+ * simulated kernel's blocking pipes.
+ */
+
+#include "workloads/factories.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+WorkloadBundle
+makePbzip2Pipe(std::uint32_t threads, std::uint32_t scale,
+               std::uint64_t seed)
+{
+    const std::uint64_t block = 1024;
+    const std::uint64_t nblocks = 32ull * scale;
+    constexpr std::int64_t workPipe = 1;
+    constexpr std::int64_t resultPipe = 2;
+
+    std::vector<std::uint8_t> input =
+        makeInputBytes(nblocks * block, seed, true);
+
+    Assembler a;
+    Label reader = a.newLabel();
+    Label compressor = a.newLabel();
+    Label writer = a.newLabel();
+    a.dataBytes(wlInput, input);
+
+    // ---- main: spawn reader + compressors + writer, join all ----
+    lib::spawnThread(a, reader, r5);
+    a.lia(r3, wlTidArray);
+    a.st64(r3, 0, r0);
+    a.li(r14, 0);
+    a.li(r15, static_cast<std::int64_t>(threads));
+    Label spawn_loop = a.hereLabel();
+    Label spawned = a.newLabel();
+    a.bgeu(r14, r15, spawned);
+    lib::spawnThread(a, compressor, r14);
+    a.addi(r3, r14, 1);
+    a.shli(r3, r3, 3);
+    a.lia(r4, wlTidArray);
+    a.add(r3, r3, r4);
+    a.st64(r3, 0, r0);
+    a.addi(r14, r14, 1);
+    a.jmp(spawn_loop);
+    a.bind(spawned);
+    lib::spawnThread(a, writer, r5);
+    a.addi(r3, r15, 1);
+    a.shli(r3, r3, 3);
+    a.lia(r4, wlTidArray);
+    a.add(r3, r3, r4);
+    a.st64(r3, 0, r0);
+
+    a.li(r14, 0);
+    a.addi(r15, r15, 2); // reader + compressors + writer
+    Label join_loop = a.hereLabel();
+    Label joined = a.newLabel();
+    a.bgeu(r14, r15, joined);
+    a.shli(r3, r14, 3);
+    a.lia(r4, wlTidArray);
+    a.add(r3, r3, r4);
+    a.ld64(r4, r3, 0);
+    lib::joinThread(a, r4);
+    a.addi(r14, r14, 1);
+    a.jmp(join_loop);
+    a.bind(joined);
+    emitWriteGlobalAndExit(a, gResult);
+
+    // ---- reader: feed block indices into the work pipe, close ----
+    a.bind(reader);
+    a.li(r8, 0);
+    a.li(r9, static_cast<std::int64_t>(nblocks));
+    Label feed = a.hereLabel();
+    Label fed = a.newLabel();
+    a.bgeu(r8, r9, fed);
+    a.lia(r4, wlGlobals + 0x600);
+    a.st64(r4, 0, r8);
+    a.li(r1, workPipe);
+    a.mov(r2, r4);
+    a.li(r3, 8);
+    a.sys(Sys::PipeWrite);
+    a.addi(r8, r8, 1);
+    a.jmp(feed);
+    a.bind(fed);
+    a.li(r1, workPipe);
+    a.sys(Sys::PipeClose);
+    lib::exitWith(a, 0);
+
+    // ---- compressor: pull indices, compress, push lengths ----
+    a.bind(compressor);
+    a.mov(r6, r1); // my index (kept in r6; RLE spares it)
+    emitThreadBase(a, r6, r7); // private 8-byte read buffer in r7
+    Label take = a.hereLabel();
+    Label no_more = a.newLabel();
+    a.li(r1, workPipe);
+    a.mov(r2, r7);
+    a.li(r3, 8);
+    a.sys(Sys::PipeRead);
+    a.beqz(r0, no_more); // EOF: reader closed the pipe
+    a.ld64(r4, r7, 0);   // block index
+    a.muli(r10, r4, static_cast<std::int64_t>(block));
+    a.addi(r10, r10, static_cast<std::int64_t>(wlInput));
+    a.muli(r11, r4, static_cast<std::int64_t>(2 * block));
+    a.addi(r11, r11, static_cast<std::int64_t>(wlOutput));
+    emitRleBlock(a, block); // r15 = compressed length
+    a.st64(r7, 0, r15);
+    a.li(r1, resultPipe);
+    a.mov(r2, r7);
+    a.li(r3, 8);
+    a.sys(Sys::PipeWrite);
+    a.jmp(take);
+    a.bind(no_more);
+    lib::exitWith(a, 0);
+
+    // ---- writer: drain exactly nblocks results into the total ----
+    a.bind(writer);
+    a.li(r8, 0);
+    a.li(r9, static_cast<std::int64_t>(nblocks));
+    a.li(r10, 0); // running total
+    a.lia(r11, wlGlobals + 0x700);
+    Label drain = a.hereLabel();
+    Label drained = a.newLabel();
+    a.bgeu(r8, r9, drained);
+    a.li(r1, resultPipe);
+    a.mov(r2, r11);
+    a.li(r3, 8);
+    a.sys(Sys::PipeRead);
+    a.ld64(r4, r11, 0);
+    a.add(r10, r10, r4);
+    a.addi(r8, r8, 1);
+    a.jmp(drain);
+    a.bind(drained);
+    a.lia(r5, wlGlobals + gResult);
+    a.fetchAdd(r4, r5, r10);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("pbzip2_pipe"), {},
+                     rleLength(input, block)};
+    return b;
+}
+
+} // namespace dp::workloads

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deliberately racy workload for the divergence experiments.
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+WorkloadBundle
+makeRacyUpdates(std::uint32_t threads, std::uint64_t updates,
+                std::uint64_t race_one_in)
+{
+    dp_assert(race_one_in > 0 &&
+                  (race_one_in & (race_one_in - 1)) == 0,
+              "race_one_in must be a power of two");
+    constexpr std::uint64_t nwords = 16;
+
+    Assembler a;
+    Label worker = a.newLabel();
+
+    emitSpawnJoin(a, threads, worker);
+    emitWriteGlobalAndExit(a, gResult);
+
+    // ---- worker: mostly private updates, occasionally racy ----
+    a.bind(worker);
+    a.mov(r13, r1); // my index
+    a.muli(r12, r13, 0x9E3779B97F4A7C15ll);
+    a.addi(r12, r12, 777); // per-thread rng
+    a.li(r11, static_cast<std::int64_t>(updates));
+    a.lia(r10, wlInput);
+    emitThreadBase(a, r13, r9); // private word lives here
+
+    Label loop = a.hereLabel();
+    Label done = a.newLabel();
+    Label go_private = a.newLabel();
+    Label next = a.newLabel();
+    a.beqz(r11, done);
+    emitRngNext(a, r12, r5);
+    a.andi(r6, r5, static_cast<std::int64_t>(race_one_in - 1));
+    a.bnez(r6, go_private);
+    // Racy path: unprotected read-modify-write on a shared word.
+    a.shri(r5, r5, 32);
+    a.andi(r5, r5, nwords - 1);
+    a.shli(r5, r5, 3);
+    a.add(r5, r5, r10);
+    a.ld64(r4, r5, 0); // racy read
+    a.addi(r4, r4, 1);
+    a.st64(r5, 0, r4); // racy write: lost updates possible
+    a.jmp(next);
+    a.bind(go_private);
+    a.ld64(r4, r9, 0);
+    a.addi(r4, r4, 1);
+    a.st64(r9, 0, r4); // thread-private, never races
+    a.bind(next);
+    a.addi(r11, r11, -1);
+    a.jmp(loop);
+    a.bind(done);
+
+    // Fold the (schedule-dependent) words into the shared result.
+    a.lia(r10, wlInput);
+    a.li(r11, static_cast<std::int64_t>(nwords));
+    a.li(r12, 0);
+    Label csum = a.hereLabel();
+    Label cdone = a.newLabel();
+    a.beqz(r11, cdone);
+    a.ld64(r4, r10, 0);
+    a.add(r12, r12, r4);
+    a.addi(r10, r10, 8);
+    a.addi(r11, r11, -1);
+    a.jmp(csum);
+    a.bind(cdone);
+    a.lia(r5, wlGlobals + gResult);
+    a.fetchAdd(r4, r5, r12);
+    lib::exitWith(a, 0);
+
+    return {a.finish("racy_updates"), {}, 0};
+}
+
+} // namespace dp::workloads

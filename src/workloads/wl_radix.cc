@@ -1,0 +1,214 @@
+/**
+ * @file
+ * radix workload: two-pass LSD radix sort with per-thread histograms,
+ * a serial prefix phase, and disjoint scatter (the SPLASH-2 radix
+ * sharing pattern).
+ */
+
+#include "workloads/factories.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+namespace
+{
+
+constexpr std::int64_t histOff = 0x0000;    // 256 u64 per thread
+constexpr std::int64_t scatterOff = 0x0800; // 256 u64 per thread
+
+/** Host reference: position-weighted checksum of the stable sort by
+ *  the low 16 bits (what two 8-bit passes produce). */
+std::uint64_t
+radixReference(std::vector<std::uint64_t> data)
+{
+    std::stable_sort(data.begin(), data.end(),
+                     [](std::uint64_t x, std::uint64_t y) {
+                         return (x & 0xffff) < (y & 0xffff);
+                     });
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        sum += (i + 1) * data[i];
+    return sum;
+}
+
+} // namespace
+
+WorkloadBundle
+makeRadix(const WorkloadParams &p)
+{
+    const std::uint64_t n = 4096ull * p.scale;
+    dp_assert(n % p.threads == 0,
+              "radix element count must divide by thread count");
+    const std::uint64_t perThread = n / p.threads;
+
+    std::vector<std::uint64_t> input = makeInputWords(n, p.seed);
+
+    Assembler a;
+    Label worker = a.newLabel();
+    a.dataU64s(wlInput, input);
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult);
+
+    // ---- worker ----
+    // Persistent: r7=pass, r8=barrier, r9=T, r11=my hist base,
+    // r12=my chunk byte offset, r13=index, r15=my scatter base.
+    a.bind(worker);
+    a.mov(r13, r1);
+    a.lia(r8, wlBarrier);
+    a.li(r9, static_cast<std::int64_t>(p.threads));
+    emitThreadBase(a, r13, r11);
+    a.addi(r15, r11, scatterOff);
+    a.addi(r11, r11, histOff);
+    a.muli(r12, r13, static_cast<std::int64_t>(perThread * 8));
+    a.li(r7, 0); // pass
+
+    Label pass_loop = a.hereLabel();
+    Label passes_done = a.newLabel();
+    a.li(r1, 2);
+    a.bgeu(r7, r1, passes_done);
+
+    // in/out base by parity: pass 0: input->output, pass 1: back.
+    Label odd = a.newLabel();
+    Label bases_set = a.newLabel();
+    a.bnez(r7, odd);
+    a.lia(r10, wlInput);
+    a.lia(r14, wlOutput);
+    a.jmp(bases_set);
+    a.bind(odd);
+    a.lia(r10, wlOutput);
+    a.lia(r14, wlInput);
+    a.bind(bases_set);
+
+    // Phase A: zero my histogram, then count my chunk's digits.
+    a.li(r4, 0);
+    Label zero_loop = a.hereLabel();
+    Label zeroed = a.newLabel();
+    a.li(r5, 256);
+    a.bgeu(r4, r5, zeroed);
+    a.shli(r5, r4, 3);
+    a.add(r5, r11, r5);
+    a.li(r6, 0);
+    a.st64(r5, 0, r6);
+    a.addi(r4, r4, 1);
+    a.jmp(zero_loop);
+    a.bind(zeroed);
+
+    a.shli(r6, r7, 3); // digit shift = pass * 8
+    a.add(r4, r10, r12); // cursor
+    a.li(r5, static_cast<std::int64_t>(perThread)); // remaining
+    Label count_loop = a.hereLabel();
+    Label counted = a.newLabel();
+    a.beqz(r5, counted);
+    a.ld64(r1, r4, 0);
+    a.shr(r1, r1, r6);
+    a.andi(r1, r1, 255);
+    a.shli(r1, r1, 3);
+    a.add(r1, r11, r1);
+    a.ld64(r2, r1, 0);
+    a.addi(r2, r2, 1);
+    a.st64(r1, 0, r2);
+    a.addi(r4, r4, 8);
+    a.addi(r5, r5, -1);
+    a.jmp(count_loop);
+    a.bind(counted);
+
+    lib::barrierWait(a, r8, r9, r4, r5);
+
+    // Phase B (thread 0 only): global prefix -> per-thread scatter
+    // bases. base[t][d] = running; running += hist[t][d].
+    Label not_leader = a.newLabel();
+    a.bnez(r13, not_leader);
+    a.li(r4, 0); // running
+    a.li(r5, 0); // digit d
+    Label d_loop = a.hereLabel();
+    Label d_done = a.newLabel();
+    a.li(r1, 256);
+    a.bgeu(r5, r1, d_done);
+    a.li(r6, 0); // thread t
+    Label t_loop = a.hereLabel();
+    Label t_done = a.newLabel();
+    a.bgeu(r6, r9, t_done);
+    // addr of thread t's block
+    a.muli(r1, r6, static_cast<std::int64_t>(wlPerThreadStride));
+    a.addi(r1, r1, static_cast<std::int64_t>(wlPerThread));
+    a.shli(r2, r5, 3);
+    a.add(r3, r1, r2); // &hist[t][d] (histOff == 0)
+    a.addi(r1, r3, scatterOff);
+    a.st64(r1, 0, r4); // scatter base
+    a.ld64(r2, r3, 0); // hist count
+    a.add(r4, r4, r2);
+    a.addi(r6, r6, 1);
+    a.jmp(t_loop);
+    a.bind(t_done);
+    a.addi(r5, r5, 1);
+    a.jmp(d_loop);
+    a.bind(d_done);
+    a.bind(not_leader);
+
+    lib::barrierWait(a, r8, r9, r4, r5);
+
+    // Phase C: scatter my chunk (stable within the chunk).
+    a.shli(r6, r7, 3); // digit shift again
+    a.add(r4, r10, r12);
+    a.li(r5, static_cast<std::int64_t>(perThread));
+    Label scat_loop = a.hereLabel();
+    Label scattered = a.newLabel();
+    a.beqz(r5, scattered);
+    a.ld64(r1, r4, 0); // value
+    a.shr(r2, r1, r6);
+    a.andi(r2, r2, 255);
+    a.shli(r2, r2, 3);
+    a.add(r2, r15, r2); // &myScatter[d]
+    a.ld64(r3, r2, 0);  // slot
+    a.addi(r0, r3, 1);  // slot+1 via r0 as temp
+    a.st64(r2, 0, r0);
+    a.shli(r3, r3, 3);
+    a.add(r3, r14, r3);
+    a.st64(r3, 0, r1); // out[slot] = value
+    a.addi(r4, r4, 8);
+    a.addi(r5, r5, -1);
+    a.jmp(scat_loop);
+    a.bind(scattered);
+
+    lib::barrierWait(a, r8, r9, r4, r5);
+    a.addi(r7, r7, 1);
+    a.jmp(pass_loop);
+    a.bind(passes_done);
+
+    // Position-weighted checksum of my chunk of the sorted array
+    // (which ended back in wlInput after two passes).
+    a.lia(r10, wlInput);
+    a.add(r4, r10, r12); // cursor
+    a.muli(r5, r13, static_cast<std::int64_t>(perThread));
+    a.addi(r5, r5, 1); // 1-based global position
+    a.li(r6, static_cast<std::int64_t>(perThread));
+    a.li(r14, 0); // accumulator
+    Label csum = a.hereLabel();
+    Label cdone = a.newLabel();
+    a.beqz(r6, cdone);
+    a.ld64(r1, r4, 0);
+    a.mul(r1, r1, r5);
+    a.add(r14, r14, r1);
+    a.addi(r4, r4, 8);
+    a.addi(r5, r5, 1);
+    a.addi(r6, r6, -1);
+    a.jmp(csum);
+    a.bind(cdone);
+    a.lia(r5, wlGlobals + gResult);
+    a.fetchAdd(r4, r5, r14);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("radix"), {}, radixReference(input)};
+    return b;
+}
+
+} // namespace dp::workloads

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Server workloads: apache (request queue + worker pool) and mysql
+ * (lock-striped key-value store).
+ */
+
+#include "workloads/factories.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+WorkloadBundle
+makeApache(const WorkloadParams &p)
+{
+    const std::uint64_t requests = 48 * p.scale;
+    const std::int64_t ringMask = 511;
+    const Addr qlock = wlLockBase + 8;
+    const Addr tailAddr = wlGlobals + gQueueTail;
+
+    Assembler a;
+    Label worker = a.newLabel();
+
+    // ---- main: listener thread ----
+    emitSpawnLoop(a, p.threads, worker);
+
+    // Produce `requests` requests, then one poison pill (~0) per
+    // worker. Request arrival is paced by the network stream on
+    // connection 0 — the genuinely nondeterministic input.
+    a.li(r13, 0); // produced so far
+    a.li(r14, static_cast<std::int64_t>(requests + p.threads));
+    a.lia(r15, qlock);
+
+    Label produce = a.hereLabel();
+    Label produced = a.newLabel();
+    a.bgeu(r13, r14, produced);
+
+    // Wait for 4 request bytes from the wire (real requests only).
+    Label accepted = a.newLabel();
+    a.li(r5, static_cast<std::int64_t>(requests));
+    a.bgeu(r13, r5, accepted); // poison pills need no network read
+    Label poll = a.hereLabel();
+    a.li(r1, 0);
+    a.lia(r2, wlGlobals + 0x400);
+    a.li(r3, 4);
+    a.sys(Sys::NetRecv);
+    a.bnez(r0, accepted);
+    a.sys(Sys::Yield);
+    a.jmp(poll);
+    a.bind(accepted);
+
+    // Request id: r13 for real requests, ~0 for poison.
+    a.li(r5, static_cast<std::int64_t>(requests));
+    a.mov(r4, r13);
+    Label real_req = a.newLabel();
+    a.bltu(r13, r5, real_req);
+    a.li(r4, -1);
+    a.bind(real_req);
+
+    lib::lockAcquire(a, r15, r3);
+    a.lia(r5, wlGlobals);
+    a.ld64(r6, r5, gQueueTail);
+    a.andi(r7, r6, ringMask);
+    a.shli(r7, r7, 3);
+    a.li(r2, static_cast<std::int64_t>(wlQueue));
+    a.add(r7, r7, r2);
+    a.st64(r7, 0, r4); // slot = request id
+    a.li(r4, 1);
+    a.addi(r6, r5, gQueueTail);
+    a.fetchAdd(r4, r6, r4); // tail++ (atomic: it is the futex word)
+    lib::lockRelease(a, r15, r3);
+    a.lia(r1, tailAddr);
+    a.li(r2, 1);
+    a.sys(Sys::FutexWake);
+
+    a.addi(r13, r13, 1);
+    a.jmp(produce);
+    a.bind(produced);
+
+    emitJoinLoop(a, p.threads);
+    emitWriteGlobalAndExit(a, gResult); // requests served
+
+    // ---- worker: consume requests until poisoned ----
+    a.bind(worker);
+    a.lia(r8, wlGlobals);
+    a.lia(r9, qlock);
+    a.lia(r15, tailAddr);
+
+    Label consume = a.hereLabel();
+    Label wexit = a.newLabel();
+    Label have = a.newLabel();
+    lib::lockAcquire(a, r9, r3);
+    a.ld64(r4, r8, gQueueHead);
+    a.ld64(r5, r8, gQueueTail);
+    a.bne(r4, r5, have);
+    // Empty: sleep until the tail moves past what we saw.
+    lib::lockRelease(a, r9, r3);
+    a.mov(r1, r15);
+    a.mov(r2, r5);
+    a.sys(Sys::FutexWait);
+    a.jmp(consume);
+
+    a.bind(have);
+    a.andi(r6, r4, ringMask);
+    a.shli(r6, r6, 3);
+    a.li(r7, static_cast<std::int64_t>(wlQueue));
+    a.add(r6, r6, r7);
+    a.ld64(r13, r6, 0); // request id
+    a.addi(r4, r4, 1);
+    a.st64(r8, gQueueHead, r4); // lock-protected plain store
+    lib::lockRelease(a, r9, r3);
+
+    a.li(r5, -1);
+    a.beq(r13, r5, wexit);
+
+    // "Handle" the request: a compute kernel sized by the request id.
+    a.andi(r5, r13, 255);
+    a.muli(r5, r5, 8);
+    a.addi(r5, r5, 500);
+    a.li(r6, 0x9e3779b9);
+    Label handle = a.hereLabel();
+    Label handled = a.newLabel();
+    a.beqz(r5, handled);
+    a.muli(r6, r6, 6364136223846793005ll);
+    a.xor_(r6, r6, r5);
+    a.addi(r5, r5, -1);
+    a.jmp(handle);
+    a.bind(handled);
+
+    // Respond on the request's connection and count it served.
+    a.addi(r1, r13, 100);
+    a.lia(r2, wlGlobals + 0x400);
+    a.li(r3, 64);
+    a.sys(Sys::NetSend);
+    a.lia(r5, wlGlobals + gResult);
+    a.li(r4, 1);
+    a.fetchAdd(r4, r5, r4);
+    a.jmp(consume);
+
+    a.bind(wexit);
+    lib::exitWith(a, 0);
+
+    MachineConfig cfg;
+    cfg.netSeed = p.seed;
+    cfg.netBytesPerConn = 4 * requests;
+    cfg.netCyclesPerByte = 16; // requests trickle in over time
+    WorkloadBundle b{a.finish("apache"), std::move(cfg), requests};
+    return b;
+}
+
+WorkloadBundle
+makeMysql(const WorkloadParams &p)
+{
+    const std::uint64_t capacity = 4096; // table entries (16 B each)
+    const std::uint64_t keyspace = capacity / 2;
+    const std::uint64_t totalOps = 8192ull * p.scale;
+    dp_assert(totalOps % p.threads == 0,
+              "mysql ops must divide by thread count");
+    const std::uint64_t opsPerThread = totalOps / p.threads;
+    const Addr stripeBase = wlLockBase + 0x100; // 8 stripe locks
+
+    Assembler a;
+    Label worker = a.newLabel();
+
+    // Pre-populate half the keyspace: entry k = (key, value).
+    {
+        std::vector<std::uint64_t> table(capacity * 2, 0);
+        for (std::uint64_t k = 0; k < keyspace; k += 2) {
+            table[2 * k] = k;
+            table[2 * k + 1] = k * 1000;
+        }
+        a.dataU64s(wlInput, table);
+    }
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult); // committed transactions
+
+    // ---- worker: opsPerThread transactions ----
+    a.bind(worker);
+    a.mov(r13, r1); // my index
+    a.muli(r12, r13, 0x9E3779B97F4A7C15ll);
+    a.addi(r12, r12, 12345); // per-thread rng state
+    a.li(r11, static_cast<std::int64_t>(opsPerThread));
+    a.lia(r10, wlInput); // table base
+    a.li(r14, 0);        // read accumulator (unused result sink)
+
+    Label txn = a.hereLabel();
+    Label done = a.newLabel();
+    a.beqz(r11, done);
+    emitRngNext(a, r12, r5);
+    a.andi(r6, r5, static_cast<std::int64_t>(keyspace - 1)); // key
+    // stripe lock address: stripeBase + (key & 7) * 8
+    a.andi(r7, r6, 7);
+    a.shli(r7, r7, 3);
+    a.li(r4, static_cast<std::int64_t>(stripeBase));
+    a.add(r7, r7, r4);
+    lib::lockAcquire(a, r7, r3);
+    // Entry address: table + key*16 (direct mapped).
+    a.shli(r5, r6, 4);
+    a.add(r5, r5, r10);
+    Label do_write = a.newLabel();
+    Label op_done = a.newLabel();
+    a.andi(r4, r6, 8); // deterministic op mix: key bit 3 selects
+    a.bnez(r4, do_write);
+    a.ld64(r4, r5, 8); // read the value
+    a.add(r14, r14, r4);
+    a.jmp(op_done);
+    a.bind(do_write);
+    a.st64(r5, 0, r6); // (re)insert key
+    a.ld64(r4, r5, 8);
+    a.addi(r4, r4, 1); // bump value
+    a.st64(r5, 8, r4);
+    a.bind(op_done);
+    lib::lockRelease(a, r7, r3);
+    a.addi(r11, r11, -1);
+    a.jmp(txn);
+
+    a.bind(done);
+    a.lia(r5, wlGlobals + gResult);
+    a.li(r4, static_cast<std::int64_t>(opsPerThread));
+    a.fetchAdd(r6, r5, r4);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("mysql"), {}, totalOps};
+    return b;
+}
+
+} // namespace dp::workloads

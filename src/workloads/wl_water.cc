@@ -1,0 +1,177 @@
+/**
+ * @file
+ * water workload: n-body force/integrate phases (the SPLASH-2 water
+ * sharing pattern: all-to-all reads in the force phase, owner-only
+ * writes, barriers between phases).
+ */
+
+#include "workloads/factories.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace dp::workloads
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+namespace
+{
+
+constexpr std::uint64_t waterM = 96; // molecules
+constexpr Addr posBase = wlInput;
+constexpr Addr velBase = wlInput + 0x1000;
+constexpr Addr forceBase = wlInput + 0x2000;
+constexpr std::int64_t mixConst = 0x2545f4914f6cdd1dll;
+
+/** Host reference mirroring the guest integer dynamics. */
+std::uint64_t
+waterReference(std::vector<std::uint64_t> pos, std::uint32_t steps)
+{
+    std::vector<std::uint64_t> vel(waterM, 0);
+    for (std::uint32_t s = 0; s < steps; ++s) {
+        std::vector<std::uint64_t> force(waterM, 0);
+        for (std::uint64_t i = 0; i < waterM; ++i) {
+            std::uint64_t f = 0;
+            for (std::uint64_t j = 0; j < waterM; ++j) {
+                std::uint64_t d = pos[i] - pos[j];
+                f += (d * static_cast<std::uint64_t>(mixConst)) >> 17;
+            }
+            force[i] = f;
+        }
+        for (std::uint64_t i = 0; i < waterM; ++i) {
+            vel[i] += force[i] >> 4;
+            pos[i] += vel[i];
+        }
+    }
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : pos)
+        sum += v;
+    return sum;
+}
+
+} // namespace
+
+WorkloadBundle
+makeWater(const WorkloadParams &p)
+{
+    dp_assert(waterM % p.threads == 0,
+              "water molecule count must divide by thread count");
+    const std::uint64_t perThread = waterM / p.threads;
+    const std::uint32_t steps = 2 * p.scale;
+
+    std::vector<std::uint64_t> input = makeInputWords(waterM, p.seed);
+
+    Assembler a;
+    Label worker = a.newLabel();
+    a.dataU64s(posBase, input);
+
+    emitSpawnJoin(a, p.threads, worker);
+    emitWriteGlobalAndExit(a, gResult);
+
+    // ---- worker ----
+    // Persistent: r7=step, r8=barrier, r9=T, r13=index,
+    // r15=my first molecule. Temps: r1..r6, r10..r12, r14.
+    a.bind(worker);
+    a.mov(r13, r1);
+    a.lia(r8, wlBarrier);
+    a.li(r9, static_cast<std::int64_t>(p.threads));
+    a.muli(r15, r13, static_cast<std::int64_t>(perThread));
+    a.li(r7, 0);
+
+    Label step_loop = a.hereLabel();
+    Label steps_done = a.newLabel();
+    a.li(r1, steps);
+    a.bgeu(r7, r1, steps_done);
+
+    // Force phase: for my i, sum over all j.
+    a.mov(r10, r15); // i
+    a.addi(r14, r15, static_cast<std::int64_t>(perThread)); // limit
+    Label i_loop = a.hereLabel();
+    Label i_done = a.newLabel();
+    a.bgeu(r10, r14, i_done);
+    a.shli(r4, r10, 3);
+    a.lia(r5, posBase);
+    a.add(r4, r4, r5); // &pos[i]
+    a.ld64(r5, r4, 0); // pos[i]
+    a.li(r6, 0);       // f
+    a.li(r11, 0);      // j
+    Label j_loop = a.hereLabel();
+    Label j_done = a.newLabel();
+    a.li(r1, waterM);
+    a.bgeu(r11, r1, j_done);
+    a.shli(r2, r11, 3);
+    a.lia(r3, posBase);
+    a.add(r2, r2, r3);
+    a.ld64(r2, r2, 0); // pos[j]
+    a.sub(r2, r5, r2);
+    a.muli(r2, r2, mixConst);
+    a.shri(r2, r2, 17);
+    a.add(r6, r6, r2);
+    a.addi(r11, r11, 1);
+    a.jmp(j_loop);
+    a.bind(j_done);
+    a.shli(r2, r10, 3);
+    a.lia(r3, forceBase);
+    a.add(r2, r2, r3);
+    a.st64(r2, 0, r6); // force[i] = f
+    a.addi(r10, r10, 1);
+    a.jmp(i_loop);
+    a.bind(i_done);
+
+    lib::barrierWait(a, r8, r9, r4, r5);
+
+    // Integrate phase: my molecules only.
+    a.mov(r10, r15);
+    Label g_loop = a.hereLabel();
+    Label g_done = a.newLabel();
+    a.bgeu(r10, r14, g_done);
+    a.shli(r4, r10, 3);
+    a.lia(r5, forceBase);
+    a.add(r5, r4, r5);
+    a.ld64(r5, r5, 0); // force[i]
+    a.shri(r5, r5, 4);
+    a.lia(r6, velBase);
+    a.add(r6, r4, r6);
+    a.ld64(r1, r6, 0);
+    a.add(r1, r1, r5); // vel += force>>4
+    a.st64(r6, 0, r1);
+    a.lia(r6, posBase);
+    a.add(r6, r4, r6);
+    a.ld64(r2, r6, 0);
+    a.add(r2, r2, r1); // pos += vel
+    a.st64(r6, 0, r2);
+    a.addi(r10, r10, 1);
+    a.jmp(g_loop);
+    a.bind(g_done);
+
+    lib::barrierWait(a, r8, r9, r4, r5);
+    a.addi(r7, r7, 1);
+    a.jmp(step_loop);
+    a.bind(steps_done);
+
+    // Checksum my positions.
+    a.mov(r10, r15);
+    a.li(r12, 0);
+    Label csum = a.hereLabel();
+    Label cdone = a.newLabel();
+    a.bgeu(r10, r14, cdone);
+    a.shli(r4, r10, 3);
+    a.lia(r5, posBase);
+    a.add(r4, r4, r5);
+    a.ld64(r1, r4, 0);
+    a.add(r12, r12, r1);
+    a.addi(r10, r10, 1);
+    a.jmp(csum);
+    a.bind(cdone);
+    a.lia(r5, wlGlobals + gResult);
+    a.fetchAdd(r4, r5, r12);
+    lib::exitWith(a, 0);
+
+    WorkloadBundle b{a.finish("water"), {},
+                     waterReference(input, steps)};
+    return b;
+}
+
+} // namespace dp::workloads

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for whole-machine checkpoints: capture/materialize
+ * round trips, CoW sharing, and mid-execution resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hh"
+#include "os/simos.hh"
+#include "os/uni_runner.hh"
+#include "testprogs.hh"
+
+namespace dp
+{
+namespace
+{
+
+TEST(Checkpoint, CaptureMaterializeRoundTrip)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 50);
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.fuel = 500;
+    UniRunner r(m, os, opts, {});
+    ASSERT_EQ(r.run(), StopReason::FuelExhausted);
+
+    Checkpoint c = Checkpoint::capture(m);
+    EXPECT_EQ(c.stateHash(), m.stateHash());
+    Machine copy = c.materialize(prog, {});
+    EXPECT_EQ(copy.stateHash(), m.stateHash());
+    EXPECT_EQ(copy.now, m.now);
+    EXPECT_EQ(copy.threads.size(), m.threads.size());
+}
+
+TEST(Checkpoint, MaterializedMachineRunsToSameResult)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 100);
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.fuel = 1'000;
+    {
+        UniRunner r(m, os, opts, {});
+        ASSERT_EQ(r.run(), StopReason::FuelExhausted);
+    }
+    Checkpoint c = Checkpoint::capture(m);
+
+    // Finish both the original and the materialized copy.
+    {
+        UniRunner r(m, os, {}, {});
+        ASSERT_EQ(r.run(), StopReason::AllExited);
+    }
+    Machine copy = c.materialize(prog, {});
+    {
+        UniRunner r(copy, os, {}, {});
+        ASSERT_EQ(r.run(), StopReason::AllExited);
+    }
+    EXPECT_EQ(copy.stateHash(), m.stateHash());
+    EXPECT_EQ(copy.threads[0].exitCode, 200u);
+}
+
+TEST(Checkpoint, DivergingCopiesStayIsolated)
+{
+    GuestProgram prog = testprogs::arithLoop(100);
+    Machine m(prog, {});
+    Checkpoint c = Checkpoint::capture(m);
+
+    Machine a = c.materialize(prog, {});
+    Machine b = c.materialize(prog, {});
+    a.mem.write64(0x9000, 1);
+    b.mem.write64(0x9000, 2);
+    EXPECT_EQ(m.mem.read64(0x9000), 0u);
+    EXPECT_EQ(a.mem.read64(0x9000), 1u);
+    EXPECT_EQ(b.mem.read64(0x9000), 2u);
+}
+
+TEST(Checkpoint, RestoreIntoRollsBack)
+{
+    GuestProgram prog = testprogs::arithLoop(1'000);
+    Machine m(prog, {});
+    SimOS os;
+    Checkpoint c = Checkpoint::capture(m);
+    std::uint64_t initial = c.stateHash();
+
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_NE(m.stateHash(), initial);
+
+    c.restoreInto(m);
+    EXPECT_EQ(m.stateHash(), initial);
+    EXPECT_EQ(m.threads[0].state, RunState::Runnable);
+
+    // And the rolled-back machine re-executes normally.
+    UniRunner r2(m, os, {}, {});
+    ASSERT_EQ(r2.run(), StopReason::AllExited);
+}
+
+TEST(Checkpoint, CapturesBlockedThreadsAndWaitQueues)
+{
+    GuestProgram prog = testprogs::lockedCounter(3, 200);
+    Machine m(prog, {});
+    SimOS os;
+    // Fine timeslicing with a fuel bound: main join-blocks within its
+    // second slice while the workers (3200 instrs each) are mid-loop,
+    // so the snapshot is guaranteed to contain a blocked thread.
+    UniOptions opts;
+    opts.quantum = 50;
+    opts.fuel = 600;
+    UniRunner r(m, os, opts, {});
+    ASSERT_EQ(r.run(), StopReason::FuelExhausted);
+
+    bool any_blocked = false;
+    for (const auto &t : m.threads)
+        any_blocked = any_blocked || t.state == RunState::Blocked;
+    ASSERT_TRUE(any_blocked)
+        << "main must be join-blocked at the fuel bound";
+
+    Checkpoint c = Checkpoint::capture(m);
+    Machine copy = c.materialize(prog, {});
+    EXPECT_EQ(copy.os.futexQueues, m.os.futexQueues);
+    EXPECT_EQ(copy.os.joinWaiters, m.os.joinWaiters);
+
+    // The copy must run to completion: wait queues were preserved so
+    // wakes still reach their sleepers.
+    UniRunner rc(copy, os, {}, {});
+    EXPECT_EQ(rc.run(), StopReason::AllExited);
+    EXPECT_EQ(copy.threads[0].exitCode, 600u);
+}
+
+TEST(Checkpoint, ResidentPagesReported)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 10);
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    Checkpoint c = Checkpoint::capture(m);
+    EXPECT_EQ(c.residentPages(), m.mem.residentPages());
+    EXPECT_GT(c.residentPages(), 0u);
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the common utilities: hashing, RNG, byte codecs,
+ * statistics, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hh"
+#include "common/hash.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace dp
+{
+namespace
+{
+
+TEST(Hash, Fnv1aMatchesKnownVector)
+{
+    // FNV-1a of empty input is the offset basis.
+    EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ull);
+    const std::uint8_t a[] = {'a'};
+    EXPECT_EQ(fnv1a64(a), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Hash, FastHash64DiscriminatesContentAndLength)
+{
+    std::vector<std::uint8_t> x(100, 7);
+    std::vector<std::uint8_t> y(100, 7);
+    EXPECT_EQ(fastHash64(x), fastHash64(y));
+    y[63] = 8;
+    EXPECT_NE(fastHash64(x), fastHash64(y));
+    std::vector<std::uint8_t> z(101, 7);
+    EXPECT_NE(fastHash64(x), fastHash64(z));
+}
+
+TEST(Hash, FastHash64HandlesAllTailLengths)
+{
+    std::set<std::uint64_t> seen;
+    for (std::size_t n = 0; n < 17; ++n) {
+        std::vector<std::uint8_t> v(n, 0xab);
+        seen.insert(fastHash64(v));
+    }
+    EXPECT_EQ(seen.size(), 17u) << "length must affect the digest";
+}
+
+TEST(Hash, DigestIsOrderSensitive)
+{
+    Digest a, b;
+    a.word(1);
+    a.word(2);
+    b.word(2);
+    b.word(1);
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs = differs || a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = r.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 10'000; ++i)
+        hits += r.chance(1, 4);
+    EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(5);
+    Rng b = a.split();
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Bytes, VarintRoundTripsEdgeValues)
+{
+    ByteWriter w;
+    const std::uint64_t values[] = {0,
+                                    1,
+                                    127,
+                                    128,
+                                    16383,
+                                    16384,
+                                    ~std::uint64_t{0},
+                                    0x8000000000000000ull};
+    for (std::uint64_t v : values)
+        w.varu(v);
+    ByteReader r(w.data());
+    for (std::uint64_t v : values)
+        EXPECT_EQ(r.varu(), v);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Bytes, SignedVarintRoundTrips)
+{
+    ByteWriter w;
+    const std::int64_t values[] = {0, -1, 1, -64, 63,
+                                   std::int64_t{1} << 62,
+                                   -(std::int64_t{1} << 62)};
+    for (std::int64_t v : values)
+        w.vari(v);
+    ByteReader r(w.data());
+    for (std::int64_t v : values)
+        EXPECT_EQ(r.vari(), v);
+}
+
+TEST(Bytes, VarintIsCompactForSmallValues)
+{
+    ByteWriter w;
+    for (std::uint64_t v = 0; v < 128; ++v)
+        w.varu(v);
+    EXPECT_EQ(w.size(), 128u) << "one byte per value below 128";
+}
+
+TEST(Bytes, BlobAndStringRoundTrip)
+{
+    ByteWriter w;
+    std::vector<std::uint8_t> blob{1, 2, 3, 255};
+    w.blob(blob);
+    w.str("hello");
+    w.u64fixed(0x1122334455667788ull);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.blob(), blob);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.u64fixed(), 0x1122334455667788ull);
+}
+
+TEST(Stats, RunningStatBasics)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0 / 3.0);
+    EXPECT_DOUBLE_EQ(s.geomean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, PercentilesNearestRank)
+{
+    Percentiles p;
+    for (int i = 1; i <= 100; ++i)
+        p.add(i);
+    EXPECT_NEAR(p.at(50), 50, 1);
+    EXPECT_NEAR(p.at(99), 99, 1);
+    EXPECT_DOUBLE_EQ(p.at(0), 1);
+    EXPECT_DOUBLE_EQ(p.at(100), 100);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, NumberFormatters)
+{
+    EXPECT_EQ(Table::num(std::uint64_t{1234567}), "1,234,567");
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.153, 1), "15.3%");
+    EXPECT_EQ(Table::bytes(512), "512 B");
+    EXPECT_EQ(Table::bytes(2048), "2.0 KiB");
+    EXPECT_EQ(Table::bytes(3u << 20), "3.0 MiB");
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+} // namespace
+} // namespace dp

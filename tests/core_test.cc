@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Integration tests for the uniparallel recorder: record, validate,
+ * divergence handling, and the core invariants from DESIGN.md §6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/divergence.hh"
+#include "core/recorder.hh"
+#include "os/multicpu_sim.hh"
+#include "os/simos.hh"
+#include "replay/replayer.hh"
+#include "testprogs.hh"
+
+namespace dp
+{
+namespace
+{
+
+/** Plain native run on the multiprocessor sim; returns the machine. */
+Machine
+runNative(const GuestProgram &prog, const MachineConfig &cfg,
+          CpuId cpus, std::uint64_t seed)
+{
+    Machine m(prog, cfg);
+    SimOS os;
+    MpOptions opts;
+    opts.cpus = cpus;
+    opts.seed = seed;
+    MultiCpuSim sim(m, os, opts, {});
+    StopReason r = sim.run(~Cycles{0} >> 1);
+    EXPECT_EQ(r, StopReason::AllExited);
+    return m;
+}
+
+TEST(Recorder, LockedCounterRecordsWithoutRollback)
+{
+    GuestProgram prog = testprogs::lockedCounter(3, 200);
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 20'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.recording.stats.rollbacks, 0u)
+        << "a data-race-free program must never diverge";
+    EXPECT_GT(out.recording.epochs.size(), 1u);
+    EXPECT_EQ(out.mainExitCode, 3u * 200u);
+}
+
+TEST(Recorder, LockedCounterMatchesNativeResult)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 100);
+    Machine native = runNative(prog, {}, 2, 42);
+    EXPECT_EQ(native.threads[0].exitCode, 200u);
+
+    UniparallelRecorder rec(prog, {}, {});
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.mainExitCode, 200u);
+}
+
+TEST(Recorder, AtomicCounterNeverDiverges)
+{
+    // All cross-thread communication is atomic: any interleaving is
+    // fully captured by the sync order, so no rollbacks.
+    GuestProgram prog = testprogs::atomicCounter(4, 300);
+    RecorderOptions opts;
+    opts.workerCpus = 4;
+    opts.epochLength = 15'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.recording.stats.rollbacks, 0u);
+    EXPECT_EQ(out.mainExitCode, 4u * 300u);
+}
+
+TEST(Recorder, BarrierProgramRecordsCleanly)
+{
+    GuestProgram prog = testprogs::barrierPhases(3, 8);
+    RecorderOptions opts;
+    opts.workerCpus = 3;
+    opts.epochLength = 10'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.recording.stats.rollbacks, 0u);
+    // Each of 3 workers sums a neighbour's slot over 8 phases; slot
+    // values run 1..8, so each accumulator is 36, total 108.
+    EXPECT_EQ(out.mainExitCode, 108u);
+}
+
+TEST(Recorder, SyscallStormRecordsInjectables)
+{
+    GuestProgram prog = testprogs::syscallStorm(2'000);
+    MachineConfig cfg;
+    cfg.netBytesPerConn = 4'096;
+    cfg.netCyclesPerByte = 3;
+    RecorderOptions opts;
+    opts.workerCpus = 1;
+    opts.epochLength = 30'000;
+    UniparallelRecorder rec(prog, cfg, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.recording.stats.rollbacks, 0u);
+
+    std::size_t injectables = 0;
+    for (const auto &e : out.recording.epochs)
+        for (const auto &r : e.syscalls.records())
+            injectables += r.injectable;
+    EXPECT_GT(injectables, 0u)
+        << "GetTime/NetRecv results must be captured";
+}
+
+TEST(Recorder, RacyCounterDivergesAndRecovers)
+{
+    // With a real lost-update race and enough contention, at least
+    // one epoch's single-CPU re-execution should disagree with the
+    // multiprocessor speculation across a spread of seeds.
+    GuestProgram prog = testprogs::racyCounter(4, 2'000);
+    bool saw_rollback = false;
+    for (std::uint64_t seed = 1; seed <= 5 && !saw_rollback; ++seed) {
+        RecorderOptions opts;
+        opts.workerCpus = 4;
+        opts.epochLength = 8'000;
+        opts.seed = seed;
+        UniparallelRecorder rec(prog, {}, opts);
+        RecordOutcome out = rec.record();
+        ASSERT_TRUE(out.ok) << "rollback must recover, not wedge";
+        saw_rollback = out.recording.stats.rollbacks > 0;
+
+        // Whatever happened, the recording must replay exactly.
+        Replayer rep(out.recording);
+        ReplayResult r = rep.replaySequential();
+        EXPECT_TRUE(r.ok) << "failed at epoch " << r.firstFailedEpoch;
+    }
+    EXPECT_TRUE(saw_rollback)
+        << "racy program never diverged across 5 seeds";
+}
+
+TEST(Recorder, StdoutCommitLengthsAreMonotonic)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 500);
+    RecorderOptions opts;
+    opts.epochLength = 25'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    std::uint64_t prev = 0;
+    for (const auto &e : out.recording.epochs) {
+        EXPECT_GE(e.stdoutLen, prev);
+        prev = e.stdoutLen;
+    }
+    EXPECT_EQ(prev, 8u) << "program writes one 8-byte record";
+}
+
+TEST(Recorder, EnforcementAblationStillRecovers)
+{
+    // Without sync-order enforcement even race-free programs can
+    // diverge (lock acquisition order differs); rollbacks must still
+    // converge to a valid recording.
+    GuestProgram prog = testprogs::lockedCounter(3, 400);
+    RecorderOptions opts;
+    opts.workerCpus = 3;
+    opts.epochLength = 10'000;
+    opts.enforceSyncOrder = false;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.mainExitCode, 3u * 400u);
+
+    Replayer rep(out.recording);
+    EXPECT_TRUE(rep.replaySequential().ok);
+}
+
+TEST(Divergence, ReportPinpointsDifferences)
+{
+    GuestProgram prog = testprogs::arithLoop(10);
+    Machine a(prog, {});
+    Machine b(prog, {});
+    b.mem.write64(0x5000, 1234);
+    b.threads[0].reg(Reg::r7) = 9;
+
+    Checkpoint cb = Checkpoint::capture(b);
+    EXPECT_FALSE(DivergenceDetector::matches(a, cb));
+    DivergenceReport rep = DivergenceDetector::report(a, cb);
+    EXPECT_FALSE(rep.equal);
+    ASSERT_EQ(rep.pages.size(), 1u);
+    EXPECT_EQ(rep.pages[0], 0x5000u >> 12);
+    ASSERT_EQ(rep.threads.size(), 1u);
+    EXPECT_EQ(rep.threads[0], 0u);
+    EXPECT_FALSE(rep.osDiffers);
+}
+
+TEST(Divergence, IdenticalStatesMatch)
+{
+    GuestProgram prog = testprogs::arithLoop(10);
+    Machine a(prog, {});
+    Machine b(prog, {});
+    Checkpoint cb = Checkpoint::capture(b);
+    EXPECT_TRUE(DivergenceDetector::matches(a, cb));
+    EXPECT_TRUE(DivergenceDetector::report(a, cb).equal);
+}
+
+} // namespace
+} // namespace dp

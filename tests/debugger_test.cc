@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the epoch-granular replay debugger: seeking (with and
+ * without checkpoints), watchpoints, and predicate search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/debugger.hh"
+#include "core/recorder.hh"
+#include "testprogs.hh"
+
+namespace dp
+{
+namespace
+{
+
+RecordOutcome
+record(bool keep_checkpoints)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 600);
+    RecorderOptions opts;
+    opts.epochLength = 10'000;
+    opts.keepCheckpoints = keep_checkpoints;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    EXPECT_TRUE(out.ok);
+    EXPECT_GT(out.recording.epochs.size(), 3u);
+    return out;
+}
+
+TEST(ReplayDebugger, StepsThroughAllEpochs)
+{
+    RecordOutcome out = record(true);
+    ReplayDebugger dbg(out.recording);
+    EXPECT_EQ(dbg.position(), 0u);
+    std::uint64_t prev_counter = 0;
+    while (dbg.position() < dbg.epochCount()) {
+        ASSERT_TRUE(dbg.step());
+        std::uint64_t counter =
+            dbg.readWord(testprogs::counterAddr);
+        EXPECT_GE(counter, prev_counter)
+            << "counter regressed across epochs";
+        prev_counter = counter;
+    }
+    EXPECT_EQ(prev_counter, 1'200u);
+    EXPECT_EQ(dbg.machine().stateHash(),
+              out.recording.finalStateHash);
+}
+
+TEST(ReplayDebugger, SeekMatchesCheckpoints)
+{
+    RecordOutcome out = record(true);
+    ReplayDebugger dbg(out.recording);
+    EpochId mid = dbg.epochCount() / 2;
+    ASSERT_TRUE(dbg.seek(mid));
+    EXPECT_EQ(dbg.position(), mid);
+    EXPECT_EQ(dbg.machine().stateHash(),
+              out.recording.checkpoints[mid].stateHash());
+
+    // Backward seek (checkpoint rewind) agrees with forward replay.
+    ASSERT_TRUE(dbg.seek(1));
+    EXPECT_EQ(dbg.machine().stateHash(),
+              out.recording.checkpoints[1].stateHash());
+}
+
+TEST(ReplayDebugger, SeekWorksWithoutCheckpoints)
+{
+    RecordOutcome out = record(false);
+    ReplayDebugger dbg(out.recording);
+    EpochId mid = dbg.epochCount() / 2;
+    ASSERT_TRUE(dbg.seek(mid));
+    std::uint64_t at_mid = dbg.readWord(testprogs::counterAddr);
+
+    // Rewind (replays from the start) and land on the same state.
+    ASSERT_TRUE(dbg.seek(1));
+    ASSERT_TRUE(dbg.seek(mid));
+    EXPECT_EQ(dbg.readWord(testprogs::counterAddr), at_mid);
+}
+
+TEST(ReplayDebugger, WatchSeesCounterWritesWithoutAdvancing)
+{
+    RecordOutcome out = record(true);
+    ReplayDebugger dbg(out.recording);
+    ASSERT_TRUE(dbg.seek(1));
+    std::uint64_t before = dbg.readWord(testprogs::counterAddr);
+
+    auto hits = dbg.watch(testprogs::counterAddr, 8);
+    ASSERT_TRUE(hits.has_value());
+    EXPECT_FALSE(hits->empty())
+        << "epoch 1 must touch the shared counter";
+    std::size_t writes = 0;
+    for (const WatchedAccess &h : *hits) {
+        EXPECT_EQ(h.epoch, 1u);
+        EXPECT_GE(h.addr + h.size, testprogs::counterAddr);
+        writes += h.isWrite;
+    }
+    EXPECT_GT(writes, 0u);
+    EXPECT_EQ(dbg.position(), 1u) << "watch must not advance";
+    EXPECT_EQ(dbg.readWord(testprogs::counterAddr), before);
+}
+
+TEST(ReplayDebugger, FindFirstBoundaryLocatesAThreshold)
+{
+    RecordOutcome out = record(true);
+    ReplayDebugger dbg(out.recording);
+    auto found = dbg.findFirstBoundary([](const Machine &m) {
+        return m.mem.read64(testprogs::counterAddr) >= 600;
+    });
+    ASSERT_TRUE(found.has_value());
+    EXPECT_GT(*found, 0u);
+    EXPECT_GE(dbg.readWord(testprogs::counterAddr), 600u);
+
+    // One boundary earlier the predicate must not hold.
+    ASSERT_TRUE(dbg.seek(*found - 1));
+    EXPECT_LT(dbg.readWord(testprogs::counterAddr), 600u);
+}
+
+TEST(ReplayDebugger, FindFirstBoundaryReturnsNulloptWhenNever)
+{
+    RecordOutcome out = record(true);
+    ReplayDebugger dbg(out.recording);
+    auto found = dbg.findFirstBoundary([](const Machine &m) {
+        return m.mem.read64(testprogs::counterAddr) > 1'000'000;
+    });
+    EXPECT_FALSE(found.has_value());
+    EXPECT_EQ(dbg.position(), dbg.epochCount());
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests for the execution engines: UniRunner scheduling
+ * semantics (quantum, segments, blocked attempts, epoch targets) and
+ * MultiCpuSim determinism and race behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "os/multicpu_sim.hh"
+#include "vm/assembler.hh"
+#include "os/simos.hh"
+#include "os/uni_runner.hh"
+#include "testprogs.hh"
+
+namespace dp
+{
+namespace
+{
+
+TEST(UniRunner, DeterministicAcrossRuns)
+{
+    GuestProgram prog = testprogs::lockedCounter(3, 50);
+    auto run_once = [&] {
+        Machine m(prog, {});
+        SimOS os;
+        UniRunner r(m, os, {}, {});
+        EXPECT_EQ(r.run(), StopReason::AllExited);
+        return m.stateHash();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(UniRunner, QuantumControlsSegmentLengths)
+{
+    GuestProgram prog = testprogs::atomicCounter(2, 500);
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.quantum = 100;
+    std::vector<ScheduleSegment> segs;
+    UniHooks hooks;
+    hooks.onSegment = [&](const ScheduleSegment &s) {
+        segs.push_back(s);
+    };
+    UniRunner r(m, os, opts, hooks);
+    EXPECT_EQ(r.run(), StopReason::AllExited);
+    ASSERT_GT(segs.size(), 5u);
+    for (const auto &s : segs)
+        EXPECT_LE(s.instrs, 100u);
+    // Total retired must equal segment sums plus wake-completions.
+    std::uint64_t seg_sum = 0;
+    for (const auto &s : segs)
+        seg_sum += s.instrs;
+    EXPECT_LE(seg_sum, m.totalRetired());
+}
+
+TEST(UniRunner, SegmentsRecordBlockedAttempts)
+{
+    // Futex-heavy program: some slices must end in a blocking
+    // attempt that did not retire.
+    GuestProgram prog = testprogs::lockedCounter(3, 100);
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.quantum = 60; // preempt inside critical sections
+    std::vector<ScheduleSegment> segs;
+    UniHooks hooks;
+    hooks.onSegment = [&](const ScheduleSegment &s) {
+        segs.push_back(s);
+    };
+    UniRunner r(m, os, opts, hooks);
+    EXPECT_EQ(r.run(), StopReason::AllExited);
+    bool any_blocked = false;
+    for (const auto &s : segs)
+        any_blocked = any_blocked || s.endedBlocked;
+    EXPECT_TRUE(any_blocked);
+}
+
+TEST(UniRunner, DeadlockIsDetected)
+{
+    // One thread waits on a futex nobody will ever wake.
+    using enum Reg;
+    Assembler a;
+    a.lia(r4, 0x800);
+    a.mov(r1, r4);
+    a.li(r2, 0); // matches the (zero) value: sleeps forever
+    a.sys(Sys::FutexWait);
+    a.li(r1, 0);
+    a.sys(Sys::Exit);
+    GuestProgram prog = a.finish("deadlock");
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    EXPECT_EQ(r.run(), StopReason::Deadlock);
+}
+
+TEST(UniRunner, FuelFuseTrips)
+{
+    using enum Reg;
+    Assembler a;
+    Label spin = a.hereLabel();
+    a.jmp(spin);
+    GuestProgram prog = a.finish("spin_forever");
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.fuel = 10'000;
+    UniRunner r(m, os, opts, {});
+    EXPECT_EQ(r.run(), StopReason::FuelExhausted);
+    EXPECT_GE(r.stats().instrs, 10'000u);
+}
+
+TEST(UniRunner, EpochTargetsStopExactly)
+{
+    GuestProgram prog = testprogs::arithLoop(10'000);
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.targets = {{1'000, RunState::Runnable}};
+    UniRunner r(m, os, opts, {});
+    EXPECT_EQ(r.run(), StopReason::TargetsReached);
+    EXPECT_EQ(m.threads[0].retired, 1'000u);
+    EXPECT_EQ(m.threads[0].state, RunState::Runnable);
+}
+
+TEST(UniRunner, TargetWithBlockedEndStateExecutesTheAttempt)
+{
+    using enum Reg;
+    Assembler a;
+    a.lia(r4, 0x800);
+    a.mov(r1, r4);
+    a.li(r2, 0);
+    a.sys(Sys::FutexWait); // blocks at retired == 4 (lia/mov/li/li)
+    a.li(r1, 0);
+    a.sys(Sys::Exit);
+    GuestProgram prog = a.finish("block_at_target");
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.targets = {{4, RunState::Blocked}};
+    UniRunner r(m, os, opts, {});
+    EXPECT_EQ(r.run(), StopReason::TargetsReached);
+    EXPECT_EQ(m.threads[0].state, RunState::Blocked);
+    EXPECT_EQ(m.threads[0].retired, 4u);
+    EXPECT_EQ(m.os.futexQueues.at(0x800).front(), 0u);
+}
+
+TEST(UniRunner, EarlyExitBelowTargetFinishesForHashCheck)
+{
+    // A thread that exits below its target cannot make progress; the
+    // runner finishes and the recorder's state-hash comparison is
+    // what flags the divergence.
+    GuestProgram prog = testprogs::arithLoop(10);
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.targets = {{1'000'000, RunState::Runnable}};
+    UniRunner r(m, os, opts, {});
+    EXPECT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_LT(m.threads[0].retired, 1'000'000u);
+}
+
+TEST(UniRunner, BlockedBelowTargetStalls)
+{
+    // The thread parks on a futex nobody wakes, far below its target:
+    // the runner must report the stall instead of spinning.
+    using enum Reg;
+    Assembler a;
+    a.lia(r4, 0x800);
+    a.mov(r1, r4);
+    a.li(r2, 0);
+    a.sys(Sys::FutexWait); // sleeps forever at retired == 4
+    a.li(r1, 0);
+    a.sys(Sys::Exit);
+    GuestProgram prog = a.finish("stall_below_target");
+    Machine m(prog, {});
+    SimOS os;
+    UniOptions opts;
+    opts.targets = {{1'000, RunState::Runnable}};
+    UniRunner r(m, os, opts, {});
+    EXPECT_EQ(r.run(), StopReason::Stalled);
+}
+
+TEST(MultiCpuSim, SameSeedSameResult)
+{
+    GuestProgram prog = testprogs::racyCounter(4, 500);
+    auto run_once = [&](std::uint64_t seed) {
+        Machine m(prog, {});
+        SimOS os;
+        MpOptions opts;
+        opts.cpus = 4;
+        opts.seed = seed;
+        MultiCpuSim sim(m, os, opts, {});
+        EXPECT_EQ(sim.run(~Cycles{0} >> 1), StopReason::AllExited);
+        return m.stateHash();
+    };
+    EXPECT_EQ(run_once(7), run_once(7));
+}
+
+TEST(MultiCpuSim, DifferentSeedsResolveRacesDifferently)
+{
+    GuestProgram prog = testprogs::racyCounter(4, 2'000);
+    std::set<std::uint64_t> exits;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Machine m(prog, {});
+        SimOS os;
+        MpOptions opts;
+        opts.cpus = 4;
+        opts.seed = seed;
+        MultiCpuSim sim(m, os, opts, {});
+        EXPECT_EQ(sim.run(~Cycles{0} >> 1), StopReason::AllExited);
+        exits.insert(m.threads[0].exitCode);
+        // Lost updates only ever lose counts.
+        EXPECT_LE(m.threads[0].exitCode, 8'000u);
+    }
+    EXPECT_GT(exits.size(), 1u)
+        << "racy program should vary across interleavings";
+}
+
+TEST(MultiCpuSim, RaceFreeProgramIsSeedInvariant)
+{
+    GuestProgram prog = testprogs::lockedCounter(4, 300);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Machine m(prog, {});
+        SimOS os;
+        MpOptions opts;
+        opts.cpus = 4;
+        opts.seed = seed;
+        MultiCpuSim sim(m, os, opts, {});
+        EXPECT_EQ(sim.run(~Cycles{0} >> 1), StopReason::AllExited);
+        EXPECT_EQ(m.threads[0].exitCode, 1200u);
+    }
+}
+
+TEST(MultiCpuSim, TimeLimitQuiescesCleanly)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 10'000);
+    Machine m(prog, {});
+    SimOS os;
+    MpOptions opts;
+    opts.cpus = 2;
+    MultiCpuSim sim(m, os, opts, {});
+    StopReason reason = sim.run(5'000);
+    EXPECT_EQ(reason, StopReason::TimeLimit);
+    EXPECT_GE(m.now, 5'000u);
+    // State is clean: can checkpoint/hash and resume.
+    std::uint64_t h = m.stateHash();
+    EXPECT_NE(h, 0u);
+    EXPECT_EQ(sim.run(~Cycles{0} >> 1), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, 20'000u);
+}
+
+TEST(MultiCpuSim, MoreCpusFinishSoonerOnParallelWork)
+{
+    GuestProgram prog = testprogs::atomicCounter(4, 2'000);
+    auto elapsed = [&](CpuId cpus) {
+        Machine m(prog, {});
+        SimOS os;
+        MpOptions opts;
+        opts.cpus = cpus;
+        MultiCpuSim sim(m, os, opts, {});
+        EXPECT_EQ(sim.run(~Cycles{0} >> 1), StopReason::AllExited);
+        return m.now;
+    };
+    Cycles t1 = elapsed(1);
+    Cycles t4 = elapsed(4);
+    EXPECT_LT(t4 * 2, t1) << "4 CPUs should be >2x faster than 1";
+}
+
+TEST(MultiCpuSim, DeadlockDetected)
+{
+    using enum Reg;
+    Assembler a;
+    a.lia(r4, 0x900);
+    a.mov(r1, r4);
+    a.li(r2, 0);
+    a.sys(Sys::FutexWait);
+    a.halt();
+    GuestProgram prog = a.finish("mp_deadlock");
+    Machine m(prog, {});
+    SimOS os;
+    MpOptions opts;
+    opts.cpus = 2;
+    MultiCpuSim sim(m, os, opts, {});
+    EXPECT_EQ(sim.run(~Cycles{0} >> 1), StopReason::Deadlock);
+}
+
+TEST(SyncKeys, ClassifyOperations)
+{
+    EXPECT_EQ(syscallSyncKey(
+                  static_cast<std::uint64_t>(Sys::FutexWait), 0x1234),
+              0x1234u);
+    EXPECT_EQ(syscallSyncKey(
+                  static_cast<std::uint64_t>(Sys::FutexWake), 0x1234),
+              0x1234u);
+    EXPECT_EQ(
+        syscallSyncKey(static_cast<std::uint64_t>(Sys::Yield), 0),
+        std::nullopt);
+    EXPECT_EQ(
+        syscallSyncKey(static_cast<std::uint64_t>(Sys::Write), 1),
+        globalSyncKey);
+    EXPECT_EQ(syscallSyncKey(999, 0), globalSyncKey);
+}
+
+} // namespace
+} // namespace dp

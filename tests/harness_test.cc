@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the experiment harness: measurement plumbing, overhead
+ * math, determinism of measured numbers, and baseline comparisons.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace dp
+{
+namespace
+{
+
+using harness::measure;
+using harness::MeasureOptions;
+using harness::Measurement;
+
+MeasureOptions
+smallOptions(std::uint32_t threads = 2)
+{
+    MeasureOptions o;
+    o.threads = threads;
+    o.totalCpus = 2 * threads;
+    o.scale = 2;
+    o.epochLength = 50'000;
+    return o;
+}
+
+TEST(Harness, MeasureProducesConsistentNumbers)
+{
+    const workloads::Workload *w = workloads::findWorkload("fft");
+    Measurement m = measure(*w, smallOptions());
+    ASSERT_TRUE(m.recordOk);
+    EXPECT_EQ(m.native.reason, StopReason::AllExited);
+    EXPECT_GT(m.native.cycles, 0u);
+    EXPECT_GT(m.pipeline.completion, m.native.cycles)
+        << "recording cannot be free";
+    EXPECT_DOUBLE_EQ(m.slowdown, m.overhead + 1.0);
+    EXPECT_GT(m.epochs, 0u);
+    EXPECT_GT(m.scheduleBytes, 0u);
+    EXPECT_GE(m.syscallBytes, m.injectableBytes);
+    EXPECT_EQ(m.replayLogBytes,
+              m.scheduleBytes + m.injectableBytes + m.signalBytes);
+}
+
+TEST(Harness, MeasurementsAreDeterministic)
+{
+    const workloads::Workload *w = workloads::findWorkload("radix");
+    Measurement a = measure(*w, smallOptions());
+    Measurement b = measure(*w, smallOptions());
+    ASSERT_TRUE(a.recordOk);
+    ASSERT_TRUE(b.recordOk);
+    EXPECT_EQ(a.native.cycles, b.native.cycles);
+    EXPECT_EQ(a.pipeline.completion, b.pipeline.completion);
+    EXPECT_EQ(a.replayLogBytes, b.replayLogBytes);
+    EXPECT_DOUBLE_EQ(a.overhead, b.overhead);
+}
+
+TEST(Harness, NoSpareCoresCostsMore)
+{
+    const workloads::Workload *w = workloads::findWorkload("ocean");
+    MeasureOptions spare = smallOptions();
+    MeasureOptions cramped = spare;
+    cramped.totalCpus = cramped.threads;
+    Measurement ms = measure(*w, spare);
+    Measurement mc = measure(*w, cramped);
+    ASSERT_TRUE(ms.recordOk);
+    ASSERT_TRUE(mc.recordOk);
+    EXPECT_GT(mc.overhead, ms.overhead);
+}
+
+TEST(Harness, MeasureWithReplayFillsReplayFields)
+{
+    const workloads::Workload *w = workloads::findWorkload("water");
+    Measurement m = harness::measureWithReplay(*w, smallOptions());
+    ASSERT_TRUE(m.recordOk);
+    EXPECT_TRUE(m.replayOk);
+    EXPECT_GT(m.seqReplayCycles, m.native.cycles)
+        << "sequential replay serializes the threads";
+    EXPECT_LT(m.parReplayCycles, m.seqReplayCycles);
+}
+
+TEST(Harness, BaselinesAreMoreExpensiveThanDoublePlay)
+{
+    // mysql shares its whole table, so both the CREW fault rate and
+    // the shared-load value log are substantial (pfscan-style
+    // thread-local scans would make the value log trivially small).
+    const workloads::Workload *w = workloads::findWorkload("mysql");
+    MeasureOptions o = smallOptions();
+    Measurement dp_m = measure(*w, o);
+    harness::BaselineMeasurement bm =
+        harness::measureBaselines(*w, o);
+    ASSERT_TRUE(dp_m.recordOk);
+    EXPECT_GT(bm.crewOverhead, dp_m.overhead)
+        << "CREW page faulting must dominate uniparallel logging";
+    EXPECT_GT(bm.crewLogBytes, dp_m.replayLogBytes);
+    EXPECT_GT(bm.valueLogBytes, dp_m.replayLogBytes);
+}
+
+TEST(Harness, MeasureRespectsAblationFlag)
+{
+    const workloads::Workload *w = workloads::findWorkload("mysql");
+    MeasureOptions on = smallOptions();
+    MeasureOptions off = on;
+    off.enforceSyncOrder = false;
+    Measurement m_on = measure(*w, on);
+    Measurement m_off = measure(*w, off);
+    ASSERT_TRUE(m_on.recordOk);
+    ASSERT_TRUE(m_off.recordOk);
+    EXPECT_EQ(m_on.stats.rollbacks, 0u);
+    EXPECT_GT(m_off.stats.rollbacks, 0u)
+        << "without enforcement, lock order diverges";
+}
+
+} // namespace
+} // namespace dp

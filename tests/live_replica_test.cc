@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for online epoch streaming: a LiveReplica fed committed
+ * epochs during recording tracks the official execution exactly,
+ * across clean runs, rollbacks, and host-parallel recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recorder.hh"
+#include "replay/live_replica.hh"
+#include "testprogs.hh"
+#include "workloads/registry.hh"
+
+namespace dp
+{
+namespace
+{
+
+TEST(LiveReplica, TracksEveryCommittedBoundary)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    LiveReplica replica(prog, {});
+
+    RecorderOptions opts;
+    opts.epochLength = 10'000;
+    UniparallelRecorder rec(prog, {}, opts);
+
+    std::uint32_t streamed = 0;
+    RecordObserver obs;
+    obs.onEpochCommitted = [&](const EpochRecord &e, EpochId idx) {
+        EXPECT_EQ(idx, streamed);
+        ASSERT_TRUE(replica.apply(e));
+        EXPECT_EQ(replica.machine().stateHash(), e.endStateHash)
+            << "replica must sit exactly at the committed boundary";
+        ++streamed;
+    };
+
+    RecordOutcome out = rec.record(&obs);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(streamed, out.recording.epochs.size());
+    EXPECT_EQ(replica.machine().stateHash(),
+              out.recording.finalStateHash);
+    EXPECT_TRUE(replica.healthy());
+}
+
+TEST(LiveReplica, SurvivesRollbacks)
+{
+    // Diverged epochs are official: the stream stays linear even
+    // while the recorder squashes its speculation.
+    GuestProgram prog = testprogs::racyCounter(4, 2'000);
+    LiveReplica replica(prog, {});
+
+    RecorderOptions opts;
+    opts.epochLength = 8'000;
+    UniparallelRecorder rec(prog, {}, opts);
+
+    RecordObserver obs;
+    obs.onEpochCommitted = [&](const EpochRecord &e, EpochId) {
+        ASSERT_TRUE(replica.apply(e));
+    };
+    RecordOutcome out = rec.record(&obs);
+    ASSERT_TRUE(out.ok);
+    ASSERT_GT(out.recording.stats.rollbacks, 0u)
+        << "this seed should race";
+    EXPECT_EQ(replica.machine().stateHash(),
+              out.recording.finalStateHash);
+}
+
+TEST(LiveReplica, TakeOverYieldsTheFinalMachine)
+{
+    const workloads::Workload *w = workloads::findWorkload("fft");
+    workloads::WorkloadBundle b = w->make({.threads = 2, .scale = 1});
+    LiveReplica replica(b.program, b.config);
+
+    RecorderOptions opts;
+    opts.epochLength = 40'000;
+    UniparallelRecorder rec(b.program, b.config, opts);
+    RecordObserver obs;
+    obs.onEpochCommitted = [&](const EpochRecord &e, EpochId) {
+        ASSERT_TRUE(replica.apply(e));
+    };
+    RecordOutcome out = rec.record(&obs);
+    ASSERT_TRUE(out.ok);
+
+    Machine standby = std::move(replica).takeOver();
+    EXPECT_TRUE(standby.allExited());
+    EXPECT_EQ(standby.threads[0].exitCode, b.expectedExit);
+}
+
+TEST(LiveReplica, WorksUnderHostParallelRecording)
+{
+    GuestProgram prog = testprogs::barrierPhases(3, 12);
+    LiveReplica replica(prog, {});
+
+    RecorderOptions opts;
+    opts.epochLength = 6'000;
+    opts.hostWorkers = 2; // commits still arrive in order
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordObserver obs;
+    obs.onEpochCommitted = [&](const EpochRecord &e, EpochId) {
+        ASSERT_TRUE(replica.apply(e));
+    };
+    RecordOutcome out = rec.record(&obs);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(replica.epochsApplied(),
+              out.recording.epochs.size());
+    EXPECT_EQ(replica.machine().stateHash(),
+              out.recording.finalStateHash);
+}
+
+TEST(LiveReplica, RejectsOutOfOrderEpochs)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 300);
+    RecorderOptions opts;
+    opts.epochLength = 10'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    ASSERT_GT(out.recording.epochs.size(), 2u);
+
+    LiveReplica replica(prog, {});
+    // Feeding epoch 1 before epoch 0 must fail verification and
+    // poison the replica.
+    EXPECT_FALSE(replica.apply(out.recording.epochs[1]));
+    EXPECT_FALSE(replica.healthy());
+    EXPECT_FALSE(replica.apply(out.recording.epochs[0]))
+        << "an unhealthy replica refuses further epochs";
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the log containers and their binary encodings,
+ * including randomized round-trip properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "log/logs.hh"
+
+namespace dp
+{
+namespace
+{
+
+TEST(ScheduleLog, EncodeDecodeRoundTrip)
+{
+    ScheduleLog log;
+    log.append({0, 100, false});
+    log.append({3, 0, true}); // zero-instr blocked attempt is legal
+    log.append({7, ~std::uint64_t{0} >> 8, false});
+    ScheduleLog back = ScheduleLog::decode(log.encode());
+    EXPECT_EQ(log, back);
+}
+
+TEST(ScheduleLog, EmptyLogRoundTrips)
+{
+    ScheduleLog log;
+    EXPECT_EQ(ScheduleLog::decode(log.encode()), log);
+    EXPECT_EQ(log.sizeBytes(), 1u); // just the count
+}
+
+TEST(ScheduleLog, CompactEncoding)
+{
+    // Typical segments (small tid, quantum-sized counts) should cost
+    // only a few bytes each.
+    ScheduleLog log;
+    for (int i = 0; i < 1000; ++i)
+        log.append({static_cast<ThreadId>(i % 4), 50'000, false});
+    EXPECT_LT(log.sizeBytes(), 1000u * 5);
+}
+
+TEST(SyncOrderLog, RoundTripPreservesKeys)
+{
+    SyncOrderLog log;
+    log.append(1, SyncKind::Atomic, 0x1000);
+    log.append(2, SyncKind::Syscall, globalSyncKey);
+    log.append(3, SyncKind::Syscall, 0x2008); // futex key
+    SyncOrderLog back = SyncOrderLog::decode(log.encode());
+    EXPECT_EQ(log, back);
+    EXPECT_EQ(back.events()[1].key, globalSyncKey);
+    EXPECT_EQ(back.events()[2].key, 0x2008u);
+}
+
+TEST(SyscallLog, RoundTripAndInjectableAccounting)
+{
+    SyscallLog log;
+    log.append({0, Sys::Write, 8, false});
+    log.append({1, Sys::GetTime, 123456, true});
+    log.append({2, Sys::NetRecv, 256, true});
+    log.append({0, Sys::Seek, ~std::uint64_t{0}, false});
+    SyscallLog back = SyscallLog::decode(log.encode());
+    EXPECT_EQ(log, back);
+    EXPECT_GT(log.sizeBytes(), log.injectableSizeBytes());
+    EXPECT_GT(log.injectableSizeBytes(), 0u);
+}
+
+TEST(SyscallLog, AllSyscallNumbersSurviveTheCodec)
+{
+    // The packed encoding gives Sys 5 bits; every defined value must
+    // round-trip (guards against enum growth breaking the format).
+    static_assert(static_cast<unsigned>(Sys::NumSyscalls) <= 32,
+                  "syscall ids no longer fit the log encoding");
+    SyscallLog log;
+    for (unsigned s = 0;
+         s < static_cast<unsigned>(Sys::NumSyscalls); ++s)
+        log.append({5, static_cast<Sys>(s), s * 7, false});
+    SyscallLog back = SyscallLog::decode(log.encode());
+    EXPECT_EQ(log, back);
+}
+
+TEST(Logs, RandomizedRoundTrips)
+{
+    Rng rng(2024);
+    for (int round = 0; round < 50; ++round) {
+        ScheduleLog sched;
+        SyncOrderLog sync;
+        SyscallLog sys;
+        std::uint64_t n = rng.range(0, 200);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            sched.append({static_cast<ThreadId>(rng.below(64)),
+                          rng.next() >> rng.below(60),
+                          rng.chance(1, 5)});
+            sync.append(static_cast<ThreadId>(rng.below(64)),
+                        rng.chance(1, 2) ? SyncKind::Atomic
+                                         : SyncKind::Syscall,
+                        rng.chance(1, 4) ? globalSyncKey
+                                         : rng.next() >> 20);
+            sys.append({static_cast<ThreadId>(rng.below(64)),
+                        static_cast<Sys>(rng.below(
+                            static_cast<std::uint64_t>(
+                                Sys::NumSyscalls))),
+                        rng.next(), rng.chance(1, 3)});
+        }
+        EXPECT_EQ(ScheduleLog::decode(sched.encode()), sched);
+        EXPECT_EQ(SyncOrderLog::decode(sync.encode()), sync);
+        EXPECT_EQ(SyscallLog::decode(sys.encode()), sys);
+    }
+}
+
+} // namespace
+} // namespace dp

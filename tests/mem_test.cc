@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the copy-on-write paged memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/paged_memory.hh"
+
+namespace dp
+{
+namespace
+{
+
+TEST(PagedMemory, ZeroFilledByDefault)
+{
+    PagedMemory mem;
+    EXPECT_EQ(mem.read64(0), 0u);
+    EXPECT_EQ(mem.read8(0xdeadbeef), 0u);
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(PagedMemory, ScalarRoundTripsAllWidths)
+{
+    PagedMemory mem;
+    mem.write8(1, 0xab);
+    mem.write16(100, 0xcdef);
+    mem.write32(200, 0x12345678);
+    mem.write64(300, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read8(1), 0xab);
+    EXPECT_EQ(mem.read16(100), 0xcdef);
+    EXPECT_EQ(mem.read32(200), 0x12345678u);
+    EXPECT_EQ(mem.read64(300), 0x1122334455667788ull);
+}
+
+TEST(PagedMemory, LittleEndianLayout)
+{
+    PagedMemory mem;
+    mem.write32(0, 0x04030201);
+    EXPECT_EQ(mem.read8(0), 1);
+    EXPECT_EQ(mem.read8(1), 2);
+    EXPECT_EQ(mem.read8(2), 3);
+    EXPECT_EQ(mem.read8(3), 4);
+}
+
+TEST(PagedMemory, CrossPageAccessesWork)
+{
+    PagedMemory mem;
+    Addr a = Page::bytes - 3; // 64-bit value straddles two pages
+    mem.write64(a, 0x0807060504030201ull);
+    EXPECT_EQ(mem.read64(a), 0x0807060504030201ull);
+    EXPECT_EQ(mem.read8(Page::bytes - 1), 3);
+    EXPECT_EQ(mem.read8(Page::bytes), 4);
+    EXPECT_EQ(mem.residentPages(), 2u);
+}
+
+TEST(PagedMemory, BulkBytesCrossManyPages)
+{
+    PagedMemory mem;
+    std::vector<std::uint8_t> data(3 * Page::bytes + 17);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    mem.writeBytes(Page::bytes - 100, data);
+    std::vector<std::uint8_t> back(data.size());
+    mem.readBytes(Page::bytes - 100, back);
+    EXPECT_EQ(data, back);
+}
+
+TEST(PagedMemory, CStringReadStopsAtNulAndBound)
+{
+    PagedMemory mem;
+    const char *s = "hello";
+    mem.writeBytes(10, {reinterpret_cast<const std::uint8_t *>(s), 6});
+    EXPECT_EQ(mem.readCString(10), "hello");
+    EXPECT_EQ(mem.readCString(10, 3), "hel");
+}
+
+TEST(PagedMemory, SnapshotIsolatesSubsequentWrites)
+{
+    PagedMemory mem;
+    mem.write64(0, 111);
+    MemSnapshot snap = mem.snapshot();
+    mem.write64(0, 222);
+    EXPECT_EQ(mem.read64(0), 222u);
+
+    PagedMemory other;
+    other.restore(snap);
+    EXPECT_EQ(other.read64(0), 111u);
+}
+
+TEST(PagedMemory, CowSharesUntouchedPages)
+{
+    PagedMemory mem;
+    for (std::size_t pg = 0; pg < 64; ++pg)
+        mem.write64(pg * Page::bytes, pg + 1);
+    MemSnapshot snap = mem.snapshot();
+
+    // Touch one page: only that page should be privatized.
+    mem.write64(5 * Page::bytes, 999);
+    ASSERT_EQ(mem.dirtyPages().size(), 1u);
+    EXPECT_EQ(mem.dirtyPages()[0], 5u);
+
+    PagedMemory other;
+    other.restore(snap);
+    EXPECT_EQ(other.read64(5 * Page::bytes), 6u);
+    EXPECT_EQ(mem.read64(5 * Page::bytes), 999u);
+}
+
+TEST(PagedMemory, DirtyTrackingResetsOnSnapshot)
+{
+    PagedMemory mem;
+    mem.write64(0, 1);
+    mem.write64(Page::bytes, 2);
+    EXPECT_EQ(mem.dirtyPages().size(), 2u);
+    (void)mem.snapshot();
+    EXPECT_TRUE(mem.dirtyPages().empty());
+    mem.write64(0, 3);
+    EXPECT_EQ(mem.dirtyPages().size(), 1u);
+}
+
+TEST(PagedMemory, RepeatedWritesToOnePageCountOnce)
+{
+    PagedMemory mem;
+    for (int i = 0; i < 100; ++i)
+        mem.write64(i * 8, i);
+    EXPECT_EQ(mem.dirtyPages().size(), 1u);
+}
+
+TEST(PagedMemory, HashIgnoresZeroPages)
+{
+    PagedMemory a, b;
+    a.write64(0, 42);
+    b.write64(0, 42);
+    // b additionally materializes an all-zero page.
+    b.write64(17 * Page::bytes, 1);
+    b.write64(17 * Page::bytes, 0);
+    EXPECT_EQ(a.hash(), b.hash())
+        << "explicit zero pages must hash like absent pages";
+}
+
+TEST(PagedMemory, HashMatchesSnapshotHash)
+{
+    PagedMemory mem;
+    for (int i = 0; i < 1000; ++i)
+        mem.write64(i * 64, i * 3 + 1);
+    std::uint64_t live = mem.hash();
+    MemSnapshot snap = mem.snapshot();
+    EXPECT_EQ(live, snap.hash());
+    EXPECT_EQ(live, mem.hash());
+}
+
+TEST(PagedMemory, HashDependsOnPagePosition)
+{
+    PagedMemory a, b;
+    a.write64(0, 7);
+    b.write64(Page::bytes, 7);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(PagedMemory, DiffPagesFindsExactDifferences)
+{
+    PagedMemory a;
+    for (std::size_t pg = 0; pg < 8; ++pg)
+        a.write64(pg * Page::bytes, pg);
+    MemSnapshot snap = a.snapshot();
+    a.write64(3 * Page::bytes + 8, 1);
+    a.write64(6 * Page::bytes + 16, 2);
+    std::vector<std::uint32_t> diff = a.diffPages(snap);
+    ASSERT_EQ(diff.size(), 2u);
+    EXPECT_EQ(diff[0], 3u);
+    EXPECT_EQ(diff[1], 6u);
+}
+
+TEST(PagedMemory, DiffPagesSeesAbsentVsZeroAsEqual)
+{
+    PagedMemory a;
+    a.write64(0, 5);
+    MemSnapshot snap = a.snapshot();
+    // Materialize a zero page; content identical to absent.
+    a.write64(9 * Page::bytes, 1);
+    a.write64(9 * Page::bytes, 0);
+    EXPECT_TRUE(a.diffPages(snap).empty());
+}
+
+TEST(PagedMemory, SiblingMachinesDoNotInterfere)
+{
+    PagedMemory a;
+    a.write64(0, 10);
+    MemSnapshot snap = a.snapshot();
+    PagedMemory b, c;
+    b.restore(snap);
+    c.restore(snap);
+    b.write64(0, 20);
+    c.write64(0, 30);
+    EXPECT_EQ(a.read64(0), 10u);
+    EXPECT_EQ(b.read64(0), 20u);
+    EXPECT_EQ(c.read64(0), 30u);
+}
+
+TEST(PagedMemory, MemoryLimitIsEnforced)
+{
+    PagedMemory mem(/*max_pages=*/4);
+    mem.write64(3 * Page::bytes, 1); // page 3: fine
+    EXPECT_DEATH(mem.write64(4 * Page::bytes, 1), "memory limit");
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Unit tests for the simulated OS: file system, network streams,
+ * futexes, thread lifecycle, and OS-state hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/simos.hh"
+#include "os/uni_runner.hh"
+#include "testprogs.hh"
+#include "vm/asmlib.hh"
+#include "vm/assembler.hh"
+
+namespace dp
+{
+namespace
+{
+
+using enum Reg;
+
+Machine
+runUni(const GuestProgram &prog, MachineConfig cfg = {})
+{
+    Machine m(prog, std::move(cfg));
+    SimOS os;
+    UniRunner runner(m, os, {}, {});
+    EXPECT_EQ(runner.run(), StopReason::AllExited);
+    return m;
+}
+
+TEST(SimOS, FileWriteReadRoundTrip)
+{
+    Assembler a;
+    const Addr path = 0x100;
+    const std::string_view name = "f.txt";
+    a.dataBytes(path,
+                {reinterpret_cast<const std::uint8_t *>(name.data()),
+                 name.size()});
+    // fd = open, write "abc", reopen, read back, exit(first byte).
+    a.lia(r1, path);
+    a.li(r2, openCreate | openWrite);
+    a.sys(Sys::Open);
+    a.mov(r14, r0);
+    a.li(r3, 0x636261); // "abc"
+    a.lia(r4, 0x200);
+    a.st32(r4, 0, r3);
+    a.mov(r1, r14);
+    a.mov(r2, r4);
+    a.li(r3, 3);
+    a.sys(Sys::Write);
+    a.lia(r1, path);
+    a.li(r2, openRead);
+    a.sys(Sys::Open);
+    a.mov(r1, r0);
+    a.lia(r2, 0x300);
+    a.li(r3, 16);
+    a.sys(Sys::Read);
+    a.mov(r15, r0); // bytes read
+    a.lia(r2, 0x300);
+    a.ld8(r4, r2, 0);
+    a.muli(r15, r15, 1000);
+    a.add(r1, r15, r4); // 3*1000 + 'a'
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("file_rt"));
+    EXPECT_EQ(m.threads[0].exitCode, 3000u + 'a');
+}
+
+TEST(SimOS, OpenMissingFileFails)
+{
+    Assembler a;
+    const Addr path = 0x100;
+    const std::string_view name = "nope";
+    a.dataBytes(path,
+                {reinterpret_cast<const std::uint8_t *>(name.data()),
+                 name.size()});
+    a.lia(r1, path);
+    a.li(r2, openRead); // no create
+    a.sys(Sys::Open);
+    a.li(r2, -1);
+    a.seq(r1, r0, r2); // exit(1) iff error
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("open_missing"));
+    EXPECT_EQ(m.threads[0].exitCode, 1u);
+}
+
+TEST(SimOS, SeekRepositionsAndReturnsOldOffset)
+{
+    Assembler a;
+    const Addr path = 0x100;
+    const std::string_view name = "s.bin";
+    a.dataBytes(path,
+                {reinterpret_cast<const std::uint8_t *>(name.data()),
+                 name.size()});
+    a.lia(r1, path);
+    a.li(r2, openCreate | openWrite);
+    a.sys(Sys::Open);
+    a.mov(r14, r0);
+    a.mov(r1, r14);
+    a.li(r2, 100);
+    a.sys(Sys::Seek); // old = 0
+    a.mov(r15, r0);
+    a.mov(r1, r14);
+    a.li(r2, 0);
+    a.sys(Sys::Seek); // old = 100
+    a.add(r1, r15, r0);
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("seek"));
+    EXPECT_EQ(m.threads[0].exitCode, 100u);
+}
+
+TEST(SimOS, BadFdOperationsFailGracefully)
+{
+    Assembler a;
+    a.li(r1, 99);
+    a.lia(r2, 0x100);
+    a.li(r3, 4);
+    a.sys(Sys::Write);
+    a.mov(r15, r0); // ~0
+    a.li(r1, 99);
+    a.sys(Sys::Close);
+    a.and_(r15, r15, r0); // both ~0 -> ~0
+    a.li(r2, -1);
+    a.seq(r1, r15, r2);
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("bad_fd"));
+    EXPECT_EQ(m.threads[0].exitCode, 1u);
+}
+
+TEST(SimOS, StdoutIsAppendOnly)
+{
+    Assembler a;
+    a.lia(r2, 0x100);
+    a.li(r3, 0x4142); // "AB"
+    a.st16(r2, 0, r3);
+    for (int i = 0; i < 2; ++i) {
+        a.li(r1, fdStdout);
+        a.lia(r2, 0x100);
+        a.li(r3, 2);
+        a.sys(Sys::Write);
+    }
+    a.li(r1, 0);
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("stdout_append"));
+    const auto &out = m.stdoutBytes();
+    ASSERT_EQ(out.size(), 4u);
+    // 0x4142 is little-endian: 'B' then 'A', appended twice.
+    EXPECT_EQ(out[0], 'B');
+    EXPECT_EQ(out[1], 'A');
+    EXPECT_EQ(out[2], 'B');
+    EXPECT_EQ(out[3], 'A');
+}
+
+TEST(SimOS, NetStreamContentIsDeterministic)
+{
+    MachineConfig cfg;
+    cfg.netSeed = 99;
+    EXPECT_EQ(SimOS::netByte(cfg, 3, 17), SimOS::netByte(cfg, 3, 17));
+    MachineConfig other;
+    other.netSeed = 100;
+    bool differs = false;
+    for (std::uint64_t off = 0; off < 64; ++off)
+        differs =
+            differs || SimOS::netByte(cfg, 3, off) !=
+                           SimOS::netByte(other, 3, off);
+    EXPECT_TRUE(differs);
+}
+
+TEST(SimOS, NetRecvHonorsArrivalRate)
+{
+    // At time ~0 nothing has arrived; after enough cycles, data flows.
+    Assembler a;
+    a.li(r1, 1);
+    a.lia(r2, 0x100);
+    a.li(r3, 64);
+    a.sys(Sys::NetRecv);
+    a.mov(r15, r0); // early recv: expect 0
+    // Burn virtual time.
+    a.li(r4, 2000);
+    Label spin = a.hereLabel();
+    Label done = a.newLabel();
+    a.beqz(r4, done);
+    a.addi(r4, r4, -1);
+    a.jmp(spin);
+    a.bind(done);
+    a.li(r1, 1);
+    a.lia(r2, 0x100);
+    a.li(r3, 64);
+    a.sys(Sys::NetRecv);
+    a.muli(r15, r15, 1000);
+    a.add(r1, r15, r0); // late recv: expect > 0
+    a.sys(Sys::Exit);
+
+    MachineConfig cfg;
+    cfg.netCyclesPerByte = 100;
+    cfg.netBytesPerConn = 1000;
+    Machine m = runUni(a.finish("net_rate"), cfg);
+    // Early recv 0 (0*1000), late recv tens of bytes.
+    EXPECT_GT(m.threads[0].exitCode, 0u);
+    EXPECT_LT(m.threads[0].exitCode, 1000u);
+}
+
+TEST(SimOS, JoinReturnsExitCodeAndHandlesErrors)
+{
+    Assembler a;
+    Label child = a.newLabel();
+    asmlib::spawnThread(a, child, r5);
+    a.mov(r10, r0);
+    asmlib::joinThread(a, r10); // blocks until child exits
+    a.mov(r15, r0);             // child's code
+    // Join on self fails.
+    a.li(r1, 0);
+    a.sys(Sys::Join);
+    a.li(r2, -1);
+    a.seq(r4, r0, r2);
+    a.muli(r15, r15, 10);
+    a.add(r1, r15, r4);
+    a.sys(Sys::Exit);
+    a.bind(child);
+    asmlib::exitWith(a, 7);
+    Machine m = runUni(a.finish("join"));
+    EXPECT_EQ(m.threads[0].exitCode, 71u); // 7*10 + 1
+}
+
+TEST(SimOS, JoinOnAlreadyExitedThreadReturnsImmediately)
+{
+    Assembler a;
+    Label child = a.newLabel();
+    asmlib::spawnThread(a, child, r5);
+    a.mov(r10, r0);
+    // Busy-wait long enough for the child to finish under any
+    // schedule, then join.
+    a.li(r4, 2000);
+    Label spin = a.hereLabel();
+    Label done = a.newLabel();
+    a.beqz(r4, done);
+    a.addi(r4, r4, -1);
+    a.jmp(spin);
+    a.bind(done);
+    asmlib::joinThread(a, r10);
+    a.mov(r1, r0);
+    a.sys(Sys::Exit);
+    a.bind(child);
+    asmlib::exitWith(a, 9);
+    Machine m = runUni(a.finish("late_join"));
+    EXPECT_EQ(m.threads[0].exitCode, 9u);
+}
+
+TEST(SimOS, FutexWaitValueMismatchReturnsOne)
+{
+    Assembler a;
+    a.lia(r4, 0x500);
+    a.li(r5, 42);
+    a.st64(r4, 0, r5);
+    a.mov(r1, r4);
+    a.li(r2, 41); // mismatch
+    a.sys(Sys::FutexWait);
+    a.mov(r1, r0);
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("futex_mismatch"));
+    EXPECT_EQ(m.threads[0].exitCode, 1u);
+}
+
+TEST(SimOS, FutexWakeWithoutWaitersReturnsZero)
+{
+    Assembler a;
+    a.lia(r1, 0x500);
+    a.li(r2, 5);
+    a.sys(Sys::FutexWake);
+    a.mov(r1, r0);
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("futex_nowaiters"));
+    EXPECT_EQ(m.threads[0].exitCode, 0u);
+}
+
+TEST(SimOS, InvalidSyscallNumberFails)
+{
+    Assembler a;
+    a.li(r0, 999);
+    a.syscall();
+    a.li(r2, -1);
+    a.seq(r1, r0, r2);
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("bad_sys"));
+    EXPECT_EQ(m.threads[0].exitCode, 1u);
+}
+
+TEST(SimOS, RandomAdvancesOsState)
+{
+    Assembler a;
+    a.sys(Sys::Random);
+    a.mov(r14, r0);
+    a.sys(Sys::Random);
+    a.seq(r4, r14, r0); // should differ
+    a.li(r5, 1);
+    a.sub(r1, r5, r4);
+    a.sys(Sys::Exit);
+    Machine m = runUni(a.finish("random"));
+    EXPECT_EQ(m.threads[0].exitCode, 1u);
+}
+
+TEST(OsState, HashCoversQueuesAndFiles)
+{
+    OsState a, b;
+    EXPECT_EQ(a.hash(), b.hash());
+    b.futexQueues[0x100].push_back(3);
+    EXPECT_NE(a.hash(), b.hash());
+
+    OsState c, d;
+    c.ensureFile("x");
+    EXPECT_NE(c.hash(), d.hash());
+    d.ensureFile("x");
+    EXPECT_EQ(c.hash(), d.hash());
+    d.writableFile(0).push_back(1);
+    EXPECT_NE(c.hash(), d.hash());
+}
+
+TEST(OsState, FdAllocationReusesLowestClosedSlot)
+{
+    OsState os;
+    std::uint32_t f = os.ensureFile("a");
+    auto fd0 = os.allocFd({static_cast<std::int32_t>(f), 0, true,
+                           false});
+    auto fd1 = os.allocFd({static_cast<std::int32_t>(f), 0, true,
+                           false});
+    EXPECT_EQ(fd0, 0u);
+    EXPECT_EQ(fd1, 1u);
+    os.fds[0] = FileDesc{}; // close fd0
+    auto fd2 = os.allocFd({static_cast<std::int32_t>(f), 0, true,
+                           false});
+    EXPECT_EQ(fd2, 0u) << "POSIX-style lowest-slot reuse";
+}
+
+TEST(Machine, BootOpensStandardFds)
+{
+    GuestProgram prog = testprogs::arithLoop(1);
+    Machine m(prog, {});
+    ASSERT_GE(m.os.fds.size(), 3u);
+    EXPECT_TRUE(m.os.fds[1].writable);
+    EXPECT_TRUE(m.os.fds[1].appendOnly);
+    EXPECT_FALSE(m.os.fds[0].writable);
+    EXPECT_EQ(m.threads.size(), 1u);
+    EXPECT_EQ(m.threads[0].pc, prog.entry);
+}
+
+TEST(Machine, StateHashIgnoresVirtualTime)
+{
+    GuestProgram prog = testprogs::arithLoop(1);
+    Machine a(prog, {});
+    Machine b(prog, {});
+    b.now = 12345;
+    EXPECT_EQ(a.stateHash(), b.stateHash());
+    b.threads[0].reg(Reg::r5) = 1;
+    EXPECT_NE(a.stateHash(), b.stateHash());
+}
+
+} // namespace
+} // namespace dp

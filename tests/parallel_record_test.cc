@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for host-parallel recording: the concurrent pipeline must
+ * produce byte-identical recordings to the synchronous reference
+ * mode, for clean, racy, and randomized programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recorder.hh"
+#include "replay/recording_io.hh"
+#include "replay/replayer.hh"
+#include "testprogs.hh"
+#include "workloads/registry.hh"
+
+namespace dp
+{
+namespace
+{
+
+RecordOutcome
+recordWith(const GuestProgram &prog, const MachineConfig &cfg,
+           unsigned host_workers, Cycles epoch_len = 10'000)
+{
+    RecorderOptions opts;
+    opts.epochLength = epoch_len;
+    opts.hostWorkers = host_workers;
+    opts.keepCheckpoints = false; // serialized comparison below
+    UniparallelRecorder rec(prog, cfg, opts);
+    return rec.record();
+}
+
+void
+expectIdenticalRecordings(const GuestProgram &prog,
+                          const MachineConfig &cfg,
+                          Cycles epoch_len = 10'000)
+{
+    RecordOutcome sync_out = recordWith(prog, cfg, 0, epoch_len);
+    RecordOutcome par_out = recordWith(prog, cfg, 2, epoch_len);
+    ASSERT_TRUE(sync_out.ok);
+    ASSERT_TRUE(par_out.ok);
+    EXPECT_EQ(sync_out.mainExitCode, par_out.mainExitCode);
+    EXPECT_EQ(sync_out.recording.stats.rollbacks,
+              par_out.recording.stats.rollbacks);
+    // Byte-identical artifacts: schedules, syscall logs, digests.
+    EXPECT_EQ(serializeRecording(sync_out.recording),
+              serializeRecording(par_out.recording));
+}
+
+TEST(ParallelRecord, MatchesSynchronousOnLockedCounter)
+{
+    expectIdenticalRecordings(testprogs::lockedCounter(3, 400), {});
+}
+
+TEST(ParallelRecord, MatchesSynchronousOnBarriers)
+{
+    expectIdenticalRecordings(testprogs::barrierPhases(3, 10), {});
+}
+
+TEST(ParallelRecord, MatchesSynchronousOnSyscallStorm)
+{
+    MachineConfig cfg;
+    cfg.netBytesPerConn = 4'096;
+    cfg.netCyclesPerByte = 3;
+    expectIdenticalRecordings(testprogs::syscallStorm(2'000), cfg,
+                              20'000);
+}
+
+TEST(ParallelRecord, MatchesSynchronousWithRollbacks)
+{
+    // Divergences squash in-flight epochs; the outcome must still be
+    // identical to the synchronous path.
+    expectIdenticalRecordings(testprogs::racyCounter(4, 2'000), {},
+                              8'000);
+}
+
+TEST(ParallelRecord, MatchesSynchronousOnRandomCorpus)
+{
+    for (std::uint64_t seed = 500; seed < 508; ++seed) {
+        GuestProgram prog =
+            testprogs::randomProgram(seed, {.allowRaces = true});
+        MachineConfig cfg;
+        cfg.netBytesPerConn = 8'192;
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        expectIdenticalRecordings(prog, cfg, 4'000);
+    }
+}
+
+TEST(ParallelRecord, ParallelRecordingReplays)
+{
+    const workloads::Workload *w = workloads::findWorkload("mysql");
+    workloads::WorkloadBundle b = w->make({.threads = 2, .scale = 2});
+    RecorderOptions opts;
+    opts.epochLength = 40'000;
+    opts.hostWorkers = 2;
+    UniparallelRecorder rec(b.program, b.config, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.mainExitCode, b.expectedExit);
+
+    Replayer rep(out.recording);
+    EXPECT_TRUE(rep.replaySequential().ok);
+    EXPECT_TRUE(rep.replayParallel(2).ok);
+}
+
+TEST(ParallelRecord, WindowSizeOneStillWorks)
+{
+    GuestProgram prog = testprogs::atomicCounter(2, 1'000);
+    RecorderOptions opts;
+    opts.epochLength = 5'000;
+    opts.hostWorkers = 2;
+    opts.maxInFlight = 1;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.mainExitCode, 2'000u);
+}
+
+TEST(ParallelRecord, WindowSizeDoesNotAffectTheArtifact)
+{
+    GuestProgram prog = testprogs::lockedCounter(3, 600);
+    auto artifact = [&](unsigned window) {
+        RecorderOptions opts;
+        opts.epochLength = 8'000;
+        opts.hostWorkers = 2;
+        opts.maxInFlight = window;
+        opts.keepCheckpoints = false;
+        UniparallelRecorder rec(prog, {}, opts);
+        RecordOutcome out = rec.record();
+        EXPECT_TRUE(out.ok);
+        return serializeRecording(out.recording);
+    };
+    std::vector<std::uint8_t> w1 = artifact(1);
+    EXPECT_EQ(w1, artifact(2));
+    EXPECT_EQ(w1, artifact(8));
+}
+
+} // namespace
+} // namespace dp

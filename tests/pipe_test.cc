@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the in-kernel pipe: blocking semantics, EOF, FIFO waiter
+ * service, and producer/consumer programs through the full
+ * record/replay pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/race_detector.hh"
+#include "core/recorder.hh"
+#include "os/simos.hh"
+#include "os/uni_runner.hh"
+#include "replay/replayer.hh"
+#include "vm/asmlib.hh"
+#include "vm/assembler.hh"
+#include "workloads/registry.hh"
+
+namespace dp
+{
+namespace
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+/**
+ * Producer/consumer over pipe 1: a producer thread pushes `items`
+ * 8-byte values; `consumers` workers pull values and fetch-add them
+ * into a shared sum at 0x9000; producer closes the pipe; consumers
+ * exit on EOF. Main exits with the sum.
+ */
+GuestProgram
+pipelineProgram(std::uint64_t items, std::uint64_t consumers)
+{
+    Assembler a;
+    Label producer = a.newLabel();
+    Label consumer = a.newLabel();
+
+    // main: spawn producer + consumers, join all, exit with sum.
+    lib::spawnThread(a, producer, r5);
+    a.mov(r13, r0);
+    a.li(r14, 0); // consumer index
+    a.li(r15, static_cast<std::int64_t>(consumers));
+    Label spawn_loop = a.hereLabel();
+    Label spawned = a.newLabel();
+    a.bgeu(r14, r15, spawned);
+    lib::spawnThread(a, consumer, r14);
+    a.shli(r3, r14, 3);
+    a.lia(r4, 0x9100);
+    a.add(r3, r3, r4);
+    a.st64(r3, 0, r0);
+    a.addi(r14, r14, 1);
+    a.jmp(spawn_loop);
+    a.bind(spawned);
+    lib::joinThread(a, r13);
+    a.li(r14, 0);
+    Label join_loop = a.hereLabel();
+    Label joined = a.newLabel();
+    a.bgeu(r14, r15, joined);
+    a.shli(r3, r14, 3);
+    a.lia(r4, 0x9100);
+    a.add(r3, r3, r4);
+    a.ld64(r4, r3, 0);
+    lib::joinThread(a, r4);
+    a.addi(r14, r14, 1);
+    a.jmp(join_loop);
+    a.bind(joined);
+    a.lia(r4, 0x9000);
+    a.ld64(r1, r4, 0);
+    a.sys(Sys::Exit);
+
+    // producer: write values 1..items, then close.
+    a.bind(producer);
+    a.li(r8, 1);
+    a.li(r9, static_cast<std::int64_t>(items));
+    Label prod_loop = a.hereLabel();
+    Label close_it = a.newLabel();
+    a.bltu(r9, r8, close_it); // items < next value: done
+    a.lia(r4, 0x9200);
+    a.st64(r4, 0, r8); // stage the value
+    a.li(r1, 1);       // pipe id
+    a.mov(r2, r4);
+    a.li(r3, 8);
+    a.sys(Sys::PipeWrite);
+    a.addi(r8, r8, 1);
+    a.jmp(prod_loop);
+    a.bind(close_it);
+    a.li(r1, 1);
+    a.sys(Sys::PipeClose);
+    lib::exitWith(a, 0);
+
+    // consumer: read values until EOF; fetch-add each into the sum.
+    a.bind(consumer);
+    a.mov(r13, r1);
+    a.muli(r9, r13, 0x100);
+    a.addi(r9, r9, 0x9300); // private read buffer
+    Label cons_loop = a.hereLabel();
+    Label cons_done = a.newLabel();
+    a.li(r1, 1);
+    a.mov(r2, r9);
+    a.li(r3, 8);
+    a.sys(Sys::PipeRead);
+    a.beqz(r0, cons_done); // EOF
+    a.ld64(r4, r9, 0);
+    a.lia(r5, 0x9000);
+    a.fetchAdd(r6, r5, r4);
+    a.jmp(cons_loop);
+    a.bind(cons_done);
+    lib::exitWith(a, 0);
+
+    return a.finish("pipeline");
+}
+
+TEST(Pipe, BasicWriteThenRead)
+{
+    Assembler a;
+    a.lia(r4, 0x100);
+    a.li(r5, 0xabcdef);
+    a.st64(r4, 0, r5);
+    a.li(r1, 7);
+    a.mov(r2, r4);
+    a.li(r3, 8);
+    a.sys(Sys::PipeWrite);
+    a.li(r1, 7);
+    a.lia(r2, 0x200);
+    a.li(r3, 8);
+    a.sys(Sys::PipeRead);
+    a.mov(r15, r0); // 8
+    a.lia(r2, 0x200);
+    a.ld64(r4, r2, 0);
+    a.li(r5, 0xabcdef);
+    a.seq(r4, r4, r5);
+    a.muli(r1, r15, 10);
+    a.add(r1, r1, r4); // 81
+    a.sys(Sys::Exit);
+    GuestProgram prog = a.finish("pipe_basic");
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, 81u);
+}
+
+TEST(Pipe, ReadOnClosedEmptyPipeIsEof)
+{
+    Assembler a;
+    a.li(r1, 3);
+    a.sys(Sys::PipeClose);
+    a.li(r1, 3);
+    a.lia(r2, 0x100);
+    a.li(r3, 8);
+    a.sys(Sys::PipeRead);
+    a.mov(r1, r0); // 0 = EOF
+    a.sys(Sys::Exit);
+    GuestProgram prog = a.finish("pipe_eof");
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, 0u);
+}
+
+TEST(Pipe, WriteToClosedPipeFails)
+{
+    Assembler a;
+    a.li(r1, 3);
+    a.sys(Sys::PipeClose);
+    a.li(r1, 3);
+    a.lia(r2, 0x100);
+    a.li(r3, 8);
+    a.sys(Sys::PipeWrite);
+    a.li(r2, -1);
+    a.seq(r1, r0, r2);
+    a.sys(Sys::Exit);
+    GuestProgram prog = a.finish("pipe_closed_write");
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, 1u);
+}
+
+TEST(Pipe, ProducerConsumerDeliversEverything)
+{
+    // 1+2+...+40 = 820, through 3 consumers.
+    GuestProgram prog = pipelineProgram(40, 3);
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, 820u);
+}
+
+TEST(Pipe, ProducerConsumerRecordsAndReplays)
+{
+    GuestProgram prog = pipelineProgram(60, 2);
+    RecorderOptions opts;
+    opts.epochLength = 5'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.mainExitCode, 60u * 61u / 2);
+    EXPECT_EQ(out.recording.stats.rollbacks, 0u)
+        << "pipe ordering is captured per-pipe; no divergence";
+
+    Replayer rep(out.recording);
+    EXPECT_TRUE(rep.replaySequential().ok);
+    EXPECT_TRUE(rep.replayParallel(2).ok);
+}
+
+TEST(Pipe, PipelineIsRaceFreeUnderTheDetector)
+{
+    GuestProgram prog = pipelineProgram(30, 2);
+    RecorderOptions opts;
+    opts.epochLength = 8'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+
+    RaceDetector det;
+    ReplayObserver obs = det.observer();
+    Replayer rep(out.recording);
+    ASSERT_TRUE(rep.replaySequential(&obs).ok);
+    EXPECT_TRUE(det.races().empty())
+        << "pipe hand-off must establish happens-before";
+}
+
+TEST(Pipe, HostParallelRecordingMatches)
+{
+    GuestProgram prog = pipelineProgram(50, 2);
+    auto run = [&](unsigned hw) {
+        RecorderOptions opts;
+        opts.epochLength = 5'000;
+        opts.hostWorkers = hw;
+        opts.keepCheckpoints = false;
+        UniparallelRecorder rec(prog, {}, opts);
+        return rec.record();
+    };
+    RecordOutcome a0 = run(0);
+    RecordOutcome a2 = run(2);
+    ASSERT_TRUE(a0.ok);
+    ASSERT_TRUE(a2.ok);
+    EXPECT_EQ(a0.recording.finalStateHash,
+              a2.recording.finalStateHash);
+}
+
+TEST(Pipe, Pbzip2PipeMatchesWorkPoolResult)
+{
+    // The pipe-structured compressor must produce the same compressed
+    // byte count as the work-pool pbzip2 on identical input.
+    workloads::WorkloadBundle piped =
+        workloads::makePbzip2Pipe(3, 2);
+    const workloads::Workload *pool =
+        workloads::findWorkload("pbzip2");
+    workloads::WorkloadBundle pooled =
+        pool->make({.threads = 3, .scale = 2});
+    ASSERT_EQ(piped.expectedExit, pooled.expectedExit);
+
+    Machine m(piped.program, piped.config);
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, piped.expectedExit);
+}
+
+TEST(Pipe, Pbzip2PipeRecordsAndReplays)
+{
+    workloads::WorkloadBundle b = workloads::makePbzip2Pipe(2, 2);
+    RecorderOptions opts;
+    opts.epochLength = 40'000;
+    UniparallelRecorder rec(b.program, b.config, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.mainExitCode, b.expectedExit);
+    EXPECT_EQ(out.recording.stats.rollbacks, 0u);
+
+    Replayer rep(out.recording);
+    EXPECT_TRUE(rep.replaySequential().ok);
+}
+
+TEST(Pipe, Pbzip2PipeIsRaceFree)
+{
+    workloads::WorkloadBundle b = workloads::makePbzip2Pipe(2, 1);
+    RecorderOptions opts;
+    opts.epochLength = 30'000;
+    UniparallelRecorder rec(b.program, b.config, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+
+    RaceDetector det;
+    ReplayObserver obs = det.observer();
+    Replayer rep(out.recording);
+    ASSERT_TRUE(rep.replaySequential(&obs).ok);
+    EXPECT_TRUE(det.races().empty());
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the replay profiler: exact counts, hot-page ranking, and
+ * determinism across repeated replays of one recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/profiler.hh"
+#include "core/recorder.hh"
+#include "replay/replayer.hh"
+#include "testprogs.hh"
+#include "workloads/registry.hh"
+
+namespace dp
+{
+namespace
+{
+
+RecordOutcome
+recordIt(const GuestProgram &prog, MachineConfig cfg = {})
+{
+    RecorderOptions opts;
+    opts.epochLength = 15'000;
+    UniparallelRecorder rec(prog, std::move(cfg), opts);
+    RecordOutcome out = rec.record();
+    EXPECT_TRUE(out.ok);
+    return out;
+}
+
+ReplayProfiler
+profileIt(const Recording &rec)
+{
+    ReplayProfiler prof;
+    ReplayObserver obs = prof.observer();
+    Replayer rep(rec);
+    EXPECT_TRUE(rep.replaySequential(&obs).ok);
+    return prof;
+}
+
+TEST(Profiler, CountsAtomicsExactly)
+{
+    // atomicCounter: each of 3 workers does 200 fetchAdds, plus the
+    // lock-free scaffolding (spawn stores, final aggregation).
+    GuestProgram prog = testprogs::atomicCounter(3, 200);
+    RecordOutcome out = recordIt(prog);
+    ReplayProfiler prof = profileIt(out.recording);
+
+    std::uint64_t atomics = 0;
+    for (const ThreadProfile &t : prof.threads())
+        atomics += t.atomics;
+    EXPECT_EQ(atomics, 3u * 200u);
+}
+
+TEST(Profiler, SyscallMixIsPlausible)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 200);
+    RecordOutcome out = recordIt(prog);
+    ReplayProfiler prof = profileIt(out.recording);
+
+    ASSERT_EQ(prof.threads().size(), 3u); // main + 2 workers
+    const ThreadProfile &main_thread = prof.threads()[0];
+    EXPECT_EQ(main_thread.bySyscall.at(Sys::Spawn), 2u);
+    // Joins that block complete via a wake, not a syscall event, so
+    // they show up as received wakes instead.
+    std::uint64_t joins = main_thread.bySyscall.count(Sys::Join)
+                              ? main_thread.bySyscall.at(Sys::Join)
+                              : 0;
+    EXPECT_GE(joins + main_thread.wakesReceived, 2u);
+    // Workers wake each other through the lock futex.
+    std::uint64_t wakes = 0;
+    for (const ThreadProfile &t : prof.threads())
+        wakes += t.bySyscall.count(Sys::FutexWake)
+                     ? t.bySyscall.at(Sys::FutexWake)
+                     : 0;
+    EXPECT_GT(wakes, 0u);
+}
+
+TEST(Profiler, HotPagesRankSharedData)
+{
+    GuestProgram prog = testprogs::atomicCounter(4, 500);
+    RecordOutcome out = recordIt(prog);
+    ReplayProfiler prof = profileIt(out.recording);
+
+    std::vector<HotPage> hot = prof.hottestPages(3);
+    ASSERT_FALSE(hot.empty());
+    // The counter's page (0x1000) must be the hottest, touched by
+    // all four workers.
+    EXPECT_EQ(hot[0].pageAddr, testprogs::counterAddr & ~Addr{0xfff});
+    EXPECT_GE(hot[0].threadsTouching, 4u);
+    for (std::size_t i = 1; i < hot.size(); ++i)
+        EXPECT_LE(hot[i].accesses, hot[i - 1].accesses);
+}
+
+TEST(Profiler, EpochActivityCoversEveryEpoch)
+{
+    const workloads::Workload *w = workloads::findWorkload("fft");
+    workloads::WorkloadBundle b = w->make({.threads = 2, .scale = 1});
+    RecordOutcome out = recordIt(b.program, b.config);
+    ReplayProfiler prof = profileIt(out.recording);
+
+    ASSERT_EQ(prof.epochAccesses().size(),
+              out.recording.epochs.size());
+    std::uint64_t sum = 0;
+    for (std::uint64_t n : prof.epochAccesses()) {
+        EXPECT_GT(n, 0u) << "every epoch does memory work";
+        sum += n;
+    }
+    EXPECT_EQ(sum, prof.totalAccesses());
+}
+
+TEST(Profiler, RepeatedReplaysProfileIdentically)
+{
+    GuestProgram prog = testprogs::barrierPhases(3, 8);
+    RecordOutcome out = recordIt(prog);
+    ReplayProfiler a = profileIt(out.recording);
+    ReplayProfiler b = profileIt(out.recording);
+    EXPECT_EQ(a.totalAccesses(), b.totalAccesses());
+    EXPECT_EQ(a.totalSyncOps(), b.totalSyncOps());
+    ASSERT_EQ(a.threads().size(), b.threads().size());
+    for (std::size_t i = 0; i < a.threads().size(); ++i) {
+        EXPECT_EQ(a.threads()[i].reads, b.threads()[i].reads);
+        EXPECT_EQ(a.threads()[i].writes, b.threads()[i].writes);
+        EXPECT_EQ(a.threads()[i].atomics, b.threads()[i].atomics);
+        EXPECT_EQ(a.threads()[i].syscalls, b.threads()[i].syscalls);
+    }
+}
+
+} // namespace
+} // namespace dp

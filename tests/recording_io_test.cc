@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for recording serialization: a recording artifact must be
+ * self-contained — deserialize in a "fresh process" (nothing shared
+ * with the recorder) and replay exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recorder.hh"
+#include "replay/recording_io.hh"
+#include "replay/replayer.hh"
+#include "testprogs.hh"
+
+namespace dp
+{
+namespace
+{
+
+RecordOutcome
+recordLocked(std::uint32_t threads, std::uint64_t incs)
+{
+    GuestProgram prog = testprogs::lockedCounter(threads, incs);
+    RecorderOptions opts;
+    opts.epochLength = 20'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    EXPECT_TRUE(out.ok);
+    return out;
+}
+
+TEST(RecordingIo, RoundTripPreservesEverything)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 300);
+    RecorderOptions opts;
+    opts.epochLength = 15'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+
+    std::vector<std::uint8_t> bytes =
+        serializeRecording(out.recording);
+    LoadedRecording loaded = deserializeRecording(bytes);
+
+    EXPECT_EQ(loaded.program().code.size(), prog.code.size());
+    EXPECT_EQ(loaded.program().hash(), prog.hash());
+    ASSERT_EQ(loaded.recording->epochs.size(),
+              out.recording.epochs.size());
+    for (std::size_t i = 0; i < out.recording.epochs.size(); ++i) {
+        const EpochRecord &a = out.recording.epochs[i];
+        const EpochRecord &b = loaded.recording->epochs[i];
+        EXPECT_EQ(a.schedule, b.schedule);
+        EXPECT_EQ(a.syscalls, b.syscalls);
+        EXPECT_EQ(a.endStateHash, b.endStateHash);
+        EXPECT_EQ(a.stdoutLen, b.stdoutLen);
+        EXPECT_EQ(a.epInstrs, b.epInstrs);
+    }
+    EXPECT_EQ(loaded.recording->finalStateHash,
+              out.recording.finalStateHash);
+}
+
+TEST(RecordingIo, DeserializedArtifactReplays)
+{
+    RecordOutcome out = recordLocked(3, 250);
+    std::vector<std::uint8_t> bytes =
+        serializeRecording(out.recording);
+
+    // Nothing from the original process is reused below.
+    LoadedRecording loaded = deserializeRecording(bytes);
+    Replayer rep(*loaded.recording);
+    ReplayResult r = rep.replaySequential();
+    ASSERT_TRUE(r.ok) << "failed at epoch " << r.firstFailedEpoch;
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= std::uint64_t{r.stdoutBytes[i]} << (8 * i);
+    EXPECT_EQ(value, 750u);
+}
+
+TEST(RecordingIo, ArtifactIncludesMachineConfig)
+{
+    GuestProgram prog = testprogs::syscallStorm(1'000);
+    MachineConfig cfg;
+    cfg.netSeed = 777;
+    cfg.netBytesPerConn = 2'048;
+    cfg.netCyclesPerByte = 3;
+    cfg.initialFiles.emplace_back(
+        "seed.dat", std::vector<std::uint8_t>{9, 8, 7});
+    RecorderOptions opts;
+    opts.workerCpus = 1;
+    UniparallelRecorder rec(prog, cfg, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+
+    LoadedRecording loaded =
+        deserializeRecording(serializeRecording(out.recording));
+    EXPECT_EQ(loaded.recording->config().netSeed, 777u);
+    ASSERT_EQ(loaded.recording->config().initialFiles.size(), 1u);
+    EXPECT_EQ(loaded.recording->config().initialFiles[0].first,
+              "seed.dat");
+    // Replays bit-for-bit including net content regeneration.
+    Replayer rep(*loaded.recording);
+    EXPECT_TRUE(rep.replaySequential().ok);
+}
+
+TEST(RecordingIo, RejectsForeignBytes)
+{
+    std::vector<std::uint8_t> junk(64, 0x5a);
+    EXPECT_DEATH((void)deserializeRecording(junk),
+                 "not a uniplay recording artifact");
+}
+
+TEST(RecordingIo, RejectsTruncatedArtifact)
+{
+    RecordOutcome out = recordLocked(2, 50);
+    std::vector<std::uint8_t> bytes =
+        serializeRecording(out.recording);
+    bytes.resize(bytes.size() / 2);
+    EXPECT_DEATH((void)deserializeRecording(bytes), "");
+}
+
+TEST(RecordingIo, ArtifactIsCompact)
+{
+    RecordOutcome out = recordLocked(2, 500);
+    std::vector<std::uint8_t> bytes =
+        serializeRecording(out.recording);
+    // Program + logs for a ~16k-instruction run should be small.
+    EXPECT_LT(bytes.size(), 64u * 1024);
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Replay determinism tests: invariants 1, 4, and 5 from DESIGN.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recorder.hh"
+#include "replay/replayer.hh"
+#include "testprogs.hh"
+
+namespace dp
+{
+namespace
+{
+
+RecordOutcome
+recordProgram(const GuestProgram &prog, MachineConfig cfg = {},
+              RecorderOptions opts = {})
+{
+    UniparallelRecorder rec(prog, std::move(cfg), opts);
+    RecordOutcome out = rec.record();
+    EXPECT_TRUE(out.ok);
+    return out;
+}
+
+TEST(Replay, SequentialReproducesEveryEpochDigest)
+{
+    GuestProgram prog = testprogs::lockedCounter(3, 300);
+    RecorderOptions opts;
+    opts.epochLength = 15'000;
+    RecordOutcome out = recordProgram(prog, {}, opts);
+
+    Replayer rep(out.recording);
+    ReplayResult r = rep.replaySequential();
+    ASSERT_TRUE(r.ok) << "first failed epoch: " << r.firstFailedEpoch;
+    EXPECT_EQ(r.epochsVerified, out.recording.epochs.size());
+}
+
+TEST(Replay, ReproducesGuestOutputBytes)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 150);
+    RecordOutcome out = recordProgram(prog);
+
+    Replayer rep(out.recording);
+    ReplayResult r = rep.replaySequential();
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.stdoutBytes.size(), 8u);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= std::uint64_t{r.stdoutBytes[i]} << (8 * i);
+    EXPECT_EQ(value, 300u);
+}
+
+TEST(Replay, ParallelEqualsSequential)
+{
+    GuestProgram prog = testprogs::atomicCounter(3, 2'000);
+    RecorderOptions opts;
+    opts.epochLength = 1'500;
+    opts.keepCheckpoints = true;
+    RecordOutcome out = recordProgram(prog, {}, opts);
+    ASSERT_TRUE(out.recording.hasCheckpoints());
+    ASSERT_GT(out.recording.epochs.size(), 2u);
+
+    Replayer rep(out.recording);
+    ReplayResult seq = rep.replaySequential();
+    ReplayResult par = rep.replayParallel(2);
+    ASSERT_TRUE(seq.ok);
+    ASSERT_TRUE(par.ok);
+    EXPECT_EQ(par.epochsVerified, seq.epochsVerified);
+    EXPECT_EQ(seq.instrs, par.instrs);
+}
+
+TEST(Replay, ParallelWithoutCheckpointsFailsGracefully)
+{
+    GuestProgram prog = testprogs::arithLoop(2'000);
+    RecorderOptions opts;
+    opts.keepCheckpoints = false;
+    RecordOutcome out = recordProgram(prog, {}, opts);
+    EXPECT_FALSE(out.recording.hasCheckpoints());
+
+    Replayer rep(out.recording);
+    EXPECT_FALSE(rep.replayParallel(2).ok);
+    EXPECT_TRUE(rep.replaySequential().ok)
+        << "sequential replay needs only logs + initial state";
+}
+
+TEST(Replay, InjectablesComeFromTheLogNotTheClock)
+{
+    // Record with one net rate, replay with a config whose clock-based
+    // availability would differ wildly; replay must still verify
+    // because lengths are injected, never recomputed.
+    GuestProgram prog = testprogs::syscallStorm(1'500);
+    MachineConfig cfg;
+    cfg.netBytesPerConn = 4'096;
+    cfg.netCyclesPerByte = 5;
+    RecorderOptions opts;
+    opts.epochLength = 40'000;
+    RecordOutcome out = recordProgram(prog, cfg, opts);
+
+    Replayer rep(out.recording);
+    ReplayResult r = rep.replaySequential();
+    ASSERT_TRUE(r.ok);
+}
+
+TEST(Replay, ReplayIsIdempotent)
+{
+    GuestProgram prog = testprogs::barrierPhases(2, 6);
+    RecordOutcome out = recordProgram(prog);
+    Replayer rep(out.recording);
+    ReplayResult a = rep.replaySequential();
+    ReplayResult b = rep.replaySequential();
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.replayCycles, b.replayCycles);
+    EXPECT_EQ(a.stdoutBytes, b.stdoutBytes);
+}
+
+TEST(Replay, CorruptedScheduleIsRejected)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 100);
+    RecordOutcome out = recordProgram(prog);
+    ASSERT_GT(out.recording.epochs.size(), 0u);
+
+    // Tamper: rebuild epoch 0's schedule with one segment lengthened.
+    ScheduleLog tampered;
+    const auto &segs =
+        out.recording.epochs[0].schedule.segments();
+    ASSERT_FALSE(segs.empty());
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+        ScheduleSegment s = segs[i];
+        if (i == segs.size() / 2)
+            s.instrs += 3;
+        tampered.append(s);
+    }
+    out.recording.epochs[0].schedule = tampered;
+
+    Replayer rep(out.recording);
+    ReplayResult r = rep.replaySequential();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.firstFailedEpoch, 0u);
+}
+
+} // namespace
+} // namespace dp

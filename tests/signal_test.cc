@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for asynchronous guest signals: handler mechanics, delivery
+ * points, and — the part the paper cares about — exact reproduction
+ * of deliveries by the epoch-parallel run and by replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recorder.hh"
+#include "os/simos.hh"
+#include "os/uni_runner.hh"
+#include "replay/recording_io.hh"
+#include "replay/replayer.hh"
+#include "vm/asmlib.hh"
+#include "vm/assembler.hh"
+
+namespace dp
+{
+namespace
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+/**
+ * A pinger thread signals a worker every @p gap iterations of its own
+ * loop; the worker spins a compute loop with a handler that counts
+ * deliveries at 0xA000 and folds the signal number into 0xA008.
+ * Main exits with (deliveries * 1000 + worker_sum_low).
+ */
+GuestProgram
+signalProgram(std::uint64_t pings, std::uint64_t gap,
+              std::uint64_t worker_iters)
+{
+    Assembler a;
+    Label worker = a.newLabel();
+    Label pinger = a.newLabel();
+    Label handler = a.newLabel();
+
+    // main
+    lib::spawnThread(a, worker, r5);
+    a.mov(r10, r0);
+    a.mov(r2, r10); // pass the worker's tid to the pinger
+    a.liLabel(r1, pinger);
+    a.sys(Sys::Spawn);
+    a.mov(r11, r0);
+    lib::joinThread(a, r10);
+    lib::joinThread(a, r11);
+    a.lia(r4, 0xA000);
+    a.ld64(r5, r4, 0); // deliveries
+    a.muli(r5, r5, 1000);
+    a.ld64(r6, r4, 8);
+    a.andi(r6, r6, 0xff);
+    a.add(r1, r5, r6);
+    a.sys(Sys::Exit);
+
+    // worker: register handler, then compute.
+    a.bind(worker);
+    a.liLabel(r1, handler);
+    a.sys(Sys::SigHandler);
+    a.li(r8, static_cast<std::int64_t>(worker_iters));
+    a.li(r9, 1);
+    Label spin = a.hereLabel();
+    Label done = a.newLabel();
+    a.beqz(r8, done);
+    a.muli(r9, r9, 0x9e3779b9);
+    a.xor_(r9, r9, r8);
+    a.addi(r8, r8, -1);
+    a.jmp(spin);
+    a.bind(done);
+    lib::exitWith(a, 0);
+
+    // handler: count the delivery, fold the signal number (in r1).
+    a.bind(handler);
+    a.lia(r4, 0xA000);
+    a.ld64(r5, r4, 0);
+    a.addi(r5, r5, 1);
+    a.st64(r4, 0, r5);
+    a.ld64(r5, r4, 8);
+    a.add(r5, r5, r1);
+    a.st64(r4, 8, r5);
+    a.sys(Sys::SigReturn);
+
+    // pinger: r1 = worker tid on entry; send `pings` signals with a
+    // compute gap between them.
+    a.bind(pinger);
+    a.mov(r13, r1); // target tid
+    a.li(r8, static_cast<std::int64_t>(pings));
+    a.li(r12, 5); // signal number cycles 5,6,7,...
+    Label ping_loop = a.hereLabel();
+    Label pinger_done = a.newLabel();
+    a.beqz(r8, pinger_done);
+    a.li(r9, static_cast<std::int64_t>(gap));
+    Label gap_loop = a.hereLabel();
+    Label gapped = a.newLabel();
+    a.beqz(r9, gapped);
+    a.addi(r9, r9, -1);
+    a.jmp(gap_loop);
+    a.bind(gapped);
+    a.mov(r1, r13);
+    a.mov(r2, r12);
+    a.sys(Sys::Kill);
+    a.addi(r12, r12, 1);
+    a.addi(r8, r8, -1);
+    a.jmp(ping_loop);
+    a.bind(pinger_done);
+    lib::exitWith(a, 0);
+
+    return a.finish("signal_pingpong");
+}
+
+TEST(Signals, HandlerRunsAndReturns)
+{
+    // Self-signal: deliver once, handler increments, execution
+    // resumes exactly where it left off.
+    Assembler a;
+    Label handler = a.newLabel();
+    a.liLabel(r1, handler);
+    a.sys(Sys::SigHandler);
+    a.li(r1, 0); // own tid
+    a.li(r2, 9);
+    a.sys(Sys::Kill);
+    // Delivery happens before the next instruction boundary.
+    a.li(r10, 111);
+    a.lia(r4, 0xA000);
+    a.ld64(r5, r4, 0); // handler counted?
+    a.muli(r5, r5, 100);
+    a.add(r1, r5, r10);
+    a.addi(r1, r1, -111);
+    a.sys(Sys::Exit); // 100 * deliveries
+    a.bind(handler);
+    a.lia(r4, 0xA000);
+    a.ld64(r5, r4, 0);
+    a.addi(r5, r5, 1);
+    a.st64(r4, 0, r5);
+    a.sys(Sys::SigReturn);
+
+    GuestProgram prog = a.finish("self_signal");
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, 100u);
+}
+
+TEST(Signals, SigReturnOutsideHandlerFails)
+{
+    Assembler a;
+    a.sys(Sys::SigReturn);
+    a.li(r2, -1);
+    a.seq(r1, r0, r2);
+    a.sys(Sys::Exit);
+    GuestProgram prog = a.finish("bad_sigreturn");
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, 1u);
+}
+
+TEST(Signals, SignalsWithoutHandlerStayPending)
+{
+    Assembler a;
+    Label child = a.newLabel();
+    lib::spawnThread(a, child, r5);
+    a.mov(r10, r0);
+    a.mov(r1, r10);
+    a.li(r2, 3);
+    a.sys(Sys::Kill);
+    lib::joinThread(a, r10);
+    a.li(r1, 0);
+    a.sys(Sys::Exit);
+    a.bind(child);
+    a.li(r8, 50);
+    Label spin = a.hereLabel();
+    Label done = a.newLabel();
+    a.beqz(r8, done);
+    a.addi(r8, r8, -1);
+    a.jmp(spin);
+    a.bind(done);
+    lib::exitWith(a, 0);
+
+    GuestProgram prog = a.finish("no_handler");
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    // Child exited with the signal still pending; nothing crashed.
+    EXPECT_EQ(m.threads[0].exitCode, 0u);
+}
+
+TEST(Signals, DeliveriesAreCountedExactly)
+{
+    GuestProgram prog = signalProgram(6, 400, 20'000);
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    ASSERT_EQ(r.run(), StopReason::AllExited);
+    // 6 deliveries; signal numbers 5..10 sum to 45.
+    EXPECT_EQ(m.threads[0].exitCode, 6'000u + 45u);
+}
+
+TEST(Signals, RecordReproducesDeliveryPoints)
+{
+    GuestProgram prog = signalProgram(8, 600, 40'000);
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 8'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.recording.stats.rollbacks, 0u)
+        << "plan-driven delivery must reconverge the epoch runs";
+    EXPECT_EQ(out.mainExitCode % 1000, (5 + 12) * 8 / 2 % 1000);
+    EXPECT_GE(out.mainExitCode / 1000, 8u);
+
+    std::size_t logged = 0;
+    for (const auto &e : out.recording.epochs)
+        logged += e.signals.size();
+    EXPECT_EQ(logged, out.mainExitCode / 1000)
+        << "every delivery appears in exactly one epoch's log";
+
+    Replayer rep(out.recording);
+    EXPECT_TRUE(rep.replaySequential().ok);
+    EXPECT_TRUE(rep.replayParallel(2).ok);
+}
+
+TEST(Signals, ArtifactRoundTripsSignalLogs)
+{
+    GuestProgram prog = signalProgram(5, 500, 25'000);
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 10'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+
+    LoadedRecording loaded =
+        deserializeRecording(serializeRecording(out.recording));
+    Replayer rep(*loaded.recording);
+    EXPECT_TRUE(rep.replaySequential().ok);
+}
+
+TEST(Signals, HostParallelRecordingMatches)
+{
+    GuestProgram prog = signalProgram(6, 700, 30'000);
+    auto run = [&](unsigned hw) {
+        RecorderOptions opts;
+        opts.workerCpus = 2;
+        opts.epochLength = 9'000;
+        opts.hostWorkers = hw;
+        opts.keepCheckpoints = false;
+        UniparallelRecorder rec(prog, {}, opts);
+        return rec.record();
+    };
+    RecordOutcome a0 = run(0);
+    RecordOutcome a2 = run(2);
+    ASSERT_TRUE(a0.ok);
+    ASSERT_TRUE(a2.ok);
+    EXPECT_EQ(serializeRecording(a0.recording),
+              serializeRecording(a2.recording));
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,485 @@
+#include "testprogs.hh"
+
+#include <functional>
+#include <string_view>
+
+#include "common/rng.hh"
+#include "vm/asmlib.hh"
+#include "vm/assembler.hh"
+
+namespace dp::testprogs
+{
+
+using enum Reg;
+namespace lib = dp::asmlib;
+
+namespace
+{
+
+/**
+ * Emit main-thread prologue/epilogue around a worker body: spawn
+ * @p nthreads workers (arg = worker index), join them all, write the
+ * counter word to stdout, exit with its value.
+ */
+GuestProgram
+spawnJoinHarness(std::uint64_t nthreads,
+                 const std::function<void(Assembler &, Label worker)>
+                     &emit_worker,
+                 const char *name)
+{
+    Assembler a;
+    Label worker = a.newLabel();
+
+    // r10 = i, r11 = nthreads, r12 = tid array base.
+    a.li(r10, 0);
+    a.li(r11, static_cast<std::int64_t>(nthreads));
+    a.lia(r12, tidArrayAddr);
+
+    Label spawn_loop = a.hereLabel();
+    Label spawned = a.newLabel();
+    a.bgeu(r10, r11, spawned);
+    lib::spawnThread(a, worker, r10);
+    a.shli(r3, r10, 3);
+    a.add(r3, r12, r3);
+    a.st64(r3, 0, r0); // r0 = spawned tid
+    a.addi(r10, r10, 1);
+    a.jmp(spawn_loop);
+
+    a.bind(spawned);
+    a.li(r10, 0);
+    Label join_loop = a.hereLabel();
+    Label joined = a.newLabel();
+    a.bgeu(r10, r11, joined);
+    a.shli(r3, r10, 3);
+    a.add(r3, r12, r3);
+    a.ld64(r4, r3, 0);
+    lib::joinThread(a, r4);
+    a.addi(r10, r10, 1);
+    a.jmp(join_loop);
+
+    a.bind(joined);
+    a.lia(r5, counterAddr);
+    a.li(r6, 8);
+    lib::writeFd(a, fdStdout, r5, r6);
+    a.ld64(r7, r5, 0);
+    a.mov(r1, r7);
+    a.sys(Sys::Exit);
+
+    emit_worker(a, worker);
+    return a.finish(name);
+}
+
+} // namespace
+
+GuestProgram
+lockedCounter(std::uint64_t nthreads, std::uint64_t incs)
+{
+    return spawnJoinHarness(
+        nthreads,
+        [&](Assembler &a, Label worker) {
+            a.bind(worker);
+            a.li(r8, static_cast<std::int64_t>(incs));
+            a.lia(r9, lockAddr);
+            a.lia(r10, counterAddr);
+            Label loop = a.hereLabel();
+            Label done = a.newLabel();
+            a.beqz(r8, done);
+            lib::lockAcquire(a, r9, r3);
+            a.ld64(r4, r10, 0);
+            a.addi(r4, r4, 1);
+            a.st64(r10, 0, r4);
+            lib::lockRelease(a, r9, r3);
+            a.addi(r8, r8, -1);
+            a.jmp(loop);
+            a.bind(done);
+            lib::exitWith(a, 0);
+        },
+        "locked_counter");
+}
+
+GuestProgram
+racyCounter(std::uint64_t nthreads, std::uint64_t incs)
+{
+    return spawnJoinHarness(
+        nthreads,
+        [&](Assembler &a, Label worker) {
+            a.bind(worker);
+            a.li(r8, static_cast<std::int64_t>(incs));
+            a.lia(r10, counterAddr);
+            Label loop = a.hereLabel();
+            Label done = a.newLabel();
+            a.beqz(r8, done);
+            a.ld64(r4, r10, 0); // racy read
+            a.addi(r4, r4, 1);
+            a.st64(r10, 0, r4); // racy write: lost updates possible
+            a.addi(r8, r8, -1);
+            a.jmp(loop);
+            a.bind(done);
+            lib::exitWith(a, 0);
+        },
+        "racy_counter");
+}
+
+GuestProgram
+atomicCounter(std::uint64_t nthreads, std::uint64_t incs)
+{
+    return spawnJoinHarness(
+        nthreads,
+        [&](Assembler &a, Label worker) {
+            a.bind(worker);
+            a.li(r8, static_cast<std::int64_t>(incs));
+            a.lia(r10, counterAddr);
+            a.li(r5, 1);
+            Label loop = a.hereLabel();
+            Label done = a.newLabel();
+            a.beqz(r8, done);
+            a.fetchAdd(r4, r10, r5);
+            a.addi(r8, r8, -1);
+            a.jmp(loop);
+            a.bind(done);
+            lib::exitWith(a, 0);
+        },
+        "atomic_counter");
+}
+
+GuestProgram
+barrierPhases(std::uint64_t nthreads, std::uint64_t phases)
+{
+    return spawnJoinHarness(
+        nthreads,
+        [&](Assembler &a, Label worker) {
+            // r1 = worker index on entry.
+            a.bind(worker);
+            a.mov(r13, r1);                   // my index
+            a.li(r8, static_cast<std::int64_t>(phases));
+            a.lia(r9, barrierAddr);
+            a.li(r11, static_cast<std::int64_t>(nthreads));
+
+            // slot address: scratch + 8*index
+            a.shli(r14, r13, 3);
+            a.lia(r3, scratchAddr);
+            a.add(r14, r3, r14);
+
+            // neighbour slot: scratch + 8*((index+1) % n)
+            a.addi(r15, r13, 1);
+            a.remu(r15, r15, r11);
+            a.shli(r15, r15, 3);
+            a.lia(r3, scratchAddr);
+            a.add(r15, r3, r15);
+
+            Label loop = a.hereLabel();
+            Label done = a.newLabel();
+            a.beqz(r8, done);
+            // bump my slot
+            a.ld64(r4, r14, 0);
+            a.addi(r4, r4, 1);
+            a.st64(r14, 0, r4);
+            lib::barrierWait(a, r9, r11, r5, r6);
+            // read the neighbour's slot and fold into an accumulator
+            a.ld64(r4, r15, 0);
+            a.add(r12, r12, r4);
+            lib::barrierWait(a, r9, r11, r5, r6);
+            a.addi(r8, r8, -1);
+            a.jmp(loop);
+            a.bind(done);
+            // publish the accumulator into the shared counter
+            a.lia(r3, counterAddr);
+            a.fetchAdd(r4, r3, r12);
+            lib::exitWith(a, 0);
+        },
+        "barrier_phases");
+}
+
+GuestProgram
+syscallStorm(std::uint64_t net_bytes)
+{
+    Assembler a;
+
+    const Addr buf = scratchAddr;
+    const Addr path = scratchAddr + 0x800;
+
+    const std::string_view fname = "data/out.bin";
+    a.dataBytes(path,
+                {reinterpret_cast<const std::uint8_t *>(fname.data()),
+                 fname.size()});
+
+    a.li(r15, 0); // checksum accumulator
+
+    // fd = open("data/out.bin", create|write)
+    a.lia(r1, path);
+    a.li(r2, openCreate | openWrite);
+    a.sys(Sys::Open);
+    a.mov(r14, r0);
+
+    // Fold the clock into the checksum (injectable result).
+    a.sys(Sys::GetTime);
+    a.andi(r4, r0, 0xff);
+    a.add(r15, r15, r4);
+
+    // Pull net_bytes from connection 7 in a poll loop.
+    a.li(r13, static_cast<std::int64_t>(net_bytes)); // remaining
+    Label poll = a.hereLabel();
+    Label drained = a.newLabel();
+    a.beqz(r13, drained);
+    a.li(r1, 7);
+    a.lia(r2, buf);
+    a.li(r3, 256);
+    a.sys(Sys::NetRecv);
+    a.mov(r12, r0); // got
+    Label got_some = a.newLabel();
+    a.bnez(r12, got_some);
+    a.sys(Sys::Yield); // nothing arrived yet: poll again
+    a.jmp(poll);
+    a.bind(got_some);
+    Label no_clamp = a.newLabel();
+    a.bgeu(r13, r12, no_clamp);
+    a.mov(r12, r13); // clamp to remaining
+    a.bind(no_clamp);
+    a.ld8(r4, r2, 0); // first received byte into the checksum
+    a.add(r15, r15, r4);
+    a.mov(r1, r14); // write(fd, buf, got)
+    a.lia(r2, buf);
+    a.mov(r3, r12);
+    a.sys(Sys::Write);
+    a.sub(r13, r13, r12);
+    a.jmp(poll);
+
+    a.bind(drained);
+    // Reopen for reading and checksum the file's first byte.
+    a.lia(r1, path);
+    a.li(r2, openRead);
+    a.sys(Sys::Open);
+    a.mov(r1, r0);
+    a.lia(r2, buf);
+    a.li(r3, 1);
+    a.sys(Sys::Read);
+    a.ld8(r4, r2, 0);
+    a.add(r15, r15, r4);
+
+    // Publish the checksum and exit with its low bits.
+    a.lia(r3, counterAddr);
+    a.st64(r3, 0, r15);
+    a.lia(r5, counterAddr);
+    a.li(r6, 8);
+    lib::writeFd(a, fdStdout, r5, r6);
+    a.andi(r1, r15, 0xffff);
+    a.sys(Sys::Exit);
+    return a.finish("syscall_storm");
+}
+
+GuestProgram
+arithLoop(std::uint64_t iters)
+{
+    Assembler a;
+    a.li(r10, static_cast<std::int64_t>(iters));
+    a.li(r11, 0x9e3779b9);
+    a.li(r12, 1);
+    Label loop = a.hereLabel();
+    Label done = a.newLabel();
+    a.beqz(r10, done);
+    a.mul(r12, r12, r11);
+    a.xor_(r12, r12, r10);
+    a.shri(r13, r12, 13);
+    a.add(r12, r12, r13);
+    a.addi(r10, r10, -1);
+    a.jmp(loop);
+    a.bind(done);
+    a.andi(r1, r12, 0xffff);
+    a.sys(Sys::Exit);
+    return a.finish("arith_loop");
+}
+
+constexpr Addr genSharedBase = 0x10000;
+constexpr Addr genLockAddr = 0x20000;
+constexpr Addr genBarrierAddr = 0x20100;
+constexpr Addr genTidArray = 0x20200;
+constexpr Addr genPrivateBase = 0x100000;
+constexpr std::uint64_t genPrivateStride = 0x10000;
+constexpr unsigned numSharedSlots = 16;
+
+/** Emit one random worker-loop action. */
+void
+emitAction(Assembler &a, Rng &rng, const GenOptions &opts,
+           std::uint64_t nthreads)
+{
+    // Register discipline: r8 loop counter, r9 private base,
+    // r10 shared base, r11 lock, r12 rng state, r13 index,
+    // r14 barrier, r15 nthreads. r3..r7 scratch.
+    const unsigned slot = static_cast<unsigned>(
+        rng.below(numSharedSlots));
+    const unsigned actions =
+        (opts.allowRaces ? 10u : 9u) + (opts.allowSignals ? 1u : 0u);
+    switch (rng.below(actions)) {
+      case 0: // private arithmetic
+        a.muli(r6, r6, 0x9e3779b9);
+        a.xori(r6, r6, static_cast<std::int64_t>(rng.below(1 << 20)));
+        break;
+      case 1: { // private store
+        auto off = static_cast<std::int64_t>(rng.below(0x100) * 8);
+        a.st64(r9, off, r6);
+        break;
+      }
+      case 2: { // private load
+        auto off = static_cast<std::int64_t>(rng.below(0x100) * 8);
+        a.ld64(r5, r9, off);
+        a.add(r6, r6, r5);
+        break;
+      }
+      case 3: // atomic increment of a shared slot. Slots 0..7 only:
+              // an atomic access racing a lock-protected *plain*
+              // access to the same word would itself be a data race.
+        a.lia(r4, genSharedBase + (slot & 7) * 8);
+        a.li(r5, static_cast<std::int64_t>(rng.range(1, 5)));
+        a.fetchAdd(r7, r4, r5);
+        break;
+      case 4: // lock-protected read-modify-write (slots 8..15)
+        lib::lockAcquire(a, r11, r3);
+        a.ld64(r4, r10, (8 + (slot & 7)) * 8);
+        a.addi(r4, r4, 1);
+        a.st64(r10, (8 + (slot & 7)) * 8, r4);
+        lib::lockRelease(a, r11, r3);
+        break;
+      case 5: // clock read (injectable result)
+        a.sys(Sys::GetTime);
+        a.andi(r4, r0, 0xff);
+        a.add(r6, r6, r4);
+        break;
+      case 6: // yield
+        a.sys(Sys::Yield);
+        break;
+      case 7: { // net receive (injectable result)
+        a.li(r1, static_cast<std::int64_t>(rng.range(1, 3)));
+        a.mov(r2, r9);
+        a.li(r3, 16);
+        a.sys(Sys::NetRecv);
+        a.add(r6, r6, r0);
+        break;
+      }
+      case 8: // small stdout write
+        a.st64(r9, 0, r6);
+        a.li(r1, fdStdout);
+        a.mov(r2, r9);
+        a.li(r3, 8);
+        a.sys(Sys::Write);
+        break;
+      case 9:
+        if (opts.allowRaces) { // UNPROTECTED shared update
+            a.ld64(r4, r10, slot * 8);
+            a.addi(r4, r4, 1);
+            a.st64(r10, slot * 8, r4);
+            break;
+        }
+        [[fallthrough]];
+      case 10: { // async signal to a random worker
+        auto target = static_cast<std::int64_t>(
+            1 + rng.below(nthreads)); // worker tids are 1..n
+        a.li(r1, target);
+        a.li(r2, static_cast<std::int64_t>(rng.range(1, 7)));
+        a.sys(Sys::Kill);
+        break;
+      }
+    }
+}
+
+GuestProgram
+randomProgram(std::uint64_t seed, const GenOptions &opts)
+{
+    Rng rng(seed);
+    const auto nthreads =
+        static_cast<std::uint64_t>(rng.range(1, 4));
+    const auto iterations =
+        static_cast<std::int64_t>(rng.range(20, 120));
+    const auto actions = static_cast<unsigned>(rng.range(3, 10));
+    const bool use_barrier =
+        opts.allowBarriers && nthreads > 1 && rng.chance(1, 2);
+
+    Assembler a;
+    Label worker = a.newLabel();
+    Label handler = a.newLabel();
+
+    // ---- main ----
+    a.li(r10, 0);
+    a.li(r11, static_cast<std::int64_t>(nthreads));
+    a.lia(r12, genTidArray);
+    Label spawn_loop = a.hereLabel();
+    Label spawned = a.newLabel();
+    a.bgeu(r10, r11, spawned);
+    lib::spawnThread(a, worker, r10);
+    a.shli(r3, r10, 3);
+    a.add(r3, r12, r3);
+    a.st64(r3, 0, r0);
+    a.addi(r10, r10, 1);
+    a.jmp(spawn_loop);
+    a.bind(spawned);
+    a.li(r10, 0);
+    Label join_loop = a.hereLabel();
+    Label joined = a.newLabel();
+    a.bgeu(r10, r11, joined);
+    a.shli(r3, r10, 3);
+    a.add(r3, r12, r3);
+    a.ld64(r4, r3, 0);
+    lib::joinThread(a, r4);
+    a.addi(r10, r10, 1);
+    a.jmp(join_loop);
+    a.bind(joined);
+    // Checksum the shared slots; exit with it.
+    a.lia(r5, genSharedBase);
+    a.li(r6, numSharedSlots);
+    a.li(r7, 0);
+    Label csum = a.hereLabel();
+    Label cdone = a.newLabel();
+    a.beqz(r6, cdone);
+    a.ld64(r4, r5, 0);
+    a.add(r7, r7, r4);
+    a.addi(r5, r5, 8);
+    a.addi(r6, r6, -1);
+    a.jmp(csum);
+    a.bind(cdone);
+    a.mov(r1, r7);
+    a.sys(Sys::Exit);
+
+    // ---- worker ----
+    a.bind(worker);
+    a.mov(r13, r1);
+    a.muli(r9, r13, static_cast<std::int64_t>(genPrivateStride));
+    a.addi(r9, r9, static_cast<std::int64_t>(genPrivateBase));
+    if (opts.allowSignals) {
+        a.liLabel(r1, handler);
+        a.sys(Sys::SigHandler);
+    }
+    a.lia(r10, genSharedBase);
+    a.lia(r11, genLockAddr);
+    a.lia(r14, genBarrierAddr);
+    a.li(r15, static_cast<std::int64_t>(nthreads));
+    a.muli(r12, r13, 0x9E3779B97F4A7C15ll);
+    a.addi(r12, r12, 42);
+    a.li(r8, iterations);
+
+    Label loop = a.hereLabel();
+    Label done = a.newLabel();
+    a.beqz(r8, done);
+    for (unsigned k = 0; k < actions; ++k)
+        emitAction(a, rng, opts, nthreads);
+    if (use_barrier)
+        lib::barrierWait(a, r14, r15, r4, r5);
+    a.addi(r8, r8, -1);
+    a.jmp(loop);
+    a.bind(done);
+    lib::exitWith(a, 0);
+
+    // ---- signal handler: async-signal-safe only (the signal frame
+    // restores every register, so clobbering is fine; blocking or
+    // lock-taking would not be) ----
+    a.bind(handler);
+    const unsigned hslot = static_cast<unsigned>(rng.below(8));
+    a.lia(r4, genSharedBase + hslot * 8); // atomic-only slot set
+    a.li(r5, 1);
+    a.fetchAdd(r6, r4, r5);
+    a.st64(r9, 0x7f8, r1); // remember the last signal privately
+    a.sys(Sys::SigReturn);
+
+    return a.finish("random_" + std::to_string(seed));
+}
+
+
+} // namespace dp::testprogs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Small guest programs shared across the test suite.
+ */
+
+#ifndef DP_TESTS_TESTPROGS_HH
+#define DP_TESTS_TESTPROGS_HH
+
+#include <cstdint>
+
+#include "vm/program.hh"
+
+namespace dp::testprogs
+{
+
+/** Guest addresses the test programs use. */
+inline constexpr Addr lockAddr = 0x1000;
+inline constexpr Addr counterAddr = 0x1008;
+inline constexpr Addr barrierAddr = 0x2000;
+inline constexpr Addr tidArrayAddr = 0x3000;
+inline constexpr Addr scratchAddr = 0x4000;
+
+/**
+ * @p nthreads workers each add 1 to a lock-protected shared counter
+ * @p incs times; main joins them, writes the 8-byte counter to stdout,
+ * and exits with the counter value. Data-race-free.
+ */
+GuestProgram lockedCounter(std::uint64_t nthreads, std::uint64_t incs);
+
+/**
+ * Same shape but the increment is an unprotected load/add/store —
+ * a classic lost-update data race. Exit code is whatever the races
+ * produce.
+ */
+GuestProgram racyCounter(std::uint64_t nthreads, std::uint64_t incs);
+
+/**
+ * Same shape with FetchAdd increments: racy interleavings but every
+ * access is atomic, so all executions are determined by sync order.
+ */
+GuestProgram atomicCounter(std::uint64_t nthreads, std::uint64_t incs);
+
+/**
+ * @p nthreads workers run @p phases barrier-separated phases, each
+ * phase bumping a per-thread slot and reading a neighbour's slot.
+ * Exercises the generation barrier and cross-thread visibility.
+ */
+GuestProgram barrierPhases(std::uint64_t nthreads,
+                           std::uint64_t phases);
+
+/**
+ * Single thread exercising syscalls: opens a file, writes, reads it
+ * back, pulls bytes from a network stream in a poll loop, reads the
+ * clock, and exits with a checksum.
+ */
+GuestProgram syscallStorm(std::uint64_t net_bytes);
+
+/** Straight-line compute: @p iters of mixing arithmetic, exit with
+ *  the accumulator's low bits. Single-threaded determinism anchor. */
+GuestProgram arithLoop(std::uint64_t iters);
+
+/** Random-program generator options (property tests). */
+struct GenOptions
+{
+    bool allowRaces = false;
+    bool allowBarriers = true;
+    /** Emit sighandler registration and random cross-thread kill()
+     *  actions (handlers use only async-signal-safe operations). */
+    bool allowSignals = true;
+};
+
+/**
+ * Generate a structurally valid, terminating multithreaded program:
+ * 1-4 workers run a common loop of random actions (private compute,
+ * atomics, locked shared updates, barriers, syscalls incl. the
+ * injectable GetTime/NetRecv, and — when allowed — unprotected shared
+ * updates). Main joins everyone and exits with a shared checksum.
+ */
+GuestProgram randomProgram(std::uint64_t seed, const GenOptions &opts);
+
+} // namespace dp::testprogs
+
+#endif // DP_TESTS_TESTPROGS_HH

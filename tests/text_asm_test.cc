@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the text assembler/disassembler: hand-written programs,
+ * error reporting, and assemble/disassemble round trips over the
+ * random-program corpus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/simos.hh"
+#include "os/uni_runner.hh"
+#include "testprogs.hh"
+#include "vm/text_asm.hh"
+
+namespace dp
+{
+namespace
+{
+
+std::uint64_t
+runExit(const GuestProgram &prog)
+{
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    EXPECT_EQ(r.run(), StopReason::AllExited);
+    return m.threads[0].exitCode;
+}
+
+TEST(TextAsm, AssemblesALoop)
+{
+    GuestProgram prog = assembleText(R"(
+        ; sum 1..10, exit with the sum
+            li r1, 0        ; acc
+            li r2, 10       ; i
+        loop:
+            beqz r2, done
+            add r1, r1, r2
+            addi r2, r2, -1
+            jmp loop
+        done:
+            mov r0, r1
+            halt
+    )");
+    EXPECT_EQ(runExit(prog), 55u);
+}
+
+TEST(TextAsm, DataDirectivesAndEntry)
+{
+    GuestProgram prog = assembleText(R"(
+        .data 0x1000
+        .u64 7 11
+        .data 0x2000
+        .ascii "hi"
+        .byte 0 255
+        .entry main
+        pad:
+            nop
+        main:
+            li r2, 0x1000
+            ld64 r1, r2, 8   ; 11
+            li r2, 0x2000
+            ld8 r3, r2, 0    ; 'h'
+            add r1, r1, r3
+            li r0, 0
+            mov r1, r1
+            syscall          ; exit(11 + 'h')
+    )");
+    EXPECT_EQ(prog.entry, 1u);
+    EXPECT_EQ(runExit(prog), 11u + 'h');
+}
+
+TEST(TextAsm, HexNegativeAndCommaFormats)
+{
+    GuestProgram prog = assembleText(R"(
+        li r1, 0xff
+        li r2, -0x10
+        add r0, r1, r2
+        halt
+    )");
+    EXPECT_EQ(runExit(prog), 0xefu);
+}
+
+TEST(TextAsm, StoresAndAtomics)
+{
+    GuestProgram prog = assembleText(R"(
+        li r1, 0x3000
+        li r2, 5
+        st64 r1, 0, r2
+        li r3, 3
+        fetchadd r4, r1, r3   ; r4 = 5, mem = 8
+        ld64 r5, r1, 0
+        mul r4, r4, r5        ; 40
+        mov r0, r4
+        halt
+    )");
+    EXPECT_EQ(runExit(prog), 40u);
+}
+
+TEST(TextAsm, ErrorsAreFatalWithLineNumbers)
+{
+    EXPECT_DEATH((void)assembleText("bogus r1, r2"),
+                 "line 1.*unknown mnemonic");
+    EXPECT_DEATH((void)assembleText("\n li r99, 1"),
+                 "line 2.*bad register");
+    EXPECT_DEATH((void)assembleText("add r1, r2"),
+                 "expected 3 operands");
+    EXPECT_DEATH((void)assembleText("jmp nowhere"), "never bound");
+    EXPECT_DEATH((void)assembleText(".entry nowhere\nnop"),
+                 "never defined");
+    EXPECT_DEATH((void)assembleText(".u64 5"), "outside a .data");
+}
+
+TEST(TextAsm, DisassembleRoundTripsHandProgram)
+{
+    GuestProgram prog = testprogs::lockedCounter(3, 17);
+    std::string text = disassemble(prog);
+    GuestProgram back = assembleText(text, prog.name);
+    ASSERT_EQ(back.code.size(), prog.code.size());
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        EXPECT_EQ(back.code[i].op, prog.code[i].op) << "at " << i;
+        EXPECT_EQ(back.code[i].imm, prog.code[i].imm) << "at " << i;
+    }
+    EXPECT_EQ(back.entry, prog.entry);
+    EXPECT_EQ(runExit(back), 51u);
+}
+
+TEST(TextAsm, DisassembleRoundTripsRandomCorpus)
+{
+    for (std::uint64_t seed = 300; seed < 312; ++seed) {
+        GuestProgram prog =
+            testprogs::randomProgram(seed, {.allowRaces = true});
+        GuestProgram back =
+            assembleText(disassemble(prog), prog.name);
+        ASSERT_EQ(back.code.size(), prog.code.size())
+            << "seed " << seed;
+        for (std::size_t i = 0; i < prog.code.size(); ++i) {
+            const Instr &x = prog.code[i];
+            const Instr &y = back.code[i];
+            EXPECT_TRUE(x.op == y.op && x.rd == y.rd &&
+                        x.rs1 == y.rs1 && x.rs2 == y.rs2 &&
+                        x.imm == y.imm)
+                << "seed " << seed << " instr " << i << ": "
+                << disassembleInstr(x) << " vs "
+                << disassembleInstr(y);
+        }
+        EXPECT_EQ(back.hash(), prog.hash()) << "seed " << seed;
+    }
+}
+
+TEST(TextAsm, DisassembleInstrFormats)
+{
+    EXPECT_EQ(disassembleInstr(
+                  {Opcode::Li, Reg::r3, Reg::r0, Reg::r0, -7}),
+              "li r3, -7");
+    EXPECT_EQ(disassembleInstr({Opcode::St64, Reg::r0, Reg::r1,
+                                Reg::r2, 16}),
+              "st64 r1, 16, r2");
+    EXPECT_EQ(disassembleInstr({Opcode::Beq, Reg::r0, Reg::r4,
+                                Reg::r5, 12}),
+              "beq r4, r5, L12");
+    EXPECT_EQ(disassembleInstr(
+                  {Opcode::Syscall, Reg::r0, Reg::r0, Reg::r0, 0}),
+              "syscall");
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the fluid pipeline model against hand-computed
+ * schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/pipeline.hh"
+
+namespace dp
+{
+namespace
+{
+
+PipelineOptions
+machine(CpuId workers, CpuId total, std::uint32_t window = 0)
+{
+    PipelineOptions o;
+    o.workerCpus = workers;
+    o.totalCpus = total;
+    o.maxInFlight = window;
+    return o;
+}
+
+TEST(Pipeline, SingleEpochIsSequential)
+{
+    // tp runs 100, hands off, ep runs 200: completion 300.
+    std::vector<EpochTiming> epochs{{100, 200, false}};
+    PipelineResult r = PipelineModel::run(epochs, machine(2, 4));
+    EXPECT_EQ(r.completion, 300u);
+    EXPECT_EQ(r.tpCompletion, 100u);
+    EXPECT_DOUBLE_EQ(r.meanEpochLag, 200.0);
+}
+
+TEST(Pipeline, PerfectOverlapWithSpareCores)
+{
+    // Each epoch: tp 100 on 2 CPUs, ep 150 on spare capacity 2.
+    // At most two eps overlap (demand 4 == C), so everything runs at
+    // full speed: tp hands off the last epoch at 1000 and its ep
+    // tails 150 beyond it.
+    std::vector<EpochTiming> epochs(10, {100, 150, false});
+    PipelineResult r = PipelineModel::run(epochs, machine(2, 4));
+    EXPECT_EQ(r.tpCompletion, 1000u);
+    EXPECT_EQ(r.completion, 1150u);
+    EXPECT_LE(r.peakInFlight, 2u);
+}
+
+TEST(Pipeline, NoSpareCoresSerializes)
+{
+    // C == N: total work per epoch = tp (N CPUs * 100) + ep (100).
+    // Fair sharing stretches everything; completion must be well
+    // beyond tp-only and at least total-work / capacity.
+    std::vector<EpochTiming> epochs(10, {100, 200, false});
+    PipelineResult rs = PipelineModel::run(epochs, machine(2, 4));
+    PipelineResult rn = PipelineModel::run(epochs, machine(2, 2));
+    EXPECT_GT(rn.completion, rs.completion);
+    // Work conservation lower bound: N*sum(tp) + sum(ep) cpu-cycles
+    // over C cpus = (2*1000 + 2000) / 2 = 2000.
+    EXPECT_GE(rn.completion, 2000u);
+}
+
+TEST(Pipeline, EpBacklogDominatesWhenSlow)
+{
+    // ep takes 4x the epoch on one CPU with only 1 spare: backlog
+    // grows; completion ~ sum(ep) once saturated.
+    std::vector<EpochTiming> epochs(10, {100, 400, false});
+    PipelineResult r = PipelineModel::run(epochs, machine(1, 2));
+    // Work conservation: (1*1000 tp + 4000 ep) cpu-cycles / 2 cpus.
+    EXPECT_GE(r.completion, 2500u);
+    EXPECT_GT(r.peakInFlight, 3u);
+}
+
+TEST(Pipeline, WindowBoundsInFlightEpochs)
+{
+    std::vector<EpochTiming> epochs(10, {100, 400, false});
+    PipelineResult free_run =
+        PipelineModel::run(epochs, machine(1, 2));
+    PipelineResult bounded =
+        PipelineModel::run(epochs, machine(1, 2, 2));
+    EXPECT_LE(bounded.peakInFlight, 2u);
+    EXPECT_GT(free_run.peakInFlight, 2u);
+    // Bounding the window cannot make completion earlier.
+    EXPECT_GE(bounded.completion, free_run.completion);
+}
+
+TEST(Pipeline, DivergenceFlushesThePipeline)
+{
+    // Without divergence, tp streams ahead; with a diverged epoch 0,
+    // tp may not start epoch 1 until ep0 completes.
+    std::vector<EpochTiming> clean(3, {100, 100, false});
+    std::vector<EpochTiming> diverged = clean;
+    diverged[0].diverged = true;
+    PipelineResult rc = PipelineModel::run(clean, machine(2, 4));
+    PipelineResult rd = PipelineModel::run(diverged, machine(2, 4));
+    EXPECT_GT(rd.completion, rc.completion);
+    // Flush: ep0 ends at 200, tp then runs epochs 1,2 (200 cycles),
+    // ep2 tails 100 more: completion 500.
+    EXPECT_EQ(rd.completion, 500u);
+}
+
+TEST(Pipeline, EmptyInputYieldsZero)
+{
+    PipelineResult r = PipelineModel::run({}, machine(2, 4));
+    EXPECT_EQ(r.completion, 0u);
+    EXPECT_EQ(r.peakInFlight, 0u);
+}
+
+TEST(Pipeline, ZeroLengthEpochsDoNotWedge)
+{
+    std::vector<EpochTiming> epochs{{0, 0, false},
+                                    {100, 50, false},
+                                    {0, 0, false}};
+    PipelineResult r = PipelineModel::run(epochs, machine(2, 4));
+    EXPECT_GE(r.completion, 100u);
+    EXPECT_LE(r.completion, 200u);
+}
+
+} // namespace
+} // namespace dp

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * uniplay — command-line record/replay/analysis tool.
+ *
+ *   uniplay record <workload> [-t N] [-s SCALE] [-e EPOCHLEN] -o FILE
+ *   uniplay run <file.s>                 assemble + run guest assembly
+ *   uniplay record-asm <file.s> -o FILE  record a guest assembly file
+ *   uniplay replay FILE                  deterministic replay + verify
+ *   uniplay races FILE                   replay under the race detector
+ *   uniplay info FILE                    artifact summary
+ *   uniplay disasm FILE                  dump the recorded program
+ *   uniplay workloads                    list built-in workloads
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/profiler.hh"
+#include "analysis/race_detector.hh"
+#include "baseline/baselines.hh"
+#include "common/table.hh"
+#include "core/recorder.hh"
+#include "replay/recording_io.hh"
+#include "replay/replayer.hh"
+#include "vm/text_asm.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace dp;
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  uniplay record <workload> [-t N] [-s SCALE] "
+           "[-e EPOCHLEN] -o FILE\n"
+        << "  uniplay run <file.s>\n"
+        << "  uniplay record-asm <file.s> [-t N] [-e EPOCHLEN] "
+           "-o FILE\n"
+        << "  uniplay replay FILE [--parallel N]\n"
+        << "  uniplay races FILE\n"
+        << "  uniplay profile FILE\n"
+        << "  uniplay info FILE\n"
+        << "  uniplay disasm FILE\n"
+        << "  uniplay workloads\n";
+    return 2;
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        dp_fatal("cannot open ", path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string s = ss.str();
+    return {s.begin(), s.end()};
+}
+
+void
+writeFile(const std::string &path, std::span<const std::uint8_t> b)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        dp_fatal("cannot write ", path);
+    out.write(reinterpret_cast<const char *>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+}
+
+struct Args
+{
+    std::vector<std::string> positional;
+    std::uint32_t threads = 2;
+    std::uint32_t scale = 4;
+    Cycles epochLength = 100'000;
+    std::string outFile;
+    unsigned parallel = 0;
+};
+
+Args
+parseArgs(int argc, char **argv, int first)
+{
+    Args a;
+    for (int i = first; i < argc; ++i) {
+        std::string s = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                dp_fatal("missing value after ", s);
+            return argv[++i];
+        };
+        if (s == "-t" || s == "--threads")
+            a.threads = static_cast<std::uint32_t>(
+                std::stoul(next()));
+        else if (s == "-s" || s == "--scale")
+            a.scale =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        else if (s == "-e" || s == "--epoch")
+            a.epochLength = std::stoull(next());
+        else if (s == "-o" || s == "--out")
+            a.outFile = next();
+        else if (s == "--parallel")
+            a.parallel =
+                static_cast<unsigned>(std::stoul(next()));
+        else
+            a.positional.push_back(std::move(s));
+    }
+    return a;
+}
+
+int
+doRecord(const GuestProgram &prog, const MachineConfig &cfg,
+         const Args &args)
+{
+    if (args.outFile.empty())
+        dp_fatal("record needs -o FILE");
+    RecorderOptions opts;
+    opts.workerCpus = args.threads;
+    opts.epochLength = args.epochLength;
+    opts.keepCheckpoints = false; // artifacts hold logs only
+    UniparallelRecorder rec(prog, cfg, opts);
+    RecordOutcome out = rec.record();
+    if (!out.ok) {
+        std::cerr << "recording failed: "
+                  << stopReasonName(out.tpReason) << "\n";
+        return 1;
+    }
+    std::vector<std::uint8_t> bytes =
+        serializeRecording(out.recording);
+    writeFile(args.outFile, bytes);
+    std::cout << "recorded " << out.recording.epochs.size()
+              << " epochs, " << out.recording.stats.rollbacks
+              << " rollbacks, exit code " << out.mainExitCode << "\n"
+              << "wrote " << bytes.size() << " bytes to "
+              << args.outFile << "\n";
+    return 0;
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::vector<std::uint8_t> b = readFile(path);
+    return {b.begin(), b.end()};
+}
+
+int
+cmdRecord(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    const workloads::Workload *w =
+        workloads::findWorkload(args.positional[0]);
+    if (!w)
+        dp_fatal("unknown workload '", args.positional[0],
+                 "' (try: uniplay workloads)");
+    workloads::WorkloadBundle b =
+        w->make({.threads = args.threads, .scale = args.scale});
+    return doRecord(b.program, b.config, args);
+}
+
+int
+cmdRun(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    GuestProgram prog = assembleText(
+        readTextFile(args.positional[0]), args.positional[0]);
+    NativeResult r = runNativeBaseline(prog, {}, args.threads, 1);
+    std::cout << "stop: " << stopReasonName(r.reason)
+              << ", exit code " << r.exitCode << ", "
+              << r.instrs << " instrs, " << r.cycles
+              << " virtual cycles\n";
+    return r.reason == StopReason::AllExited ? 0 : 1;
+}
+
+int
+cmdRecordAsm(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    GuestProgram prog = assembleText(
+        readTextFile(args.positional[0]), args.positional[0]);
+    return doRecord(prog, {}, args);
+}
+
+int
+cmdReplay(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    LoadedRecording loaded =
+        deserializeRecording(readFile(args.positional[0]));
+    Replayer rep(*loaded.recording);
+    ReplayResult r = rep.replaySequential();
+    std::cout << (r.ok ? "verified" : "FAILED") << ": "
+              << r.epochsVerified << "/"
+              << loaded.recording->epochs.size() << " epochs, "
+              << r.instrs << " instrs replayed, "
+              << r.stdoutBytes.size() << " output bytes\n";
+    if (!r.ok)
+        std::cout << "first failed epoch: " << r.firstFailedEpoch
+                  << "\n";
+    return r.ok ? 0 : 1;
+}
+
+int
+cmdRaces(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    LoadedRecording loaded =
+        deserializeRecording(readFile(args.positional[0]));
+    RaceDetector det;
+    ReplayObserver obs = det.observer();
+    Replayer rep(*loaded.recording);
+    ReplayResult r = rep.replaySequential(&obs);
+    if (!r.ok) {
+        std::cerr << "replay failed; cannot analyse\n";
+        return 1;
+    }
+    std::cout << det.accessesChecked() << " accesses, "
+              << det.syncOpsSeen() << " sync ops, "
+              << det.races().size() << " racy words\n";
+    for (const RaceReport &race : det.races())
+        std::cout << "  0x" << std::hex << race.wordAddr << std::dec
+                  << "  threads " << race.first << "/" << race.second
+                  << "  epoch " << race.epoch << "\n";
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    LoadedRecording loaded =
+        deserializeRecording(readFile(args.positional[0]));
+    ReplayProfiler prof;
+    ReplayObserver obs = prof.observer();
+    Replayer rep(*loaded.recording);
+    if (!rep.replaySequential(&obs).ok) {
+        std::cerr << "replay failed; cannot profile\n";
+        return 1;
+    }
+    Table t({"thread", "reads", "writes", "atomics", "syscalls",
+             "wakes rx", "wakes tx"});
+    for (std::size_t i = 0; i < prof.threads().size(); ++i) {
+        const ThreadProfile &p = prof.threads()[i];
+        t.addRow({std::to_string(i), Table::num(p.reads),
+                  Table::num(p.writes), Table::num(p.atomics),
+                  Table::num(p.syscalls),
+                  Table::num(p.wakesReceived),
+                  Table::num(p.wakesGiven)});
+    }
+    t.print(std::cout);
+    std::cout << "\nhottest pages:\n";
+    for (const HotPage &hp : prof.hottestPages(5))
+        std::cout << "  0x" << std::hex << hp.pageAddr << std::dec
+                  << "  " << hp.accesses << " accesses, "
+                  << hp.threadsTouching << " threads\n";
+    return 0;
+}
+
+int
+cmdInfo(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    LoadedRecording loaded =
+        deserializeRecording(readFile(args.positional[0]));
+    const Recording &rec = *loaded.recording;
+    std::cout << "program: " << rec.program().name << " ("
+              << rec.program().code.size() << " instrs)\n"
+              << "epochs:  " << rec.epochs.size() << "\n"
+              << "rollbacks: " << rec.stats.rollbacks << "\n"
+              << "replay log: " << rec.replayLogBytes()
+              << " bytes (schedule + injectables)\n"
+              << "total log:  " << rec.totalLogBytes() << " bytes\n";
+    Table t({"epoch", "segments", "syscalls", "log bytes",
+             "diverged"});
+    for (std::size_t i = 0; i < rec.epochs.size() && i < 20; ++i) {
+        const EpochRecord &e = rec.epochs[i];
+        t.addRow({std::to_string(i),
+                  Table::num(std::uint64_t{e.schedule.size()}),
+                  Table::num(std::uint64_t{e.syscalls.size()}),
+                  Table::num(std::uint64_t{e.totalLogBytes()}),
+                  e.diverged ? "yes" : "no"});
+    }
+    t.print(std::cout);
+    if (rec.epochs.size() > 20)
+        std::cout << "... (" << rec.epochs.size() - 20
+                  << " more epochs)\n";
+    return 0;
+}
+
+int
+cmdDisasm(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    LoadedRecording loaded =
+        deserializeRecording(readFile(args.positional[0]));
+    std::cout << disassemble(loaded.recording->program());
+    return 0;
+}
+
+int
+cmdWorkloads()
+{
+    Table t({"name", "paper equivalent", "category", "sharing"});
+    for (const auto &w : workloads::allWorkloads())
+        t.addRow({w.name, w.paperEquiv, w.category, w.sharing});
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    Args args = parseArgs(argc, argv, 2);
+    if (cmd == "record")
+        return cmdRecord(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "record-asm")
+        return cmdRecordAsm(args);
+    if (cmd == "replay")
+        return cmdReplay(args);
+    if (cmd == "races")
+        return cmdRaces(args);
+    if (cmd == "profile")
+        return cmdProfile(args);
+    if (cmd == "info")
+        return cmdInfo(args);
+    if (cmd == "disasm")
+        return cmdDisasm(args);
+    if (cmd == "workloads")
+        return cmdWorkloads();
+    return usage();
+}
