@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ckpt_cost.dir/bench/bench_ckpt_cost.cc.o"
+  "CMakeFiles/bench_ckpt_cost.dir/bench/bench_ckpt_cost.cc.o.d"
+  "bench/bench_ckpt_cost"
+  "bench/bench_ckpt_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ckpt_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epoch_sweep.dir/bench/bench_epoch_sweep.cc.o"
+  "CMakeFiles/bench_epoch_sweep.dir/bench/bench_epoch_sweep.cc.o.d"
+  "bench/bench_epoch_sweep"
+  "bench/bench_epoch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epoch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_pipeline.dir/bench/bench_host_pipeline.cc.o"
+  "CMakeFiles/bench_host_pipeline.dir/bench/bench_host_pipeline.cc.o.d"
+  "bench/bench_host_pipeline"
+  "bench/bench_host_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

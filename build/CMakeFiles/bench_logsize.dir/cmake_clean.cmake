@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logsize.dir/bench/bench_logsize.cc.o"
+  "CMakeFiles/bench_logsize.dir/bench/bench_logsize.cc.o.d"
+  "bench/bench_logsize"
+  "bench/bench_logsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_nospare.dir/bench/bench_overhead_nospare.cc.o"
+  "CMakeFiles/bench_overhead_nospare.dir/bench/bench_overhead_nospare.cc.o.d"
+  "bench/bench_overhead_nospare"
+  "bench/bench_overhead_nospare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_nospare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

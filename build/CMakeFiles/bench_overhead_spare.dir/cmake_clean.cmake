@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_spare.dir/bench/bench_overhead_spare.cc.o"
+  "CMakeFiles/bench_overhead_spare.dir/bench/bench_overhead_spare.cc.o.d"
+  "bench/bench_overhead_spare"
+  "bench/bench_overhead_spare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_spare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replay.dir/bench/bench_replay.cc.o"
+  "CMakeFiles/bench_replay.dir/bench/bench_replay.cc.o.d"
+  "bench/bench_replay"
+  "bench/bench_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

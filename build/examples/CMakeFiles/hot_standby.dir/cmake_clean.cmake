@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_standby.dir/hot_standby.cpp.o"
+  "CMakeFiles/hot_standby.dir/hot_standby.cpp.o.d"
+  "hot_standby"
+  "hot_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for race_debugging.
+# This may be replaced when dependencies are built.

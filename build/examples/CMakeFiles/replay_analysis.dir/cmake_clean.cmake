@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_analysis.dir/replay_analysis.cpp.o"
+  "CMakeFiles/replay_analysis.dir/replay_analysis.cpp.o.d"
+  "replay_analysis"
+  "replay_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

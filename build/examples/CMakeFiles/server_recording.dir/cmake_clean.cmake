@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_recording.dir/server_recording.cpp.o"
+  "CMakeFiles/server_recording.dir/server_recording.cpp.o.d"
+  "server_recording"
+  "server_recording.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

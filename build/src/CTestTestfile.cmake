@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("mem")
+subdirs("vm")
+subdirs("os")
+subdirs("log")
+subdirs("ckpt")
+subdirs("core")
+subdirs("replay")
+subdirs("analysis")
+subdirs("baseline")
+subdirs("timing")
+subdirs("workloads")
+subdirs("harness")

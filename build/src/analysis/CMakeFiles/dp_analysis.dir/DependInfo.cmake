@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/debugger.cc" "src/analysis/CMakeFiles/dp_analysis.dir/debugger.cc.o" "gcc" "src/analysis/CMakeFiles/dp_analysis.dir/debugger.cc.o.d"
+  "/root/repo/src/analysis/profiler.cc" "src/analysis/CMakeFiles/dp_analysis.dir/profiler.cc.o" "gcc" "src/analysis/CMakeFiles/dp_analysis.dir/profiler.cc.o.d"
+  "/root/repo/src/analysis/race_detector.cc" "src/analysis/CMakeFiles/dp_analysis.dir/race_detector.cc.o" "gcc" "src/analysis/CMakeFiles/dp_analysis.dir/race_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/dp_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dp_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/dp_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_analysis.dir/debugger.cc.o"
+  "CMakeFiles/dp_analysis.dir/debugger.cc.o.d"
+  "CMakeFiles/dp_analysis.dir/profiler.cc.o"
+  "CMakeFiles/dp_analysis.dir/profiler.cc.o.d"
+  "CMakeFiles/dp_analysis.dir/race_detector.cc.o"
+  "CMakeFiles/dp_analysis.dir/race_detector.cc.o.d"
+  "libdp_analysis.a"
+  "libdp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_baseline.dir/baselines.cc.o"
+  "CMakeFiles/dp_baseline.dir/baselines.cc.o.d"
+  "libdp_baseline.a"
+  "libdp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

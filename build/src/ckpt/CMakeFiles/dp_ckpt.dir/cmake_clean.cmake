@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_ckpt.dir/checkpoint.cc.o"
+  "CMakeFiles/dp_ckpt.dir/checkpoint.cc.o.d"
+  "libdp_ckpt.a"
+  "libdp_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_common.dir/logging.cc.o"
+  "CMakeFiles/dp_common.dir/logging.cc.o.d"
+  "CMakeFiles/dp_common.dir/table.cc.o"
+  "CMakeFiles/dp_common.dir/table.cc.o.d"
+  "libdp_common.a"
+  "libdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_core.dir/divergence.cc.o"
+  "CMakeFiles/dp_core.dir/divergence.cc.o.d"
+  "CMakeFiles/dp_core.dir/epoch_runner.cc.o"
+  "CMakeFiles/dp_core.dir/epoch_runner.cc.o.d"
+  "CMakeFiles/dp_core.dir/recorder.cc.o"
+  "CMakeFiles/dp_core.dir/recorder.cc.o.d"
+  "CMakeFiles/dp_core.dir/recording.cc.o"
+  "CMakeFiles/dp_core.dir/recording.cc.o.d"
+  "libdp_core.a"
+  "libdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

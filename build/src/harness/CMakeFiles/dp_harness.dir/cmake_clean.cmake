@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_harness.dir/experiment.cc.o"
+  "CMakeFiles/dp_harness.dir/experiment.cc.o.d"
+  "libdp_harness.a"
+  "libdp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

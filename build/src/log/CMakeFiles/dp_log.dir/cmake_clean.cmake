@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_log.dir/logs.cc.o"
+  "CMakeFiles/dp_log.dir/logs.cc.o.d"
+  "libdp_log.a"
+  "libdp_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

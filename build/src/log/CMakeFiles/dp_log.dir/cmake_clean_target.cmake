@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdp_log.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_mem.dir/paged_memory.cc.o"
+  "CMakeFiles/dp_mem.dir/paged_memory.cc.o.d"
+  "libdp_mem.a"
+  "libdp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

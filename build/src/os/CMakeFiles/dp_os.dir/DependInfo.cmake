@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/machine.cc" "src/os/CMakeFiles/dp_os.dir/machine.cc.o" "gcc" "src/os/CMakeFiles/dp_os.dir/machine.cc.o.d"
+  "/root/repo/src/os/multicpu_sim.cc" "src/os/CMakeFiles/dp_os.dir/multicpu_sim.cc.o" "gcc" "src/os/CMakeFiles/dp_os.dir/multicpu_sim.cc.o.d"
+  "/root/repo/src/os/os_state.cc" "src/os/CMakeFiles/dp_os.dir/os_state.cc.o" "gcc" "src/os/CMakeFiles/dp_os.dir/os_state.cc.o.d"
+  "/root/repo/src/os/simos.cc" "src/os/CMakeFiles/dp_os.dir/simos.cc.o" "gcc" "src/os/CMakeFiles/dp_os.dir/simos.cc.o.d"
+  "/root/repo/src/os/uni_runner.cc" "src/os/CMakeFiles/dp_os.dir/uni_runner.cc.o" "gcc" "src/os/CMakeFiles/dp_os.dir/uni_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dp_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

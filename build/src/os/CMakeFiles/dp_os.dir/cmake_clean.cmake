@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_os.dir/machine.cc.o"
+  "CMakeFiles/dp_os.dir/machine.cc.o.d"
+  "CMakeFiles/dp_os.dir/multicpu_sim.cc.o"
+  "CMakeFiles/dp_os.dir/multicpu_sim.cc.o.d"
+  "CMakeFiles/dp_os.dir/os_state.cc.o"
+  "CMakeFiles/dp_os.dir/os_state.cc.o.d"
+  "CMakeFiles/dp_os.dir/simos.cc.o"
+  "CMakeFiles/dp_os.dir/simos.cc.o.d"
+  "CMakeFiles/dp_os.dir/uni_runner.cc.o"
+  "CMakeFiles/dp_os.dir/uni_runner.cc.o.d"
+  "libdp_os.a"
+  "libdp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_replay.dir/live_replica.cc.o"
+  "CMakeFiles/dp_replay.dir/live_replica.cc.o.d"
+  "CMakeFiles/dp_replay.dir/recording_io.cc.o"
+  "CMakeFiles/dp_replay.dir/recording_io.cc.o.d"
+  "CMakeFiles/dp_replay.dir/replayer.cc.o"
+  "CMakeFiles/dp_replay.dir/replayer.cc.o.d"
+  "libdp_replay.a"
+  "libdp_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

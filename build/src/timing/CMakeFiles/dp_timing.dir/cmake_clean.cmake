@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_timing.dir/pipeline.cc.o"
+  "CMakeFiles/dp_timing.dir/pipeline.cc.o.d"
+  "libdp_timing.a"
+  "libdp_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/abi.cc" "src/vm/CMakeFiles/dp_vm.dir/abi.cc.o" "gcc" "src/vm/CMakeFiles/dp_vm.dir/abi.cc.o.d"
+  "/root/repo/src/vm/asmlib.cc" "src/vm/CMakeFiles/dp_vm.dir/asmlib.cc.o" "gcc" "src/vm/CMakeFiles/dp_vm.dir/asmlib.cc.o.d"
+  "/root/repo/src/vm/assembler.cc" "src/vm/CMakeFiles/dp_vm.dir/assembler.cc.o" "gcc" "src/vm/CMakeFiles/dp_vm.dir/assembler.cc.o.d"
+  "/root/repo/src/vm/interp.cc" "src/vm/CMakeFiles/dp_vm.dir/interp.cc.o" "gcc" "src/vm/CMakeFiles/dp_vm.dir/interp.cc.o.d"
+  "/root/repo/src/vm/isa.cc" "src/vm/CMakeFiles/dp_vm.dir/isa.cc.o" "gcc" "src/vm/CMakeFiles/dp_vm.dir/isa.cc.o.d"
+  "/root/repo/src/vm/program.cc" "src/vm/CMakeFiles/dp_vm.dir/program.cc.o" "gcc" "src/vm/CMakeFiles/dp_vm.dir/program.cc.o.d"
+  "/root/repo/src/vm/text_asm.cc" "src/vm/CMakeFiles/dp_vm.dir/text_asm.cc.o" "gcc" "src/vm/CMakeFiles/dp_vm.dir/text_asm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_vm.dir/abi.cc.o"
+  "CMakeFiles/dp_vm.dir/abi.cc.o.d"
+  "CMakeFiles/dp_vm.dir/asmlib.cc.o"
+  "CMakeFiles/dp_vm.dir/asmlib.cc.o.d"
+  "CMakeFiles/dp_vm.dir/assembler.cc.o"
+  "CMakeFiles/dp_vm.dir/assembler.cc.o.d"
+  "CMakeFiles/dp_vm.dir/interp.cc.o"
+  "CMakeFiles/dp_vm.dir/interp.cc.o.d"
+  "CMakeFiles/dp_vm.dir/isa.cc.o"
+  "CMakeFiles/dp_vm.dir/isa.cc.o.d"
+  "CMakeFiles/dp_vm.dir/program.cc.o"
+  "CMakeFiles/dp_vm.dir/program.cc.o.d"
+  "CMakeFiles/dp_vm.dir/text_asm.cc.o"
+  "CMakeFiles/dp_vm.dir/text_asm.cc.o.d"
+  "libdp_vm.a"
+  "libdp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/dp_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_client.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_client.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_client.cc.o.d"
+  "/root/repo/src/workloads/wl_common.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_common.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_common.cc.o.d"
+  "/root/repo/src/workloads/wl_fft.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_fft.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_fft.cc.o.d"
+  "/root/repo/src/workloads/wl_lu.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_lu.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_lu.cc.o.d"
+  "/root/repo/src/workloads/wl_ocean.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_ocean.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_ocean.cc.o.d"
+  "/root/repo/src/workloads/wl_pipeline.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_pipeline.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_pipeline.cc.o.d"
+  "/root/repo/src/workloads/wl_racy.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_racy.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_racy.cc.o.d"
+  "/root/repo/src/workloads/wl_radix.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_radix.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_radix.cc.o.d"
+  "/root/repo/src/workloads/wl_server.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_server.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_server.cc.o.d"
+  "/root/repo/src/workloads/wl_water.cc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_water.cc.o" "gcc" "src/workloads/CMakeFiles/dp_workloads.dir/wl_water.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/dp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

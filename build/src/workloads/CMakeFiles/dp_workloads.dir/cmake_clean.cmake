@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_workloads.dir/registry.cc.o"
+  "CMakeFiles/dp_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_client.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_client.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_common.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_common.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_fft.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_fft.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_lu.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_lu.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_ocean.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_ocean.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_pipeline.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_pipeline.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_racy.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_racy.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_radix.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_radix.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_server.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_server.cc.o.d"
+  "CMakeFiles/dp_workloads.dir/wl_water.cc.o"
+  "CMakeFiles/dp_workloads.dir/wl_water.cc.o.d"
+  "libdp_workloads.a"
+  "libdp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/testprogs.cc" "tests/CMakeFiles/dp_testutil.dir/testprogs.cc.o" "gcc" "tests/CMakeFiles/dp_testutil.dir/testprogs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/dp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

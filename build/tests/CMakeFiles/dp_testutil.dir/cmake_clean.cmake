@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_testutil.dir/testprogs.cc.o"
+  "CMakeFiles/dp_testutil.dir/testprogs.cc.o.d"
+  "libdp_testutil.a"
+  "libdp_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

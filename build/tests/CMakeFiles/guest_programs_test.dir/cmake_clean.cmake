@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_programs_test.dir/guest_programs_test.cc.o"
+  "CMakeFiles/guest_programs_test.dir/guest_programs_test.cc.o.d"
+  "guest_programs_test"
+  "guest_programs_test.pdb"
+  "guest_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

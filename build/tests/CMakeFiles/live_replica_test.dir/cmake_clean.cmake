@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_replica_test.dir/live_replica_test.cc.o"
+  "CMakeFiles/live_replica_test.dir/live_replica_test.cc.o.d"
+  "live_replica_test"
+  "live_replica_test.pdb"
+  "live_replica_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

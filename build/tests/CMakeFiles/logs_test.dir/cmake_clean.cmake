@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logs_test.dir/logs_test.cc.o"
+  "CMakeFiles/logs_test.dir/logs_test.cc.o.d"
+  "logs_test"
+  "logs_test.pdb"
+  "logs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/race_detector_test.cc" "tests/CMakeFiles/race_detector_test.dir/race_detector_test.cc.o" "gcc" "tests/CMakeFiles/race_detector_test.dir/race_detector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/dp_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/dp_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/dp_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dp_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/dp_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_detector_test.dir/race_detector_test.cc.o"
+  "CMakeFiles/race_detector_test.dir/race_detector_test.cc.o.d"
+  "race_detector_test"
+  "race_detector_test.pdb"
+  "race_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recording_io_test.dir/recording_io_test.cc.o"
+  "CMakeFiles/recording_io_test.dir/recording_io_test.cc.o.d"
+  "recording_io_test"
+  "recording_io_test.pdb"
+  "recording_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recording_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_test.dir/signal_test.cc.o"
+  "CMakeFiles/signal_test.dir/signal_test.cc.o.d"
+  "signal_test"
+  "signal_test.pdb"
+  "signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

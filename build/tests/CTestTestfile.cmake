@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/engines_test[1]_include.cmake")
+include("/root/repo/build/tests/logs_test[1]_include.cmake")
+include("/root/repo/build/tests/ckpt_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/recording_io_test[1]_include.cmake")
+include("/root/repo/build/tests/text_asm_test[1]_include.cmake")
+include("/root/repo/build/tests/race_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/debugger_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_record_test[1]_include.cmake")
+include("/root/repo/build/tests/pipe_test[1]_include.cmake")
+include("/root/repo/build/tests/profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/live_replica_test[1]_include.cmake")
+include("/root/repo/build/tests/signal_test[1]_include.cmake")
+include("/root/repo/build/tests/corruption_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_programs_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniplay.dir/uniplay.cc.o"
+  "CMakeFiles/uniplay.dir/uniplay.cc.o.d"
+  "uniplay"
+  "uniplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
