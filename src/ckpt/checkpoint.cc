@@ -17,6 +17,17 @@ Checkpoint::capture(Machine &m)
     return c;
 }
 
+Checkpoint
+Checkpoint::captureTorn(Machine &m, std::uint64_t salt)
+{
+    Checkpoint c = capture(m);
+    // The digest of a half-copied snapshot is some unrelated value;
+    // xor-ing in a mixed, never-zero perturbation models that without
+    // needing to half-copy pages for real.
+    c.stateHash_ ^= mix64(salt) | 1;
+    return c;
+}
+
 Machine
 Checkpoint::materialize(const GuestProgram &prog,
                         const MachineConfig &cfg) const

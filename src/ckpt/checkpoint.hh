@@ -36,6 +36,22 @@ class Checkpoint
      */
     static Checkpoint capture(Machine &m);
 
+    /**
+     * Fault-injection hook: capture a *torn* snapshot — one whose
+     * digest no longer matches the machine it was taken from, as if a
+     * page had been copied mid-update. @p salt perturbs the digest
+     * deterministically. Consumers detect the tear via
+     * consistentWith() and recapture.
+     */
+    static Checkpoint captureTorn(Machine &m, std::uint64_t salt);
+
+    /** True if this snapshot's digest matches @p m's current state
+     *  (false for a torn capture). */
+    bool consistentWith(const Machine &m) const
+    {
+        return stateHash_ == m.stateHash();
+    }
+
     /** Build a fresh Machine running this state. */
     Machine materialize(const GuestProgram &prog,
                         const MachineConfig &cfg) const;

@@ -78,7 +78,27 @@ class ByteWriter
     std::vector<std::uint8_t> buf_;
 };
 
-/** Sequential reader over an encoded byte buffer; panics on underrun. */
+/**
+ * Thrown by ByteReader on a malformed stream. Callers that treat
+ * malformed input as a bug let it propagate (terminating, as the old
+ * panic did); loaders that must fail closed catch it and surface a
+ * structured error.
+ */
+struct ByteStreamError
+{
+    enum class Kind : std::uint8_t
+    {
+        Underrun,      ///< read past the end of the buffer
+        OverlongVarint ///< varint continued past 64 bits
+    };
+
+    Kind kind = Kind::Underrun;
+    /** Stream position at which the error was detected. */
+    std::size_t offset = 0;
+};
+
+/** Sequential reader over an encoded byte buffer; throws
+ *  ByteStreamError on underrun or malformed varints. */
 class ByteReader
 {
   public:
@@ -88,7 +108,9 @@ class ByteReader
     std::uint8_t
     u8()
     {
-        dp_assert(pos_ < data_.size(), "ByteReader underrun");
+        if (pos_ >= data_.size())
+            throw ByteStreamError{ByteStreamError::Kind::Underrun,
+                                  pos_};
         return data_[pos_++];
     }
 
@@ -114,7 +136,9 @@ class ByteReader
             if (!(b & 0x80))
                 return v;
             shift += 7;
-            dp_assert(shift < 64, "varint too long");
+            if (shift >= 64)
+                throw ByteStreamError{
+                    ByteStreamError::Kind::OverlongVarint, pos_};
         }
     }
 
@@ -131,7 +155,10 @@ class ByteReader
     blob()
     {
         std::uint64_t n = varu();
-        dp_assert(pos_ + n <= data_.size(), "ByteReader blob underrun");
+        // n > remaining() also catches n overflowing pos_ + n.
+        if (n > remaining())
+            throw ByteStreamError{ByteStreamError::Kind::Underrun,
+                                  pos_};
         std::vector<std::uint8_t> out(data_.begin() + pos_,
                                       data_.begin() + pos_ + n);
         pos_ += n;
@@ -143,7 +170,9 @@ class ByteReader
     str()
     {
         std::uint64_t n = varu();
-        dp_assert(pos_ + n <= data_.size(), "ByteReader str underrun");
+        if (n > remaining())
+            throw ByteStreamError{ByteStreamError::Kind::Underrun,
+                                  pos_};
         std::string out(data_.begin() + pos_, data_.begin() + pos_ + n);
         pos_ += n;
         return out;
@@ -151,6 +180,8 @@ class ByteReader
 
     bool atEnd() const { return pos_ == data_.size(); }
     std::size_t pos() const { return pos_; }
+    /** Bytes left in the buffer. */
+    std::size_t remaining() const { return data_.size() - pos_; }
 
   private:
     std::span<const std::uint8_t> data_;

@@ -12,6 +12,18 @@
 namespace dp
 {
 
+const char *
+recoveryKindName(RecoveryKind k)
+{
+    switch (k) {
+    case RecoveryKind::Rollback: return "rollback";
+    case RecoveryKind::CheckpointRecapture: return "ckpt-recapture";
+    case RecoveryKind::EpochRetry: return "epoch-retry";
+    case RecoveryKind::SequentialFallback: return "seq-fallback";
+    }
+    return "?";
+}
+
 namespace
 {
 
@@ -21,7 +33,8 @@ struct TpEpoch
     StopReason reason = StopReason::TimeLimit;
     bool programEnded = false; ///< tp reached AllExited
     bool empty = false;        ///< boundary epoch with no content
-    Checkpoint next;           ///< state at the epoch's end
+    bool captureFailed = false; ///< boundary checkpoint kept tearing
+    Checkpoint next;            ///< state at the epoch's end
     std::vector<EpochTarget> targets;
     SyncOrderLog syncOrder;
     std::vector<SyscallRecord> injectables;
@@ -51,7 +64,16 @@ UniparallelRecorder::record(const RecordObserver *observer)
 
     Machine m(*prog_, cfg_);
     SimOS os(costs_);
+    // Only the result-*generating* kernel is armed: injected faults
+    // become recorded results, so the epoch-parallel runs and replay
+    // reproduce them through the inject path instead of re-rolling.
+    os.armFaults(opts_.faults);
     EpochRunner epoch_runner(*prog_, cfg_, costs_);
+
+    auto notify_recovery = [&](RecoveryKind kind, EpochId index) {
+        if (observer && observer->onRecovery)
+            observer->onRecovery(kind, index);
+    };
 
     // Per-epoch collectors filled by the thread-parallel run's hooks.
     SyncOrderLog sync_order;
@@ -84,7 +106,52 @@ UniparallelRecorder::record(const RecordObserver *observer)
     };
 
     auto sim = make_sim(opts_.seed);
-    Checkpoint current = Checkpoint::capture(m);
+
+    // Index of the epoch the thread-parallel run is producing next
+    // (committed + in flight); reset by rollback.
+    EpochId tp_next_index = 0;
+    // Monotonic checkpoint-capture sequence: the TornCheckpoint
+    // decision scope, so concurrent plans stay per-capture.
+    std::uint64_t capture_seq = 0;
+
+    // Capture a boundary checkpoint, injecting torn captures per the
+    // fault plan. A torn snapshot's digest disagrees with the machine;
+    // it is detected via consistentWith() and recaptured, up to
+    // maxCaptureRetries, after which the session fails closed.
+    // Returns false (leaving @p into untouched) on exhaustion.
+    auto capture_boundary = [&](Machine &mm, Checkpoint &into,
+                                EpochId epoch_index) -> bool {
+        const std::uint64_t scope = capture_seq++;
+        if (!opts_.faults) {
+            into = Checkpoint::capture(mm);
+            return true;
+        }
+        for (unsigned attempt = 0;; ++attempt) {
+            Checkpoint c =
+                opts_.faults->fire(FaultSite::TornCheckpoint, scope)
+                    ? Checkpoint::captureTorn(mm,
+                                              (scope << 8) | attempt)
+                    : Checkpoint::capture(mm);
+            if (c.consistentWith(mm)) {
+                into = std::move(c);
+                return true;
+            }
+            ++rec.stats.tornCheckpoints;
+            notify_recovery(RecoveryKind::CheckpointRecapture,
+                            epoch_index);
+            if (attempt >= opts_.maxCaptureRetries) {
+                dp_warn("checkpoint capture kept tearing; "
+                        "failing closed");
+                return false;
+            }
+        }
+    };
+
+    Checkpoint current;
+    if (!capture_boundary(m, current, 0)) {
+        out.tpReason = StopReason::Stalled;
+        return out;
+    }
 
     // Advance the thread-parallel run by one epoch: run to the next
     // boundary, quiesce, checkpoint, package the epoch's constraints.
@@ -116,7 +183,11 @@ UniparallelRecorder::record(const RecordObserver *observer)
                          costs_.checkpointPageCycles * dirty;
             m.now += e.ckptCost;
         }
-        e.next = Checkpoint::capture(m);
+        if (!capture_boundary(m, e.next, tp_next_index)) {
+            e.captureFailed = true;
+            return e;
+        }
+        ++tp_next_index;
         e.dirtyPages = dirty;
 
         e.targets.reserve(e.next.threads().size());
@@ -144,6 +215,40 @@ UniparallelRecorder::record(const RecordObserver *observer)
         task.fuel = opts_.fuel;
         task.chargeRecordCosts = opts_.chargeCosts;
         return epoch_runner.run(task);
+    };
+
+    // Accept an epoch-parallel result at delivery time, injecting
+    // worker deaths per the fault plan. A death discards the delivered
+    // result; the epoch is re-executed (EpochRetry) up to
+    // maxWorkerRetries times, then degraded to an inline sequential
+    // execution (SequentialFallback) that is shielded from further
+    // death faults. Decisions are made on the retiring thread in
+    // commit order, so the stream is deterministic in both pipeline
+    // modes. Re-execution is deterministic, so the recording is
+    // byte-identical with or without the deaths.
+    auto deliver_epoch = [&](const Checkpoint &start,
+                             const TpEpoch &tp,
+                             EpochRunResult er) -> EpochRunResult {
+        if (!opts_.faults)
+            return er;
+        const EpochId index =
+            static_cast<EpochId>(rec.epochs.size());
+        unsigned retries = 0;
+        while (opts_.faults->fire(FaultSite::WorkerDeath, index)) {
+            ++rec.stats.workerDeaths;
+            if (retries < opts_.maxWorkerRetries) {
+                ++retries;
+                ++rec.stats.epochRetries;
+                notify_recovery(RecoveryKind::EpochRetry, index);
+                er = run_epoch(start, tp);
+                continue;
+            }
+            ++rec.stats.seqFallbacks;
+            notify_recovery(RecoveryKind::SequentialFallback, index);
+            er = run_epoch(start, tp);
+            break;
+        }
+        return er;
     };
 
     // Validate an epoch run against its speculation and append the
@@ -194,12 +299,19 @@ UniparallelRecorder::record(const RecordObserver *observer)
     // including their time.
     auto rollback = [&](Machine &truth, Cycles resume_clock) -> bool {
         ++rec.stats.rollbacks;
+        notify_recovery(
+            RecoveryKind::Rollback,
+            static_cast<EpochId>(rec.epochs.size() - 1));
         if (rec.stats.rollbacks > opts_.maxRollbacks) {
             dp_warn("recorder hit the rollback fuse");
             out.tpReason = StopReason::Stalled;
             return false;
         }
-        current = Checkpoint::capture(truth);
+        tp_next_index = static_cast<EpochId>(rec.epochs.size());
+        if (!capture_boundary(truth, current, tp_next_index)) {
+            out.tpReason = StopReason::Stalled;
+            return false;
+        }
         current.restoreInto(m);
         m.now = resume_clock;
         m.mem.clearDirty();
@@ -230,10 +342,15 @@ UniparallelRecorder::record(const RecordObserver *observer)
                         stopReasonName(tp.reason));
                 return out;
             }
+            if (tp.captureFailed) {
+                out.tpReason = StopReason::Stalled;
+                return out;
+            }
             if (tp.empty)
                 break;
 
-            EpochRunResult er = run_epoch(current, tp);
+            EpochRunResult er =
+                deliver_epoch(current, tp, run_epoch(current, tp));
             Checkpoint next = tp.next;
             const Cycles boundary_clock = next.capturedAt();
             if (commit_epoch(current, tp, er)) {
@@ -284,6 +401,11 @@ UniparallelRecorder::record(const RecordObserver *observer)
                 tp_failed = true;
                 break;
             }
+            if (tp.captureFailed) {
+                out.tpReason = StopReason::Stalled;
+                tp_failed = true;
+                break;
+            }
             if (tp.empty) {
                 tp_done = true;
                 break;
@@ -314,6 +436,7 @@ UniparallelRecorder::record(const RecordObserver *observer)
         EpochRunResult er = window.front().fut.get();
         InFlight inf = std::move(window.front());
         window.pop_front();
+        er = deliver_epoch(inf.start, inf.tp, std::move(er));
         const Cycles boundary_clock = inf.tp.next.capturedAt();
         if (commit_epoch(inf.start, inf.tp, er)) {
             // Divergence: every younger speculation is invalid.

@@ -28,6 +28,7 @@
 #include <functional>
 
 #include "core/recording.hh"
+#include "fault/fault.hh"
 #include "os/machine.hh"
 #include "os/run_types.hh"
 #include "timing/cost_model.hh"
@@ -75,7 +76,38 @@ struct RecorderOptions
     /** Epochs allowed in flight before the thread-parallel run
      *  stalls (parallel mode only). */
     unsigned maxInFlight = 4;
+    /**
+     * Deterministic fault injection (nullptr = none). The recorder
+     * arms the thread-parallel kernel's syscall sites and evaluates
+     * the TornCheckpoint / WorkerDeath sites itself; see
+     * fault/fault.hh for the model.
+     */
+    FaultInjector *faults = nullptr;
+    /** Epoch re-executions after simulated worker deaths before the
+     *  epoch degrades to an inline sequential execution. */
+    unsigned maxWorkerRetries = 2;
+    /** Checkpoint recaptures after torn snapshots before the record
+     *  session fails closed (StopReason::Stalled). */
+    unsigned maxCaptureRetries = 8;
 };
+
+/** A recovery action the recorder took in response to a failure. */
+enum class RecoveryKind : std::uint8_t
+{
+    /** Speculation squashed; thread-parallel run restarted from the
+     *  epoch-parallel truth. */
+    Rollback,
+    /** A torn checkpoint was detected and recaptured. */
+    CheckpointRecapture,
+    /** An epoch was re-executed after its worker died. */
+    EpochRetry,
+    /** An epoch was degraded to an inline sequential execution after
+     *  repeated worker deaths. */
+    SequentialFallback,
+};
+
+/** Stable human-readable name of @p k (e.g. "rollback"). */
+const char *recoveryKindName(RecoveryKind k);
 
 /**
  * Callbacks observing a record session as it progresses. Committed
@@ -88,6 +120,13 @@ struct RecordObserver
     /** Epoch @p index was validated and appended, in order. */
     std::function<void(const EpochRecord &, EpochId index)>
         onEpochCommitted;
+    /**
+     * A recovery action was taken while producing epoch @p index
+     * (the index the epoch will commit at). Together with
+     * FaultInjector::onFault this is the full fault/recovery event
+     * stream — deterministic given (seed, plan).
+     */
+    std::function<void(RecoveryKind, EpochId index)> onRecovery;
 };
 
 /** Result of a record session. */

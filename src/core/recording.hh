@@ -66,6 +66,16 @@ struct RecorderStats
     std::uint64_t epInstrs = 0;
     Cycles tpTotalCycles = 0;
     Cycles epTotalCycles = 0;
+
+    /// @name Fault-recovery counters (not serialized; they describe
+    /// the record *session*, not the artifact).
+    /// @{
+    std::uint32_t tornCheckpoints = 0; ///< torn captures recaptured
+    std::uint32_t workerDeaths = 0;    ///< epoch workers that died
+    std::uint32_t epochRetries = 0;    ///< epochs re-executed
+    std::uint32_t seqFallbacks = 0;    ///< epochs degraded to inline
+                                       ///< sequential execution
+    /// @}
 };
 
 /**

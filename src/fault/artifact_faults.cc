@@ -1,0 +1,51 @@
+#include "fault/artifact_faults.hh"
+
+#include "common/logging.hh"
+
+namespace dp::artifact_faults
+{
+
+std::vector<std::uint8_t>
+truncateTail(std::span<const std::uint8_t> bytes, Rng &rng)
+{
+    dp_assert(bytes.size() >= 2, "artifact too small to truncate");
+    const std::size_t keep =
+        1 + static_cast<std::size_t>(rng.below(bytes.size() - 1));
+    return {bytes.begin(), bytes.begin() + static_cast<long>(keep)};
+}
+
+std::vector<std::uint8_t>
+flipByte(std::span<const std::uint8_t> bytes, Rng &rng,
+         std::size_t min_offset)
+{
+    dp_assert(min_offset < bytes.size(),
+              "flip offset past the artifact");
+    std::vector<std::uint8_t> out(bytes.begin(), bytes.end());
+    const std::size_t pos =
+        min_offset +
+        static_cast<std::size_t>(rng.below(bytes.size() - min_offset));
+    out[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    return out;
+}
+
+std::vector<std::uint8_t>
+corruptSectionLength(std::span<const std::uint8_t> bytes,
+                     std::span<const std::size_t> length_offsets,
+                     Rng &rng)
+{
+    dp_assert(!length_offsets.empty(),
+              "no length-prefixed sections to corrupt");
+    std::vector<std::uint8_t> out(bytes.begin(), bytes.end());
+    const std::size_t off =
+        length_offsets[rng.below(length_offsets.size())];
+    dp_assert(off < out.size(), "section offset past the artifact");
+    // A varint far larger than any artifact could hold; bytes that do
+    // not fit are simply dropped (a truncated varint is equally bad).
+    const std::uint8_t huge[] = {0xff, 0xff, 0xff, 0xff, 0x0f};
+    for (std::size_t i = 0; i < sizeof(huge) && off + i < out.size();
+         ++i)
+        out[off + i] = huge[i];
+    return out;
+}
+
+} // namespace dp::artifact_faults

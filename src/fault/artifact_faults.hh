@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic corruption of serialized recording artifacts.
+ *
+ * These helpers model the storage failure modes a recording can meet
+ * between being written and being loaded: a truncated tail (crash
+ * mid-write), a flipped byte (media corruption), and a rewritten
+ * section length (torn metadata). Each takes an explicitly seeded Rng,
+ * so a corruption found to slip through the loader is replayable as a
+ * regression test from its seed.
+ */
+
+#ifndef DP_FAULT_ARTIFACT_FAULTS_HH
+#define DP_FAULT_ARTIFACT_FAULTS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace dp::artifact_faults
+{
+
+/** Drop between 1 and size-1 bytes off the end. */
+std::vector<std::uint8_t>
+truncateTail(std::span<const std::uint8_t> bytes, Rng &rng);
+
+/** XOR one byte at or past @p min_offset with a nonzero mask. */
+std::vector<std::uint8_t>
+flipByte(std::span<const std::uint8_t> bytes, Rng &rng,
+         std::size_t min_offset = 0);
+
+/**
+ * Overwrite the varint length prefix found at one of
+ * @p length_offsets with an absurdly large value (an invalid section
+ * length a loader must reject structurally, not by crashing).
+ */
+std::vector<std::uint8_t>
+corruptSectionLength(std::span<const std::uint8_t> bytes,
+                     std::span<const std::size_t> length_offsets,
+                     Rng &rng);
+
+} // namespace dp::artifact_faults
+
+#endif // DP_FAULT_ARTIFACT_FAULTS_HH

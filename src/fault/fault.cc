@@ -1,0 +1,192 @@
+#include "fault/fault.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace dp
+{
+
+namespace
+{
+
+constexpr const char *siteNames[numFaultSites] = {
+    "netrecv-fail",   "netrecv-short", "gettime-fail",
+    "file-short-read", "torn-ckpt",    "worker-death",
+};
+
+constexpr std::uint64_t ppmDenominator = 1'000'000;
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    const auto i = static_cast<std::size_t>(site);
+    return i < numFaultSites ? siteNames[i] : "invalid";
+}
+
+FaultPlan &
+FaultPlan::with(FaultSite site, double prob,
+                std::uint32_t max_per_scope)
+{
+    dp_assert(prob >= 0.0 && prob <= 1.0,
+              "fault probability out of range: ", prob);
+    Site &s = sites[static_cast<std::size_t>(site)];
+    s.ppm = static_cast<std::uint32_t>(
+        std::llround(prob * static_cast<double>(ppmDenominator)));
+    s.maxPerScope = max_per_scope;
+    return *this;
+}
+
+bool
+FaultPlan::enabled() const
+{
+    for (const Site &s : sites)
+        if (s.ppm != 0)
+            return true;
+    return false;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    std::istringstream in(spec);
+    std::string entry;
+    while (std::getline(in, entry, ',')) {
+        if (entry.empty())
+            continue;
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos)
+            dp_fatal("fault plan entry '", entry,
+                     "' is not site=probability[:budget]");
+        const std::string name = entry.substr(0, eq);
+        std::string rest = entry.substr(eq + 1);
+        std::uint32_t budget = ~std::uint32_t{0};
+        if (const std::size_t colon = rest.find(':');
+            colon != std::string::npos) {
+            budget = static_cast<std::uint32_t>(
+                std::stoul(rest.substr(colon + 1)));
+            rest.resize(colon);
+        }
+        double prob = 0.0;
+        try {
+            prob = std::stod(rest);
+        } catch (...) {
+            dp_fatal("bad fault probability '", rest, "' in '", entry,
+                     "'");
+        }
+        if (prob < 0.0 || prob > 1.0)
+            dp_fatal("fault probability ", prob,
+                     " out of [0,1] in '", entry, "'");
+        bool found = false;
+        for (std::size_t i = 0; i < numFaultSites; ++i) {
+            if (name == siteNames[i]) {
+                plan.with(static_cast<FaultSite>(i), prob, budget);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::ostringstream known;
+            for (std::size_t i = 0; i < numFaultSites; ++i)
+                known << (i ? ", " : "") << siteNames[i];
+            dp_fatal("unknown fault site '", name, "' (known: ",
+                     known.str(), ")");
+        }
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream out;
+    out << "seed " << seed << ":";
+    bool any = false;
+    for (std::size_t i = 0; i < numFaultSites; ++i) {
+        const Site &s = sites[i];
+        if (s.ppm == 0)
+            continue;
+        out << ' ' << siteNames[i] << '='
+            << static_cast<double>(s.ppm) /
+                   static_cast<double>(ppmDenominator);
+        if (s.maxPerScope != ~std::uint32_t{0})
+            out << ':' << s.maxPerScope;
+        any = true;
+    }
+    if (!any)
+        out << " (no sites enabled)";
+    return out.str();
+}
+
+std::uint64_t
+FaultStats::totalFired() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t f : fired)
+        total += f;
+    return total;
+}
+
+bool
+FaultInjector::fire(FaultSite site, std::uint64_t scope)
+{
+    const auto idx = static_cast<std::size_t>(site);
+    dp_assert(idx < numFaultSites, "fire() on an invalid fault site");
+    const FaultPlan::Site &cfg = plan_.sites[idx];
+
+    FaultEvent event;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.queried[idx];
+        if (cfg.ppm == 0)
+            return false;
+        ScopeState &st =
+            scopes_[{static_cast<std::uint8_t>(idx), scope}];
+        const std::uint64_t seq = st.seq++;
+        if (st.fired >= cfg.maxPerScope)
+            return false;
+        // The decision is a pure hash of (seed, site, scope, seq):
+        // identical across runs and host-thread interleavings.
+        const std::uint64_t draw = mix64(
+            plan_.seed ^ mix64((std::uint64_t{idx} << 56) + 1) ^
+            mix64(scope * 0x9e3779b97f4a7c15ull + seq + 1));
+        if (draw % ppmDenominator >= cfg.ppm)
+            return false;
+        ++st.fired;
+        ++stats_.fired[idx];
+        event = {site, scope, seq};
+        events_.push_back(event);
+    }
+    if (onFault)
+        onFault(event);
+    return true;
+}
+
+std::uint64_t
+FaultInjector::count(FaultSite site) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.fired[static_cast<std::size_t>(site)];
+}
+
+FaultStats
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::vector<FaultEvent>
+FaultInjector::events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+} // namespace dp

@@ -1,5 +1,7 @@
 #include "log/logs.hh"
 
+#include <algorithm>
+
 namespace dp
 {
 
@@ -29,7 +31,7 @@ SyncOrderLog::decode(std::span<const std::uint8_t> bytes)
     ByteReader r(bytes);
     SyncOrderLog log;
     std::uint64_t n = r.varu();
-    log.events_.reserve(n);
+    log.events_.reserve(std::min<std::uint64_t>(n, bytes.size()));
     for (std::uint64_t i = 0; i < n; ++i) {
         std::uint64_t v = r.varu();
         std::uint64_t k = r.varu();
@@ -72,7 +74,7 @@ ScheduleLog::decode(std::span<const std::uint8_t> bytes)
     ByteReader r(bytes);
     ScheduleLog log;
     std::uint64_t n = r.varu();
-    log.segments_.reserve(n);
+    log.segments_.reserve(std::min<std::uint64_t>(n, bytes.size()));
     for (std::uint64_t i = 0; i < n; ++i) {
         std::uint64_t head = r.varu();
         std::uint64_t instrs = r.varu();
@@ -107,7 +109,7 @@ SignalLog::decode(std::span<const std::uint8_t> bytes)
     ByteReader r(bytes);
     SignalLog log;
     std::uint64_t n = r.varu();
-    log.events_.reserve(n);
+    log.events_.reserve(std::min<std::uint64_t>(n, bytes.size()));
     for (std::uint64_t i = 0; i < n; ++i) {
         SignalEvent e;
         e.tid = static_cast<ThreadId>(r.varu());
@@ -151,7 +153,7 @@ SyscallLog::decode(std::span<const std::uint8_t> bytes)
     ByteReader r(bytes);
     SyscallLog log;
     std::uint64_t n = r.varu();
-    log.records_.reserve(n);
+    log.records_.reserve(std::min<std::uint64_t>(n, bytes.size()));
     for (std::uint64_t i = 0; i < n; ++i) {
         std::uint64_t head = r.varu();
         SyscallRecord rec;

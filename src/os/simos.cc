@@ -147,7 +147,12 @@ SimOS::dispatch(Machine &m, ThreadId tid,
 
       case Sys::GetTime:
         out.injectable = true;
-        out.value = inject ? *inject : m.now;
+        if (inject)
+            out.value = *inject;
+        else if (faultFires(FaultSite::GetTimeFail))
+            out.value = errResult; // transient clock failure
+        else
+            out.value = m.now;
         break;
 
       case Sys::NetRecv:
@@ -363,6 +368,12 @@ SimOS::doRead(Machine &m, std::uint64_t fd, Addr buf, std::uint64_t len)
     std::uint64_t n = std::min<std::uint64_t>(len,
                                               content->size() -
                                                   desc.offset);
+    // A short read in the result-generating (thread-parallel) kernel
+    // only: the epoch-parallel run re-executes the full read, so the
+    // states disagree at the epoch boundary and the recorder must
+    // roll back onto the epoch-parallel truth.
+    if (n > 1 && faultFires(FaultSite::FileShortRead))
+        n /= 2;
     m.mem.writeBytes(buf, {content->data() + desc.offset,
                            static_cast<std::size_t>(n)});
     desc.offset += n;
@@ -404,8 +415,14 @@ SimOS::doNetRecv(Machine &m, std::uint64_t conn, Addr buf,
 
     std::uint64_t n;
     if (inject) {
+        // A recorded transient failure replays as the same failure:
+        // no bytes delivered, cursor untouched.
+        if (*inject == errResult)
+            return errResult;
         n = std::min(*inject, max_len);
     } else {
+        if (faultFires(FaultSite::NetRecvFail))
+            return errResult; // transient failure, nothing delivered
         // Arrival model: the stream delivers one byte every
         // netCyclesPerByte cycles, up to netBytesPerConn total. What
         // has arrived but not yet been read is available now — this is
@@ -417,6 +434,11 @@ SimOS::doNetRecv(Machine &m, std::uint64_t conn, Addr buf,
         n = arrived > cur.recvOffset
                 ? std::min(max_len, arrived - cur.recvOffset)
                 : 0;
+        // A short delivery: half of what had arrived. The shortened
+        // count is the logged (injected) result, so every downstream
+        // run reproduces it exactly.
+        if (n > 1 && faultFires(FaultSite::NetRecvShort))
+            n /= 2;
     }
 
     if (n > 0) {
@@ -435,6 +457,12 @@ SimOS::doNetSend(Machine &m, std::uint64_t conn, std::uint64_t len)
     len = std::min(len, maxTransfer);
     m.os.netCursors[conn].sentBytes += len;
     return len;
+}
+
+bool
+SimOS::faultFires(FaultSite site) const
+{
+    return faults_ && faults_->fire(site);
 }
 
 } // namespace dp

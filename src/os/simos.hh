@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "os/machine.hh"
 #include "timing/cost_model.hh"
 #include "vm/abi.hh"
@@ -32,6 +33,16 @@ class SimOS
 {
   public:
     explicit SimOS(CostModel cm = {}) : costs_(cm) {}
+
+    /**
+     * Arm deterministic fault injection (see fault/fault.hh): the
+     * NetRecvFail/NetRecvShort/GetTimeFail/FileShortRead sites fire in
+     * this kernel's dispatches. Only the *result-generating* kernel of
+     * a pipeline is ever armed (the recorder's thread-parallel run);
+     * epoch-parallel runs and replay reproduce the faulted results
+     * through the ordinary inject path and are never armed.
+     */
+    void armFaults(FaultInjector *faults) { faults_ = faults; }
 
     /** Everything an engine needs to know about a completed call. */
     struct Outcome
@@ -85,7 +96,11 @@ class SimOS
     std::uint64_t doNetSend(Machine &m, std::uint64_t conn,
                             std::uint64_t len);
 
+    /** True if the armed injector (if any) fires @p site now. */
+    bool faultFires(FaultSite site) const;
+
     CostModel costs_;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace dp

@@ -1,5 +1,7 @@
 #include "replay/recording_io.hh"
 
+#include <algorithm>
+
 #include "common/bytes.hh"
 #include "common/logging.hh"
 
@@ -11,6 +13,39 @@ namespace
 
 constexpr std::uint32_t artifactMagic = 0x44504c59; // "DPLY"
 constexpr std::uint32_t artifactVersion = 3; // v3: signal logs
+
+/** Internal control flow for loadRecording's fail-closed path. */
+struct LoadFailure
+{
+    LoadError error;
+    std::string detail;
+    std::size_t offset;
+};
+
+[[noreturn]] void
+failLoad(LoadError error, std::string detail, std::size_t offset)
+{
+    throw LoadFailure{error, std::move(detail), offset};
+}
+
+/**
+ * Guard an element count against the bytes actually left: every
+ * serialized element occupies at least @p min_elem_bytes, so a count
+ * beyond remaining/min is a corrupt length, caught before any large
+ * allocation.
+ */
+void
+checkCount(const ByteReader &r, std::uint64_t n,
+           std::uint64_t min_elem_bytes, const char *what)
+{
+    // Division instead of multiplication: a corrupt count must not
+    // overflow the check itself.
+    if (n > r.remaining() / std::max<std::uint64_t>(1, min_elem_bytes))
+        failLoad(LoadError::BadSectionLength,
+                 detail::concat(what, " count ", n,
+                                " exceeds the bytes remaining"),
+                 r.pos());
+}
 
 void
 writeProgram(ByteWriter &w, const GuestProgram &prog)
@@ -39,12 +74,15 @@ readProgram(ByteReader &r)
     prog.name = r.str();
     prog.entry = r.varu();
     std::uint64_t n = r.varu();
+    checkCount(r, n, 5, "instruction");
     prog.code.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
         Instr in;
         std::uint8_t op = r.u8();
-        dp_assert(op < static_cast<std::uint8_t>(Opcode::NumOpcodes),
-                  "artifact contains an invalid opcode");
+        if (op >= static_cast<std::uint8_t>(Opcode::NumOpcodes))
+            failLoad(LoadError::BadValue,
+                     detail::concat("invalid opcode ", int(op)),
+                     r.pos());
         in.op = static_cast<Opcode>(op);
         in.rd = static_cast<Reg>(r.u8() & 15);
         in.rs1 = static_cast<Reg>(r.u8() & 15);
@@ -53,6 +91,7 @@ readProgram(ByteReader &r)
         prog.code.push_back(in);
     }
     std::uint64_t segs = r.varu();
+    checkCount(r, segs, 2, "data segment");
     for (std::uint64_t i = 0; i < segs; ++i) {
         Addr base = r.varu();
         prog.dataSegments.emplace_back(base, r.blob());
@@ -81,6 +120,7 @@ readConfig(ByteReader &r)
     cfg.netBytesPerConn = r.varu();
     cfg.netCyclesPerByte = r.varu();
     std::uint64_t n = r.varu();
+    checkCount(r, n, 2, "initial file");
     for (std::uint64_t i = 0; i < n; ++i) {
         std::string path = r.str();
         cfg.initialFiles.emplace_back(std::move(path), r.blob());
@@ -88,57 +128,27 @@ readConfig(ByteReader &r)
     return cfg;
 }
 
-} // namespace
-
-std::vector<std::uint8_t>
-serializeRecording(const Recording &rec)
-{
-    ByteWriter w;
-    w.u64fixed((std::uint64_t{artifactMagic} << 32) | artifactVersion);
-    writeProgram(w, rec.program());
-    writeConfig(w, rec.config());
-
-    w.varu(rec.epochs.size());
-    for (const EpochRecord &e : rec.epochs) {
-        w.blob(e.schedule.encode());
-        w.blob(e.syscalls.encode());
-        w.blob(e.signals.encode());
-        w.u64fixed(e.endStateHash);
-        w.varu(e.stdoutLen);
-        w.u8(e.diverged ? 1 : 0);
-        w.varu(e.tpCycles);
-        w.varu(e.epCycles);
-        w.varu(e.ckptCycles);
-        w.varu(e.epInstrs);
-        w.varu(e.targets.size());
-        for (const EpochTarget &t : e.targets) {
-            w.varu(t.retired);
-            w.u8(static_cast<std::uint8_t>(t.endState));
-        }
-    }
-    w.u64fixed(rec.finalStateHash);
-    w.varu(rec.stats.epochs);
-    w.varu(rec.stats.rollbacks);
-    w.varu(rec.stats.checkpointPages);
-    return w.take();
-}
-
-LoadedRecording
-deserializeRecording(std::span<const std::uint8_t> bytes)
+RecordingLoadResult
+loadChecked(std::span<const std::uint8_t> bytes)
 {
     ByteReader r(bytes);
     std::uint64_t header = r.u64fixed();
-    dp_assert(header >> 32 == artifactMagic,
-              "not a uniplay recording artifact");
-    dp_assert((header & 0xffffffff) == artifactVersion,
-              "unsupported artifact version ", header & 0xffffffff);
+    if (header >> 32 != artifactMagic)
+        failLoad(LoadError::BadMagic,
+                 "not a uniplay recording artifact", 0);
+    if ((header & 0xffffffff) != artifactVersion)
+        failLoad(LoadError::BadVersion,
+                 detail::concat("unsupported artifact version ",
+                                header & 0xffffffff),
+                 0);
 
-    LoadedRecording out;
+    RecordingLoadResult out;
     GuestProgram prog = readProgram(r);
     MachineConfig cfg = readConfig(r);
     out.recording = std::make_unique<Recording>(prog, std::move(cfg));
 
     std::uint64_t n = r.varu();
+    checkCount(r, n, 12, "epoch");
     out.recording->epochs.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
         EpochRecord e;
@@ -146,6 +156,12 @@ deserializeRecording(std::span<const std::uint8_t> bytes)
         e.schedule = ScheduleLog::decode(sched);
         std::vector<std::uint8_t> sys = r.blob();
         e.syscalls = SyscallLog::decode(sys);
+        for (const SyscallRecord &rec : e.syscalls.records())
+            if (rec.sys >= Sys::NumSyscalls)
+                failLoad(LoadError::BadValue,
+                         detail::concat("invalid syscall id in epoch ",
+                                        i),
+                         r.pos());
         std::vector<std::uint8_t> sigs = r.blob();
         e.signals = SignalLog::decode(sigs);
         e.endStateHash = r.u64fixed();
@@ -156,10 +172,17 @@ deserializeRecording(std::span<const std::uint8_t> bytes)
         e.ckptCycles = r.varu();
         e.epInstrs = r.varu();
         std::uint64_t targets = r.varu();
+        checkCount(r, targets, 2, "epoch target");
         for (std::uint64_t t = 0; t < targets; ++t) {
             EpochTarget tgt;
             tgt.retired = r.varu();
-            tgt.endState = static_cast<RunState>(r.u8());
+            std::uint8_t state = r.u8();
+            if (state > static_cast<std::uint8_t>(RunState::Exited))
+                failLoad(LoadError::BadValue,
+                         detail::concat("invalid run state ",
+                                        int(state)),
+                         r.pos());
+            tgt.endState = static_cast<RunState>(state);
             e.targets.push_back(tgt);
         }
         out.recording->epochs.push_back(std::move(e));
@@ -170,8 +193,133 @@ deserializeRecording(std::span<const std::uint8_t> bytes)
     out.recording->stats.rollbacks =
         static_cast<std::uint32_t>(r.varu());
     out.recording->stats.checkpointPages = r.varu();
-    dp_assert(r.atEnd(), "trailing bytes in recording artifact");
+    if (!r.atEnd())
+        failLoad(LoadError::TrailingBytes,
+                 detail::concat(r.remaining(),
+                                " trailing bytes in artifact"),
+                 r.pos());
     return out;
+}
+
+} // namespace
+
+const char *
+loadErrorName(LoadError e)
+{
+    switch (e) {
+      case LoadError::None:
+        return "none";
+      case LoadError::BadMagic:
+        return "bad-magic";
+      case LoadError::BadVersion:
+        return "bad-version";
+      case LoadError::Truncated:
+        return "truncated";
+      case LoadError::BadVarint:
+        return "bad-varint";
+      case LoadError::BadSectionLength:
+        return "bad-section-length";
+      case LoadError::BadValue:
+        return "bad-value";
+      case LoadError::TrailingBytes:
+        return "trailing-bytes";
+    }
+    return "invalid";
+}
+
+std::vector<std::uint8_t>
+serializeRecording(const Recording &rec,
+                   std::vector<SectionMark> *marks)
+{
+    ByteWriter w;
+    auto mark = [&](std::string name, bool length_prefixed) {
+        if (marks)
+            marks->push_back(
+                {std::move(name), w.size(), length_prefixed});
+    };
+
+    mark("header", false);
+    w.u64fixed((std::uint64_t{artifactMagic} << 32) | artifactVersion);
+    mark("program", true); // leads with the name's length prefix
+    writeProgram(w, rec.program());
+    mark("config", false);
+    writeConfig(w, rec.config());
+
+    mark("epoch-count", true);
+    w.varu(rec.epochs.size());
+    for (std::size_t i = 0; i < rec.epochs.size(); ++i) {
+        const EpochRecord &e = rec.epochs[i];
+        mark(detail::concat("epoch[", i, "].schedule"), true);
+        w.blob(e.schedule.encode());
+        mark(detail::concat("epoch[", i, "].syscalls"), true);
+        w.blob(e.syscalls.encode());
+        mark(detail::concat("epoch[", i, "].signals"), true);
+        w.blob(e.signals.encode());
+        mark(detail::concat("epoch[", i, "].meta"), false);
+        w.u64fixed(e.endStateHash);
+        w.varu(e.stdoutLen);
+        w.u8(e.diverged ? 1 : 0);
+        w.varu(e.tpCycles);
+        w.varu(e.epCycles);
+        w.varu(e.ckptCycles);
+        w.varu(e.epInstrs);
+        mark(detail::concat("epoch[", i, "].targets"), true);
+        w.varu(e.targets.size());
+        for (const EpochTarget &t : e.targets) {
+            w.varu(t.retired);
+            w.u8(static_cast<std::uint8_t>(t.endState));
+        }
+    }
+    mark("trailer", false);
+    w.u64fixed(rec.finalStateHash);
+    w.varu(rec.stats.epochs);
+    w.varu(rec.stats.rollbacks);
+    w.varu(rec.stats.checkpointPages);
+    return w.take();
+}
+
+RecordingLoadResult
+loadRecording(std::span<const std::uint8_t> bytes)
+{
+    try {
+        return loadChecked(bytes);
+    } catch (const LoadFailure &f) {
+        RecordingLoadResult out;
+        out.error = f.error;
+        out.detail = f.detail;
+        out.errorOffset = f.offset;
+        return out;
+    } catch (const ByteStreamError &e) {
+        RecordingLoadResult out;
+        out.error = e.kind == ByteStreamError::Kind::OverlongVarint
+                        ? LoadError::BadVarint
+                        : LoadError::Truncated;
+        out.detail = detail::concat(
+            e.kind == ByteStreamError::Kind::OverlongVarint
+                ? "varint past 64 bits"
+                : "stream ended mid-section",
+            " at byte ", e.offset);
+        out.errorOffset = e.offset;
+        return out;
+    } catch (const std::bad_alloc &) {
+        RecordingLoadResult out;
+        out.error = LoadError::BadSectionLength;
+        out.detail = "allocation rejected while loading";
+        return out;
+    }
+}
+
+LoadedRecording
+deserializeRecording(std::span<const std::uint8_t> bytes)
+{
+    RecordingLoadResult res = loadRecording(bytes);
+    if (!res.ok()) {
+        if (res.error == LoadError::BadMagic)
+            dp_panic("not a uniplay recording artifact");
+        dp_panic("corrupt recording artifact (",
+                 loadErrorName(res.error), "): ", res.detail);
+    }
+    return LoadedRecording{std::move(res.recording)};
 }
 
 } // namespace dp

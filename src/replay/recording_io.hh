@@ -9,6 +9,13 @@
  * Checkpoints are deliberately not serialized (they are an in-memory
  * acceleration for parallel replay; a consumer can regenerate them by
  * replaying once and capturing boundaries).
+ *
+ * Loading is fail-closed: loadRecording() classifies every way an
+ * artifact can be malformed — truncated tails, flipped bytes, absurd
+ * section lengths, out-of-range enums — into a structured LoadError
+ * and never crashes, allocates unboundedly, or silently accepts a
+ * corrupt stream. deserializeRecording() is the panicking wrapper for
+ * callers that treat corruption as an unrecoverable bug.
  */
 
 #ifndef DP_REPLAY_RECORDING_IO_HH
@@ -17,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/recording.hh"
@@ -35,12 +43,69 @@ struct LoadedRecording
     }
 };
 
-/** Serialize @p rec (without checkpoints) into a byte artifact. */
-std::vector<std::uint8_t> serializeRecording(const Recording &rec);
+/** Why an artifact failed to load. */
+enum class LoadError : std::uint8_t
+{
+    None,             ///< loaded and structurally valid
+    BadMagic,         ///< not a uniplay recording artifact
+    BadVersion,       ///< produced by an incompatible format version
+    Truncated,        ///< the stream ended inside a section
+    BadVarint,        ///< a varint ran past 64 bits
+    BadSectionLength, ///< a section claims more bytes than exist
+    BadValue,         ///< an enum/opcode outside its valid range
+    TrailingBytes,    ///< well-formed artifact followed by junk
+};
+
+/** Stable human-readable name of @p e (e.g. "truncated"). */
+const char *loadErrorName(LoadError e);
+
+/** Result of a fail-closed load attempt. */
+struct RecordingLoadResult
+{
+    /** Non-null exactly when error == LoadError::None. */
+    std::unique_ptr<Recording> recording;
+    LoadError error = LoadError::None;
+    /** Diagnostic: what was malformed and where. */
+    std::string detail;
+    /** Byte offset at which the malformation was detected. */
+    std::size_t errorOffset = 0;
+
+    bool ok() const { return error == LoadError::None; }
+};
+
+/**
+ * One serialized section: its name, the byte offset where it starts,
+ * and whether a varint length prefix sits at that offset (the
+ * corruption tests target those).
+ */
+struct SectionMark
+{
+    std::string name;
+    std::size_t offset = 0;
+    bool lengthPrefixed = false;
+};
+
+/**
+ * Serialize @p rec (without checkpoints) into a byte artifact. When
+ * @p marks is non-null it receives the offset of every section, for
+ * corruption tests that cut or rewrite the stream at structural
+ * boundaries.
+ */
+std::vector<std::uint8_t>
+serializeRecording(const Recording &rec,
+                   std::vector<SectionMark> *marks = nullptr);
+
+/**
+ * Parse an artifact produced by serializeRecording, failing closed:
+ * any malformation yields a structured error, never a crash or a
+ * silently-wrong Recording.
+ */
+RecordingLoadResult loadRecording(std::span<const std::uint8_t> bytes);
 
 /**
  * Parse an artifact produced by serializeRecording. Panics on a
- * corrupt or version-mismatched artifact.
+ * corrupt or version-mismatched artifact; see loadRecording for the
+ * fail-closed API.
  */
 LoadedRecording deserializeRecording(
     std::span<const std::uint8_t> bytes);

@@ -26,7 +26,7 @@ namespace
 {
 
 std::vector<std::uint8_t>
-makeArtifact()
+makeArtifact(std::vector<SectionMark> *marks = nullptr)
 {
     GuestProgram prog = testprogs::lockedCounter(2, 200);
     RecorderOptions opts;
@@ -34,7 +34,7 @@ makeArtifact()
     UniparallelRecorder rec(prog, {}, opts);
     RecordOutcome out = rec.record();
     EXPECT_TRUE(out.ok);
-    return serializeRecording(out.recording);
+    return serializeRecording(out.recording, marks);
 }
 
 /**
@@ -136,6 +136,71 @@ TEST(Corruption, TruncationsAreRejectedOrFail)
         EXPECT_NE(probeArtifact(mutant), 0)
             << "truncation to " << keep << " bytes verified";
     }
+}
+
+TEST(Corruption, TruncationAtEverySectionBoundaryFailsClosed)
+{
+    // Cut the artifact exactly at, one byte before, and one byte
+    // after every structural boundary: the fail-closed loader must
+    // return a structured error for each — in-process, no death
+    // tests, no UB.
+    std::vector<SectionMark> marks;
+    std::vector<std::uint8_t> bytes = makeArtifact(&marks);
+    ASSERT_GT(marks.size(), 4u);
+    for (const SectionMark &m : marks) {
+        for (std::size_t delta : {std::size_t{0}, std::size_t{1},
+                                  ~std::size_t{0}}) {
+            const std::size_t keep = m.offset + delta; // ~0 = -1
+            if (keep == 0 || keep >= bytes.size())
+                continue;
+            std::vector<std::uint8_t> cut(bytes.begin(),
+                                          bytes.begin() + keep);
+            RecordingLoadResult r = loadRecording(cut);
+            EXPECT_FALSE(r.ok())
+                << "cut at section '" << m.name << "' + " << delta
+                << " (" << keep << " bytes) loaded";
+            EXPECT_EQ(r.recording, nullptr);
+            EXPECT_NE(r.error, LoadError::None);
+            EXPECT_FALSE(r.detail.empty()) << m.name;
+        }
+    }
+    // The untouched artifact still loads (the marks are accurate).
+    EXPECT_TRUE(loadRecording(bytes).ok());
+}
+
+TEST(Corruption, RandomFlipsLoadInProcessWithStructuredErrors)
+{
+    // The fail-closed loader confronts every single-byte flip
+    // in-process: it must never crash, assert, or allocate wildly,
+    // and every rejection must carry a meaningful error code.
+    std::vector<std::uint8_t> bytes = makeArtifact();
+    Rng rng(4242);
+    int rejected = 0, parsed = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::vector<std::uint8_t> mutant = bytes;
+        std::size_t pos = rng.below(mutant.size());
+        mutant[pos] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        RecordingLoadResult r = loadRecording(mutant);
+        if (r.ok()) {
+            ASSERT_NE(r.recording, nullptr);
+            ++parsed;
+            continue;
+        }
+        EXPECT_EQ(r.recording, nullptr);
+        EXPECT_NE(r.error, LoadError::None);
+        EXPECT_STRNE(loadErrorName(r.error), "ok");
+        EXPECT_FALSE(r.detail.empty())
+            << "flip at " << pos << " rejected without detail";
+        EXPECT_LE(r.errorOffset, mutant.size())
+            << "error offset points outside the artifact";
+        ++rejected;
+    }
+    // The sweep must exercise the rejection path heavily; parse-valid
+    // flips (timing metadata, program bytes) are legal and handled by
+    // the verification-level sweep above.
+    EXPECT_GT(rejected, 0);
+    SUCCEED() << rejected << " rejected, " << parsed << " parsed";
 }
 
 TEST(Corruption, CrossRecordingSplicesFail)

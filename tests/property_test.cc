@@ -15,6 +15,8 @@
 
 #include "common/rng.hh"
 #include "core/recorder.hh"
+#include "fault/fault.hh"
+#include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "testprogs.hh"
 
@@ -93,6 +95,110 @@ TEST_P(RandomRacyPrograms, RecordRecoversAndReplays)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomRacyPrograms,
                          ::testing::Range<std::uint64_t>(100, 116));
+
+/**
+ * Draw a random fault plan: a few sites at moderate probabilities.
+ * FileShortRead is excluded (random programs never use Sys::Read);
+ * TornCheckpoint keeps a per-capture budget so recapture always
+ * converges within the retry cap.
+ */
+FaultPlan
+randomFaultPlan(std::uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 5);
+    FaultPlan plan;
+    plan.seed = seed ^ 0xfa017;
+    if (rng.chance(2, 3))
+        plan.with(FaultSite::NetRecvFail, 0.01 * rng.range(1, 10));
+    if (rng.chance(2, 3))
+        plan.with(FaultSite::NetRecvShort, 0.01 * rng.range(1, 20));
+    if (rng.chance(2, 3))
+        plan.with(FaultSite::GetTimeFail, 0.01 * rng.range(1, 30));
+    if (rng.chance(1, 2))
+        plan.with(FaultSite::TornCheckpoint,
+                  0.1 * rng.range(1, 5),
+                  static_cast<std::uint32_t>(rng.range(1, 3)));
+    if (rng.chance(1, 2))
+        plan.with(FaultSite::WorkerDeath, 0.1 * rng.range(1, 6));
+    if (!plan.enabled()) // always inject *something*
+        plan.with(FaultSite::GetTimeFail, 0.2);
+    return plan;
+}
+
+class RandomProgramsUnderFaults
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RandomProgramsUnderFaults, SurvivingRecordingsReplayExactly)
+{
+    const std::uint64_t seed = GetParam();
+    GuestProgram prog =
+        testprogs::randomProgram(seed, {.allowRaces = false});
+    FaultInjector inj(randomFaultPlan(seed));
+
+    MachineConfig cfg;
+    cfg.netBytesPerConn = 8'192;
+    cfg.netCyclesPerByte = 2;
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 4'000;
+    opts.seed = seed * 31 + 7;
+    opts.faults = &inj;
+
+    std::uint32_t recoveries[4] = {};
+    RecordObserver obs;
+    obs.onRecovery = [&](RecoveryKind kind, EpochId) {
+        ++recoveries[static_cast<std::uint8_t>(kind)];
+    };
+
+    UniparallelRecorder rec(prog, cfg, opts);
+    RecordOutcome out = rec.record(&obs);
+
+    // Fault injection may only fail a session *closed*.
+    if (!out.ok) {
+        EXPECT_EQ(out.tpReason, StopReason::Stalled)
+            << "seed " << seed;
+        return;
+    }
+
+    // The degradation counters mirror both the injector's decision
+    // stream and the observer's recovery event stream.
+    const RecorderStats &st = out.recording.stats;
+    EXPECT_EQ(st.tornCheckpoints,
+              inj.count(FaultSite::TornCheckpoint))
+        << "seed " << seed;
+    EXPECT_EQ(st.workerDeaths, inj.count(FaultSite::WorkerDeath))
+        << "seed " << seed;
+    EXPECT_EQ(st.epochRetries + st.seqFallbacks, st.workerDeaths);
+    auto seen = [&](RecoveryKind k) {
+        return recoveries[static_cast<std::uint8_t>(k)];
+    };
+    EXPECT_EQ(seen(RecoveryKind::Rollback), st.rollbacks);
+    EXPECT_EQ(seen(RecoveryKind::CheckpointRecapture),
+              st.tornCheckpoints);
+    EXPECT_EQ(seen(RecoveryKind::EpochRetry), st.epochRetries);
+    EXPECT_EQ(seen(RecoveryKind::SequentialFallback),
+              st.seqFallbacks);
+
+    // Any recording that survives recording + loading replays
+    // exactly, sequentially and in parallel.
+    std::vector<std::uint8_t> bytes =
+        serializeRecording(out.recording);
+    RecordingLoadResult loaded = loadRecording(bytes);
+    ASSERT_TRUE(loaded.ok())
+        << "seed " << seed << ": " << loadErrorName(loaded.error);
+    ReplayResult mem = Replayer(out.recording).replaySequential();
+    ReplayResult disk =
+        Replayer(*loaded.recording).replaySequential();
+    ASSERT_TRUE(mem.ok) << "seed " << seed;
+    ASSERT_TRUE(disk.ok) << "seed " << seed;
+    EXPECT_EQ(mem.stdoutBytes, disk.stdoutBytes) << "seed " << seed;
+    EXPECT_TRUE(Replayer(out.recording).replayParallel(2).ok)
+        << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomProgramsUnderFaults,
+                         ::testing::Range<std::uint64_t>(300, 316));
 
 TEST(RandomPrograms, UniprocessorExecutionIsDeterministic)
 {

@@ -268,6 +268,61 @@ syscallStorm(std::uint64_t net_bytes)
 }
 
 GuestProgram
+fileChunkReader()
+{
+    Assembler a;
+
+    const Addr buf = scratchAddr;
+    const Addr path = scratchAddr + 0x800;
+
+    const std::string_view fname = chunkFilePath;
+    a.dataBytes(path,
+                {reinterpret_cast<const std::uint8_t *>(fname.data()),
+                 fname.size()});
+
+    a.li(r15, 0); // checksum accumulator
+
+    // fd = open("data/in.bin", read)
+    a.lia(r1, path);
+    a.li(r2, openRead);
+    a.sys(Sys::Open);
+    a.mov(r14, r0);
+
+    // Stream the file in 64-byte chunks; a short read just means the
+    // next iteration picks up where the offset left off.
+    Label loop = a.hereLabel();
+    Label done = a.newLabel();
+    a.mov(r1, r14);
+    a.lia(r2, buf);
+    a.li(r3, 64);
+    a.sys(Sys::Read);
+    a.beqz(r0, done); // EOF
+    a.mov(r12, r0);   // bytes delivered
+    a.lia(r4, buf);
+    Label fold = a.hereLabel();
+    Label folded = a.newLabel();
+    a.beqz(r12, folded);
+    a.ld8(r5, r4, 0);
+    a.add(r15, r15, r5);
+    a.addi(r4, r4, 1);
+    a.addi(r12, r12, -1);
+    a.jmp(fold);
+    a.bind(folded);
+    a.jmp(loop);
+
+    a.bind(done);
+    // Publish the checksum and exit with its low bits.
+    a.lia(r3, counterAddr);
+    a.st64(r3, 0, r15);
+    a.lia(r5, counterAddr);
+    a.li(r6, 8);
+    lib::writeFd(a, fdStdout, r5, r6);
+    a.andi(r1, r15, 0xffff);
+    a.sys(Sys::Exit);
+    return a.finish("file_chunk_reader");
+}
+
+GuestProgram
 arithLoop(std::uint64_t iters)
 {
     Assembler a;

@@ -59,6 +59,18 @@ GuestProgram syscallStorm(std::uint64_t net_bytes);
  *  the accumulator's low bits. Single-threaded determinism anchor. */
 GuestProgram arithLoop(std::uint64_t iters);
 
+/** Path of the boot-time file fileChunkReader() reads. */
+inline constexpr const char *chunkFilePath = "data/in.bin";
+
+/**
+ * Single thread streaming a boot-time file (chunkFilePath, provided
+ * via MachineConfig::initialFiles): reads 64-byte chunks until EOF,
+ * sums every byte, writes the 8-byte checksum to stdout, exits with
+ * its low bits. Robust to short reads (it loops to EOF), which makes
+ * it the FileShortRead fault-injection target.
+ */
+GuestProgram fileChunkReader();
+
 /** Random-program generator options (property tests). */
 struct GenOptions
 {

@@ -14,6 +14,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "baseline/baselines.hh"
 #include "common/table.hh"
 #include "core/recorder.hh"
+#include "fault/fault.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "vm/text_asm.hh"
@@ -39,10 +41,11 @@ usage()
     std::cerr
         << "usage:\n"
         << "  uniplay record <workload> [-t N] [-s SCALE] "
-           "[-e EPOCHLEN] -o FILE\n"
+           "[-e EPOCHLEN] [--fault-plan SPEC --fault-seed N] "
+           "-o FILE\n"
         << "  uniplay run <file.s>\n"
         << "  uniplay record-asm <file.s> [-t N] [-e EPOCHLEN] "
-           "-o FILE\n"
+           "[--fault-plan SPEC --fault-seed N] -o FILE\n"
         << "  uniplay replay FILE [--parallel N]\n"
         << "  uniplay races FILE\n"
         << "  uniplay profile FILE\n"
@@ -82,6 +85,8 @@ struct Args
     Cycles epochLength = 100'000;
     std::string outFile;
     unsigned parallel = 0;
+    std::string faultPlan;
+    std::uint64_t faultSeed = 0;
 };
 
 Args
@@ -108,6 +113,10 @@ parseArgs(int argc, char **argv, int first)
         else if (s == "--parallel")
             a.parallel =
                 static_cast<unsigned>(std::stoul(next()));
+        else if (s == "--fault-plan")
+            a.faultPlan = next();
+        else if (s == "--fault-seed")
+            a.faultSeed = std::stoull(next());
         else
             a.positional.push_back(std::move(s));
     }
@@ -124,8 +133,39 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
     opts.workerCpus = args.threads;
     opts.epochLength = args.epochLength;
     opts.keepCheckpoints = false; // artifacts hold logs only
+
+    std::unique_ptr<FaultInjector> faults;
+    if (!args.faultPlan.empty()) {
+        faults = std::make_unique<FaultInjector>(
+            FaultPlan::parse(args.faultPlan, args.faultSeed));
+        opts.faults = faults.get();
+        std::cout << "fault plan: " << faults->plan().describe()
+                  << "\n";
+    }
+    RecordObserver obs;
+    obs.onRecovery = [](RecoveryKind kind, EpochId index) {
+        std::cout << "  recovery: " << recoveryKindName(kind)
+                  << " at epoch " << index << "\n";
+    };
+
     UniparallelRecorder rec(prog, cfg, opts);
-    RecordOutcome out = rec.record();
+    RecordOutcome out = rec.record(faults ? &obs : nullptr);
+    if (faults) {
+        const FaultStats fs = faults->stats();
+        std::cout << "faults fired: " << fs.totalFired() << "\n";
+        for (std::size_t i = 0; i < numFaultSites; ++i)
+            if (fs.fired[i] > 0)
+                std::cout
+                    << "  " << faultSiteName(
+                                   static_cast<FaultSite>(i))
+                    << ": " << fs.fired[i] << "/" << fs.queried[i]
+                    << " decisions\n";
+        const RecorderStats &st = out.recording.stats;
+        std::cout << "recovery: " << st.rollbacks << " rollbacks, "
+                  << st.tornCheckpoints << " torn ckpts, "
+                  << st.epochRetries << " epoch retries, "
+                  << st.seqFallbacks << " seq fallbacks\n";
+    }
     if (!out.ok) {
         std::cerr << "recording failed: "
                   << stopReasonName(out.tpReason) << "\n";
@@ -147,6 +187,19 @@ readTextFile(const std::string &path)
 {
     std::vector<std::uint8_t> b = readFile(path);
     return {b.begin(), b.end()};
+}
+
+/** Load an artifact, exiting with a structured diagnostic (not a
+ *  crash) when it is corrupt. */
+LoadedRecording
+loadArtifact(const std::string &path)
+{
+    RecordingLoadResult r = loadRecording(readFile(path));
+    if (!r.ok())
+        dp_fatal(path, ": cannot load recording: ",
+                 loadErrorName(r.error), " at byte ", r.errorOffset,
+                 " (", r.detail, ")");
+    return {std::move(r.recording)};
 }
 
 int
@@ -194,8 +247,7 @@ cmdReplay(const Args &args)
 {
     if (args.positional.empty())
         return usage();
-    LoadedRecording loaded =
-        deserializeRecording(readFile(args.positional[0]));
+    LoadedRecording loaded = loadArtifact(args.positional[0]);
     Replayer rep(*loaded.recording);
     ReplayResult r = rep.replaySequential();
     std::cout << (r.ok ? "verified" : "FAILED") << ": "
@@ -214,8 +266,7 @@ cmdRaces(const Args &args)
 {
     if (args.positional.empty())
         return usage();
-    LoadedRecording loaded =
-        deserializeRecording(readFile(args.positional[0]));
+    LoadedRecording loaded = loadArtifact(args.positional[0]);
     RaceDetector det;
     ReplayObserver obs = det.observer();
     Replayer rep(*loaded.recording);
@@ -239,8 +290,7 @@ cmdProfile(const Args &args)
 {
     if (args.positional.empty())
         return usage();
-    LoadedRecording loaded =
-        deserializeRecording(readFile(args.positional[0]));
+    LoadedRecording loaded = loadArtifact(args.positional[0]);
     ReplayProfiler prof;
     ReplayObserver obs = prof.observer();
     Replayer rep(*loaded.recording);
@@ -272,8 +322,7 @@ cmdInfo(const Args &args)
 {
     if (args.positional.empty())
         return usage();
-    LoadedRecording loaded =
-        deserializeRecording(readFile(args.positional[0]));
+    LoadedRecording loaded = loadArtifact(args.positional[0]);
     const Recording &rec = *loaded.recording;
     std::cout << "program: " << rec.program().name << " ("
               << rec.program().code.size() << " instrs)\n"
@@ -304,8 +353,7 @@ cmdDisasm(const Args &args)
 {
     if (args.positional.empty())
         return usage();
-    LoadedRecording loaded =
-        deserializeRecording(readFile(args.positional[0]));
+    LoadedRecording loaded = loadArtifact(args.positional[0]);
     std::cout << disassemble(loaded.recording->program());
     return 0;
 }
