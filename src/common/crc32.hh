@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CRC-32C (Castagnoli) over byte spans.
+ *
+ * Used by the epoch journal to guard every frame: a torn tail or a
+ * flipped bit yields a CRC mismatch, so recovery can distinguish the
+ * committed prefix from damage without trusting any frame contents.
+ * Table-driven, one table per process, no dependencies.
+ */
+
+#ifndef DP_COMMON_CRC32_HH
+#define DP_COMMON_CRC32_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dp
+{
+
+namespace detail
+{
+
+inline const std::array<std::uint32_t, 256> &
+crc32cTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** CRC-32C of @p bytes, continuing from @p seed (0 to start). */
+inline std::uint32_t
+crc32c(std::span<const std::uint8_t> bytes, std::uint32_t seed = 0)
+{
+    const auto &table = detail::crc32cTable();
+    std::uint32_t c = ~seed;
+    for (std::uint8_t b : bytes)
+        c = table[(c ^ b) & 0xff] ^ (c >> 8);
+    return ~c;
+}
+
+} // namespace dp
+
+#endif // DP_COMMON_CRC32_HH

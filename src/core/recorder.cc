@@ -4,7 +4,10 @@
 #include <future>
 #include <memory>
 
+#include "common/bytes.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
+#include "core/epoch_replay.hh"
 #include "core/epoch_runner.hh"
 #include "os/multicpu_sim.hh"
 #include "os/simos.hh"
@@ -22,6 +25,63 @@ recoveryKindName(RecoveryKind k)
     case RecoveryKind::SequentialFallback: return "seq-fallback";
     }
     return "?";
+}
+
+const char *
+optionErrorName(OptionError e)
+{
+    switch (e) {
+    case OptionError::None: return "none";
+    case OptionError::ZeroWorkerCpus: return "zero-worker-cpus";
+    case OptionError::ZeroEpochLength: return "zero-epoch-length";
+    case OptionError::ZeroQuantum: return "zero-quantum";
+    case OptionError::ZeroJitterDen: return "zero-jitter-den";
+    case OptionError::ZeroMpQuantum: return "zero-mp-quantum";
+    case OptionError::ZeroMaxInFlight: return "zero-max-in-flight";
+    }
+    return "invalid";
+}
+
+OptionError
+validateRecorderOptions(const RecorderOptions &opts)
+{
+    if (opts.workerCpus == 0)
+        return OptionError::ZeroWorkerCpus;
+    if (opts.epochLength == 0)
+        return OptionError::ZeroEpochLength;
+    if (opts.quantum == 0)
+        return OptionError::ZeroQuantum;
+    if (opts.jitterDen == 0)
+        return OptionError::ZeroJitterDen;
+    if (opts.mpQuantum == 0)
+        return OptionError::ZeroMpQuantum;
+    if (opts.hostWorkers > 0 && opts.maxInFlight == 0)
+        return OptionError::ZeroMaxInFlight;
+    return OptionError::None;
+}
+
+std::uint64_t
+recorderOptionsFingerprint(const RecorderOptions &opts)
+{
+    ByteWriter w;
+    w.varu(opts.workerCpus);
+    w.varu(opts.epochLength);
+    w.varu(opts.seed);
+    w.varu(opts.quantum);
+    w.u8(opts.enforceSyncOrder ? 1 : 0);
+    w.u8(opts.chargeCosts ? 1 : 0);
+    w.varu(opts.jitterNum);
+    w.varu(opts.jitterDen);
+    w.varu(opts.mpQuantum);
+    // The fault plan is deliberately excluded: it is an injection
+    // harness, not a recording option, and the natural recovery flow
+    // is to resume without the plan that produced the crash. (Syscall
+    // fault sites already carry the documented byte-identity
+    // exception across a resume; see resume().)
+    std::uint64_t h = 0x9368e53c2f6af274ull;
+    for (std::uint8_t b : w.data())
+        h = mix64(h ^ b) * 0x9e3779b97f4a7c15ull;
+    return mix64(h);
 }
 
 namespace
@@ -52,15 +112,38 @@ UniparallelRecorder::UniparallelRecorder(const GuestProgram &prog,
                                          CostModel costs)
     : prog_(&prog), cfg_(std::move(cfg)), opts_(opts), costs_(costs)
 {
-    dp_assert(opts_.workerCpus > 0, "need at least one worker CPU");
-    dp_assert(opts_.epochLength > 0, "epoch length must be positive");
+    // Options are validated structurally when a session starts (see
+    // validateRecorderOptions); constructing with bad options is not
+    // UB, it just yields a failed-closed RecordOutcome.
 }
 
 RecordOutcome
 UniparallelRecorder::record(const RecordObserver *observer)
 {
+    return runSession(observer, nullptr);
+}
+
+RecordOutcome
+UniparallelRecorder::resume(std::vector<EpochRecord> prefix,
+                            const RecordObserver *observer)
+{
+    return runSession(observer, &prefix);
+}
+
+RecordOutcome
+UniparallelRecorder::runSession(const RecordObserver *observer,
+                                std::vector<EpochRecord> *prefix)
+{
     RecordOutcome out{Recording(*prog_, cfg_)};
     Recording &rec = out.recording;
+
+    out.optionError = validateRecorderOptions(opts_);
+    if (out.optionError != OptionError::None) {
+        dp_warn("invalid recorder options: ",
+                optionErrorName(out.optionError));
+        out.tpReason = StopReason::Stalled;
+        return out;
+    }
 
     Machine m(*prog_, cfg_);
     SimOS os(costs_);
@@ -105,14 +188,29 @@ UniparallelRecorder::record(const RecordObserver *observer)
         return std::make_unique<MultiCpuSim>(m, os, mp, hooks);
     };
 
-    auto sim = make_sim(opts_.seed);
-
     // Index of the epoch the thread-parallel run is producing next
     // (committed + in flight); reset by rollback.
     EpochId tp_next_index = 0;
     // Monotonic checkpoint-capture sequence: the TornCheckpoint
     // decision scope, so concurrent plans stay per-capture.
     std::uint64_t capture_seq = 0;
+
+    // The thread-parallel interleaving is reseeded at every epoch
+    // boundary as a pure function of (base seed, epoch index,
+    // rollbacks so far). This makes every boundary a *resume point*:
+    // a session resumed from a recovered journal prefix reconstructs
+    // the same seed from the prefix alone and produces the same
+    // remaining epochs the uninterrupted run would have, so the
+    // finished recordings serialize byte-identically. The rollback
+    // term keeps a re-produced epoch from replaying the interleaving
+    // that just diverged (livelock guard), exactly like the previous
+    // rollback-only reseed.
+    auto boundary_seed = [&]() {
+        return opts_.seed +
+               0x9e3779b97f4a7c15ull * tp_next_index +
+               0xd1342543de82ef95ull * rec.stats.rollbacks;
+    };
+    std::unique_ptr<MultiCpuSim> sim;
 
     // Capture a boundary checkpoint, injecting torn captures per the
     // fault plan. A torn snapshot's digest disagrees with the machine;
@@ -147,8 +245,62 @@ UniparallelRecorder::record(const RecordObserver *observer)
         }
     };
 
+    if (prefix && !prefix->empty()) {
+        // ---- resume: rebuild the boundary state from the prefix ----
+        // The recovered epochs are the official execution; replaying
+        // them sequentially (digest-verified, fail-closed) leaves m
+        // holding exactly the state the interrupted session had
+        // checkpointed at the last committed boundary.
+        Cycles replay_cycles = 0;
+        std::uint64_t replay_instrs = 0;
+        Cycles boundary_clock = 0;
+        for (std::size_t i = 0; i < prefix->size(); ++i) {
+            const EpochRecord &e = (*prefix)[i];
+            if (opts_.keepCheckpoints)
+                rec.checkpoints.push_back(Checkpoint::capture(m));
+            if (!replayEpochOnMachine(m, e, costs_, replay_cycles,
+                                      replay_instrs)) {
+                dp_warn("resume: recovered epoch ", i,
+                        " failed replay verification; refusing to "
+                        "record past a bad prefix");
+                out.prefixVerifyFailed = true;
+                out.tpReason = StopReason::Stalled;
+                rec.checkpoints.clear();
+                return out;
+            }
+            // The tp clock telescopes across committed epochs (a
+            // rollback resumes it at the diverged boundary), so the
+            // boundary clock is the plain sum.
+            boundary_clock += e.tpCycles;
+            rec.stats.rollbacks += e.diverged ? 1 : 0;
+            rec.stats.checkpointPages += e.dirtyPages;
+            rec.stats.tpTotalCycles += e.tpCycles;
+            rec.stats.epTotalCycles += e.epCycles;
+            rec.stats.epInstrs += e.epInstrs;
+            ++rec.stats.epochs;
+        }
+        rec.epochs = std::move(*prefix);
+        tp_next_index = static_cast<EpochId>(rec.epochs.size());
+        capture_seq = rec.epochs.size();
+        m.now = boundary_clock;
+        m.mem.clearDirty();
+        if (m.allExited()) {
+            // The journal already holds the complete run.
+            Checkpoint final_state;
+            if (!capture_boundary(m, final_state, tp_next_index)) {
+                out.tpReason = StopReason::Stalled;
+                return out;
+            }
+            rec.finalStateHash = final_state.stateHash();
+            out.ok = true;
+            if (!m.threads.empty())
+                out.mainExitCode = m.threads[0].exitCode;
+            return out;
+        }
+    }
+
     Checkpoint current;
-    if (!capture_boundary(m, current, 0)) {
+    if (!capture_boundary(m, current, tp_next_index)) {
         out.tpReason = StopReason::Stalled;
         return out;
     }
@@ -157,6 +309,7 @@ UniparallelRecorder::record(const RecordObserver *observer)
     // boundary, quiesce, checkpoint, package the epoch's constraints.
     auto run_tp_epoch = [&]() -> TpEpoch {
         TpEpoch e;
+        sim = make_sim(boundary_seed());
         sync_order = {};
         injectables.clear();
         signals.clear();
@@ -275,6 +428,7 @@ UniparallelRecorder::record(const RecordObserver *observer)
         record.ckptCycles = tp.ckptCost;
         record.epCycles = er.epCycles + check_cost;
         record.epInstrs = er.instrs;
+        record.dirtyPages = tp.dirtyPages;
 
         rec.stats.tpTotalCycles += record.tpCycles;
         rec.stats.epTotalCycles += record.epCycles;
@@ -315,8 +469,10 @@ UniparallelRecorder::record(const RecordObserver *observer)
         current.restoreInto(m);
         m.now = resume_clock;
         m.mem.clearDirty();
-        sim = make_sim(opts_.seed +
-                       0xd1342543de82ef95ull * rec.stats.rollbacks);
+        // The next run_tp_epoch builds a fresh sim whose boundary
+        // seed mixes the bumped rollback count, so the re-produced
+        // epoch gets a different interleaving than the one that
+        // diverged.
         return true;
     };
 

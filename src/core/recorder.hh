@@ -91,6 +91,47 @@ struct RecorderOptions
     unsigned maxCaptureRetries = 8;
 };
 
+/** Which RecorderOptions field is invalid (structured, never UB). */
+enum class OptionError : std::uint8_t
+{
+    None,
+    /** workerCpus == 0: the thread-parallel run needs a CPU. */
+    ZeroWorkerCpus,
+    /** epochLength == 0: the tp run would never advance. */
+    ZeroEpochLength,
+    /** quantum == 0: an epoch-parallel timeslice cannot be empty. */
+    ZeroQuantum,
+    /** jitterDen == 0: the per-tick jitter draw would divide by 0. */
+    ZeroJitterDen,
+    /** mpQuantum == 0: a tp timeslice cannot be empty. */
+    ZeroMpQuantum,
+    /** maxInFlight == 0 with hostWorkers > 0: the pipeline window
+     *  could never admit an epoch. */
+    ZeroMaxInFlight,
+};
+
+/** Stable human-readable name of @p e (e.g. "zero-epoch-length"). */
+const char *optionErrorName(OptionError e);
+
+/**
+ * Validate @p opts before a session starts. record()/resume() call
+ * this and fail closed with the result in RecordOutcome::optionError;
+ * callers constructing options from untrusted input (CLI flags,
+ * config files) can pre-check explicitly.
+ */
+OptionError validateRecorderOptions(const RecorderOptions &opts);
+
+/**
+ * Digest of every option that shapes the recorded bytes (CPUs, epoch
+ * length, seeds, quanta, jitter, cost charging, sync-order
+ * enforcement). The epoch journal stores it in its header frame;
+ * resuming under different options would silently produce a
+ * frankenstein recording, so resume refuses on mismatch. Fields that
+ * only bound resource use (fuses, retry budgets, window size, host
+ * workers) are excluded: they never change the bytes.
+ */
+std::uint64_t recorderOptionsFingerprint(const RecorderOptions &opts);
+
 /** A recovery action the recorder took in response to a failure. */
 enum class RecoveryKind : std::uint8_t
 {
@@ -139,6 +180,12 @@ struct RecordOutcome
     bool ok = false;
     /** Guest exit code of the main thread. */
     std::uint64_t mainExitCode = 0;
+    /** Non-None when the session never started because an option was
+     *  invalid (ok is false and the recording is empty). */
+    OptionError optionError = OptionError::None;
+    /** resume() only: the recovered prefix failed replay verification
+     *  (corrupt or mismatched journal); the session never started. */
+    bool prefixVerifyFailed = false;
 };
 
 /** Records a program with uniparallelism. */
@@ -155,7 +202,28 @@ class UniparallelRecorder
      *  @p observer (optional) sees each epoch as it commits. */
     RecordOutcome record(const RecordObserver *observer = nullptr);
 
+    /**
+     * Resume a recording from @p prefix — the committed epochs a
+     * journal recovery returned. The prefix is replayed sequentially
+     * (verifying every digest) to reconstruct the boundary
+     * checkpoint, then recording continues from that boundary;
+     * @p observer sees only the newly committed epochs. Because the
+     * thread-parallel interleaving is reseeded at every epoch
+     * boundary, the resumed session commits the same epochs an
+     * uninterrupted run would have — the finished recording
+     * serializes byte-identically. The options must match the
+     * original session's (see recorderOptionsFingerprint); syscall
+     * fault-injection sites (FaultSite::NetRecvFail and friends) draw
+     * from session-global decision streams and are the one exception
+     * to byte-identity across a resume.
+     */
+    RecordOutcome resume(std::vector<EpochRecord> prefix,
+                         const RecordObserver *observer = nullptr);
+
   private:
+    RecordOutcome runSession(const RecordObserver *observer,
+                             std::vector<EpochRecord> *prefix);
+
     const GuestProgram *prog_;
     MachineConfig cfg_;
     RecorderOptions opts_;

@@ -50,6 +50,14 @@ struct EpochRecord
     std::uint64_t epInstrs = 0;
     /// @}
 
+    /**
+     * Dirty pages copied by this epoch's boundary checkpoint. Not part
+     * of the monolithic artifact (which stores only the session total
+     * in RecorderStats); the epoch journal persists it per frame so a
+     * recovered prefix reconstructs stats.checkpointPages exactly.
+     */
+    std::uint64_t dirtyPages = 0;
+
     /** Replay-relevant log bytes (schedule + injectable results). */
     std::size_t replayLogBytes() const;
     /** All log bytes incl. the validation syscall stream. */

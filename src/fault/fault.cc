@@ -13,8 +13,9 @@ namespace
 {
 
 constexpr const char *siteNames[numFaultSites] = {
-    "netrecv-fail",   "netrecv-short", "gettime-fail",
-    "file-short-read", "torn-ckpt",    "worker-death",
+    "netrecv-fail",    "netrecv-short", "gettime-fail",
+    "file-short-read", "torn-ckpt",     "worker-death",
+    "torn-frame",      "journal-crash", "journal-bitflip",
 };
 
 constexpr std::uint64_t ppmDenominator = 1'000'000;

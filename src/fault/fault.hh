@@ -49,6 +49,15 @@ enum class FaultSite : std::uint8_t
      *  (epoch re-executed; repeated deaths degrade the epoch to an
      *  inline sequential execution). */
     WorkerDeath,
+    /** The journal writer dies mid-frame, leaving a torn tail (a
+     *  prefix of the frame's bytes) after the committed frames. */
+    TornFrameWrite,
+    /** The journal writer dies cleanly between frames: the journal
+     *  ends exactly at a frame boundary. */
+    JournalCrash,
+    /** A bit flips inside an already-committed journal frame (storage
+     *  corruption); recovery must detect it via the frame CRC. */
+    JournalBitFlip,
     NumSites
 };
 

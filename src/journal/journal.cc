@@ -1,0 +1,445 @@
+#include "journal/journal.hh"
+
+#include "common/bytes.hh"
+#include "common/crc32.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "os/machine.hh"
+#include "replay/recording_io.hh"
+
+namespace dp
+{
+
+namespace
+{
+
+std::uint32_t
+frameCrc(std::uint8_t kind, std::span<const std::uint8_t> payload)
+{
+    return crc32c(payload, crc32c({&kind, 1}));
+}
+
+/** Assemble one committed frame around @p payload. */
+std::vector<std::uint8_t>
+makeFrame(std::uint8_t kind, std::vector<std::uint8_t> payload)
+{
+    ByteWriter w;
+    w.u8(kind);
+    w.varu(payload.size());
+    std::vector<std::uint8_t> frame = w.take();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    std::uint32_t crc = frameCrc(kind, payload);
+    for (int i = 0; i < 8; ++i)
+        frame.push_back(static_cast<std::uint8_t>(
+            std::uint64_t{crc} >> (8 * i)));
+    frame.push_back(journalCommitMarker);
+    return frame;
+}
+
+std::vector<std::uint8_t>
+headerPayload(const GuestProgram &prog, const MachineConfig &cfg,
+              std::uint64_t options_fingerprint)
+{
+    ByteWriter p;
+    p.u64fixed((std::uint64_t{journalMagic} << 32) | journalVersion);
+    writeGuestProgram(p, prog);
+    writeMachineConfig(p, cfg);
+    p.u64fixed(options_fingerprint);
+    return p.take();
+}
+
+} // namespace
+
+JournalWriter::JournalWriter(const GuestProgram &prog,
+                             const MachineConfig &cfg,
+                             std::uint64_t options_fingerprint,
+                             FaultInjector *faults)
+    : faults_(faults)
+{
+    buf_ = makeFrame(journalHeaderKind,
+                     headerPayload(prog, cfg, options_fingerprint));
+    frameEnds_.push_back(buf_.size());
+}
+
+JournalWriter::JournalWriter(std::vector<std::uint8_t> valid_prefix,
+                             std::uint64_t next_epoch_index,
+                             FaultInjector *faults)
+    : buf_(std::move(valid_prefix)), nextIndex_(next_epoch_index),
+      faults_(faults)
+{
+    frameEnds_.push_back(buf_.size());
+}
+
+JournalWriter::~JournalWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JournalWriter::appendEpoch(const EpochRecord &e, EpochId index)
+{
+    if (!alive_)
+        return;
+    dp_assert(index == nextIndex_,
+              "journal epochs must append in commit order");
+
+    // A writer that dies between frames leaves the journal ending
+    // exactly at a frame boundary: the best crash shape.
+    if (faults_ && faults_->fire(FaultSite::JournalCrash, index)) {
+        alive_ = false;
+        return;
+    }
+
+    ByteWriter p;
+    p.varu(index);
+    p.varu(e.dirtyPages);
+    writeEpochRecord(p, e);
+    std::vector<std::uint8_t> frame =
+        makeFrame(journalEpochKind, p.take());
+
+    if (faults_ && faults_->fire(FaultSite::TornFrameWrite, index)) {
+        // Died mid-write: a deterministic strict prefix of the frame
+        // lands on disk and the commit marker never does.
+        std::size_t torn =
+            1 + static_cast<std::size_t>(
+                    mix64(0x7042f6a3c01d58b9ull ^
+                          (index * 0x9e3779b97f4a7c15ull)) %
+                    (frame.size() - 1));
+        buf_.insert(buf_.end(), frame.begin(), frame.begin() + torn);
+        alive_ = false;
+        flushTail();
+        return;
+    }
+
+    buf_.insert(buf_.end(), frame.begin(), frame.end());
+    if (faults_ && faults_->fire(FaultSite::JournalBitFlip, index)) {
+        // Storage corruption inside the committed frame; the frame
+        // CRC (or commit marker check) must catch it on recovery.
+        std::uint64_t h = mix64(0xb17f11b2d9c04e6full ^
+                                (index * 0x9e3779b97f4a7c15ull));
+        std::size_t pos = buf_.size() - frame.size() +
+                          static_cast<std::size_t>(h % frame.size());
+        buf_[pos] ^= static_cast<std::uint8_t>(1u << ((h >> 32) % 8));
+    }
+    ++nextIndex_;
+    frameEnds_.push_back(buf_.size());
+    flushTail();
+}
+
+bool
+JournalWriter::streamTo(const std::string &path)
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_) {
+        dp_warn("cannot open journal file ", path);
+        return false;
+    }
+    flushed_ = 0;
+    flushTail();
+    return true;
+}
+
+void
+JournalWriter::flushTail()
+{
+    if (!file_)
+        return;
+    if (flushed_ < buf_.size()) {
+        std::fwrite(buf_.data() + flushed_, 1, buf_.size() - flushed_,
+                    file_);
+        flushed_ = buf_.size();
+    }
+    std::fflush(file_);
+}
+
+const char *
+journalErrorName(JournalError e)
+{
+    switch (e) {
+      case JournalError::None:
+        return "none";
+      case JournalError::MissingHeader:
+        return "missing-header";
+      case JournalError::BadMagic:
+        return "bad-magic";
+      case JournalError::BadVersion:
+        return "bad-version";
+      case JournalError::TruncatedFrame:
+        return "truncated-frame";
+      case JournalError::BadChecksum:
+        return "bad-checksum";
+      case JournalError::BadCommitMarker:
+        return "bad-commit-marker";
+      case JournalError::BadFrameKind:
+        return "bad-frame-kind";
+      case JournalError::BadPayload:
+        return "bad-payload";
+      case JournalError::BadEpochIndex:
+        return "bad-epoch-index";
+    }
+    return "invalid";
+}
+
+namespace
+{
+
+/** Scan abort: why, where, and what. */
+struct FrameScanError
+{
+    JournalError error;
+    std::size_t offset;
+    std::string detail;
+};
+
+struct Frame
+{
+    std::uint8_t kind = 0;
+    std::span<const std::uint8_t> payload;
+};
+
+/**
+ * Validate the frame starting at @p pos and advance @p pos past it.
+ * Throws FrameScanError; every check precedes any use of the bytes it
+ * guards, so arbitrary garbage cannot fault.
+ */
+Frame
+parseFrame(std::span<const std::uint8_t> all, std::size_t &pos)
+{
+    std::size_t start = pos;
+    auto need = [&](std::uint64_t n, const char *what) {
+        if (all.size() - pos < n)
+            throw FrameScanError{
+                JournalError::TruncatedFrame, pos,
+                detail::concat("image ends inside a frame's ", what)};
+    };
+
+    need(1, "kind byte");
+    std::uint8_t kind = all[pos++];
+    if (kind != journalHeaderKind && kind != journalEpochKind)
+        throw FrameScanError{
+            JournalError::BadFrameKind, start,
+            detail::concat("unknown frame kind ", int(kind))};
+
+    std::uint64_t len = 0;
+    int shift = 0;
+    for (;;) {
+        need(1, "length");
+        std::uint8_t b = all[pos++];
+        len |= std::uint64_t{b & 0x7fu} << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+        if (shift >= 64)
+            throw FrameScanError{JournalError::BadPayload, pos,
+                                 "overlong frame length varint"};
+    }
+    need(len, "payload");
+    std::span<const std::uint8_t> payload =
+        all.subspan(pos, static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+
+    need(9, "trailer");
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= std::uint64_t{all[pos++]} << (8 * i);
+    std::uint8_t marker = all[pos++];
+    if (stored != frameCrc(kind, payload))
+        throw FrameScanError{JournalError::BadChecksum, start,
+                             "frame CRC mismatch"};
+    if (marker != journalCommitMarker)
+        throw FrameScanError{JournalError::BadCommitMarker, pos - 1,
+                             "frame commit marker missing"};
+    return {kind, payload};
+}
+
+void
+reportScanStop(RecoveryReport &rep, const FrameScanError &f)
+{
+    rep.tailError = f.error;
+    rep.errorOffset = f.offset;
+    rep.detail = f.detail;
+}
+
+} // namespace
+
+RecoveredJournal
+recoverJournal(std::span<const std::uint8_t> bytes)
+{
+    RecoveredJournal out;
+    RecoveryReport &rep = out.report;
+    rep.bytesDiscarded = bytes.size();
+    if (bytes.empty()) {
+        rep.tailError = JournalError::MissingHeader;
+        rep.detail = "empty journal image";
+        return out;
+    }
+
+    std::size_t pos = 0;
+    try {
+        Frame header = parseFrame(bytes, pos);
+        if (header.kind != journalHeaderKind)
+            throw FrameScanError{JournalError::MissingHeader, 0,
+                                 "first frame is not a header frame"};
+        ByteReader p(header.payload);
+        std::uint64_t magic = p.u64fixed();
+        if (magic >> 32 != journalMagic)
+            throw FrameScanError{JournalError::BadMagic, 0,
+                                 "not a uniplay epoch journal"};
+        if ((magic & 0xffffffff) != journalVersion)
+            throw FrameScanError{
+                JournalError::BadVersion, 0,
+                detail::concat("unsupported journal version ",
+                               magic & 0xffffffff)};
+        GuestProgram prog = readGuestProgram(p);
+        MachineConfig cfg = readMachineConfig(p);
+        out.optionsFingerprint = p.u64fixed();
+        if (!p.atEnd())
+            throw FrameScanError{
+                JournalError::BadPayload, pos,
+                "trailing bytes in the header payload"};
+        out.recording =
+            std::make_unique<Recording>(prog, std::move(cfg));
+    } catch (const FrameScanError &f) {
+        reportScanStop(rep, f);
+        return out;
+    } catch (const RecordingDecodeError &f) {
+        reportScanStop(rep, {JournalError::BadPayload, f.offset,
+                             f.detail});
+        return out;
+    } catch (const ByteStreamError &e) {
+        reportScanStop(rep, {JournalError::BadPayload, e.offset,
+                             "header payload ended early"});
+        return out;
+    } catch (const std::bad_alloc &) {
+        reportScanStop(rep, {JournalError::BadPayload, 0,
+                             "allocation rejected while recovering"});
+        return out;
+    }
+
+    rep.headerOk = true;
+    rep.committedBytes = pos;
+    Recording &rec = *out.recording;
+    try {
+        while (pos < bytes.size()) {
+            std::size_t frame_start = pos;
+            Frame f = parseFrame(bytes, pos);
+            if (f.kind != journalEpochKind)
+                throw FrameScanError{
+                    JournalError::BadFrameKind, frame_start,
+                    "header frame after frame 0"};
+            ByteReader p(f.payload);
+            std::uint64_t index = p.varu();
+            if (index != rec.epochs.size())
+                throw FrameScanError{
+                    JournalError::BadEpochIndex, frame_start,
+                    detail::concat("epoch frame ", index, " where ",
+                                   rec.epochs.size(), " expected")};
+            std::uint64_t dirty = p.varu();
+            EpochRecord e = readEpochRecord(p, index);
+            if (!p.atEnd())
+                throw FrameScanError{
+                    JournalError::BadPayload, frame_start,
+                    "trailing bytes in an epoch payload"};
+            e.dirtyPages = dirty;
+            rec.epochs.push_back(std::move(e));
+            rep.committedBytes = pos;
+            ++rep.framesRecovered;
+        }
+    } catch (const FrameScanError &f) {
+        reportScanStop(rep, f);
+    } catch (const RecordingDecodeError &f) {
+        reportScanStop(rep, {JournalError::BadPayload, f.offset,
+                             f.detail});
+    } catch (const ByteStreamError &e) {
+        reportScanStop(rep, {JournalError::BadPayload, e.offset,
+                             "epoch payload ended early"});
+    } catch (const std::bad_alloc &) {
+        reportScanStop(rep, {JournalError::BadPayload, pos,
+                             "allocation rejected while recovering"});
+    }
+    rep.bytesDiscarded = bytes.size() - rep.committedBytes;
+
+    // Reconstruct everything serializeRecording persists beyond the
+    // epochs themselves, so the recovered prefix converts to the same
+    // bytes an uninterrupted session over these epochs would emit —
+    // and replay-verifies as-is.
+    rec.stats.epochs =
+        static_cast<std::uint32_t>(rec.epochs.size());
+    for (const EpochRecord &e : rec.epochs) {
+        rec.stats.rollbacks += e.diverged ? 1 : 0;
+        rec.stats.checkpointPages += e.dirtyPages;
+        rec.stats.tpTotalCycles += e.tpCycles;
+        rec.stats.epTotalCycles += e.epCycles;
+        rec.stats.epInstrs += e.epInstrs;
+    }
+    rec.finalStateHash =
+        rec.epochs.empty()
+            ? Machine(rec.program(), rec.config()).stateHash()
+            : rec.epochs.back().endStateHash;
+    return out;
+}
+
+VerifyResult
+verifyImage(std::span<const std::uint8_t> bytes)
+{
+    VerifyResult out;
+    if (bytes.empty()) {
+        out.detail = "empty file";
+        return out;
+    }
+    // A journal's first byte is its header frame's kind; an
+    // artifact's is the low byte of its version word. They never
+    // collide, so one byte sniffs the format.
+    if (bytes[0] == journalHeaderKind) {
+        out.kind = UniplayFileKind::Journal;
+        RecoveredJournal rj = recoverJournal(bytes);
+        out.epochs = rj.report.framesRecovered;
+        if (rj.report.clean()) {
+            out.ok = true;
+            out.detail = detail::concat(
+                "journal: ", rj.report.framesRecovered,
+                " committed epoch frame(s), ",
+                rj.report.committedBytes,
+                " bytes, every checksum valid");
+        } else {
+            out.detail = detail::concat(
+                "journal: ", journalErrorName(rj.report.tailError),
+                " at byte ", rj.report.errorOffset, " (",
+                rj.report.detail, "); ", rj.report.framesRecovered,
+                " epoch frame(s) committed, ",
+                rj.report.bytesDiscarded, " byte(s) lost");
+        }
+        return out;
+    }
+    if (bytes.size() < 8) {
+        // Too short to even carry an artifact's magic word.
+        out.detail = "not a uniplay artifact or journal";
+        return out;
+    }
+    RecordingLoadResult res = loadRecording(bytes);
+    if (res.ok()) {
+        out.kind = UniplayFileKind::Artifact;
+        out.ok = true;
+        out.epochs = res.recording->epochs.size();
+        out.detail = detail::concat(
+            "artifact: ", out.epochs, " epoch(s), ", bytes.size(),
+            " bytes, structurally valid");
+        return out;
+    }
+    if (res.error == LoadError::BadMagic) {
+        out.detail = "not a uniplay artifact or journal";
+        return out;
+    }
+    out.kind = UniplayFileKind::Artifact;
+    out.detail = detail::concat(
+        "artifact: ", loadErrorName(res.error), " at byte ",
+        res.errorOffset, " (", res.detail, ")");
+    return out;
+}
+
+} // namespace dp

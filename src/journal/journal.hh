@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Crash-durable epoch journal: append-only, checksummed frames the
+ * recorder streams to as epochs retire.
+ *
+ * A monolithic artifact (recording_io.hh) only exists once a record
+ * session finishes; a crash mid-session loses everything. The journal
+ * closes that gap. Frame 0 is a header (magic, format version, guest
+ * program, machine config, RecorderOptions fingerprint); every
+ * committed epoch then appends one frame carrying its logs, digests
+ * and timing metadata. Each frame ends with a CRC-32C and an explicit
+ * commit marker, so recovery can always distinguish the committed
+ * prefix from a torn tail:
+ *
+ *   frame := u8 kind | varu payloadLen | payload
+ *            | u64fixed crc32c(kind || payload) | u8 0x5A
+ *
+ * The epoch payload embeds the exact byte layout the monolithic
+ * artifact uses per epoch (writeEpochRecord), which is what makes
+ * journal -> artifact conversion byte-identical to an uninterrupted
+ * run's serializeRecording output.
+ *
+ * recoverJournal() scans a journal image, validates every frame, and
+ * returns the longest committed prefix as a replayable Recording plus
+ * a structured RecoveryReport — it never panics, whatever the bytes.
+ * UniparallelRecorder::resume() then continues recording from that
+ * prefix's boundary.
+ */
+
+#ifndef DP_JOURNAL_JOURNAL_HH
+#define DP_JOURNAL_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/recording.hh"
+#include "fault/fault.hh"
+
+namespace dp
+{
+
+/** "DPJL" — distinguishes a journal from a "DPLY" artifact. */
+inline constexpr std::uint32_t journalMagic = 0x44504a4c;
+inline constexpr std::uint32_t journalVersion = 1;
+
+/** Frame kinds (first byte of every frame). */
+inline constexpr std::uint8_t journalHeaderKind = 1;
+inline constexpr std::uint8_t journalEpochKind = 2;
+/** Trailing byte of every committed frame. */
+inline constexpr std::uint8_t journalCommitMarker = 0x5a;
+
+/**
+ * Streams a journal as a record session progresses. Wire
+ * appendEpoch() into RecordObserver::onEpochCommitted; committed
+ * epochs are final (rollbacks squash only speculation), so every
+ * frame written is permanent.
+ *
+ * The writer doubles as the crash surface for the fault matrix: at
+ * each append it consults the injector's JournalCrash /
+ * TornFrameWrite / JournalBitFlip sites (scope = epoch index) and
+ * damages its own output exactly the way a dying writer or flaky disk
+ * would, so recovery is tested against deterministic reproductions of
+ * real failure shapes.
+ */
+class JournalWriter
+{
+  public:
+    /** Start a fresh journal; the header frame is emitted (and
+     *  streamed, once streamTo() attaches a file) immediately. */
+    JournalWriter(const GuestProgram &prog, const MachineConfig &cfg,
+                  std::uint64_t options_fingerprint,
+                  FaultInjector *faults = nullptr);
+
+    /**
+     * Continue an existing journal. @p valid_prefix must be the
+     * committed prefix recoverJournal() validated (header +
+     * @p next_epoch_index epoch frames); new epochs append after it.
+     */
+    JournalWriter(std::vector<std::uint8_t> valid_prefix,
+                  std::uint64_t next_epoch_index,
+                  FaultInjector *faults = nullptr);
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+    ~JournalWriter();
+
+    /** Append epoch @p index's frame; consults the journal fault
+     *  sites. Appends after a fatal fault are dropped, exactly as a
+     *  dead writer process would drop them. */
+    void appendEpoch(const EpochRecord &e, EpochId index);
+
+    /** False once a JournalCrash / TornFrameWrite fault killed the
+     *  writer. */
+    bool alive() const { return alive_; }
+
+    /** The journal image as it exists on "disk" — including any torn
+     *  tail or bit flip the fault sites produced. */
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+    /** Journal size after each fully-committed frame; frameEnds()[0]
+     *  is the header frame's end. Crash-sweep tests cut here. */
+    const std::vector<std::size_t> &frameEnds() const
+    {
+        return frameEnds_;
+    }
+
+    /** Epoch frames this writer has committed (prefix included). */
+    std::uint64_t epochsWritten() const { return nextIndex_; }
+
+    /** Stream the journal to @p path: rewrites the bytes so far and
+     *  flushes every future frame as it commits. False (with a
+     *  warning) if the file cannot be opened. */
+    bool streamTo(const std::string &path);
+
+  private:
+    void flushTail();
+
+    std::vector<std::uint8_t> buf_;
+    std::vector<std::size_t> frameEnds_;
+    std::uint64_t nextIndex_ = 0;
+    bool alive_ = true;
+    FaultInjector *faults_ = nullptr;
+    std::FILE *file_ = nullptr;
+    std::size_t flushed_ = 0;
+};
+
+/** Why a journal scan stopped (or could not start). */
+enum class JournalError : std::uint8_t
+{
+    /** Journal ends exactly at a frame boundary: nothing was lost. */
+    None,
+    /** Empty image, or the first frame is not a header frame. */
+    MissingHeader,
+    /** Header frame does not carry the journal magic. */
+    BadMagic,
+    /** Header frame carries an unsupported format version. */
+    BadVersion,
+    /** The image ends inside a frame: the classic torn tail. */
+    TruncatedFrame,
+    /** A frame's CRC does not match its bytes (torn write or storage
+     *  corruption). */
+    BadChecksum,
+    /** The frame's trailing commit marker is wrong. */
+    BadCommitMarker,
+    /** A frame's kind byte is not a known kind. */
+    BadFrameKind,
+    /** The frame envelope is intact but its payload is malformed. */
+    BadPayload,
+    /** An epoch frame is out of sequence. */
+    BadEpochIndex,
+};
+
+/** Stable human-readable name of @p e (e.g. "truncated-frame"). */
+const char *journalErrorName(JournalError e);
+
+/** What recovery found, structurally — never a panic. */
+struct RecoveryReport
+{
+    /** The header frame validated; a Recording was reconstructed. */
+    bool headerOk = false;
+    /** Committed epoch frames recovered. */
+    std::uint64_t framesRecovered = 0;
+    /** Length of the valid prefix (header + committed frames). A
+     *  resume truncates the journal here. */
+    std::size_t committedBytes = 0;
+    /** Bytes after the valid prefix that were discarded. */
+    std::size_t bytesDiscarded = 0;
+    /** Why the scan stopped; None means a clean, fully-committed
+     *  journal. */
+    JournalError tailError = JournalError::None;
+    /** Byte offset (within the image) of the damage, if any. */
+    std::size_t errorOffset = 0;
+    /** Diagnostic: what was malformed. */
+    std::string detail;
+
+    /** Every frame validated and nothing was discarded. */
+    bool clean() const
+    {
+        return headerOk && tailError == JournalError::None;
+    }
+};
+
+/** Result of recoverJournal(). */
+struct RecoveredJournal
+{
+    /** The committed prefix as a replayable Recording (its
+     *  finalStateHash is the last committed epoch's digest, so it
+     *  replay-verifies as-is). Non-null exactly when
+     *  report.headerOk. */
+    std::unique_ptr<Recording> recording;
+    /** RecorderOptions fingerprint stored in the header frame;
+     *  resume refuses to continue under mismatched options. */
+    std::uint64_t optionsFingerprint = 0;
+    RecoveryReport report;
+};
+
+/**
+ * Scan @p bytes, validate every frame, and return the longest
+ * committed prefix plus a report on the tail. Fail-closed: malformed
+ * input of any shape — truncation, bit flips, garbage — yields a
+ * structured report, never a crash or unbounded allocation.
+ */
+RecoveredJournal recoverJournal(std::span<const std::uint8_t> bytes);
+
+/** What kind of uniplay file a byte image is. */
+enum class UniplayFileKind : std::uint8_t
+{
+    Artifact, ///< monolithic recording artifact ("DPLY")
+    Journal,  ///< epoch journal ("DPJL")
+    Unknown,  ///< neither
+};
+
+/** Result of an integrity check (no replay performed). */
+struct VerifyResult
+{
+    UniplayFileKind kind = UniplayFileKind::Unknown;
+    /** Structurally intact: an artifact that loads, or a journal
+     *  whose every frame validates with no torn tail. */
+    bool ok = false;
+    /** Epochs the file carries. */
+    std::uint64_t epochs = 0;
+    /** Human-readable verdict ("artifact: 12 epochs, ..." or the
+     *  error). */
+    std::string detail;
+};
+
+/**
+ * Integrity-check an artifact or journal image without replaying it:
+ * sniffs the kind, then validates structure and checksums end to end.
+ */
+VerifyResult verifyImage(std::span<const std::uint8_t> bytes);
+
+} // namespace dp
+
+#endif // DP_JOURNAL_JOURNAL_HH

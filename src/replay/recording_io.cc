@@ -14,18 +14,10 @@ namespace
 constexpr std::uint32_t artifactMagic = 0x44504c59; // "DPLY"
 constexpr std::uint32_t artifactVersion = 3; // v3: signal logs
 
-/** Internal control flow for loadRecording's fail-closed path. */
-struct LoadFailure
-{
-    LoadError error;
-    std::string detail;
-    std::size_t offset;
-};
-
 [[noreturn]] void
 failLoad(LoadError error, std::string detail, std::size_t offset)
 {
-    throw LoadFailure{error, std::move(detail), offset};
+    throw RecordingDecodeError{error, std::move(detail), offset};
 }
 
 /**
@@ -150,43 +142,8 @@ loadChecked(std::span<const std::uint8_t> bytes)
     std::uint64_t n = r.varu();
     checkCount(r, n, 12, "epoch");
     out.recording->epochs.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-        EpochRecord e;
-        std::vector<std::uint8_t> sched = r.blob();
-        e.schedule = ScheduleLog::decode(sched);
-        std::vector<std::uint8_t> sys = r.blob();
-        e.syscalls = SyscallLog::decode(sys);
-        for (const SyscallRecord &rec : e.syscalls.records())
-            if (rec.sys >= Sys::NumSyscalls)
-                failLoad(LoadError::BadValue,
-                         detail::concat("invalid syscall id in epoch ",
-                                        i),
-                         r.pos());
-        std::vector<std::uint8_t> sigs = r.blob();
-        e.signals = SignalLog::decode(sigs);
-        e.endStateHash = r.u64fixed();
-        e.stdoutLen = r.varu();
-        e.diverged = r.u8() != 0;
-        e.tpCycles = r.varu();
-        e.epCycles = r.varu();
-        e.ckptCycles = r.varu();
-        e.epInstrs = r.varu();
-        std::uint64_t targets = r.varu();
-        checkCount(r, targets, 2, "epoch target");
-        for (std::uint64_t t = 0; t < targets; ++t) {
-            EpochTarget tgt;
-            tgt.retired = r.varu();
-            std::uint8_t state = r.u8();
-            if (state > static_cast<std::uint8_t>(RunState::Exited))
-                failLoad(LoadError::BadValue,
-                         detail::concat("invalid run state ",
-                                        int(state)),
-                         r.pos());
-            tgt.endState = static_cast<RunState>(state);
-            e.targets.push_back(tgt);
-        }
-        out.recording->epochs.push_back(std::move(e));
-    }
+    for (std::uint64_t i = 0; i < n; ++i)
+        out.recording->epochs.push_back(readEpochRecord(r, i));
     out.recording->finalStateHash = r.u64fixed();
     out.recording->stats.epochs =
         static_cast<std::uint32_t>(r.varu());
@@ -202,6 +159,100 @@ loadChecked(std::span<const std::uint8_t> bytes)
 }
 
 } // namespace
+
+void
+writeGuestProgram(ByteWriter &w, const GuestProgram &prog)
+{
+    writeProgram(w, prog);
+}
+
+GuestProgram
+readGuestProgram(ByteReader &r)
+{
+    return readProgram(r);
+}
+
+void
+writeMachineConfig(ByteWriter &w, const MachineConfig &cfg)
+{
+    writeConfig(w, cfg);
+}
+
+MachineConfig
+readMachineConfig(ByteReader &r)
+{
+    return readConfig(r);
+}
+
+void
+writeEpochRecord(ByteWriter &w, const EpochRecord &e,
+                 const std::function<void(const char *, bool)> &mark)
+{
+    auto at = [&](const char *field, bool length_prefixed) {
+        if (mark)
+            mark(field, length_prefixed);
+    };
+    at("schedule", true);
+    w.blob(e.schedule.encode());
+    at("syscalls", true);
+    w.blob(e.syscalls.encode());
+    at("signals", true);
+    w.blob(e.signals.encode());
+    at("meta", false);
+    w.u64fixed(e.endStateHash);
+    w.varu(e.stdoutLen);
+    w.u8(e.diverged ? 1 : 0);
+    w.varu(e.tpCycles);
+    w.varu(e.epCycles);
+    w.varu(e.ckptCycles);
+    w.varu(e.epInstrs);
+    at("targets", true);
+    w.varu(e.targets.size());
+    for (const EpochTarget &t : e.targets) {
+        w.varu(t.retired);
+        w.u8(static_cast<std::uint8_t>(t.endState));
+    }
+}
+
+EpochRecord
+readEpochRecord(ByteReader &r, std::uint64_t index)
+{
+    EpochRecord e;
+    std::vector<std::uint8_t> sched = r.blob();
+    e.schedule = ScheduleLog::decode(sched);
+    std::vector<std::uint8_t> sys = r.blob();
+    e.syscalls = SyscallLog::decode(sys);
+    for (const SyscallRecord &rec : e.syscalls.records())
+        if (rec.sys >= Sys::NumSyscalls)
+            failLoad(LoadError::BadValue,
+                     detail::concat("invalid syscall id in epoch ",
+                                    index),
+                     r.pos());
+    std::vector<std::uint8_t> sigs = r.blob();
+    e.signals = SignalLog::decode(sigs);
+    e.endStateHash = r.u64fixed();
+    e.stdoutLen = r.varu();
+    e.diverged = r.u8() != 0;
+    e.tpCycles = r.varu();
+    e.epCycles = r.varu();
+    e.ckptCycles = r.varu();
+    e.epInstrs = r.varu();
+    std::uint64_t targets = r.varu();
+    checkCount(r, targets, 2, "epoch target");
+    for (std::uint64_t t = 0; t < targets; ++t) {
+        EpochTarget tgt;
+        tgt.retired = r.varu();
+        std::uint8_t state = r.u8();
+        if (state > static_cast<std::uint8_t>(RunState::Exited))
+            failLoad(LoadError::BadValue,
+                     detail::concat("invalid run state ", int(state),
+                                    " in epoch ", index),
+                     r.pos());
+        tgt.endState = static_cast<RunState>(state);
+        e.targets.push_back(tgt);
+    }
+    return e;
+}
 
 const char *
 loadErrorName(LoadError e)
@@ -247,29 +298,13 @@ serializeRecording(const Recording &rec,
 
     mark("epoch-count", true);
     w.varu(rec.epochs.size());
-    for (std::size_t i = 0; i < rec.epochs.size(); ++i) {
-        const EpochRecord &e = rec.epochs[i];
-        mark(detail::concat("epoch[", i, "].schedule"), true);
-        w.blob(e.schedule.encode());
-        mark(detail::concat("epoch[", i, "].syscalls"), true);
-        w.blob(e.syscalls.encode());
-        mark(detail::concat("epoch[", i, "].signals"), true);
-        w.blob(e.signals.encode());
-        mark(detail::concat("epoch[", i, "].meta"), false);
-        w.u64fixed(e.endStateHash);
-        w.varu(e.stdoutLen);
-        w.u8(e.diverged ? 1 : 0);
-        w.varu(e.tpCycles);
-        w.varu(e.epCycles);
-        w.varu(e.ckptCycles);
-        w.varu(e.epInstrs);
-        mark(detail::concat("epoch[", i, "].targets"), true);
-        w.varu(e.targets.size());
-        for (const EpochTarget &t : e.targets) {
-            w.varu(t.retired);
-            w.u8(static_cast<std::uint8_t>(t.endState));
-        }
-    }
+    for (std::size_t i = 0; i < rec.epochs.size(); ++i)
+        writeEpochRecord(
+            w, rec.epochs[i],
+            [&](const char *field, bool length_prefixed) {
+                mark(detail::concat("epoch[", i, "].", field),
+                     length_prefixed);
+            });
     mark("trailer", false);
     w.u64fixed(rec.finalStateHash);
     w.varu(rec.stats.epochs);
@@ -283,7 +318,7 @@ loadRecording(std::span<const std::uint8_t> bytes)
 {
     try {
         return loadChecked(bytes);
-    } catch (const LoadFailure &f) {
+    } catch (const RecordingDecodeError &f) {
         RecordingLoadResult out;
         out.error = f.error;
         out.detail = f.detail;

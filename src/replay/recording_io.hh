@@ -22,11 +22,13 @@
 #define DP_REPLAY_RECORDING_IO_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/bytes.hh"
 #include "core/recording.hh"
 
 namespace dp
@@ -84,6 +86,52 @@ struct SectionMark
     std::size_t offset = 0;
     bool lengthPrefixed = false;
 };
+
+/**
+ * Thrown by the shared decode helpers on malformed input that is
+ * structurally readable but semantically invalid (bad enum values,
+ * absurd section lengths). loadRecording() and the journal's
+ * recoverJournal() both catch it and surface a structured error;
+ * it never escapes a fail-closed loader.
+ */
+struct RecordingDecodeError
+{
+    LoadError error = LoadError::None;
+    std::string detail;
+    std::size_t offset = 0;
+};
+
+/** Encode the guest program (code + data segments) with the exact
+ *  byte layout the monolithic artifact uses. */
+void writeGuestProgram(ByteWriter &w, const GuestProgram &prog);
+/** Decode a program written by writeGuestProgram. Throws
+ *  RecordingDecodeError / ByteStreamError on malformed input. */
+GuestProgram readGuestProgram(ByteReader &r);
+
+/** Encode the machine configuration with the artifact's layout. */
+void writeMachineConfig(ByteWriter &w, const MachineConfig &cfg);
+/** Decode a configuration written by writeMachineConfig. Throws
+ *  RecordingDecodeError / ByteStreamError on malformed input. */
+MachineConfig readMachineConfig(ByteReader &r);
+
+/**
+ * Encode one epoch's record body — logs, digests, timing metadata,
+ * targets — with the exact byte layout the monolithic artifact uses.
+ * The epoch journal appends the same body per frame, which is what
+ * makes journal→artifact conversion byte-identical. @p mark (optional)
+ * is invoked with (field name, length-prefixed?) at each field start.
+ */
+void writeEpochRecord(
+    ByteWriter &w, const EpochRecord &e,
+    const std::function<void(const char *, bool)> &mark = {});
+
+/**
+ * Decode one epoch record body written by writeEpochRecord.
+ * @p index labels diagnostics. Throws RecordingDecodeError on invalid
+ * values and ByteStreamError on truncation — fail-closed callers
+ * catch both.
+ */
+EpochRecord readEpochRecord(ByteReader &r, std::uint64_t index);
 
 /**
  * Serialize @p rec (without checkpoints) into a byte artifact. When

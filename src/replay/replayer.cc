@@ -12,102 +12,6 @@ namespace dp
 {
 
 bool
-replayEpochOnMachine(Machine &m, const EpochRecord &epoch,
-                     const CostModel &costs, Cycles &cycles,
-                     std::uint64_t &instrs,
-                     const ReplayObserver *observer)
-{
-    SimOS os(costs);
-
-    std::size_t seg_cursor = 0;
-    std::size_t rec_cursor = 0;
-    std::size_t inject_cursor = 0;
-    bool syscall_mismatch = false;
-
-    // Pre-extract the injectable subset in order.
-    std::vector<const SyscallRecord *> injectables;
-    for (const SyscallRecord &r : epoch.syscalls.records())
-        if (r.injectable)
-            injectables.push_back(&r);
-
-    UniHooks hooks;
-    hooks.nextSegment = [&]() -> std::optional<ScheduleSegment> {
-        if (seg_cursor >= epoch.schedule.segments().size())
-            return std::nullopt;
-        return epoch.schedule.segments()[seg_cursor++];
-    };
-    hooks.injectSyscall =
-        [&](ThreadId tid, Sys sys) -> std::optional<std::uint64_t> {
-        if (inject_cursor >= injectables.size()) {
-            syscall_mismatch = true;
-            return std::nullopt;
-        }
-        const SyscallRecord &r = *injectables[inject_cursor];
-        if (r.tid != tid || r.sys != sys) {
-            syscall_mismatch = true;
-            return std::nullopt;
-        }
-        ++inject_cursor;
-        return r.value;
-    };
-    hooks.onSyscall = [&](ThreadId tid, Sys sys, std::uint64_t value,
-                          bool injectable) {
-        // Deterministic calls re-execute; every completion must match
-        // the recorded stream exactly (an end-to-end integrity check).
-        const auto &recs = epoch.syscalls.records();
-        if (rec_cursor >= recs.size()) {
-            syscall_mismatch = true;
-            return;
-        }
-        const SyscallRecord &r = recs[rec_cursor++];
-        if (r.tid != tid || r.sys != sys || r.value != value ||
-            r.injectable != injectable)
-            syscall_mismatch = true;
-    };
-
-    if (observer) {
-        hooks.onMemAccess = observer->onMemAccess;
-        hooks.onSync = observer->onSync;
-        hooks.onWake = observer->onWake;
-        if (observer->onSyscall) {
-            auto validate = hooks.onSyscall;
-            auto observe = observer->onSyscall;
-            hooks.onSyscall = [validate, observe](
-                                  ThreadId tid, Sys sys,
-                                  std::uint64_t value,
-                                  bool injectable) {
-                validate(tid, sys, value, injectable);
-                observe(tid, sys, value, injectable);
-            };
-        }
-    }
-
-    UniOptions opts;
-    opts.fuel = epoch.epInstrs + m.threads.size() + 16;
-    opts.planSignals = true;
-    opts.signalPlan = epoch.signals.events();
-
-    UniRunner runner(m, os, std::move(opts), std::move(hooks));
-    StopReason reason = runner.run();
-    cycles += runner.stats().cycles;
-    instrs += runner.stats().instrs;
-
-    if (reason != StopReason::ScheduleEnded) {
-        dp_warn("epoch replay stopped early: ", stopReasonName(reason));
-        return false;
-    }
-    if (syscall_mismatch) {
-        dp_warn("epoch replay: syscall stream mismatch");
-        return false;
-    }
-    if (rec_cursor != epoch.syscalls.records().size()) {
-        dp_warn("epoch replay: unconsumed syscall records");
-        return false;
-    }
-    return m.stateHash() == epoch.endStateHash;
-}
-
-bool
 Replayer::replayEpochOn(Machine &m, const EpochRecord &epoch,
                         Cycles &cycles, std::uint64_t &instrs,
                         const ReplayObserver *observer) const

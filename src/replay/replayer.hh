@@ -19,38 +19,12 @@
 #include <cstdint>
 #include <vector>
 
-#include <functional>
-
+#include "core/epoch_replay.hh"
 #include "core/recording.hh"
 #include "timing/cost_model.hh"
 
 namespace dp
 {
-
-/**
- * Observation hooks a replay consumer (race detector, debugger,
- * profiler) can attach to a sequential replay. Replay is where the
- * paper says heavyweight analyses belong: they see the exact recorded
- * execution without perturbing the original run.
- */
-struct ReplayObserver
-{
-    /** A new epoch's re-execution begins. */
-    std::function<void(EpochId)> onEpochStart;
-    /** A memory instruction is about to execute. */
-    std::function<void(ThreadId, Addr, unsigned size, bool is_write,
-                       bool is_atomic)>
-        onMemAccess;
-    /** A synchronization operation executed. */
-    std::function<void(ThreadId, SyncKind, SyncKey)> onSync;
-    /** A syscall completed. */
-    std::function<void(ThreadId, Sys, std::uint64_t value,
-                       bool injectable)>
-        onSyscall;
-    /** @p woken became runnable because of @p waker (futex wake,
-     *  exit-join, spawn): a happens-before edge. */
-    std::function<void(ThreadId waker, ThreadId woken)> onWake;
-};
 
 /** Outcome of a replay. */
 struct ReplayResult
@@ -66,17 +40,6 @@ struct ReplayResult
     /** Reproduced stdout (sequential replay only). */
     std::vector<std::uint8_t> stdoutBytes;
 };
-
-/**
- * Re-execute one recorded epoch on @p m (which must hold the epoch's
- * start state): follow the timeslice schedule, inject logged results,
- * cross-check the deterministic syscall stream, and verify the
- * end-state digest. The building block under Replayer and LiveReplica.
- */
-bool replayEpochOnMachine(Machine &m, const EpochRecord &epoch,
-                          const CostModel &costs, Cycles &cycles,
-                          std::uint64_t &instrs,
-                          const ReplayObserver *observer = nullptr);
 
 /** Replays recordings produced by UniparallelRecorder. */
 class Replayer

@@ -204,5 +204,53 @@ TEST(Divergence, IdenticalStatesMatch)
     EXPECT_TRUE(DivergenceDetector::report(a, cb).equal);
 }
 
+// Untrusted option values (CLI flags, config files) must fail closed
+// with a structured error naming the field, not divide by zero or
+// spin forever. One case per guarded field.
+TEST(RecorderOptions, EachInvalidFieldIsRejectedStructurally)
+{
+    EXPECT_EQ(validateRecorderOptions({}), OptionError::None);
+
+    auto check = [](auto tweak, OptionError want) {
+        RecorderOptions o;
+        tweak(o);
+        EXPECT_EQ(validateRecorderOptions(o), want)
+            << optionErrorName(want);
+    };
+    check([](RecorderOptions &o) { o.workerCpus = 0; },
+          OptionError::ZeroWorkerCpus);
+    check([](RecorderOptions &o) { o.epochLength = 0; },
+          OptionError::ZeroEpochLength);
+    check([](RecorderOptions &o) { o.quantum = 0; },
+          OptionError::ZeroQuantum);
+    check([](RecorderOptions &o) { o.jitterDen = 0; },
+          OptionError::ZeroJitterDen);
+    check([](RecorderOptions &o) { o.mpQuantum = 0; },
+          OptionError::ZeroMpQuantum);
+    check(
+        [](RecorderOptions &o) {
+            o.hostWorkers = 2;
+            o.maxInFlight = 0;
+        },
+        OptionError::ZeroMaxInFlight);
+    // maxInFlight only gates the parallel pipeline; the synchronous
+    // reference mode never consults it.
+    check([](RecorderOptions &o) { o.maxInFlight = 0; },
+          OptionError::None);
+}
+
+TEST(RecorderOptions, InvalidOptionsFailTheSessionBeforeItStarts)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 50);
+    RecorderOptions opts;
+    opts.epochLength = 0;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.optionError, OptionError::ZeroEpochLength);
+    EXPECT_TRUE(out.recording.epochs.empty());
+    EXPECT_EQ(out.tpReason, StopReason::Stalled);
+}
+
 } // namespace
 } // namespace dp

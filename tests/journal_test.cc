@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Crash-durability tests for the epoch journal (DESIGN.md §8): a
+ * journal cut or corrupted anywhere recovers its committed prefix
+ * without panicking, and a session resumed from that prefix finishes
+ * with an artifact byte-identical to an uninterrupted run's.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/recorder.hh"
+#include "fault/fault.hh"
+#include "journal/journal.hh"
+#include "replay/recording_io.hh"
+#include "replay/replayer.hh"
+#include "testprogs.hh"
+
+namespace dp
+{
+namespace
+{
+
+RecorderOptions
+testOpts()
+{
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 15'000;
+    opts.keepCheckpoints = false;
+    return opts;
+}
+
+/** One uninterrupted journaled record session. */
+struct JournaledRun
+{
+    std::vector<std::uint8_t> artifact;
+    std::vector<std::uint8_t> journal;
+    std::vector<std::size_t> frameEnds;
+    std::size_t epochs = 0;
+};
+
+JournaledRun
+recordJournaled(const GuestProgram &prog, const RecorderOptions &opts,
+                FaultInjector *faults = nullptr,
+                bool *writer_alive = nullptr)
+{
+    JournalWriter jw(prog, {}, recorderOptionsFingerprint(opts),
+                     faults);
+    RecordObserver obs;
+    obs.onEpochCommitted = [&](const EpochRecord &e, EpochId index) {
+        jw.appendEpoch(e, index);
+    };
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record(&obs);
+    EXPECT_TRUE(out.ok);
+    if (writer_alive)
+        *writer_alive = jw.alive();
+    return {serializeRecording(out.recording), jw.bytes(),
+            jw.frameEnds(), out.recording.epochs.size()};
+}
+
+/** Recover @p image and finish the session from its prefix. */
+std::vector<std::uint8_t>
+resumeToArtifact(const GuestProgram &prog,
+                 const RecorderOptions &opts,
+                 std::span<const std::uint8_t> image)
+{
+    RecoveredJournal rj = recoverJournal(image);
+    EXPECT_TRUE(rj.report.headerOk);
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.resume(std::move(rj.recording->epochs));
+    EXPECT_TRUE(out.ok);
+    EXPECT_FALSE(out.prefixVerifyFailed);
+    return serializeRecording(out.recording);
+}
+
+TEST(Journal, ConvertsToTheExactArtifactOfAnUninterruptedRun)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    JournaledRun run = recordJournaled(prog, testOpts());
+    ASSERT_GE(run.epochs, 3u);
+
+    RecoveredJournal rj = recoverJournal(run.journal);
+    ASSERT_TRUE(rj.report.clean());
+    EXPECT_EQ(rj.report.framesRecovered, run.epochs);
+    EXPECT_EQ(rj.report.committedBytes, run.journal.size());
+    EXPECT_EQ(rj.report.bytesDiscarded, 0u);
+    EXPECT_EQ(rj.optionsFingerprint,
+              recorderOptionsFingerprint(testOpts()));
+    EXPECT_EQ(serializeRecording(*rj.recording), run.artifact);
+}
+
+// The tentpole guarantee, swept: kill the writer at *every* frame
+// boundary. Each cut recovers cleanly (no bytes lost — the crash
+// landed between frames) and the resumed session's artifact is
+// byte-identical to the uninterrupted run's. Boundary 0 is the
+// header-only journal: a resume that re-records everything.
+TEST(Journal, CrashAtEveryFrameBoundaryResumesByteIdentical)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun run = recordJournaled(prog, opts);
+    ASSERT_GE(run.frameEnds.size(), 4u); // header + >=3 epochs
+
+    for (std::size_t b = 0; b < run.frameEnds.size(); ++b) {
+        SCOPED_TRACE(testing::Message() << "frame boundary " << b);
+        std::vector<std::uint8_t> cut(
+            run.journal.begin(),
+            run.journal.begin() +
+                static_cast<std::ptrdiff_t>(run.frameEnds[b]));
+        RecoveredJournal rj = recoverJournal(cut);
+        ASSERT_TRUE(rj.report.headerOk);
+        EXPECT_EQ(rj.report.tailError, JournalError::None);
+        EXPECT_EQ(rj.report.framesRecovered, b); // frame 0 = header
+        EXPECT_EQ(rj.report.bytesDiscarded, 0u);
+
+        UniparallelRecorder rec(prog, {}, opts);
+        RecordOutcome out =
+            rec.resume(std::move(rj.recording->epochs));
+        ASSERT_TRUE(out.ok);
+        EXPECT_EQ(serializeRecording(out.recording), run.artifact);
+    }
+}
+
+// Torn tails: cut the journal at seeded offsets strictly inside each
+// frame. Recovery must classify the tail as damaged, keep exactly the
+// complete frames before it, and never panic; the resumed session
+// must still finish byte-identical.
+TEST(Journal, TornTailAtSeededMidFrameOffsetsResumesByteIdentical)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun run = recordJournaled(prog, opts);
+    ASSERT_GE(run.frameEnds.size(), 4u);
+
+    Rng rng(0x10a7'041e);
+    // Start at the first epoch frame; cuts inside the header frame
+    // are the CorruptOrTruncatedHeader test's concern.
+    for (std::size_t b = 0; b + 1 < run.frameEnds.size(); ++b) {
+        std::size_t lo = run.frameEnds[b];
+        std::size_t hi = run.frameEnds[b + 1];
+        for (int k = 0; k < 3; ++k) {
+            std::size_t cut_at = lo + 1 + rng.below(hi - lo - 1);
+            SCOPED_TRACE(testing::Message()
+                         << "cut at byte " << cut_at
+                         << " inside frame " << b + 1);
+            std::vector<std::uint8_t> cut(
+                run.journal.begin(),
+                run.journal.begin() +
+                    static_cast<std::ptrdiff_t>(cut_at));
+            RecoveredJournal rj = recoverJournal(cut);
+            ASSERT_TRUE(rj.report.headerOk);
+            EXPECT_EQ(rj.report.tailError,
+                      JournalError::TruncatedFrame);
+            EXPECT_EQ(rj.report.framesRecovered, b);
+            EXPECT_EQ(rj.report.committedBytes, lo);
+            EXPECT_EQ(rj.report.bytesDiscarded, cut_at - lo);
+
+            UniparallelRecorder rec(prog, {}, opts);
+            RecordOutcome out =
+                rec.resume(std::move(rj.recording->epochs));
+            ASSERT_TRUE(out.ok);
+            EXPECT_EQ(serializeRecording(out.recording),
+                      run.artifact);
+        }
+    }
+}
+
+TEST(Journal, ResumingACompleteJournalReproducesItsArtifact)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun run = recordJournaled(prog, opts);
+    // The prefix is the whole recording: resume verifies it by
+    // sequential replay and returns without recording anything new.
+    EXPECT_EQ(resumeToArtifact(prog, opts, run.journal),
+              run.artifact);
+}
+
+// Every single-bit flip anywhere in the header frame must be caught
+// (kind, length, payload, CRC, or commit marker — all guarded) and
+// reported structurally, never as a crash or a bogus Recording.
+TEST(Journal, CorruptOrTruncatedHeaderRecoversNothingWithoutPanic)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 100);
+    JournaledRun run = recordJournaled(prog, testOpts());
+    std::size_t header_end = run.frameEnds[0];
+
+    for (std::size_t pos = 0; pos < header_end; ++pos) {
+        std::vector<std::uint8_t> bad = run.journal;
+        bad[pos] ^= 0x10;
+        RecoveredJournal rj = recoverJournal(bad);
+        EXPECT_FALSE(rj.report.headerOk) << "flip at byte " << pos;
+        EXPECT_EQ(rj.recording, nullptr);
+        EXPECT_EQ(rj.report.framesRecovered, 0u);
+        EXPECT_NE(rj.report.tailError, JournalError::None);
+    }
+    for (std::size_t cut = 0; cut < header_end; ++cut) {
+        RecoveredJournal rj = recoverJournal(
+            std::span(run.journal).first(cut));
+        EXPECT_FALSE(rj.report.headerOk) << "cut at byte " << cut;
+        EXPECT_EQ(rj.recording, nullptr);
+    }
+}
+
+TEST(Journal, GarbageAndTrailingJunkAreFailClosed)
+{
+    RecoveredJournal empty = recoverJournal({});
+    EXPECT_FALSE(empty.report.headerOk);
+    EXPECT_EQ(empty.report.tailError, JournalError::MissingHeader);
+
+    std::vector<std::uint8_t> garbage(257);
+    Rng rng(42);
+    for (auto &b : garbage)
+        b = static_cast<std::uint8_t>(rng.next());
+    RecoveredJournal g = recoverJournal(garbage);
+    EXPECT_FALSE(g.report.headerOk);
+    EXPECT_EQ(g.recording, nullptr);
+
+    GuestProgram prog = testprogs::lockedCounter(2, 200);
+    JournaledRun run = recordJournaled(prog, testOpts());
+    std::vector<std::uint8_t> junked = run.journal;
+    for (int i = 0; i < 17; ++i)
+        junked.push_back(static_cast<std::uint8_t>(rng.next()));
+    RecoveredJournal j = recoverJournal(junked);
+    ASSERT_TRUE(j.report.headerOk);
+    EXPECT_EQ(j.report.framesRecovered, run.epochs);
+    EXPECT_EQ(j.report.committedBytes, run.journal.size());
+    EXPECT_NE(j.report.tailError, JournalError::None);
+}
+
+TEST(Journal, EveryEpochFrameBitFlipIsDetected)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 100);
+    JournaledRun run = recordJournaled(prog, testOpts());
+    ASSERT_GE(run.frameEnds.size(), 2u);
+
+    // Flip one seeded byte in every committed epoch frame in turn:
+    // recovery must stop exactly there, keeping the frames before it.
+    Rng rng(0xf11b);
+    for (std::size_t f = 1; f < run.frameEnds.size(); ++f) {
+        std::size_t lo = run.frameEnds[f - 1];
+        std::size_t hi = run.frameEnds[f];
+        std::vector<std::uint8_t> bad = run.journal;
+        bad[lo + rng.below(hi - lo)] ^= 0x04;
+        RecoveredJournal rj = recoverJournal(bad);
+        ASSERT_TRUE(rj.report.headerOk);
+        EXPECT_EQ(rj.report.framesRecovered, f - 1);
+        EXPECT_EQ(rj.report.committedBytes, lo);
+        EXPECT_NE(rj.report.tailError, JournalError::None);
+    }
+}
+
+// ---- Fault-injected writer failures (artifact_faults machinery) ----
+
+TEST(JournalFaults, InjectedCrashDiesAtAFrameBoundary)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun base = recordJournaled(prog, opts);
+
+    // Per-scope decisions are pure in (seed, site, scope), so scan
+    // seeds for a crash that lands mid-journal — deterministically.
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 64 && !found; ++seed) {
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.with(FaultSite::JournalCrash, 0.3, 1);
+        FaultInjector fi(plan);
+        bool alive = true;
+        JournaledRun run =
+            recordJournaled(prog, opts, &fi, &alive);
+        EXPECT_EQ(run.artifact, base.artifact); // session unharmed
+        if (alive)
+            continue;
+        ASSERT_GT(fi.count(FaultSite::JournalCrash), 0u);
+        RecoveredJournal rj = recoverJournal(run.journal);
+        ASSERT_TRUE(rj.report.headerOk);
+        // Died *between* frames: a clean boundary, nothing torn.
+        EXPECT_EQ(rj.report.tailError, JournalError::None);
+        EXPECT_EQ(rj.report.bytesDiscarded, 0u);
+        EXPECT_LT(rj.report.framesRecovered, base.epochs);
+        if (rj.report.framesRecovered == 0)
+            continue; // keep scanning for a mid-journal crash
+        found = true;
+        EXPECT_EQ(resumeToArtifact(prog, opts, run.journal),
+                  base.artifact);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(JournalFaults, InjectedTornWriteLeavesARecoverableTail)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun base = recordJournaled(prog, opts);
+
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 64 && !found; ++seed) {
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.with(FaultSite::TornFrameWrite, 0.3, 1);
+        FaultInjector fi(plan);
+        bool alive = true;
+        JournaledRun run =
+            recordJournaled(prog, opts, &fi, &alive);
+        if (alive)
+            continue;
+        RecoveredJournal rj = recoverJournal(run.journal);
+        ASSERT_TRUE(rj.report.headerOk);
+        EXPECT_EQ(rj.report.tailError,
+                  JournalError::TruncatedFrame);
+        EXPECT_GT(rj.report.bytesDiscarded, 0u);
+        EXPECT_LT(rj.report.framesRecovered, base.epochs);
+        if (rj.report.framesRecovered == 0)
+            continue;
+        found = true;
+        EXPECT_EQ(resumeToArtifact(prog, opts, run.journal),
+                  base.artifact);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(JournalFaults, InjectedBitFlipIsCaughtByTheFrameChecksum)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun base = recordJournaled(prog, opts);
+
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.with(FaultSite::JournalBitFlip, 1.0, 1);
+    FaultInjector fi(plan);
+    bool alive = true;
+    JournaledRun run = recordJournaled(prog, opts, &fi, &alive);
+    EXPECT_TRUE(alive); // corruption, not a crash
+    ASSERT_GT(fi.count(FaultSite::JournalBitFlip), 0u);
+
+    RecoveredJournal rj = recoverJournal(run.journal);
+    ASSERT_TRUE(rj.report.headerOk);
+    EXPECT_NE(rj.report.tailError, JournalError::None);
+    EXPECT_LT(rj.report.framesRecovered, base.epochs);
+    EXPECT_GT(rj.report.bytesDiscarded, 0u);
+    EXPECT_EQ(resumeToArtifact(prog, opts, run.journal),
+              base.artifact);
+}
+
+// ---- Resume safety rails ----
+
+TEST(JournalResume, TamperedPrefixFailsClosedBeforeRecording)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun run = recordJournaled(prog, opts);
+
+    RecoveredJournal rj = recoverJournal(run.journal);
+    ASSERT_TRUE(rj.report.headerOk);
+    ASSERT_GE(rj.recording->epochs.size(), 2u);
+    // The frame CRCs passed (the bytes are what was written), but
+    // the *content* lies about the execution: replay must catch it.
+    rj.recording->epochs[1].endStateHash ^= 1;
+
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.resume(std::move(rj.recording->epochs));
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.prefixVerifyFailed);
+    EXPECT_TRUE(out.recording.epochs.empty());
+}
+
+TEST(JournalResume, ResumedSessionKeepsCheckpointsForParallelReplay)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    opts.keepCheckpoints = true;
+    JournaledRun run = recordJournaled(prog, opts);
+    ASSERT_GE(run.frameEnds.size(), 3u);
+
+    std::size_t mid = run.frameEnds[run.frameEnds.size() / 2];
+    RecoveredJournal rj =
+        recoverJournal(std::span(run.journal).first(mid));
+    ASSERT_TRUE(rj.report.headerOk);
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.resume(std::move(rj.recording->epochs));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(serializeRecording(out.recording), run.artifact);
+    ASSERT_TRUE(out.recording.hasCheckpoints());
+    ReplayResult par = Replayer(out.recording).replayParallel(2);
+    EXPECT_TRUE(par.ok);
+}
+
+TEST(JournalHeader, FingerprintCoversByteShapingOptionsOnly)
+{
+    RecorderOptions a;
+    std::uint64_t base = recorderOptionsFingerprint(a);
+    EXPECT_EQ(base, recorderOptionsFingerprint(a));
+
+    auto differs = [&](auto tweak) {
+        RecorderOptions o;
+        tweak(o);
+        return recorderOptionsFingerprint(o) != base;
+    };
+    EXPECT_TRUE(differs([](RecorderOptions &o) { o.workerCpus = 3; }));
+    EXPECT_TRUE(differs([](RecorderOptions &o) {
+        o.epochLength = 1'000;
+    }));
+    EXPECT_TRUE(differs([](RecorderOptions &o) { o.seed = 2; }));
+    EXPECT_TRUE(differs([](RecorderOptions &o) { o.quantum = 1; }));
+    EXPECT_TRUE(differs([](RecorderOptions &o) {
+        o.enforceSyncOrder = false;
+    }));
+    EXPECT_TRUE(differs([](RecorderOptions &o) {
+        o.chargeCosts = false;
+    }));
+    EXPECT_TRUE(differs([](RecorderOptions &o) { o.jitterNum = 2; }));
+    EXPECT_TRUE(differs([](RecorderOptions &o) { o.jitterDen = 9; }));
+    EXPECT_TRUE(differs([](RecorderOptions &o) { o.mpQuantum = 7; }));
+
+    // Resource bounds never shape the recorded bytes.
+    RecorderOptions r;
+    r.maxEpochs = 5;
+    r.maxRollbacks = 1;
+    r.hostWorkers = 3;
+    r.maxInFlight = 2;
+    r.fuel = 1'000'000;
+    r.keepCheckpoints = false;
+    EXPECT_EQ(recorderOptionsFingerprint(r), base);
+}
+
+// ---- verifyImage: integrity checks without replaying ----
+
+TEST(VerifyImage, ClassifiesArtifactsJournalsAndGarbage)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 200);
+    JournaledRun run = recordJournaled(prog, testOpts());
+
+    VerifyResult art = verifyImage(run.artifact);
+    EXPECT_EQ(art.kind, UniplayFileKind::Artifact);
+    EXPECT_TRUE(art.ok);
+    EXPECT_EQ(art.epochs, run.epochs);
+
+    VerifyResult jnl = verifyImage(run.journal);
+    EXPECT_EQ(jnl.kind, UniplayFileKind::Journal);
+    EXPECT_TRUE(jnl.ok);
+    EXPECT_EQ(jnl.epochs, run.epochs);
+
+    std::vector<std::uint8_t> text{'h', 'e', 'l', 'l', 'o'};
+    VerifyResult junk = verifyImage(text);
+    EXPECT_EQ(junk.kind, UniplayFileKind::Unknown);
+    EXPECT_FALSE(junk.ok);
+    EXPECT_FALSE(verifyImage({}).ok);
+}
+
+TEST(VerifyImage, FlagsDamagedArtifactsAndJournals)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 200);
+    JournaledRun run = recordJournaled(prog, testOpts());
+
+    std::vector<std::uint8_t> short_art = run.artifact;
+    short_art.resize(short_art.size() - 5);
+    VerifyResult art = verifyImage(short_art);
+    EXPECT_EQ(art.kind, UniplayFileKind::Artifact);
+    EXPECT_FALSE(art.ok);
+
+    std::vector<std::uint8_t> torn = run.journal;
+    torn.resize(torn.size() - 3);
+    VerifyResult jnl = verifyImage(torn);
+    EXPECT_EQ(jnl.kind, UniplayFileKind::Journal);
+    EXPECT_FALSE(jnl.ok);
+    EXPECT_EQ(jnl.epochs, run.epochs - 1);
+}
+
+} // namespace
+} // namespace dp

@@ -2,10 +2,15 @@
  * @file
  * uniplay — command-line record/replay/analysis tool.
  *
- *   uniplay record <workload> [-t N] [-s SCALE] [-e EPOCHLEN] -o FILE
+ *   uniplay record <workload> [-t N] [-s SCALE] [-e EPOCHLEN]
+ *                 [-o FILE] [--journal FILE [--resume]]
  *   uniplay run <file.s>                 assemble + run guest assembly
  *   uniplay record-asm <file.s> -o FILE  record a guest assembly file
  *   uniplay replay FILE                  deterministic replay + verify
+ *   uniplay recover JOURNAL [-o FILE]    recover a journal's committed
+ *                                        prefix (optionally as artifact)
+ *   uniplay verify FILE                  integrity-check an artifact or
+ *                                        journal without replaying
  *   uniplay races FILE                   replay under the race detector
  *   uniplay info FILE                    artifact summary
  *   uniplay disasm FILE                  dump the recorded program
@@ -25,6 +30,7 @@
 #include "common/table.hh"
 #include "core/recorder.hh"
 #include "fault/fault.hh"
+#include "journal/journal.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "vm/text_asm.hh"
@@ -42,11 +48,14 @@ usage()
         << "usage:\n"
         << "  uniplay record <workload> [-t N] [-s SCALE] "
            "[-e EPOCHLEN] [--fault-plan SPEC --fault-seed N] "
-           "-o FILE\n"
+           "[-o FILE] [--journal FILE [--resume]]\n"
         << "  uniplay run <file.s>\n"
         << "  uniplay record-asm <file.s> [-t N] [-e EPOCHLEN] "
-           "[--fault-plan SPEC --fault-seed N] -o FILE\n"
+           "[--fault-plan SPEC --fault-seed N] [-o FILE] "
+           "[--journal FILE [--resume]]\n"
         << "  uniplay replay FILE [--parallel N]\n"
+        << "  uniplay recover JOURNAL [-o FILE]\n"
+        << "  uniplay verify FILE\n"
         << "  uniplay races FILE\n"
         << "  uniplay profile FILE\n"
         << "  uniplay info FILE\n"
@@ -87,6 +96,8 @@ struct Args
     unsigned parallel = 0;
     std::string faultPlan;
     std::uint64_t faultSeed = 0;
+    std::string journalFile;
+    bool resume = false;
 };
 
 Args
@@ -117,6 +128,10 @@ parseArgs(int argc, char **argv, int first)
             a.faultPlan = next();
         else if (s == "--fault-seed")
             a.faultSeed = std::stoull(next());
+        else if (s == "--journal")
+            a.journalFile = next();
+        else if (s == "--resume")
+            a.resume = true;
         else
             a.positional.push_back(std::move(s));
     }
@@ -127,8 +142,8 @@ int
 doRecord(const GuestProgram &prog, const MachineConfig &cfg,
          const Args &args)
 {
-    if (args.outFile.empty())
-        dp_fatal("record needs -o FILE");
+    if (args.outFile.empty() && args.journalFile.empty())
+        dp_fatal("record needs -o FILE and/or --journal FILE");
     RecorderOptions opts;
     opts.workerCpus = args.threads;
     opts.epochLength = args.epochLength;
@@ -142,14 +157,61 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
         std::cout << "fault plan: " << faults->plan().describe()
                   << "\n";
     }
+    if (OptionError err = validateRecorderOptions(opts);
+        err != OptionError::None)
+        dp_fatal("invalid recorder options: ", optionErrorName(err));
+    const std::uint64_t fingerprint =
+        recorderOptionsFingerprint(opts);
+
+    std::unique_ptr<JournalWriter> journal;
+    std::vector<EpochRecord> prefix;
+    bool resuming = false;
+    if (!args.journalFile.empty() && args.resume) {
+        std::vector<std::uint8_t> image =
+            readFile(args.journalFile);
+        RecoveredJournal rj = recoverJournal(image);
+        if (!rj.report.headerOk)
+            dp_fatal(args.journalFile, ": cannot recover journal: ",
+                     journalErrorName(rj.report.tailError), " (",
+                     rj.report.detail, ")");
+        if (rj.optionsFingerprint != fingerprint)
+            dp_fatal(args.journalFile,
+                     ": journal was recorded under different "
+                     "options; refusing to resume");
+        std::cout << "recovered " << rj.report.framesRecovered
+                  << " committed epoch(s), discarding "
+                  << rj.report.bytesDiscarded
+                  << " torn/corrupt byte(s)\n";
+        image.resize(rj.report.committedBytes);
+        journal = std::make_unique<JournalWriter>(
+            std::move(image), rj.report.framesRecovered,
+            faults.get());
+        prefix = std::move(rj.recording->epochs);
+        resuming = true;
+    } else if (!args.journalFile.empty()) {
+        journal = std::make_unique<JournalWriter>(
+            prog, cfg, fingerprint, faults.get());
+    }
+    if (journal && !journal->streamTo(args.journalFile))
+        dp_fatal("cannot write journal file ", args.journalFile);
+
     RecordObserver obs;
     obs.onRecovery = [](RecoveryKind kind, EpochId index) {
         std::cout << "  recovery: " << recoveryKindName(kind)
                   << " at epoch " << index << "\n";
     };
+    if (journal)
+        obs.onEpochCommitted = [&](const EpochRecord &e,
+                                   EpochId index) {
+            journal->appendEpoch(e, index);
+        };
 
     UniparallelRecorder rec(prog, cfg, opts);
-    RecordOutcome out = rec.record(faults ? &obs : nullptr);
+    const RecordObserver *obsp =
+        (faults || journal) ? &obs : nullptr;
+    RecordOutcome out = resuming
+                            ? rec.resume(std::move(prefix), obsp)
+                            : rec.record(obsp);
     if (faults) {
         const FaultStats fs = faults->stats();
         std::cout << "faults fired: " << fs.totalFired() << "\n";
@@ -166,19 +228,35 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
                   << st.epochRetries << " epoch retries, "
                   << st.seqFallbacks << " seq fallbacks\n";
     }
+    if (journal)
+        std::cout << "journal: " << journal->epochsWritten()
+                  << " epoch frame(s), " << journal->bytes().size()
+                  << " bytes to " << args.journalFile
+                  << (journal->alive()
+                          ? ""
+                          : " (writer died; continue with --resume)")
+                  << "\n";
+    if (out.prefixVerifyFailed) {
+        std::cerr << "recovered journal prefix failed replay "
+                     "verification; not resuming\n";
+        return 1;
+    }
     if (!out.ok) {
         std::cerr << "recording failed: "
                   << stopReasonName(out.tpReason) << "\n";
         return 1;
     }
-    std::vector<std::uint8_t> bytes =
-        serializeRecording(out.recording);
-    writeFile(args.outFile, bytes);
     std::cout << "recorded " << out.recording.epochs.size()
               << " epochs, " << out.recording.stats.rollbacks
-              << " rollbacks, exit code " << out.mainExitCode << "\n"
-              << "wrote " << bytes.size() << " bytes to "
-              << args.outFile << "\n";
+              << " rollbacks, exit code " << out.mainExitCode
+              << "\n";
+    if (!args.outFile.empty()) {
+        std::vector<std::uint8_t> bytes =
+            serializeRecording(out.recording);
+        writeFile(args.outFile, bytes);
+        std::cout << "wrote " << bytes.size() << " bytes to "
+                  << args.outFile << "\n";
+    }
     return 0;
 }
 
@@ -259,6 +337,49 @@ cmdReplay(const Args &args)
         std::cout << "first failed epoch: " << r.firstFailedEpoch
                   << "\n";
     return r.ok ? 0 : 1;
+}
+
+int
+cmdRecover(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    RecoveredJournal rj =
+        recoverJournal(readFile(args.positional[0]));
+    const RecoveryReport &rep = rj.report;
+    std::cout << "header:    " << (rep.headerOk ? "ok" : "invalid")
+              << "\n"
+              << "frames:    " << rep.framesRecovered
+              << " committed epoch(s)\n"
+              << "committed: " << rep.committedBytes << " bytes\n"
+              << "discarded: " << rep.bytesDiscarded << " bytes\n"
+              << "tail:      " << journalErrorName(rep.tailError);
+    if (rep.tailError != JournalError::None)
+        std::cout << " at byte " << rep.errorOffset << " ("
+                  << rep.detail << ")";
+    std::cout << "\n";
+    if (!rep.headerOk) {
+        std::cerr << "nothing recoverable: " << rep.detail << "\n";
+        return 1;
+    }
+    if (!args.outFile.empty()) {
+        std::vector<std::uint8_t> bytes =
+            serializeRecording(*rj.recording);
+        writeFile(args.outFile, bytes);
+        std::cout << "wrote " << bytes.size() << " bytes to "
+                  << args.outFile << "\n";
+    }
+    return 0;
+}
+
+int
+cmdVerify(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    VerifyResult v = verifyImage(readFile(args.positional[0]));
+    std::cout << args.positional[0] << ": " << v.detail << "\n";
+    return v.ok ? 0 : 1;
 }
 
 int
@@ -385,6 +506,10 @@ main(int argc, char **argv)
         return cmdRecordAsm(args);
     if (cmd == "replay")
         return cmdReplay(args);
+    if (cmd == "recover")
+        return cmdRecover(args);
+    if (cmd == "verify")
+        return cmdVerify(args);
     if (cmd == "races")
         return cmdRaces(args);
     if (cmd == "profile")
