@@ -24,8 +24,11 @@ dp_add_bench(bench_scalability)
 dp_add_bench(bench_ckpt_cost)
 dp_add_bench(bench_host_pipeline)
 
+# bench_micro also links the harness: after the google-benchmark
+# suites it emits the BENCH_micro.json summary row.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
 target_link_libraries(bench_micro PRIVATE
-    dp_os dp_log benchmark::benchmark)
+    dp_os dp_log dp_harness benchmark::benchmark)
+target_include_directories(bench_micro PRIVATE ${CMAKE_SOURCE_DIR}/bench)
 set_target_properties(bench_micro PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

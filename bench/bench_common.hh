@@ -6,12 +6,16 @@
 #ifndef DP_BENCH_BENCH_COMMON_HH
 #define DP_BENCH_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "trace/json.hh"
 
 namespace dp::bench
 {
@@ -37,6 +41,74 @@ banner(const std::string &id, const std::string &title,
 {
     std::cout << "\n=== " << id << ": " << title << " ===\n"
               << "provenance: " << provenance << "\n\n";
+}
+
+/** One machine-readable result row of a bench run. */
+struct BenchResult
+{
+    std::string name;     ///< row label, e.g. "pfscan@2T"
+    std::string workload;
+    std::uint32_t workers = 0;
+    double overhead = 0.0; ///< record slowdown - 1
+    std::uint64_t logBytes = 0;
+    std::uint64_t epochs = 0;
+};
+
+/** Flatten one harness measurement into a result row. */
+inline BenchResult
+toBenchResult(const harness::Measurement &m)
+{
+    BenchResult r;
+    r.name =
+        m.workload + "@" + std::to_string(m.opts.threads) + "T";
+    r.workload = m.workload;
+    r.workers = m.opts.threads;
+    r.overhead = m.overhead;
+    r.logBytes = m.replayLogBytes;
+    r.epochs = m.epochs;
+    return r;
+}
+
+/**
+ * Write @p rows as BENCH_<bench>.json ("dp-bench-v1" schema) next to
+ * the human-readable tables, so sweeps can be diffed and plotted
+ * without scraping stdout. The directory defaults to the working
+ * directory; DP_BENCH_JSON_DIR overrides it.
+ */
+inline bool
+emitBenchJson(const std::string &bench,
+              const std::vector<BenchResult> &rows)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue::str("dp-bench-v1"));
+    doc.set("bench", JsonValue::str(bench));
+    JsonValue arr = JsonValue::array();
+    for (const BenchResult &r : rows) {
+        JsonValue row = JsonValue::object();
+        row.set("name", JsonValue::str(r.name));
+        row.set("workload", JsonValue::str(r.workload));
+        row.set("workers",
+                JsonValue::number(std::uint64_t{r.workers}));
+        row.set("overhead", JsonValue::number(r.overhead));
+        row.set("logBytes", JsonValue::number(r.logBytes));
+        row.set("epochs", JsonValue::number(r.epochs));
+        arr.push(std::move(row));
+    }
+    doc.set("rows", std::move(arr));
+
+    std::string dir = ".";
+    if (const char *env = std::getenv("DP_BENCH_JSON_DIR");
+        env && *env)
+        dir = env;
+    const std::string path = dir + "/BENCH_" + bench + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return false;
+    }
+    out << doc.dump() << "\n";
+    std::cout << "wrote " << path << "\n";
+    return !out.fail();
 }
 
 } // namespace dp::bench

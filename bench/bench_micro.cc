@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "common/bytes.hh"
 #include "log/logs.hh"
 #include "mem/paged_memory.hh"
@@ -153,4 +154,34 @@ BENCHMARK(BM_VarintEncode);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace dp;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+
+    // Machine-readable summary row: one quick end-to-end record
+    // measurement, so every bench run leaves a BENCH_*.json behind
+    // (see bench_common.hh for the schema).
+    const workloads::Workload *w = workloads::findWorkload("pfscan");
+    if (!w) {
+        std::cerr << "pfscan workload missing\n";
+        return 1;
+    }
+    harness::MeasureOptions mo;
+    mo.threads = 2;
+    mo.totalCpus = 4;
+    mo.scale = 4;
+    mo.epochLength = 100'000;
+    harness::Measurement m = harness::measure(*w, mo);
+    if (!m.recordOk) {
+        std::cerr << "record failed for " << w->name << "\n";
+        return 1;
+    }
+    if (!bench::emitBenchJson("micro", {bench::toBenchResult(m)}))
+        return 1;
+    return 0;
+}

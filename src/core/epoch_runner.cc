@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "os/simos.hh"
+#include "trace/trace.hh"
 
 namespace dp
 {
@@ -69,6 +70,13 @@ EpochRunner::run(const EpochTask &task) const
     };
     hooks.onSegment = [&](const ScheduleSegment &seg) {
         res.schedule.append(seg);
+        if (task.trace)
+            task.trace->instant(
+                TraceStage::EpochParallel, task.traceTid,
+                "timeslice", "ep",
+                {{"epoch", task.traceEpoch},
+                 {"guestTid", seg.tid},
+                 {"instrs", seg.instrs}});
     };
     hooks.onSignal = [&](const SignalEvent &e) {
         res.signals.append(e);

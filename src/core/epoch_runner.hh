@@ -33,6 +33,8 @@
 namespace dp
 {
 
+class TraceRecorder;
+
 /** Inputs for one epoch execution. */
 struct EpochTask
 {
@@ -49,6 +51,12 @@ struct EpochTask
     std::uint64_t quantum = 50'000;
     std::uint64_t fuel = ~std::uint64_t{0};
     bool chargeRecordCosts = true;
+    /** Observability sink (nullptr = off): the runner emits one
+     *  instant per timeslice boundary onto worker track @p traceTid.
+     *  Never affects the run. */
+    TraceRecorder *trace = nullptr;
+    std::uint32_t traceTid = 0;
+    EpochId traceEpoch = 0;
 };
 
 /** Outputs of one epoch execution. */

@@ -11,6 +11,7 @@
 #include "core/epoch_runner.hh"
 #include "os/multicpu_sim.hh"
 #include "os/simos.hh"
+#include "trace/trace.hh"
 
 namespace dp
 {
@@ -102,6 +103,8 @@ struct TpEpoch
     Cycles tpCycles = 0;
     Cycles ckptCost = 0;
     std::uint64_t dirtyPages = 0;
+    EpochId index = 0; ///< tp-side index at launch (trace label)
+    std::uint64_t tpInstrs = 0; ///< retired by the tp run this epoch
 };
 
 } // namespace
@@ -145,6 +148,10 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         return out;
     }
 
+    // Observability sink; nullptr (the default) short-circuits every
+    // emit to a pointer test. Nothing is ever read back from it.
+    TraceRecorder *const tr = opts_.trace;
+
     Machine m(*prog_, cfg_);
     SimOS os(costs_);
     // Only the result-*generating* kernel is armed: injected faults
@@ -154,6 +161,10 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
     EpochRunner epoch_runner(*prog_, cfg_, costs_);
 
     auto notify_recovery = [&](RecoveryKind kind, EpochId index) {
+        if (tr)
+            tr->instant(TraceStage::ThreadParallel, 0,
+                        recoveryKindName(kind), "recovery",
+                        {{"epoch", index}});
         if (observer && observer->onRecovery)
             observer->onRecovery(kind, index);
     };
@@ -220,6 +231,11 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
     auto capture_boundary = [&](Machine &mm, Checkpoint &into,
                                 EpochId epoch_index) -> bool {
         const std::uint64_t scope = capture_seq++;
+        ScopedTraceSpan span(tr, TraceStage::ThreadParallel, 0,
+                             "checkpoint", "tp");
+        span.arg("epoch", epoch_index);
+        if (tr)
+            span.arg("dirtyPages", mm.mem.dirtyPages().size());
         if (!opts_.faults) {
             into = Checkpoint::capture(mm);
             return true;
@@ -309,6 +325,10 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
     // boundary, quiesce, checkpoint, package the epoch's constraints.
     auto run_tp_epoch = [&]() -> TpEpoch {
         TpEpoch e;
+        e.index = tp_next_index;
+        ScopedTraceSpan span(tr, TraceStage::ThreadParallel, 0,
+                             "tp-epoch", "tp");
+        span.arg("epoch", e.index);
         sim = make_sim(boundary_seed());
         sync_order = {};
         injectables.clear();
@@ -319,6 +339,8 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         e.reason = sim->run(m.now + opts_.epochLength);
         out.tpReason = e.reason;
         e.programEnded = e.reason == StopReason::AllExited;
+        e.tpInstrs = m.totalRetired() - retired_before;
+        span.arg("instrs", e.tpInstrs);
         if (e.reason == StopReason::Deadlock ||
             e.reason == StopReason::FuelExhausted)
             return e;
@@ -354,9 +376,14 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
     };
 
     // Run the epoch-parallel half for one tp epoch (any host thread).
+    // @p slot is the window-slot track the run's trace events land on
+    // (always 0 in the synchronous pipeline).
     auto run_epoch = [&epoch_runner,
-                      this](const Checkpoint &start,
-                            const TpEpoch &tp) -> EpochRunResult {
+                      this](const Checkpoint &start, const TpEpoch &tp,
+                            std::uint32_t slot) -> EpochRunResult {
+        ScopedTraceSpan span(opts_.trace, TraceStage::EpochParallel,
+                             slot, "epoch-run", "ep");
+        span.arg("epoch", tp.index);
         EpochTask task;
         task.start = &start;
         task.targets = tp.targets;
@@ -367,7 +394,12 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         task.quantum = opts_.quantum;
         task.fuel = opts_.fuel;
         task.chargeRecordCosts = opts_.chargeCosts;
-        return epoch_runner.run(task);
+        task.trace = opts_.trace;
+        task.traceTid = slot;
+        task.traceEpoch = tp.index;
+        EpochRunResult res = epoch_runner.run(task);
+        span.arg("instrs", res.instrs);
+        return res;
     };
 
     // Accept an epoch-parallel result at delivery time, injecting
@@ -380,7 +412,7 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
     // modes. Re-execution is deterministic, so the recording is
     // byte-identical with or without the deaths.
     auto deliver_epoch = [&](const Checkpoint &start,
-                             const TpEpoch &tp,
+                             const TpEpoch &tp, std::uint32_t slot,
                              EpochRunResult er) -> EpochRunResult {
         if (!opts_.faults)
             return er;
@@ -393,12 +425,12 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
                 ++retries;
                 ++rec.stats.epochRetries;
                 notify_recovery(RecoveryKind::EpochRetry, index);
-                er = run_epoch(start, tp);
+                er = run_epoch(start, tp, slot);
                 continue;
             }
             ++rec.stats.seqFallbacks;
             notify_recovery(RecoveryKind::SequentialFallback, index);
-            er = run_epoch(start, tp);
+            er = run_epoch(start, tp, slot);
             break;
         }
         return er;
@@ -432,6 +464,7 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
 
         rec.stats.tpTotalCycles += record.tpCycles;
         rec.stats.epTotalCycles += record.epCycles;
+        rec.stats.tpInstrs += tp.tpInstrs;
         rec.stats.epInstrs += er.instrs;
         rec.stats.checkpointPages += tp.dirtyPages;
         ++rec.stats.epochs;
@@ -439,6 +472,12 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         if (opts_.keepCheckpoints)
             rec.checkpoints.push_back(start);
         rec.epochs.push_back(std::move(record));
+        if (tr)
+            tr->instant(
+                TraceStage::ThreadParallel, 0, "commit", "tp",
+                {{"epoch", rec.epochs.size() - 1},
+                 {"diverged", diverged ? 1u : 0u},
+                 {"logBytes", rec.epochs.back().totalLogBytes()}});
         if (observer && observer->onEpochCommitted)
             observer->onEpochCommitted(
                 rec.epochs.back(),
@@ -505,8 +544,8 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
             if (tp.empty)
                 break;
 
-            EpochRunResult er =
-                deliver_epoch(current, tp, run_epoch(current, tp));
+            EpochRunResult er = deliver_epoch(
+                current, tp, 0, run_epoch(current, tp, 0));
             Checkpoint next = tp.next;
             const Cycles boundary_clock = next.capturedAt();
             if (commit_epoch(current, tp, er)) {
@@ -535,6 +574,7 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         // deque never relocates elements.
         Checkpoint start;
         TpEpoch tp;
+        std::uint32_t slot = 0; ///< window-slot trace track
         std::future<EpochRunResult> fut;
     };
     std::deque<InFlight> window;
@@ -543,6 +583,11 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
 
     const unsigned max_in_flight =
         std::max(1u, opts_.maxInFlight);
+    // Window-slot cursor for trace tracks. Slot s is only reused
+    // after the epoch that held it retired (the window admits a new
+    // launch only after the front future completed), so each slot's
+    // epoch-run spans never overlap — one clean per-worker track.
+    std::uint64_t launch_seq = 0;
 
     for (;;) {
         // Launch tp epochs until the window fills or the program ends.
@@ -569,15 +614,22 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
             if (tp.programEnded)
                 tp_done = true;
 
-            window.push_back(
-                {current, std::move(tp), std::future<EpochRunResult>{}});
+            const std::uint32_t slot =
+                static_cast<std::uint32_t>(launch_seq++ %
+                                           max_in_flight);
+            window.push_back({current, std::move(tp), slot,
+                              std::future<EpochRunResult>{}});
             InFlight &inf = window.back();
             inf.fut = std::async(std::launch::async,
                                  [&run_epoch, &inf] {
                                      return run_epoch(inf.start,
-                                                      inf.tp);
+                                                      inf.tp,
+                                                      inf.slot);
                                  });
             current = inf.tp.next;
+            if (tr)
+                tr->counter(TraceStage::ThreadParallel, "inFlight",
+                            window.size());
         }
 
         if (window.empty()) {
@@ -592,7 +644,11 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         EpochRunResult er = window.front().fut.get();
         InFlight inf = std::move(window.front());
         window.pop_front();
-        er = deliver_epoch(inf.start, inf.tp, std::move(er));
+        if (tr)
+            tr->counter(TraceStage::ThreadParallel, "inFlight",
+                        window.size());
+        er = deliver_epoch(inf.start, inf.tp, inf.slot,
+                           std::move(er));
         const Cycles boundary_clock = inf.tp.next.capturedAt();
         if (commit_epoch(inf.start, inf.tp, er)) {
             // Divergence: every younger speculation is invalid.

@@ -37,6 +37,8 @@
 namespace dp
 {
 
+class TraceRecorder;
+
 /** Record-session configuration. */
 struct RecorderOptions
 {
@@ -89,6 +91,15 @@ struct RecorderOptions
     /** Checkpoint recaptures after torn snapshots before the record
      *  session fails closed (StopReason::Stalled). */
     unsigned maxCaptureRetries = 8;
+    /**
+     * Observability sink (nullptr = tracing off, the zero-work
+     * default). The recorder emits tp-epoch and epoch-run spans,
+     * checkpoint spans, recovery instants and in-flight counters into
+     * it; see trace/trace.hh. Tracing is byte-invisible: it never
+     * changes the recording, the journal, or virtual time, and it is
+     * excluded from the options fingerprint.
+     */
+    TraceRecorder *trace = nullptr;
 };
 
 /** Which RecorderOptions field is invalid (structured, never UB). */

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "os/machine.hh"
 #include "replay/recording_io.hh"
+#include "trace/trace.hh"
 
 namespace dp
 {
@@ -83,6 +84,9 @@ JournalWriter::appendEpoch(const EpochRecord &e, EpochId index)
         return;
     dp_assert(index == nextIndex_,
               "journal epochs must append in commit order");
+    ScopedTraceSpan span(trace_, TraceStage::Journal, 0,
+                         "journal-append", "journal");
+    span.arg("epoch", index);
 
     // A writer that dies between frames leaves the journal ending
     // exactly at a frame boundary: the best crash shape.
@@ -97,6 +101,7 @@ JournalWriter::appendEpoch(const EpochRecord &e, EpochId index)
     writeEpochRecord(p, e);
     std::vector<std::uint8_t> frame =
         makeFrame(journalEpochKind, p.take());
+    span.arg("bytes", frame.size());
 
     if (faults_ && faults_->fire(FaultSite::TornFrameWrite, index)) {
         // Died mid-write: a deterministic strict prefix of the frame

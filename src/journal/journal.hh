@@ -43,6 +43,8 @@
 namespace dp
 {
 
+class TraceRecorder;
+
 /** "DPJL" — distinguishes a journal from a "DPLY" artifact. */
 inline constexpr std::uint32_t journalMagic = 0x44504a4c;
 inline constexpr std::uint32_t journalVersion = 1;
@@ -116,6 +118,11 @@ class JournalWriter
      *  warning) if the file cannot be opened. */
     bool streamTo(const std::string &path);
 
+    /** Attach an observability sink (nullptr = off). Each successful
+     *  appendEpoch emits one "journal-append" span; observe-only —
+     *  never changes the journal bytes. */
+    void setTrace(TraceRecorder *tr) { trace_ = tr; }
+
   private:
     void flushTail();
 
@@ -124,6 +131,7 @@ class JournalWriter
     std::uint64_t nextIndex_ = 0;
     bool alive_ = true;
     FaultInjector *faults_ = nullptr;
+    TraceRecorder *trace_ = nullptr;
     std::FILE *file_ = nullptr;
     std::size_t flushed_ = 0;
 };

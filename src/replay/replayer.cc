@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "os/simos.hh"
 #include "os/uni_runner.hh"
+#include "trace/trace.hh"
 
 namespace dp
 {
@@ -29,6 +30,9 @@ Replayer::replaySequential(const ReplayObserver *observer) const
     for (std::uint32_t i = 0; i < rec_->epochs.size(); ++i) {
         if (observer && observer->onEpochStart)
             observer->onEpochStart(i);
+        ScopedTraceSpan span(trace_, TraceStage::Replay, 0,
+                             "replay-epoch", "replay");
+        span.arg("epoch", i);
         if (!replayEpochOn(m, rec_->epochs[i], res.replayCycles,
                            res.instrs, observer)) {
             res.firstFailedEpoch = i;
@@ -58,11 +62,14 @@ Replayer::replayParallel(unsigned host_threads) const
     std::vector<std::uint64_t> instrs(n, 0);
     std::atomic<std::uint32_t> next{0};
 
-    auto worker = [&]() {
+    auto worker = [&](std::uint32_t track) {
         for (;;) {
             std::uint32_t i = next.fetch_add(1);
             if (i >= n)
                 return;
+            ScopedTraceSpan span(trace_, TraceStage::Replay, track,
+                                 "replay-epoch", "replay");
+            span.arg("epoch", i);
             Machine m = rec_->checkpoints[i].materialize(
                 rec_->program(), rec_->config());
             ok[i] = replayEpochOn(m, rec_->epochs[i], cycles[i],
@@ -73,7 +80,7 @@ Replayer::replayParallel(unsigned host_threads) const
     std::vector<std::thread> pool;
     pool.reserve(host_threads);
     for (unsigned t = 0; t < host_threads; ++t)
-        pool.emplace_back(worker);
+        pool.emplace_back(worker, t);
     for (std::thread &t : pool)
         t.join();
 

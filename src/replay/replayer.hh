@@ -26,6 +26,8 @@
 namespace dp
 {
 
+class TraceRecorder;
+
 /** Outcome of a replay. */
 struct ReplayResult
 {
@@ -48,6 +50,12 @@ class Replayer
     explicit Replayer(const Recording &rec, CostModel costs = {})
         : rec_(&rec), costs_(costs)
     {}
+
+    /** Attach an observability sink (nullptr = off). The replayer
+     *  emits one "replay-epoch" span per epoch — tid 0 sequentially,
+     *  one tid per host worker in parallel replay. Observe-only:
+     *  never affects results. */
+    void setTrace(TraceRecorder *tr) { trace_ = tr; }
 
     /** Whole-run replay from the initial state; verifies every epoch
      *  digest and the recorded syscall result stream. @p observer
@@ -88,6 +96,7 @@ class Replayer
 
     const Recording *rec_;
     CostModel costs_;
+    TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace dp

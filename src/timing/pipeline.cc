@@ -24,10 +24,17 @@ struct EpJob
 
 PipelineResult
 PipelineModel::run(std::span<const EpochTiming> epochs,
-                   const PipelineOptions &opts)
+                   const PipelineOptions &opts,
+                   std::vector<EpochPipelineGauges> *gauges)
 {
     dp_assert(opts.totalCpus >= opts.workerCpus && opts.workerCpus > 0,
               "pipeline model needs totalCpus >= workerCpus >= 1");
+
+    if (gauges) {
+        gauges->clear();
+        gauges->resize(epochs.size());
+    }
+    std::vector<double> stalls(epochs.size(), 0.0);
 
     PipelineResult res;
     if (epochs.empty())
@@ -78,6 +85,10 @@ PipelineModel::run(std::span<const EpochTiming> epochs,
             dt = std::min(dt, j.remaining / f);
 
         t += dt;
+        // The tp task is present but blocked: attribute the blocked
+        // time to the epoch it is currently producing.
+        if (!tp_done && !tp_active)
+            stalls[tp_index] += dt;
         const double step = f * dt;
         if (tp_active)
             tp_rem -= step;
@@ -109,6 +120,8 @@ PipelineModel::run(std::span<const EpochTiming> epochs,
                             t});
             res.peakInFlight =
                 std::max(res.peakInFlight, in_flight());
+            if (gauges)
+                (*gauges)[tp_index].queueDepth = in_flight();
             if (epochs[tp_index].diverged)
                 flush_on = tp_index;
             ++tp_index;
@@ -124,6 +137,10 @@ PipelineModel::run(std::span<const EpochTiming> epochs,
     res.completion = static_cast<Cycles>(completion);
     res.tpCompletion = static_cast<Cycles>(tp_completion);
     res.meanEpochLag = lag_count ? lag_sum / lag_count : 0.0;
+    if (gauges)
+        for (std::size_t i = 0; i < stalls.size(); ++i)
+            (*gauges)[i].stallCycles =
+                static_cast<Cycles>(stalls[i]);
     return res;
 }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -51,6 +52,18 @@ struct PipelineOptions
     std::uint32_t maxInFlight = 0;
 };
 
+/** Per-epoch observability gauges the model reconstructs (the trace
+ *  layer's metrics snapshot exports them per epoch). */
+struct EpochPipelineGauges
+{
+    /** Epoch-parallel runs in flight right after this epoch's
+     *  checkpoint handoff (the pipeline queue depth). */
+    std::uint32_t queueDepth = 0;
+    /** Cycles the thread-parallel run spent stalled — window full or
+     *  squash flush — while producing this epoch. */
+    Cycles stallCycles = 0;
+};
+
 /** Model outputs. */
 struct PipelineResult
 {
@@ -69,8 +82,12 @@ struct PipelineResult
 class PipelineModel
 {
   public:
-    static PipelineResult run(std::span<const EpochTiming> epochs,
-                              const PipelineOptions &opts);
+    /** @p gauges (optional) receives one EpochPipelineGauges per
+     *  input epoch, reconstructed from the same fluid trajectory. */
+    static PipelineResult
+    run(std::span<const EpochTiming> epochs,
+        const PipelineOptions &opts,
+        std::vector<EpochPipelineGauges> *gauges = nullptr);
 };
 
 } // namespace dp

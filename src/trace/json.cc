@@ -1,0 +1,442 @@
+#include "trace/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace dp
+{
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double x)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = x;
+    return v;
+}
+
+JsonValue
+JsonValue::number(std::uint64_t x)
+{
+    return number(static_cast<double>(x));
+}
+
+JsonValue
+JsonValue::number(std::int64_t x)
+{
+    return number(static_cast<double>(x));
+}
+
+JsonValue
+JsonValue::str(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Array)
+        items_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(std::string key, JsonValue v)
+{
+    if (kind_ != Kind::Object)
+        return;
+    for (auto &[k, old] : members_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+void
+appendJsonString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendJsonNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "0"; // JSON has no Inf/NaN; clamp rather than corrupt
+        return;
+    }
+    constexpr double exact = 9007199254740992.0; // 2^53
+    if (v == std::floor(v) && std::fabs(v) < exact) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    switch (kind_) {
+    case Kind::Null: out = "null"; break;
+    case Kind::Bool: out = bool_ ? "true" : "false"; break;
+    case Kind::Number: appendJsonNumber(out, num_); break;
+    case Kind::String: appendJsonString(out, str_); break;
+    case Kind::Array: {
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += items_[i].dump();
+        }
+        out += ']';
+        break;
+    }
+    case Kind::Object: {
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            appendJsonString(out, members_[i].first);
+            out += ':';
+            out += members_[i].second.dump();
+        }
+        out += '}';
+        break;
+    }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Fail-closed recursive-descent parser over a string_view. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    std::optional<JsonValue>
+    run()
+    {
+        skipWs();
+        std::optional<JsonValue> v = value(0);
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing bytes after document");
+        return v;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    std::optional<JsonValue>
+    fail(const char *what)
+    {
+        if (error_ && error_->empty())
+            *error_ = std::string(what) + " at byte " +
+                      std::to_string(pos_);
+        return std::nullopt;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (text_.substr(pos_, n) != word)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    std::optional<JsonValue>
+    value(int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return object(depth);
+        if (c == '[')
+            return array(depth);
+        if (c == '"') {
+            std::optional<std::string> s = string();
+            if (!s)
+                return std::nullopt;
+            return JsonValue::str(std::move(*s));
+        }
+        if (c == 't')
+            return literal("true")
+                       ? std::optional(JsonValue::boolean(true))
+                       : fail("bad literal");
+        if (c == 'f')
+            return literal("false")
+                       ? std::optional(JsonValue::boolean(false))
+                       : fail("bad literal");
+        if (c == 'n')
+            return literal("null") ? std::optional(JsonValue::null())
+                                   : fail("bad literal");
+        return numberValue();
+    }
+
+    std::optional<JsonValue>
+    numberValue()
+    {
+        std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        std::string tok(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            return fail("malformed number");
+        return JsonValue::number(v);
+    }
+
+    std::optional<std::string>
+    string()
+    {
+        if (!consume('"')) {
+            fail("expected a string");
+            return std::nullopt;
+        }
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character");
+                return std::nullopt;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return std::nullopt;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape");
+                        return std::nullopt;
+                    }
+                }
+                // UTF-8 encode (surrogate pairs are passed through as
+                // two 3-byte sequences; trace names are ASCII).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+            }
+            default:
+                fail("bad escape character");
+                return std::nullopt;
+            }
+        }
+        fail("unterminated string");
+        return std::nullopt;
+    }
+
+    std::optional<JsonValue>
+    array(int depth)
+    {
+        consume('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (consume(']'))
+            return arr;
+        for (;;) {
+            skipWs();
+            std::optional<JsonValue> v = value(depth + 1);
+            if (!v)
+                return std::nullopt;
+            arr.push(std::move(*v));
+            skipWs();
+            if (consume(']'))
+                return arr;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    std::optional<JsonValue>
+    object(int depth)
+    {
+        consume('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (consume('}'))
+            return obj;
+        for (;;) {
+            skipWs();
+            std::optional<std::string> key = string();
+            if (!key)
+                return std::nullopt;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            std::optional<JsonValue> v = value(depth + 1);
+            if (!v)
+                return std::nullopt;
+            obj.set(std::move(*key), std::move(*v));
+            skipWs();
+            if (consume('}'))
+                return obj;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+JsonValue::parse(std::string_view text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+} // namespace dp

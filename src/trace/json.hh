@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal JSON document model: an ordered DOM with a writer and a
+ * fail-closed recursive-descent parser.
+ *
+ * The trace layer emits Chrome trace-event files and metrics
+ * snapshots, the bench harness emits BENCH_*.json result files, and
+ * the contract tests parse all of them back to check structure — so
+ * both directions live here, dependency-free (dp_common only).
+ * Parsing is fail-closed: malformed input of any shape yields
+ * std::nullopt plus a diagnostic, never a crash, unbounded recursion,
+ * or a silently-wrong document.
+ */
+
+#ifndef DP_TRACE_JSON_HH
+#define DP_TRACE_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dp
+{
+
+/** One JSON value; objects preserve insertion order. */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    static JsonValue null() { return JsonValue(); }
+    static JsonValue boolean(bool b);
+    static JsonValue number(double v);
+    static JsonValue number(std::uint64_t v);
+    static JsonValue number(std::int64_t v);
+    static JsonValue str(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    const std::string &asString() const { return str_; }
+    const std::vector<JsonValue> &items() const { return items_; }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Array append (no-op unless this is an array). */
+    void push(JsonValue v);
+    /** Object insert/overwrite (no-op unless this is an object). */
+    void set(std::string key, JsonValue v);
+    /** Object lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Serialize compactly (no insignificant whitespace). Numbers
+     *  that are integral and within 2^53 print without a decimal
+     *  point, so u64 counters round-trip textually. */
+    std::string dump() const;
+
+    /**
+     * Parse @p text as one JSON document. Fail-closed: any
+     * malformation (trailing bytes, bad escapes, depth bombs) yields
+     * nullopt and, when @p error is non-null, a diagnostic naming the
+     * problem and its byte offset.
+     */
+    static std::optional<JsonValue> parse(std::string_view text,
+                                          std::string *error = nullptr);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Append @p s to @p out as a quoted, escaped JSON string literal. */
+void appendJsonString(std::string &out, std::string_view s);
+
+/** Append @p v to @p out with JsonValue::dump's number formatting. */
+void appendJsonNumber(std::string &out, double v);
+
+} // namespace dp
+
+#endif // DP_TRACE_JSON_HH

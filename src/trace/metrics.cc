@@ -1,0 +1,94 @@
+#include "trace/metrics.hh"
+
+#include <vector>
+
+namespace dp
+{
+
+JsonValue
+metricsSnapshot(const Recording &rec, const MetricsOptions &opts)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue::str("dp-metrics-v1"));
+
+    const RecorderStats &st = rec.stats;
+    // The artifact serializes only the stats that cannot be derived
+    // from the epoch records (epochs, rollbacks, checkpointPages);
+    // the timing sums are recomputed here so a snapshot of a loaded
+    // artifact matches one taken from the live recording. tpInstrs
+    // and the fault counters are in-process only: zero on artifacts.
+    std::uint64_t ep_instrs = 0;
+    std::uint64_t tp_cycles = 0;
+    std::uint64_t ep_cycles = 0;
+    for (const EpochRecord &e : rec.epochs) {
+        ep_instrs += e.epInstrs;
+        tp_cycles += e.tpCycles;
+        ep_cycles += e.epCycles;
+    }
+    JsonValue counters = JsonValue::object();
+    counters.set("epochs", JsonValue::number(std::uint64_t{st.epochs}));
+    counters.set("rollbacks",
+                 JsonValue::number(std::uint64_t{st.rollbacks}));
+    counters.set("checkpointPages",
+                 JsonValue::number(st.checkpointPages));
+    counters.set("tpInstrs", JsonValue::number(st.tpInstrs));
+    counters.set("epInstrs", JsonValue::number(ep_instrs));
+    counters.set("tpTotalCycles", JsonValue::number(tp_cycles));
+    counters.set("epTotalCycles", JsonValue::number(ep_cycles));
+    counters.set("tornCheckpoints",
+                 JsonValue::number(std::uint64_t{st.tornCheckpoints}));
+    counters.set("workerDeaths",
+                 JsonValue::number(std::uint64_t{st.workerDeaths}));
+    counters.set("epochRetries",
+                 JsonValue::number(std::uint64_t{st.epochRetries}));
+    counters.set("seqFallbacks",
+                 JsonValue::number(std::uint64_t{st.seqFallbacks}));
+    counters.set("replayLogBytes",
+                 JsonValue::number(std::uint64_t{rec.replayLogBytes()}));
+    counters.set("totalLogBytes",
+                 JsonValue::number(std::uint64_t{rec.totalLogBytes()}));
+    doc.set("counters", std::move(counters));
+
+    // Reconstruct the concurrent pipeline trajectory from the epoch
+    // timing metadata (the same model the benches report from).
+    std::vector<EpochTiming> timings;
+    timings.reserve(rec.epochs.size());
+    for (const EpochRecord &e : rec.epochs)
+        timings.push_back({e.tpCycles, e.epCycles, e.diverged});
+    PipelineOptions popts;
+    popts.workerCpus = opts.workerCpus;
+    popts.totalCpus = opts.totalCpus;
+    popts.maxInFlight = opts.maxInFlight;
+    std::vector<EpochPipelineGauges> gauges;
+    PipelineResult pr = PipelineModel::run(timings, popts, &gauges);
+
+    JsonValue pipeline = JsonValue::object();
+    pipeline.set("completion", JsonValue::number(pr.completion));
+    pipeline.set("tpCompletion", JsonValue::number(pr.tpCompletion));
+    pipeline.set("meanEpochLag", JsonValue::number(pr.meanEpochLag));
+    pipeline.set("peakInFlight",
+                 JsonValue::number(std::uint64_t{pr.peakInFlight}));
+    doc.set("pipeline", std::move(pipeline));
+
+    JsonValue epochs = JsonValue::array();
+    for (std::size_t i = 0; i < rec.epochs.size(); ++i) {
+        const EpochRecord &e = rec.epochs[i];
+        JsonValue row = JsonValue::object();
+        row.set("index", JsonValue::number(std::uint64_t{i}));
+        row.set("queueDepth",
+                JsonValue::number(std::uint64_t{gauges[i].queueDepth}));
+        row.set("stallCycles",
+                JsonValue::number(gauges[i].stallCycles));
+        row.set("dirtyPages", JsonValue::number(e.dirtyPages));
+        row.set("logBytes",
+                JsonValue::number(std::uint64_t{e.totalLogBytes()}));
+        row.set("tpCycles", JsonValue::number(e.tpCycles));
+        row.set("epCycles", JsonValue::number(e.epCycles));
+        row.set("diverged", JsonValue::boolean(e.diverged));
+        epochs.push(std::move(row));
+    }
+    doc.set("epochs", std::move(epochs));
+    return doc;
+}
+
+} // namespace dp

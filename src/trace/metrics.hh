@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Flat metrics snapshot of a recording: every RecorderStats counter
+ * plus per-epoch gauges (pipeline queue depth, stall cycles, dirty
+ * pages, log bytes), exported as one JSON document.
+ *
+ * The counters come straight from the Recording; the per-epoch queue
+ * depth and stall cycles are reconstructed by the fluid pipeline
+ * model from the epoch timing metadata the artifact already carries,
+ * so the snapshot works on a loaded artifact or a recovered journal,
+ * not just a live session. `uniplay stats FILE` prints it; the bench
+ * JSON emitter shares the schema conventions (dp-*-v1 + flat
+ * name->number members).
+ */
+
+#ifndef DP_TRACE_METRICS_HH
+#define DP_TRACE_METRICS_HH
+
+#include <cstdint>
+
+#include "core/recording.hh"
+#include "timing/pipeline.hh"
+#include "trace/json.hh"
+
+namespace dp
+{
+
+/** Machine shape fed to the pipeline-model reconstruction. */
+struct MetricsOptions
+{
+    CpuId workerCpus = 2;
+    CpuId totalCpus = 4;
+    /** Outstanding-checkpoint bound (0 = unbounded). */
+    std::uint32_t maxInFlight = 4;
+};
+
+/**
+ * Build the snapshot:
+ *   { "schema": "dp-metrics-v1",
+ *     "counters": { one member per RecorderStats counter, plus
+ *                   replayLogBytes / totalLogBytes },
+ *     "pipeline": { completion, tpCompletion, meanEpochLag,
+ *                   peakInFlight },
+ *     "epochs":   [ { index, queueDepth, stallCycles, dirtyPages,
+ *                     logBytes, tpCycles, epCycles, diverged } ] }
+ */
+JsonValue metricsSnapshot(const Recording &rec,
+                          const MetricsOptions &opts = {});
+
+} // namespace dp
+
+#endif // DP_TRACE_METRICS_HH

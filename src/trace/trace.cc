@@ -1,0 +1,133 @@
+#include "trace/trace.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "trace/json.hh"
+
+namespace dp
+{
+
+const char *
+traceStageName(TraceStage s)
+{
+    switch (s) {
+    case TraceStage::ThreadParallel: return "thread-parallel run";
+    case TraceStage::EpochParallel: return "epoch-parallel workers";
+    case TraceStage::Journal: return "epoch journal";
+    case TraceStage::Replay: return "replay";
+    }
+    return "?";
+}
+
+namespace
+{
+
+void
+appendMicros(std::string &out, std::uint64_t ns)
+{
+    // Emit ts/dur in microseconds with ns precision kept as a
+    // fraction, formatted exactly (no double rounding for the
+    // magnitudes a session produces).
+    out += std::to_string(ns / 1000);
+    std::uint64_t frac = ns % 1000;
+    if (frac) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, ".%03u",
+                      static_cast<unsigned>(frac));
+        out += buf;
+    }
+}
+
+void
+appendArgs(
+    std::string &out,
+    const std::vector<std::pair<const char *, std::uint64_t>> &args)
+{
+    out += "\"args\":{";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i)
+            out += ',';
+        appendJsonString(out, args[i].first);
+        out += ':';
+        out += std::to_string(args[i].second);
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::string
+TraceRecorder::toChromeJson() const
+{
+    std::vector<TraceEvent> evs = events();
+
+    std::string out;
+    out.reserve(128 + evs.size() * 96);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    // Process-name metadata: one pid per pipeline stage.
+    bool first = true;
+    for (TraceStage s :
+         {TraceStage::ThreadParallel, TraceStage::EpochParallel,
+          TraceStage::Journal, TraceStage::Replay}) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+        out += std::to_string(static_cast<std::uint32_t>(s));
+        out += ",\"tid\":0,\"args\":{\"name\":";
+        appendJsonString(out, traceStageName(s));
+        out += "}}";
+    }
+
+    for (const TraceEvent &e : evs) {
+        out += ",{\"name\":";
+        appendJsonString(out, e.name);
+        out += ",\"cat\":";
+        appendJsonString(out, e.category);
+        out += ",\"ph\":\"";
+        switch (e.phase) {
+        case TracePhase::Span: out += 'X'; break;
+        case TracePhase::Instant: out += 'i'; break;
+        case TracePhase::Counter: out += 'C'; break;
+        }
+        out += "\",\"pid\":";
+        out += std::to_string(static_cast<std::uint32_t>(e.stage));
+        out += ",\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"ts\":";
+        appendMicros(out, e.tsNs);
+        if (e.phase == TracePhase::Span) {
+            out += ",\"dur\":";
+            appendMicros(out, e.durNs);
+        }
+        if (e.phase == TracePhase::Instant)
+            out += ",\"s\":\"t\"";
+        out += ',';
+        appendArgs(out, e.args);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+TraceRecorder::writeChromeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        dp_warn("cannot write trace file ", path);
+        return false;
+    }
+    std::string json = toChromeJson();
+    std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (n != json.size()) {
+        dp_warn("short write to trace file ", path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace dp

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * TraceRecorder: a low-overhead, thread-safe event/span/counter sink
+ * for the record/replay pipeline.
+ *
+ * The pipeline stages (thread-parallel run, epoch-parallel workers,
+ * journal writer, replayer) each emit events against a stage id (one
+ * Chrome-trace pid per stage) and a track id (one tid per host
+ * worker/window slot). Export is Chrome trace-event JSON — loadable in
+ * Perfetto or chrome://tracing — plus a structured event list the
+ * contract tests inspect directly.
+ *
+ * The zero-perturbation contract: tracing observes the pipeline, it
+ * never participates in it. No instrumented component reads anything
+ * back from the sink, no virtual-time cost is charged for an emit, and
+ * a null `TraceRecorder *` (the default everywhere) short-circuits
+ * every emit to a pointer test — so recordings, journal images, and
+ * virtual-time results are byte-identical with tracing on or off
+ * (enforced by tests/trace_test.cc).
+ */
+
+#ifndef DP_TRACE_TRACE_HH
+#define DP_TRACE_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dp
+{
+
+/** Pipeline stage an event belongs to (Chrome-trace pid). */
+enum class TraceStage : std::uint32_t
+{
+    ThreadParallel = 1, ///< the N-CPU speculative run
+    EpochParallel = 2,  ///< epoch-run workers (one tid per slot)
+    Journal = 3,        ///< durable epoch journal appends
+    Replay = 4,         ///< sequential / parallel replay workers
+};
+
+/** Stable display name of @p s (Chrome process_name metadata). */
+const char *traceStageName(TraceStage s);
+
+/** Event shape (subset of the Chrome trace-event phases). */
+enum class TracePhase : std::uint8_t
+{
+    Span,    ///< complete event, "ph":"X" (ts + dur)
+    Instant, ///< "ph":"i"
+    Counter, ///< "ph":"C"
+};
+
+/** One recorded event. Names/categories/arg keys are static strings
+ *  (string literals at every emit site) so emits never allocate for
+ *  them. */
+struct TraceEvent
+{
+    TracePhase phase = TracePhase::Instant;
+    TraceStage stage = TraceStage::ThreadParallel;
+    std::uint32_t tid = 0;
+    const char *name = "";
+    const char *category = "";
+    std::uint64_t tsNs = 0;  ///< start, ns since sink creation
+    std::uint64_t durNs = 0; ///< spans only
+    /** Small bag of numeric args ("epoch": 7, "pages": 12, ...). */
+    std::vector<std::pair<const char *, std::uint64_t>> args;
+};
+
+/** Thread-safe trace sink. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Monotonic nanoseconds since the sink was created. */
+    std::uint64_t
+    nowNs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - origin_)
+                .count());
+    }
+
+    /** Record a complete span that started at @p begin_ns and ends
+     *  now. */
+    void
+    span(TraceStage stage, std::uint32_t tid, const char *name,
+         const char *category, std::uint64_t begin_ns,
+         std::vector<std::pair<const char *, std::uint64_t>> args = {})
+    {
+        TraceEvent e;
+        e.phase = TracePhase::Span;
+        e.stage = stage;
+        e.tid = tid;
+        e.name = name;
+        e.category = category;
+        e.tsNs = begin_ns;
+        e.durNs = nowNs() - begin_ns;
+        e.args = std::move(args);
+        append(std::move(e));
+    }
+
+    /** Record an instantaneous event. */
+    void
+    instant(TraceStage stage, std::uint32_t tid, const char *name,
+            const char *category,
+            std::vector<std::pair<const char *, std::uint64_t>> args =
+                {})
+    {
+        TraceEvent e;
+        e.phase = TracePhase::Instant;
+        e.stage = stage;
+        e.tid = tid;
+        e.name = name;
+        e.category = category;
+        e.tsNs = nowNs();
+        e.args = std::move(args);
+        append(std::move(e));
+    }
+
+    /** Record a counter sample (@p name tracks @p value over time). */
+    void
+    counter(TraceStage stage, const char *name, std::uint64_t value)
+    {
+        TraceEvent e;
+        e.phase = TracePhase::Counter;
+        e.stage = stage;
+        e.tid = 0;
+        e.name = name;
+        e.category = "counter";
+        e.tsNs = nowNs();
+        e.args.emplace_back(name, value);
+        append(std::move(e));
+    }
+
+    /** Snapshot of every event recorded so far, in emit order. */
+    std::vector<TraceEvent>
+    events() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return events_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return events_.size();
+    }
+
+    /**
+     * Export as a Chrome trace-event JSON document: one pid per
+     * pipeline stage (with process_name metadata), one tid per host
+     * worker track, timestamps in (fractional) microseconds.
+     */
+    std::string toChromeJson() const;
+
+    /** Write toChromeJson() to @p path; false (with a warning) if the
+     *  file cannot be written. */
+    bool writeChromeJson(const std::string &path) const;
+
+  private:
+    void
+    append(TraceEvent e)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        events_.push_back(std::move(e));
+    }
+
+    std::chrono::steady_clock::time_point origin_;
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * RAII span against an optional sink: begins timing at construction,
+ * emits one complete event at destruction. With a null sink every
+ * operation is a pointer test — the no-tracing fast path.
+ */
+class ScopedTraceSpan
+{
+  public:
+    ScopedTraceSpan(TraceRecorder *tr, TraceStage stage,
+                    std::uint32_t tid, const char *name,
+                    const char *category)
+        : tr_(tr), stage_(stage), tid_(tid), name_(name),
+          category_(category), begin_(tr ? tr->nowNs() : 0)
+    {}
+
+    ScopedTraceSpan(const ScopedTraceSpan &) = delete;
+    ScopedTraceSpan &operator=(const ScopedTraceSpan &) = delete;
+
+    /** Attach a numeric argument (no-op without a sink). */
+    void
+    arg(const char *key, std::uint64_t value)
+    {
+        if (tr_)
+            args_.emplace_back(key, value);
+    }
+
+    ~ScopedTraceSpan()
+    {
+        if (tr_)
+            tr_->span(stage_, tid_, name_, category_, begin_,
+                      std::move(args_));
+    }
+
+  private:
+    TraceRecorder *tr_;
+    TraceStage stage_;
+    std::uint32_t tid_;
+    const char *name_;
+    const char *category_;
+    std::uint64_t begin_;
+    std::vector<std::pair<const char *, std::uint64_t>> args_;
+};
+
+} // namespace dp
+
+#endif // DP_TRACE_TRACE_HH

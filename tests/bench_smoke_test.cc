@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Smoke test for the bench JSON emitter: run the bench_micro binary
+ * (filtered down to one cheap microbench) and validate the
+ * BENCH_micro.json it leaves behind against the dp-bench-v1 schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "trace/json.hh"
+
+#ifndef DP_BENCH_MICRO_BIN
+#error "DP_BENCH_MICRO_BIN must point at the bench_micro binary"
+#endif
+
+namespace dp
+{
+namespace
+{
+
+TEST(BenchSmoke, MicroEmitsSchemaValidJson)
+{
+    char tmpl[] = "/tmp/dp-bench-smoke-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    const std::string dir = tmpl;
+    const std::string path = dir + "/BENCH_micro.json";
+
+    const std::string cmd =
+        "DP_BENCH_JSON_DIR=" + dir + " " + DP_BENCH_MICRO_BIN +
+        " --benchmark_filter=BM_VarintEncode"
+        " --benchmark_min_time=0.01 > /dev/null 2>&1";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path << " was not written";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    in.close();
+
+    std::string err;
+    std::optional<JsonValue> doc = JsonValue::parse(ss.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    ASSERT_TRUE(doc->isObject());
+
+    const JsonValue *schema = doc->find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->asString(), "dp-bench-v1");
+    const JsonValue *bench = doc->find("bench");
+    ASSERT_NE(bench, nullptr);
+    EXPECT_EQ(bench->asString(), "micro");
+
+    const JsonValue *rows = doc->find("rows");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_TRUE(rows->isArray());
+    ASSERT_FALSE(rows->items().empty());
+    for (const JsonValue &row : rows->items()) {
+        const JsonValue *name = row.find("name");
+        const JsonValue *workload = row.find("workload");
+        const JsonValue *workers = row.find("workers");
+        const JsonValue *overhead = row.find("overhead");
+        const JsonValue *log_bytes = row.find("logBytes");
+        const JsonValue *epochs = row.find("epochs");
+        ASSERT_NE(name, nullptr);
+        ASSERT_NE(workload, nullptr);
+        ASSERT_NE(workers, nullptr);
+        ASSERT_NE(overhead, nullptr);
+        ASSERT_NE(log_bytes, nullptr);
+        ASSERT_NE(epochs, nullptr);
+        EXPECT_FALSE(name->asString().empty());
+        EXPECT_FALSE(workload->asString().empty());
+        EXPECT_GT(workers->asNumber(), 0.0);
+        EXPECT_GT(log_bytes->asNumber(), 0.0);
+        EXPECT_GT(epochs->asNumber(), 0.0);
+    }
+
+    std::remove(path.c_str());
+    rmdir(dir.c_str());
+}
+
+} // namespace
+} // namespace dp

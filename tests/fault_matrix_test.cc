@@ -30,6 +30,7 @@
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "testprogs.hh"
+#include "trace/metrics.hh"
 
 namespace dp
 {
@@ -411,6 +412,111 @@ TEST(ArtifactFaults, AbsurdSectionLengthsAreRejected)
         EXPECT_NE(r.error, LoadError::None);
         EXPECT_FALSE(r.detail.empty());
     }
+}
+
+// ---- RecorderStats coverage: every counter driven by a targeted
+// plan and mirrored by the flat metrics snapshot ----
+
+TEST(RecorderStatsCoverage, CleanRunPopulatesBaselineCounters)
+{
+    Session s = makeSession(Guest::Counter);
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 6'000;
+    opts.seed = 7;
+    UniparallelRecorder rec(s.prog, s.cfg, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    const RecorderStats &st = out.recording.stats;
+    EXPECT_EQ(st.epochs, out.recording.epochs.size());
+    EXPECT_GT(st.epochs, 1u);
+    EXPECT_GT(st.checkpointPages, 0u);
+    EXPECT_GT(st.tpInstrs, 0u);
+    EXPECT_GT(st.epInstrs, 0u);
+    EXPECT_GT(st.tpTotalCycles, 0u);
+    EXPECT_GT(st.epTotalCycles, 0u);
+    // A converging run touches no recovery counter.
+    EXPECT_EQ(st.rollbacks, 0u);
+    EXPECT_EQ(st.tornCheckpoints, 0u);
+    EXPECT_EQ(st.workerDeaths, 0u);
+    EXPECT_EQ(st.epochRetries, 0u);
+    EXPECT_EQ(st.seqFallbacks, 0u);
+}
+
+TEST(RecorderStatsCoverage, RollbacksFromForcedDivergence)
+{
+    Session s = makeSession(Guest::FileReader);
+    FaultCase fc{"cov_rollbacks", "file-short-read=1:3", 104,
+                 Guest::FileReader, FaultSite::FileShortRead, true};
+    RecordedRun run = recordUnderFaults(s, fc);
+    ASSERT_TRUE(run.out.ok);
+    EXPECT_GT(run.out.recording.stats.rollbacks, 0u);
+}
+
+TEST(RecorderStatsCoverage, TornCheckpointsFromTornCaptures)
+{
+    Session s = makeSession(Guest::Counter);
+    FaultCase fc{"cov_torn", "torn-ckpt=1:2", 205, Guest::Counter,
+                 FaultSite::TornCheckpoint, false};
+    RecordedRun run = recordUnderFaults(s, fc);
+    ASSERT_TRUE(run.out.ok);
+    EXPECT_GT(run.out.recording.stats.tornCheckpoints, 0u);
+}
+
+TEST(RecorderStatsCoverage, WorkerDeathsAndRetriesFromOneDeath)
+{
+    Session s = makeSession(Guest::Counter);
+    FaultCase fc{"cov_death", "worker-death=1:1", 206, Guest::Counter,
+                 FaultSite::WorkerDeath, false};
+    RecordedRun run = recordUnderFaults(s, fc);
+    ASSERT_TRUE(run.out.ok);
+    const RecorderStats &st = run.out.recording.stats;
+    EXPECT_GT(st.workerDeaths, 0u);
+    EXPECT_GT(st.epochRetries, 0u);
+    EXPECT_EQ(st.seqFallbacks, 0u);
+}
+
+TEST(RecorderStatsCoverage, SeqFallbacksFromRepeatedDeaths)
+{
+    Session s = makeSession(Guest::Counter);
+    FaultCase fc{"cov_fallback", "worker-death=1:8", 207,
+                 Guest::Counter, FaultSite::WorkerDeath, false};
+    RecordedRun run = recordUnderFaults(s, fc);
+    ASSERT_TRUE(run.out.ok);
+    EXPECT_GT(run.out.recording.stats.seqFallbacks, 0u);
+}
+
+TEST(RecorderStatsCoverage, MetricsSnapshotMirrorsEveryCounter)
+{
+    Session s = makeSession(Guest::Counter);
+    FaultCase fc{"cov_snapshot", "worker-death=1:2,torn-ckpt=1:2",
+                 210, Guest::Counter, FaultSite::WorkerDeath, false};
+    RecordedRun run = recordUnderFaults(s, fc);
+    ASSERT_TRUE(run.out.ok);
+    const Recording &rec = run.out.recording;
+    const RecorderStats &st = rec.stats;
+
+    JsonValue snap = metricsSnapshot(rec, {});
+    const JsonValue *counters = snap.find("counters");
+    ASSERT_NE(counters, nullptr);
+    auto num = [&](const char *key) -> std::uint64_t {
+        const JsonValue *v = counters->find(key);
+        EXPECT_NE(v, nullptr) << key;
+        return v ? static_cast<std::uint64_t>(v->asNumber()) : 0;
+    };
+    EXPECT_EQ(num("epochs"), st.epochs);
+    EXPECT_EQ(num("rollbacks"), st.rollbacks);
+    EXPECT_EQ(num("checkpointPages"), st.checkpointPages);
+    EXPECT_EQ(num("tpInstrs"), st.tpInstrs);
+    EXPECT_EQ(num("epInstrs"), st.epInstrs);
+    EXPECT_EQ(num("tpTotalCycles"), st.tpTotalCycles);
+    EXPECT_EQ(num("epTotalCycles"), st.epTotalCycles);
+    EXPECT_EQ(num("tornCheckpoints"), st.tornCheckpoints);
+    EXPECT_EQ(num("workerDeaths"), st.workerDeaths);
+    EXPECT_EQ(num("epochRetries"), st.epochRetries);
+    EXPECT_EQ(num("seqFallbacks"), st.seqFallbacks);
+    EXPECT_EQ(num("replayLogBytes"), rec.replayLogBytes());
+    EXPECT_EQ(num("totalLogBytes"), rec.totalLogBytes());
 }
 
 // ---- cross-kind determinism: the whole composite plan twice ----

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * CLI-level tests for the uniplay tool: flag validation (--trace is
+ * only accepted where it means something, unknown options are usage
+ * errors, never silently-ignored positionals), byte-invisibility of
+ * --trace at the artifact level, and the stats subcommand's JSON
+ * output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "trace/json.hh"
+
+#ifndef DP_UNIPLAY_BIN
+#error "DP_UNIPLAY_BIN must point at the uniplay binary"
+#endif
+
+namespace dp
+{
+namespace
+{
+
+struct CmdResult
+{
+    int exitCode = -1;
+    std::string output; ///< stdout + stderr interleaved
+};
+
+CmdResult
+uniplay(const std::string &args)
+{
+    CmdResult r;
+    const std::string cmd =
+        std::string(DP_UNIPLAY_BIN) + " " + args + " 2>&1";
+    FILE *p = popen(cmd.c_str(), "r");
+    if (!p)
+        return r;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof buf, p)) > 0)
+        r.output.append(buf, n);
+    const int status = pclose(p);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string s = ss.str();
+    return {s.begin(), s.end()};
+}
+
+class ToolsCli : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/dp-tools-XXXXXX";
+        ASSERT_NE(mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string &f : cleanup_)
+            std::remove(f.c_str());
+        rmdir(dir_.c_str());
+    }
+
+    std::string
+    path(const std::string &name)
+    {
+        cleanup_.push_back(dir_ + "/" + name);
+        return cleanup_.back();
+    }
+
+    std::string dir_;
+    std::vector<std::string> cleanup_;
+};
+
+TEST_F(ToolsCli, TraceRejectedOnUnsupportedSubcommands)
+{
+    for (const char *cmd :
+         {"info", "recover", "verify", "races", "stats", "disasm"}) {
+        CmdResult r = uniplay(std::string(cmd) +
+                              " nonexistent.bin --trace t.json");
+        EXPECT_EQ(r.exitCode, 2) << cmd << ": " << r.output;
+        EXPECT_NE(r.output.find("--trace"), std::string::npos)
+            << cmd << " must name the rejected flag: " << r.output;
+    }
+    CmdResult r = uniplay("workloads --trace t.json");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("--trace"), std::string::npos);
+}
+
+TEST_F(ToolsCli, UnknownOptionIsUsageErrorNotPositional)
+{
+    CmdResult r = uniplay("record pfscan --bogus-flag");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("unknown option"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("--bogus-flag"), std::string::npos)
+        << r.output;
+}
+
+TEST_F(ToolsCli, RecordWithTraceIsByteIdenticalAndTraceIsValid)
+{
+    const std::string plain = path("plain.bin");
+    const std::string traced = path("traced.bin");
+    const std::string trace = path("trace.json");
+
+    CmdResult a = uniplay("record pfscan -t 2 -s 4 -o " + plain);
+    ASSERT_EQ(a.exitCode, 0) << a.output;
+    CmdResult b = uniplay("record pfscan -t 2 -s 4 -o " + traced +
+                          " --trace " + trace);
+    ASSERT_EQ(b.exitCode, 0) << b.output;
+
+    EXPECT_EQ(slurp(plain), slurp(traced));
+
+    std::vector<std::uint8_t> tj = slurp(trace);
+    std::string err;
+    std::optional<JsonValue> doc = JsonValue::parse(
+        std::string_view(reinterpret_cast<const char *>(tj.data()),
+                         tj.size()),
+        &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    const JsonValue *evs = doc->find("traceEvents");
+    ASSERT_NE(evs, nullptr);
+    EXPECT_GT(evs->items().size(), 0u);
+
+    // Replay accepts --trace too, and still verifies.
+    const std::string rtrace = path("replay-trace.json");
+    CmdResult rep =
+        uniplay("replay " + plain + " --trace " + rtrace);
+    EXPECT_EQ(rep.exitCode, 0) << rep.output;
+    EXPECT_NE(rep.output.find("verified"), std::string::npos);
+}
+
+TEST_F(ToolsCli, StatsEmitsParsableMetricsSnapshot)
+{
+    const std::string artifact = path("stats.bin");
+    ASSERT_EQ(
+        uniplay("record pfscan -t 2 -s 4 -o " + artifact).exitCode,
+        0);
+
+    CmdResult r = uniplay("stats " + artifact);
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    std::string err;
+    std::optional<JsonValue> doc = JsonValue::parse(r.output, &err);
+    ASSERT_TRUE(doc.has_value())
+        << err << "\noutput: " << r.output;
+    const JsonValue *schema = doc->find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->asString(), "dp-metrics-v1");
+    const JsonValue *counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue *epochs = counters->find("epochs");
+    ASSERT_NE(epochs, nullptr);
+    EXPECT_GT(epochs->asNumber(), 0.0);
+    const JsonValue *rows = doc->find("epochs");
+    ASSERT_NE(rows, nullptr);
+    EXPECT_EQ(rows->items().size(),
+              static_cast<std::size_t>(epochs->asNumber()));
+}
+
+} // namespace
+} // namespace dp

@@ -4,6 +4,7 @@
  *
  *   uniplay record <workload> [-t N] [-s SCALE] [-e EPOCHLEN]
  *                 [-o FILE] [--journal FILE [--resume]]
+ *                 [--trace FILE]
  *   uniplay run <file.s>                 assemble + run guest assembly
  *   uniplay record-asm <file.s> -o FILE  record a guest assembly file
  *   uniplay replay FILE                  deterministic replay + verify
@@ -12,9 +13,15 @@
  *   uniplay verify FILE                  integrity-check an artifact or
  *                                        journal without replaying
  *   uniplay races FILE                   replay under the race detector
+ *   uniplay stats FILE                   metrics snapshot (JSON) of an
+ *                                        artifact or journal
  *   uniplay info FILE                    artifact summary
  *   uniplay disasm FILE                  dump the recorded program
  *   uniplay workloads                    list built-in workloads
+ *
+ * --trace FILE (record, record-asm, replay) writes a Chrome
+ * trace-event JSON of the pipeline — load it in Perfetto or
+ * chrome://tracing. Tracing never changes the recorded bytes.
  */
 
 #include <fstream>
@@ -33,6 +40,8 @@
 #include "journal/journal.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 #include "vm/text_asm.hh"
 #include "workloads/registry.hh"
 
@@ -48,16 +57,17 @@ usage()
         << "usage:\n"
         << "  uniplay record <workload> [-t N] [-s SCALE] "
            "[-e EPOCHLEN] [--fault-plan SPEC --fault-seed N] "
-           "[-o FILE] [--journal FILE [--resume]]\n"
+           "[-o FILE] [--journal FILE [--resume]] [--trace FILE]\n"
         << "  uniplay run <file.s>\n"
         << "  uniplay record-asm <file.s> [-t N] [-e EPOCHLEN] "
            "[--fault-plan SPEC --fault-seed N] [-o FILE] "
-           "[--journal FILE [--resume]]\n"
-        << "  uniplay replay FILE [--parallel N]\n"
+           "[--journal FILE [--resume]] [--trace FILE]\n"
+        << "  uniplay replay FILE [--parallel N] [--trace FILE]\n"
         << "  uniplay recover JOURNAL [-o FILE]\n"
         << "  uniplay verify FILE\n"
         << "  uniplay races FILE\n"
         << "  uniplay profile FILE\n"
+        << "  uniplay stats FILE [-t N]\n"
         << "  uniplay info FILE\n"
         << "  uniplay disasm FILE\n"
         << "  uniplay workloads\n";
@@ -98,6 +108,10 @@ struct Args
     std::uint64_t faultSeed = 0;
     std::string journalFile;
     bool resume = false;
+    std::string traceFile;
+    /** First unrecognized '-' option (empty = none): flag typos must
+     *  be a usage error, not a silently ignored positional. */
+    std::string badOption;
 };
 
 Args
@@ -132,7 +146,12 @@ parseArgs(int argc, char **argv, int first)
             a.journalFile = next();
         else if (s == "--resume")
             a.resume = true;
-        else
+        else if (s == "--trace")
+            a.traceFile = next();
+        else if (!s.empty() && s[0] == '-' && s.size() > 1) {
+            if (a.badOption.empty())
+                a.badOption = s;
+        } else
             a.positional.push_back(std::move(s));
     }
     return a;
@@ -148,6 +167,12 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
     opts.workerCpus = args.threads;
     opts.epochLength = args.epochLength;
     opts.keepCheckpoints = false; // artifacts hold logs only
+
+    std::unique_ptr<TraceRecorder> tracer;
+    if (!args.traceFile.empty()) {
+        tracer = std::make_unique<TraceRecorder>();
+        opts.trace = tracer.get();
+    }
 
     std::unique_ptr<FaultInjector> faults;
     if (!args.faultPlan.empty()) {
@@ -194,6 +219,8 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
     }
     if (journal && !journal->streamTo(args.journalFile))
         dp_fatal("cannot write journal file ", args.journalFile);
+    if (journal && tracer)
+        journal->setTrace(tracer.get());
 
     RecordObserver obs;
     obs.onRecovery = [](RecoveryKind kind, EpochId index) {
@@ -236,6 +263,14 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
                           ? ""
                           : " (writer died; continue with --resume)")
                   << "\n";
+    if (tracer) {
+        if (tracer->writeChromeJson(args.traceFile))
+            std::cout << "trace: " << tracer->size()
+                      << " event(s) to " << args.traceFile << "\n";
+        else
+            std::cerr << "cannot write trace file "
+                      << args.traceFile << "\n";
+    }
     if (out.prefixVerifyFailed) {
         std::cerr << "recovered journal prefix failed replay "
                      "verification; not resuming\n";
@@ -327,7 +362,29 @@ cmdReplay(const Args &args)
         return usage();
     LoadedRecording loaded = loadArtifact(args.positional[0]);
     Replayer rep(*loaded.recording);
-    ReplayResult r = rep.replaySequential();
+    std::unique_ptr<TraceRecorder> tracer;
+    if (!args.traceFile.empty()) {
+        tracer = std::make_unique<TraceRecorder>();
+        rep.setTrace(tracer.get());
+    }
+    unsigned par = args.parallel;
+    if (par > 0 && !loaded.recording->hasCheckpoints()) {
+        // Artifacts hold logs only; parallel replay needs the
+        // retained epoch checkpoints (in-process recordings).
+        std::cerr << "note: no checkpoints in artifact; "
+                     "replaying sequentially\n";
+        par = 0;
+    }
+    ReplayResult r = par > 0 ? rep.replayParallel(par)
+                             : rep.replaySequential();
+    if (tracer) {
+        if (tracer->writeChromeJson(args.traceFile))
+            std::cout << "trace: " << tracer->size()
+                      << " event(s) to " << args.traceFile << "\n";
+        else
+            std::cerr << "cannot write trace file "
+                      << args.traceFile << "\n";
+    }
     std::cout << (r.ok ? "verified" : "FAILED") << ": "
               << r.epochsVerified << "/"
               << loaded.recording->epochs.size() << " epochs, "
@@ -439,6 +496,35 @@ cmdProfile(const Args &args)
 }
 
 int
+cmdStats(const Args &args)
+{
+    if (args.positional.empty())
+        return usage();
+    std::vector<std::uint8_t> bytes = readFile(args.positional[0]);
+    VerifyResult v = verifyImage(bytes);
+    std::unique_ptr<Recording> rec;
+    if (v.kind == UniplayFileKind::Artifact) {
+        LoadedRecording loaded = loadArtifact(args.positional[0]);
+        rec = std::move(loaded.recording);
+    } else if (v.kind == UniplayFileKind::Journal) {
+        RecoveredJournal rj = recoverJournal(bytes);
+        if (!rj.report.headerOk)
+            dp_fatal(args.positional[0],
+                     ": cannot recover journal: ",
+                     journalErrorName(rj.report.tailError));
+        rec = std::move(rj.recording);
+    } else {
+        dp_fatal(args.positional[0],
+                 ": not a uniplay artifact or journal");
+    }
+    MetricsOptions mopts;
+    mopts.workerCpus = args.threads;
+    mopts.totalCpus = 2 * args.threads;
+    std::cout << metricsSnapshot(*rec, mopts).dump() << "\n";
+    return 0;
+}
+
+int
 cmdInfo(const Args &args)
 {
     if (args.positional.empty())
@@ -498,6 +584,16 @@ main(int argc, char **argv)
         return usage();
     std::string cmd = argv[1];
     Args args = parseArgs(argc, argv, 2);
+    if (!args.badOption.empty()) {
+        std::cerr << "unknown option: " << args.badOption << "\n";
+        return usage();
+    }
+    if (!args.traceFile.empty() && cmd != "record" &&
+        cmd != "record-asm" && cmd != "replay") {
+        std::cerr << "--trace is not supported by '" << cmd
+                  << "' (record, record-asm and replay only)\n";
+        return usage();
+    }
     if (cmd == "record")
         return cmdRecord(args);
     if (cmd == "run")
@@ -514,6 +610,8 @@ main(int argc, char **argv)
         return cmdRaces(args);
     if (cmd == "profile")
         return cmdProfile(args);
+    if (cmd == "stats")
+        return cmdStats(args);
     if (cmd == "info")
         return cmdInfo(args);
     if (cmd == "disasm")
