@@ -1,16 +1,24 @@
 /**
  * @file
- * E11 — Figure: checkpoint cost vs dirty pages (CoW effectiveness).
+ * E11 — Figure: checkpoint + digest cost vs dirty pages.
  *
- * DoublePlay's checkpoints are cheap because they are copy-on-write:
- * the snapshot itself is O(resident pages) pointer copies and the
- * real cost is paid lazily, proportional to the pages the execution
- * subsequently dirties. This measures both the modeled guest cycles
- * and real host microseconds, against a full-copy strawman.
+ * DoublePlay's epoch boundaries are cheap for two reasons with the
+ * same shape. The checkpoint is copy-on-write: the snapshot is O(1)
+ * bookkeeping and the real cost is paid lazily, proportional to the
+ * pages the execution subsequently dirties. The divergence digest is
+ * incremental (DESIGN.md §11): hash() folds only the slots written
+ * since the last query, so it too costs O(dirty) — the from-scratch
+ * rehash it replaced walked every resident page at every boundary.
+ *
+ * The sweep crosses resident footprint with dirty-set size and times
+ * the incremental digest against the reference recompute; the sparse
+ * configs (large footprint, small delta — the paper's server-style
+ * workloads) are where the O(resident) walk hurt most.
  */
 
 #include <chrono>
 #include <cstring>
+#include <functional>
 
 #include "bench_common.hh"
 #include "mem/paged_memory.hh"
@@ -31,23 +39,88 @@ hostMicros(const std::function<void()> &fn)
     return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
+/** Touch @p dirty distinct pages of @p mem (clones shared pages). */
+void
+dirtyPages(PagedMemory &mem, std::size_t resident, std::size_t dirty,
+           std::uint64_t salt)
+{
+    for (std::size_t k = 0; k < dirty; ++k)
+        mem.write64((k * 7 % resident) * Page::bytes + 64, k ^ salt);
+}
+
 } // namespace
 
 int
 main()
 {
-    banner("E11 (Fig: checkpoint cost)",
-           "checkpoint cost vs pages dirtied since last checkpoint",
-           "[recon] fork/CoW checkpoints are the paper's enabling "
-           "mechanism; shape: CoW cost linear in dirty pages and far "
-           "below full-copy");
+    banner("E11 (Fig: checkpoint + digest cost)",
+           "epoch-boundary cost vs pages dirtied since last boundary",
+           "[recon] fork/CoW checkpoints and O(dirty) digests are the "
+           "boundary mechanism; shape: both linear in dirty pages and "
+           "far below their O(resident) strawmen");
 
+    std::vector<BenchResult> rows;
+
+    // ---- Incremental digest vs from-scratch rehash ----------------
+    Table digest({"resident", "dirty", "incr hash us", "full rehash us",
+                  "speedup"});
+    for (std::size_t resident : {1024ull, 4096ull, 16384ull}) {
+        for (std::size_t dirty :
+             {std::size_t{16}, std::size_t{256}, resident}) {
+            PagedMemory mem;
+            for (std::size_t pg = 0; pg < resident; ++pg)
+                mem.write64(pg * Page::bytes, pg + 1);
+            (void)mem.hash(); // digest exact; memos warm
+
+            // Per epoch boundary: dirty the working set (untimed —
+            // the guest pays that), then query the digest (timed —
+            // the boundary pays that).
+            const std::size_t iters = 8;
+            double incr_us = 0, full_us = 0;
+            for (std::size_t it = 0; it < iters; ++it) {
+                dirtyPages(mem, resident, dirty, it);
+                incr_us += hostMicros([&] { (void)mem.hash(); });
+            }
+            for (std::size_t it = 0; it < iters; ++it) {
+                dirtyPages(mem, resident, dirty, iters + it);
+                (void)mem.hash(); // keep the incremental state exact
+                full_us += hostMicros([&] {
+                    (void)mem.referenceHash();
+                });
+            }
+            incr_us /= iters;
+            full_us /= iters;
+            const double speedup =
+                incr_us > 0 ? full_us / incr_us : 0.0;
+
+            digest.addRow({Table::num(std::uint64_t{resident}),
+                           Table::num(std::uint64_t{dirty}),
+                           Table::num(incr_us, 2),
+                           Table::num(full_us, 2),
+                           Table::num(speedup, 1)});
+
+            BenchResult r;
+            r.name = "resident" + std::to_string(resident) +
+                     "/dirty" + std::to_string(dirty);
+            r.workload = "ckpt-cost";
+            r.workers = 1;
+            // overhead: how much slower the O(resident) rehash is
+            // than the incremental digest (slowdown - 1).
+            r.overhead = speedup > 0 ? speedup - 1.0 : 0.0;
+            r.logBytes = resident * Page::bytes; // bytes a full
+                                                 // rehash walks
+            r.epochs = iters;
+            rows.push_back(r);
+        }
+    }
+    digest.print(std::cout);
+    std::cout << "\n";
+
+    // ---- CoW snapshot vs full-copy strawman -----------------------
     const std::size_t resident = 4096; // 16 MiB address space
     CostModel cm;
-
-    Table t({"dirty pages", "CoW snap host us", "CoW model kcyc",
-             "full-copy host us", "CoW/full-copy"});
-
+    Table snap({"dirty pages", "CoW snap host us", "CoW model kcyc",
+                "full-copy host us", "CoW/full-copy"});
     for (std::size_t dirty :
          {16ull, 64ull, 256ull, 1024ull, 4096ull}) {
         PagedMemory mem;
@@ -56,27 +129,24 @@ main()
         (void)mem.snapshot(); // baseline snapshot; all pages shared
 
         // Dirty `dirty` pages (each write clones a shared page).
-        for (std::size_t k = 0; k < dirty; ++k)
-            mem.write64((k * 7 % resident) * Page::bytes + 64, k);
+        dirtyPages(mem, resident, dirty, 0);
 
         std::uint64_t observed_dirty = mem.dirtyPages().size();
-        double cow_us =
-            hostMicros([&] { (void)mem.snapshot(); });
+        double cow_us = hostMicros([&] { (void)mem.snapshot(); });
 
         // Full-copy strawman: copy every resident page's bytes.
         std::vector<std::uint8_t> sink(resident * Page::bytes);
-        double full_us = hostMicros([&] {
-            mem.readBytes(0, sink);
-        });
+        double full_us = hostMicros([&] { mem.readBytes(0, sink); });
 
         Cycles model = cm.checkpointFixedCycles +
                        cm.checkpointPageCycles * observed_dirty;
-        t.addRow({Table::num(std::uint64_t{observed_dirty}),
-                  Table::num(cow_us, 1),
-                  Table::num(static_cast<double>(model) / 1e3, 1),
-                  Table::num(full_us, 1),
-                  Table::pct(cow_us / full_us)});
+        snap.addRow({Table::num(std::uint64_t{observed_dirty}),
+                     Table::num(cow_us, 1),
+                     Table::num(static_cast<double>(model) / 1e3, 1),
+                     Table::num(full_us, 1),
+                     Table::pct(cow_us / full_us)});
     }
-    t.print(std::cout);
-    return 0;
+    snap.print(std::cout);
+
+    return emitBenchJson("ckpt_cost", rows) ? 0 : 1;
 }

@@ -292,6 +292,7 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
             rec.stats.checkpointPages += e.dirtyPages;
             rec.stats.tpTotalCycles += e.tpCycles;
             rec.stats.epTotalCycles += e.epCycles;
+            rec.stats.tpInstrs += e.tpInstrs;
             rec.stats.epInstrs += e.epInstrs;
             ++rec.stats.epochs;
         }
@@ -442,8 +443,13 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
                             EpochRunResult &er) -> bool {
         Cycles check_cost = 0;
         if (opts_.chargeCosts) {
+            // The divergence check compares incremental digests, so
+            // its cost tracks the pages this epoch dirtied (the run
+            // starts from a restore, which resets dirty tracking),
+            // not the resident footprint. Deterministic: a replayed
+            // epoch dirties the same pages.
             check_cost = costs_.divergenceCheckPageCycles *
-                         er.end.mem.residentPages();
+                         er.end.mem.dirtyPages().size();
         }
         const bool diverged =
             er.endStateHash != tp.next.stateHash();
@@ -461,6 +467,7 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         record.epCycles = er.epCycles + check_cost;
         record.epInstrs = er.instrs;
         record.dirtyPages = tp.dirtyPages;
+        record.tpInstrs = tp.tpInstrs;
 
         rec.stats.tpTotalCycles += record.tpCycles;
         rec.stats.epTotalCycles += record.epCycles;

@@ -58,6 +58,16 @@ struct EpochRecord
      */
     std::uint64_t dirtyPages = 0;
 
+    /**
+     * Instructions the thread-parallel run retired producing this
+     * epoch. Journal-only, like dirtyPages: the epoch-parallel run may
+     * retire a different count (it is the official execution and wins
+     * on divergence), so stats.tpInstrs cannot be derived from
+     * epInstrs — the journal persists it per frame so fresh and
+     * resumed sessions report identical stats.
+     */
+    std::uint64_t tpInstrs = 0;
+
     /** Replay-relevant log bytes (schedule + injectable results). */
     std::size_t replayLogBytes() const;
     /** All log bytes incl. the validation syscall stream. */

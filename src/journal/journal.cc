@@ -98,6 +98,7 @@ JournalWriter::appendEpoch(const EpochRecord &e, EpochId index)
     ByteWriter p;
     p.varu(index);
     p.varu(e.dirtyPages);
+    p.varu(e.tpInstrs);
     writeEpochRecord(p, e);
     std::vector<std::uint8_t> frame =
         makeFrame(journalEpochKind, p.take());
@@ -345,12 +346,14 @@ recoverJournal(std::span<const std::uint8_t> bytes)
                     detail::concat("epoch frame ", index, " where ",
                                    rec.epochs.size(), " expected")};
             std::uint64_t dirty = p.varu();
+            std::uint64_t tp_instrs = p.varu();
             EpochRecord e = readEpochRecord(p, index);
             if (!p.atEnd())
                 throw FrameScanError{
                     JournalError::BadPayload, frame_start,
                     "trailing bytes in an epoch payload"};
             e.dirtyPages = dirty;
+            e.tpInstrs = tp_instrs;
             rec.epochs.push_back(std::move(e));
             rep.committedBytes = pos;
             ++rep.framesRecovered;
@@ -380,6 +383,7 @@ recoverJournal(std::span<const std::uint8_t> bytes)
         rec.stats.checkpointPages += e.dirtyPages;
         rec.stats.tpTotalCycles += e.tpCycles;
         rec.stats.epTotalCycles += e.epCycles;
+        rec.stats.tpInstrs += e.tpInstrs;
         rec.stats.epInstrs += e.epInstrs;
     }
     rec.finalStateHash =

@@ -47,7 +47,8 @@ class TraceRecorder;
 
 /** "DPJL" — distinguishes a journal from a "DPLY" artifact. */
 inline constexpr std::uint32_t journalMagic = 0x44504a4c;
-inline constexpr std::uint32_t journalVersion = 1;
+/** v2: epoch frames carry tpInstrs (so recovered stats are exact). */
+inline constexpr std::uint32_t journalVersion = 2;
 
 /** Frame kinds (first byte of every frame). */
 inline constexpr std::uint8_t journalHeaderKind = 1;

@@ -7,6 +7,7 @@
 #define DP_MEM_PAGE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -21,19 +22,60 @@ namespace dp
  * page tables: PagedMemory clones a page before the first write whenever
  * the page is referenced by more than one table (checkpoint or sibling
  * epoch). An absent table entry denotes an all-zero page.
+ *
+ * The content digest is memoized: hashing a page costs O(Page::bytes)
+ * once per content version, not once per digest query. All in-place
+ * writes funnel through PagedMemory::writablePage, which invalidates
+ * the memo; shared pages are immutable, so distinct address spaces may
+ * hash the same page concurrently (the memo is a relaxed atomic — both
+ * threads compute the same value, whoever publishes last wins).
  */
 struct Page
 {
     static constexpr std::size_t logBytes = 12;
     static constexpr std::size_t bytes = std::size_t{1} << logBytes;
 
+    /** Memo slot value meaning "not computed". A page whose content
+     *  genuinely hashes to this value is simply never memoized. */
+    static constexpr std::uint64_t noHash = 0;
+
     std::array<std::uint8_t, bytes> data{};
 
-    /** Content digest of this page. */
+    Page() = default;
+    Page(const Page &o) : data(o.data)
+    {
+        hashCache_.store(o.hashCache_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+    Page &operator=(const Page &) = delete;
+
+    /** Content digest of this page (memoized). */
     std::uint64_t
     hash() const
     {
+        std::uint64_t h = hashCache_.load(std::memory_order_relaxed);
+        if (h != noHash)
+            return h;
+        h = computeHash();
+        hashCache_.store(h, std::memory_order_relaxed);
+        return h;
+    }
+
+    /** Content digest recomputed from the bytes, bypassing (and not
+     *  touching) the memo. Reference path for cross-checks and for
+     *  measuring the full-rehash cost. */
+    std::uint64_t
+    computeHash() const
+    {
         return fastHash64(std::span<const std::uint8_t>(data));
+    }
+
+    /** Drop the memoized digest; the next hash() recomputes. Called by
+     *  PagedMemory::writablePage before handing out mutable access. */
+    void
+    invalidateHash()
+    {
+        hashCache_.store(noHash, std::memory_order_relaxed);
     }
 
     /** Digest shared by every all-zero page (and absent entries). */
@@ -43,6 +85,9 @@ struct Page
         static const std::uint64_t h = Page{}.hash();
         return h;
     }
+
+  private:
+    mutable std::atomic<std::uint64_t> hashCache_{noHash};
 };
 
 /** Shared ownership handle; use_count()==1 means exclusively writable. */

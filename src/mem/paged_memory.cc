@@ -5,28 +5,23 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 
+/**
+ * DP_DIGEST_CHECK: cross-check the incremental table digest against a
+ * from-scratch recompute at every fold. O(resident pages) per digest
+ * query — debug/sanitizer builds only (the ci-asan preset turns it
+ * on); release builds keep the O(dirty) fast path unchecked.
+ */
+#if defined(DP_DIGEST_CHECK) || !defined(NDEBUG)
+#define DP_DIGEST_CHECK_ENABLED 1
+#else
+#define DP_DIGEST_CHECK_ENABLED 0
+#endif
+
 namespace dp
 {
 
 namespace
 {
-
-/** Fold one page table into a digest, skipping zero-content pages. */
-std::uint64_t
-tableHash(const std::vector<PageRef> &pages)
-{
-    Digest d;
-    for (std::size_t i = 0; i < pages.size(); ++i) {
-        if (!pages[i])
-            continue;
-        std::uint64_t h = pages[i]->hash();
-        if (h == Page::zeroHash())
-            continue;
-        d.word(i);
-        d.word(h);
-    }
-    return d.value();
-}
 
 std::size_t
 residentCount(const std::vector<PageRef> &pages)
@@ -38,12 +33,6 @@ residentCount(const std::vector<PageRef> &pages)
 }
 
 } // namespace
-
-std::uint64_t
-MemSnapshot::hash() const
-{
-    return tableHash(pages_);
-}
 
 std::size_t
 MemSnapshot::residentPages() const
@@ -62,6 +51,19 @@ PagedMemory::pageFor(Addr a) const
     return pages_[idx].get();
 }
 
+std::uint64_t
+PagedMemory::slotTerm(std::size_t idx, std::uint64_t page_hash)
+{
+    // Zero-content pages contribute nothing: an explicit all-zero page
+    // must digest exactly like an absent table entry.
+    if (page_hash == Page::zeroHash())
+        return 0;
+    // Each (index, content) pair must be an independently well-mixed
+    // XOR term: two swapped pages change the digest, and flipping one
+    // term cannot be cancelled by another slot's flip.
+    return mix64(mix64(idx ^ 0x517cc1b727220a95ull) ^ page_hash);
+}
+
 Page &
 PagedMemory::writablePage(Addr a)
 {
@@ -71,10 +73,24 @@ PagedMemory::writablePage(Addr a)
                  " exceeds the configured memory limit");
     }
     if (idx >= pages_.size()) {
+        // Single growth site: the three side tables stay the same
+        // size as the page table by construction (they are resized
+        // together here and assigned together in restore()).
         pages_.resize(idx + 1);
         dirtyBitmap_.resize(idx + 1, false);
+        staleBitmap_.resize(idx + 1, false);
     }
     PageRef &slot = pages_[idx];
+    if (!staleBitmap_[idx]) {
+        // First write since the last digest fold: record the slot's
+        // accounted contribution before the content changes. The page
+        // (if any) still carries the memoized digest the last fold
+        // computed, so this is O(1).
+        staleBitmap_[idx] = true;
+        staleList_.push_back(static_cast<std::uint32_t>(idx));
+        staleOldTerm_.push_back(slot ? slotTerm(idx, slot->hash())
+                                     : 0);
+    }
     if (!slot) {
         slot = std::make_shared<Page>();
     } else if (slot.use_count() > 1) {
@@ -82,8 +98,7 @@ PagedMemory::writablePage(Addr a)
         // sibling epoch's address space.
         slot = std::make_shared<Page>(*slot);
     }
-    if (idx >= dirtyBitmap_.size())
-        dirtyBitmap_.resize(pages_.size(), false);
+    slot->invalidateHash();
     if (!dirtyBitmap_[idx]) {
         dirtyBitmap_[idx] = true;
         dirtyList_.push_back(static_cast<std::uint32_t>(idx));
@@ -198,11 +213,52 @@ PagedMemory::readCString(Addr a, std::size_t max_len) const
     return out;
 }
 
+void
+PagedMemory::syncDigest() const
+{
+    for (std::size_t i = 0; i < staleList_.size(); ++i) {
+        const std::size_t idx = staleList_[i];
+        const PageRef &slot = pages_[idx];
+        // Page::hash() memoizes here, re-establishing the invariant
+        // that every non-stale resident page carries a valid memo.
+        const std::uint64_t now =
+            slot ? slotTerm(idx, slot->hash()) : 0;
+        tableDigest_ ^= staleOldTerm_[i] ^ now;
+        staleBitmap_[idx] = false;
+    }
+    staleList_.clear();
+    staleOldTerm_.clear();
+#if DP_DIGEST_CHECK_ENABLED
+    dp_assert(tableDigest_ == referenceHash(),
+              "incremental table digest diverged from the "
+              "from-scratch recompute");
+#endif
+}
+
+std::uint64_t
+PagedMemory::hash() const
+{
+    syncDigest();
+    return tableDigest_;
+}
+
+std::uint64_t
+PagedMemory::referenceHash() const
+{
+    std::uint64_t d = 0;
+    for (std::size_t i = 0; i < pages_.size(); ++i)
+        if (pages_[i])
+            d ^= slotTerm(i, pages_[i]->computeHash());
+    return d;
+}
+
 MemSnapshot
 PagedMemory::snapshot()
 {
+    syncDigest();
     MemSnapshot snap;
     snap.pages_ = pages_;
+    snap.digest_ = tableDigest_;
     clearDirty();
     return snap;
 }
@@ -211,14 +267,15 @@ void
 PagedMemory::restore(const MemSnapshot &snap)
 {
     pages_ = snap.pages_;
+    // The snapshot carries its digest, and every page it references
+    // was memoized when it was taken: adopting both keeps restore()
+    // O(table size) pointer work with no rehashing.
+    tableDigest_ = snap.digest_;
+    staleBitmap_.assign(pages_.size(), false);
+    staleList_.clear();
+    staleOldTerm_.clear();
     dirtyBitmap_.assign(pages_.size(), false);
     dirtyList_.clear();
-}
-
-std::uint64_t
-PagedMemory::hash() const
-{
-    return tableHash(pages_);
 }
 
 void

@@ -8,6 +8,14 @@
  * the pages the execution subsequently dirties — the same cost structure
  * as hardware copy-on-write.
  *
+ * State digests are incremental for the same reason (DESIGN.md §11):
+ * a running table digest is maintained as the XOR of one well-mixed
+ * contribution per non-zero page, and writes only mark their slot's
+ * contribution stale. hash(), snapshot() and restore() therefore cost
+ * O(pages written since the last digest query), never O(resident) —
+ * epoch-boundary divergence checks track the *delta*, not the
+ * footprint.
+ *
  * Concurrency contract: a PagedMemory instance is used by one thread at
  * a time, but distinct instances may share pages (via snapshots) across
  * threads. Pages referenced by more than one table are never written in
@@ -37,8 +45,9 @@ class MemSnapshot
   public:
     MemSnapshot() = default;
 
-    /** Content digest (absent and all-zero pages hash identically). */
-    std::uint64_t hash() const;
+    /** Content digest (absent and all-zero pages hash identically).
+     *  O(1): the digest is captured when the snapshot is taken. */
+    std::uint64_t hash() const { return digest_; }
 
     /** Number of table entries that reference a materialized page. */
     std::size_t residentPages() const;
@@ -46,6 +55,7 @@ class MemSnapshot
   private:
     friend class PagedMemory;
     std::vector<PageRef> pages_;
+    std::uint64_t digest_ = 0;
 };
 
 /**
@@ -86,8 +96,20 @@ class PagedMemory
     /** Replace the address space contents with @p snap. */
     void restore(const MemSnapshot &snap);
 
-    /** Content digest of the whole space (matches MemSnapshot::hash). */
+    /**
+     * Content digest of the whole space (matches MemSnapshot::hash).
+     * Incremental: costs O(pages written since the last digest
+     * query), not O(resident pages).
+     */
     std::uint64_t hash() const;
+
+    /**
+     * Content digest recomputed from scratch — every resident page is
+     * rehashed from its bytes. Equal to hash() by construction; kept
+     * as the reference for the debug cross-check (DP_DIGEST_CHECK)
+     * and for benchmarking the non-incremental cost.
+     */
+    std::uint64_t referenceHash() const;
 
     /** Page indices written since the last snapshot()/clearDirty(). */
     const std::vector<std::uint32_t> &dirtyPages() const
@@ -115,6 +137,17 @@ class PagedMemory
     /** Materialize (and privatize) the page containing @p a. */
     Page &writablePage(Addr a);
 
+    /** XOR-accumulable digest contribution of slot @p idx holding a
+     *  page with content digest @p page_hash (0 for zero content, so
+     *  absent and all-zero pages contribute identically). */
+    static std::uint64_t slotTerm(std::size_t idx,
+                                  std::uint64_t page_hash);
+
+    /** Fold every stale slot's contribution into tableDigest_; after
+     *  this the digest is exact and the stale set is empty. Cost is
+     *  O(slots written since the last sync). */
+    void syncDigest() const;
+
     static std::size_t pageIndex(Addr a) { return a >> Page::logBytes; }
     static std::size_t pageOffset(Addr a)
     {
@@ -128,6 +161,25 @@ class PagedMemory
     std::vector<bool> dirtyBitmap_;
     std::vector<std::uint32_t> dirtyList_;
     std::size_t maxPages_;
+
+    /// @name Incremental digest state
+    /// Mutable: digest queries are conceptually const but fold the
+    /// stale slots lazily. Stale tracking is deliberately independent
+    /// of the user-facing dirty tracking above — hash() must not
+    /// disturb dirtyPages(), and clearDirty() must not desync the
+    /// digest.
+    /// @{
+    /** XOR of slotTerm() over all accounted slots, exact once the
+     *  stale set is folded. Empty memory digests to 0. */
+    mutable std::uint64_t tableDigest_ = 0;
+    /** Slots whose accounted contribution is stale (written since the
+     *  last syncDigest). */
+    mutable std::vector<std::uint32_t> staleList_;
+    /** The accounted (pre-write) contribution of each stale slot,
+     *  parallel to staleList_. */
+    mutable std::vector<std::uint64_t> staleOldTerm_;
+    mutable std::vector<bool> staleBitmap_;
+    /// @}
 };
 
 } // namespace dp

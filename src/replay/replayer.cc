@@ -57,10 +57,24 @@ Replayer::replayParallel(unsigned host_threads) const
     host_threads = std::max(1u, host_threads);
 
     const auto n = static_cast<std::uint32_t>(rec_->epochs.size());
+    if (n == 0) {
+        // Empty recording: the verdict is the initial state's digest
+        // against finalStateHash, same as sequential replay.
+        Machine m(rec_->program(), rec_->config());
+        res.ok = m.stateHash() == rec_->finalStateHash;
+        res.stdoutBytes = m.stdoutBytes();
+        return res;
+    }
     std::vector<std::uint8_t> ok(n, 0);
     std::vector<Cycles> cycles(n, 0);
     std::vector<std::uint64_t> instrs(n, 0);
     std::atomic<std::uint32_t> next{0};
+    // The last epoch's end machine holds the run's complete final
+    // state (each checkpoint carries the stdout written so far), so
+    // the worker that replays it reconstructs the whole-run verdict
+    // material; exactly one worker claims that index.
+    std::uint64_t final_hash = 0;
+    std::vector<std::uint8_t> final_stdout;
 
     auto worker = [&](std::uint32_t track) {
         for (;;) {
@@ -74,6 +88,10 @@ Replayer::replayParallel(unsigned host_threads) const
                 rec_->program(), rec_->config());
             ok[i] = replayEpochOn(m, rec_->epochs[i], cycles[i],
                                   instrs[i]);
+            if (i == n - 1) {
+                final_hash = m.stateHash();
+                final_stdout = m.stdoutBytes();
+            }
         }
     };
 
@@ -102,7 +120,12 @@ Replayer::replayParallel(unsigned host_threads) const
             res.firstFailedEpoch = i;
         }
     }
-    res.ok = res.epochsVerified == n;
+    // Same verdict contract as replaySequential: every epoch digest
+    // must verify AND the final state must match the recording's
+    // finalStateHash — a tampered trailer fails --parallel too.
+    res.ok = res.epochsVerified == n &&
+             final_hash == rec_->finalStateHash;
+    res.stdoutBytes = std::move(final_stdout);
     return res;
 }
 

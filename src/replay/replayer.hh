@@ -39,7 +39,9 @@ struct ReplayResult
      *  makespan over the worker pool). */
     Cycles replayCycles = 0;
     std::uint64_t instrs = 0;
-    /** Reproduced stdout (sequential replay only). */
+    /** Reproduced whole-run stdout (sequential replay accumulates
+     *  it; parallel replay reconstructs it from the last epoch's end
+     *  state, which carries everything written before it). */
     std::vector<std::uint8_t> stdoutBytes;
 };
 

@@ -16,7 +16,9 @@ metricsSnapshot(const Recording &rec, const MetricsOptions &opts)
     // from the epoch records (epochs, rollbacks, checkpointPages);
     // the timing sums are recomputed here so a snapshot of a loaded
     // artifact matches one taken from the live recording. tpInstrs
-    // and the fault counters are in-process only: zero on artifacts.
+    // is reconstructed for journals (the epoch frames persist it) but
+    // is zero on monolithic artifacts; the fault counters are
+    // in-process only.
     std::uint64_t ep_instrs = 0;
     std::uint64_t tp_cycles = 0;
     std::uint64_t ep_cycles = 0;

@@ -21,10 +21,66 @@
 #error "DP_BENCH_MICRO_BIN must point at the bench_micro binary"
 #endif
 
+#ifndef DP_BENCH_CKPT_BIN
+#error "DP_BENCH_CKPT_BIN must point at the bench_ckpt_cost binary"
+#endif
+
 namespace dp
 {
 namespace
 {
+
+/** Parse @p path and validate the shared dp-bench-v1 row fields. */
+JsonValue
+loadBenchJson(const std::string &path, const std::string &bench)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path << " was not written";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    in.close();
+
+    std::string err;
+    std::optional<JsonValue> doc = JsonValue::parse(ss.str(), &err);
+    EXPECT_TRUE(doc.has_value()) << err;
+    if (!doc)
+        return JsonValue::object();
+    EXPECT_TRUE(doc->isObject());
+
+    const JsonValue *schema = doc->find("schema");
+    EXPECT_NE(schema, nullptr);
+    if (schema)
+        EXPECT_EQ(schema->asString(), "dp-bench-v1");
+    const JsonValue *name = doc->find("bench");
+    EXPECT_NE(name, nullptr);
+    if (name)
+        EXPECT_EQ(name->asString(), bench);
+
+    const JsonValue *rows = doc->find("rows");
+    EXPECT_NE(rows, nullptr);
+    if (!rows || !rows->isArray() || rows->items().empty()) {
+        ADD_FAILURE() << path << " has no rows";
+        return JsonValue::object();
+    }
+    for (const JsonValue &row : rows->items()) {
+        const JsonValue *fields[] = {
+            row.find("name"),     row.find("workload"),
+            row.find("workers"),  row.find("overhead"),
+            row.find("logBytes"), row.find("epochs"),
+        };
+        for (const JsonValue *f : fields) {
+            EXPECT_NE(f, nullptr) << "missing dp-bench-v1 field";
+            if (!f)
+                return JsonValue::object();
+        }
+        EXPECT_FALSE(row.find("name")->asString().empty());
+        EXPECT_FALSE(row.find("workload")->asString().empty());
+        EXPECT_GT(row.find("workers")->asNumber(), 0.0);
+        EXPECT_GT(row.find("logBytes")->asNumber(), 0.0);
+        EXPECT_GT(row.find("epochs")->asNumber(), 0.0);
+    }
+    return *std::move(doc);
+}
 
 TEST(BenchSmoke, MicroEmitsSchemaValidJson)
 {
@@ -80,6 +136,41 @@ TEST(BenchSmoke, MicroEmitsSchemaValidJson)
         EXPECT_GT(log_bytes->asNumber(), 0.0);
         EXPECT_GT(epochs->asNumber(), 0.0);
     }
+
+    std::remove(path.c_str());
+    rmdir(dir.c_str());
+}
+
+TEST(BenchSmoke, CkptCostEmitsSchemaValidJson)
+{
+    char tmpl[] = "/tmp/dp-bench-smoke-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    const std::string dir = tmpl;
+    const std::string path = dir + "/BENCH_ckpt_cost.json";
+
+    const std::string cmd = "DP_BENCH_JSON_DIR=" + dir + " " +
+                            DP_BENCH_CKPT_BIN " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    JsonValue doc = loadBenchJson(path, "ckpt_cost");
+    const JsonValue *rows = doc.find("rows");
+    ASSERT_NE(rows, nullptr);
+
+    // The sweep must include the sparse-dirty/large-footprint config
+    // the incremental digest exists for, and the O(resident) rehash
+    // must be decisively slower there (overhead = slowdown - 1, so
+    // >= 4 means a >= 5x speedup). The ratio is host-timing based but
+    // the asymmetry is ~1000x at this shape — 5x is a loose floor.
+    bool saw_sparse = false;
+    for (const JsonValue &row : rows->items()) {
+        if (row.find("name")->asString() != "resident16384/dirty16")
+            continue;
+        saw_sparse = true;
+        EXPECT_GE(row.find("overhead")->asNumber(), 4.0)
+            << "incremental digest lost its O(dirty) advantage";
+    }
+    EXPECT_TRUE(saw_sparse)
+        << "sweep no longer covers the sparse-dirty config";
 
     std::remove(path.c_str());
     rmdir(dir.c_str());

@@ -203,6 +203,40 @@ TEST(Corruption, RandomFlipsLoadInProcessWithStructuredErrors)
     SUCCEED() << rejected << " rejected, " << parsed << " parsed";
 }
 
+TEST(Corruption, ParallelAndSequentialAgreeOnCorruptFinalHash)
+{
+    // Regression guard: parallel replay used to skip the
+    // finalStateHash check entirely (it verified per-epoch digests
+    // only), so a corrupted final hash failed sequential replay but
+    // silently verified in parallel. Both modes must return the same
+    // verdict on the same artifact.
+    GuestProgram prog = testprogs::lockedCounter(2, 200);
+    RecorderOptions opts;
+    opts.epochLength = 15'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    ASSERT_TRUE(out.recording.hasCheckpoints());
+
+    {
+        Replayer rep(out.recording);
+        ReplayResult seq = rep.replaySequential();
+        ReplayResult par = rep.replayParallel(2);
+        EXPECT_TRUE(seq.ok);
+        EXPECT_TRUE(par.ok);
+        EXPECT_EQ(seq.stdoutBytes, par.stdoutBytes)
+            << "parallel replay must reconstruct the same output";
+    }
+
+    out.recording.finalStateHash ^= 0x1ull << 17;
+    Replayer rep(out.recording);
+    ReplayResult seq = rep.replaySequential();
+    ReplayResult par = rep.replayParallel(2);
+    EXPECT_FALSE(seq.ok);
+    EXPECT_FALSE(par.ok)
+        << "parallel replay ignored the corrupted finalStateHash";
+}
+
 TEST(Corruption, CrossRecordingSplicesFail)
 {
     // Epochs from a different execution must not verify.

@@ -15,6 +15,7 @@
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "testprogs.hh"
+#include "trace/metrics.hh"
 
 namespace dp
 {
@@ -38,6 +39,7 @@ struct JournaledRun
     std::vector<std::uint8_t> journal;
     std::vector<std::size_t> frameEnds;
     std::size_t epochs = 0;
+    RecorderStats stats;
 };
 
 JournaledRun
@@ -57,7 +59,8 @@ recordJournaled(const GuestProgram &prog, const RecorderOptions &opts,
     if (writer_alive)
         *writer_alive = jw.alive();
     return {serializeRecording(out.recording), jw.bytes(),
-            jw.frameEnds(), out.recording.epochs.size()};
+            jw.frameEnds(), out.recording.epochs.size(),
+            out.recording.stats};
 }
 
 /** Recover @p image and finish the session from its prefix. */
@@ -387,6 +390,57 @@ TEST(JournalResume, ResumedSessionKeepsCheckpointsForParallelReplay)
     ASSERT_TRUE(out.recording.hasCheckpoints());
     ReplayResult par = Replayer(out.recording).replayParallel(2);
     EXPECT_TRUE(par.ok);
+}
+
+TEST(JournalResume, RecoveredAndResumedStatsMatchTheFreshSession)
+{
+    // Regression guard: epoch frames once dropped tpInstrs, so a
+    // crash-recovered (or resumed) session under-reported the
+    // thread-parallel instruction count forever after. Every
+    // reconstructible counter must survive the journal round trip.
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun run = recordJournaled(prog, opts);
+    ASSERT_GE(run.epochs, 3u);
+    ASSERT_GT(run.stats.tpInstrs, 0u);
+
+    auto expect_stats_eq = [&](const RecorderStats &got,
+                               const char *what) {
+        EXPECT_EQ(got.epochs, run.stats.epochs) << what;
+        EXPECT_EQ(got.rollbacks, run.stats.rollbacks) << what;
+        EXPECT_EQ(got.checkpointPages, run.stats.checkpointPages)
+            << what;
+        EXPECT_EQ(got.tpInstrs, run.stats.tpInstrs) << what;
+        EXPECT_EQ(got.epInstrs, run.stats.epInstrs) << what;
+        EXPECT_EQ(got.tpTotalCycles, run.stats.tpTotalCycles) << what;
+        EXPECT_EQ(got.epTotalCycles, run.stats.epTotalCycles) << what;
+    };
+
+    // Full recovery reconstructs the counters exactly.
+    RecoveredJournal rj = recoverJournal(run.journal);
+    ASSERT_TRUE(rj.report.clean());
+    expect_stats_eq(rj.recording->stats, "recovered");
+
+    // A session resumed from a mid-journal prefix finishes with the
+    // same stats as the uninterrupted run — including tpInstrs for
+    // the epochs it did not itself execute.
+    std::size_t mid = run.frameEnds[run.frameEnds.size() / 2];
+    RecoveredJournal half =
+        recoverJournal(std::span(run.journal).first(mid));
+    ASSERT_TRUE(half.report.headerOk);
+    ASSERT_LT(half.recording->epochs.size(), run.epochs);
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.resume(std::move(half.recording->epochs));
+    ASSERT_TRUE(out.ok);
+    expect_stats_eq(out.recording.stats, "resumed");
+
+    // And the user-facing view agrees: the metrics snapshot of the
+    // resumed session is byte-identical to the fresh session's.
+    UniparallelRecorder fresh_rec(prog, {}, opts);
+    RecordOutcome fresh = fresh_rec.record();
+    ASSERT_TRUE(fresh.ok);
+    EXPECT_EQ(metricsSnapshot(out.recording, {}).dump(),
+              metricsSnapshot(fresh.recording, {}).dump());
 }
 
 TEST(JournalHeader, FingerprintCoversByteShapingOptionsOnly)

@@ -204,5 +204,92 @@ TEST(PagedMemory, MemoryLimitIsEnforced)
     EXPECT_DEATH(mem.write64(4 * Page::bytes, 1), "memory limit");
 }
 
+TEST(PagedMemory, DirtyTrackingSurvivesRestoreThenTableGrowth)
+{
+    // Regression guard for the once-duplicated growth path in
+    // writablePage: after restore() shrinks the bookkeeping to the
+    // snapshot's table size, a write far beyond it must grow every
+    // parallel structure consistently and still be tracked as dirty.
+    PagedMemory mem;
+    mem.write64(0, 1);
+    MemSnapshot snap = mem.snapshot();
+    mem.write64(40 * Page::bytes, 2); // grow well past the snapshot
+    mem.restore(snap);                // table back to 1 entry
+    EXPECT_TRUE(mem.dirtyPages().empty());
+
+    mem.write64(100 * Page::bytes, 3); // regrow, different size
+    ASSERT_EQ(mem.dirtyPages().size(), 1u);
+    EXPECT_EQ(mem.dirtyPages()[0], 100u);
+    EXPECT_EQ(mem.read64(100 * Page::bytes), 3u);
+    EXPECT_EQ(mem.read64(40 * Page::bytes), 0u);
+    EXPECT_EQ(mem.hash(), mem.referenceHash());
+}
+
+TEST(PagedMemory, IncrementalHashMatchesReferenceRecompute)
+{
+    PagedMemory mem;
+    EXPECT_EQ(mem.hash(), 0u) << "empty memory digests to 0";
+    EXPECT_EQ(mem.referenceHash(), 0u);
+
+    for (int i = 0; i < 200; ++i)
+        mem.write64((i % 32) * Page::bytes + i * 8 % Page::bytes,
+                    i * 0x9e37u + 1);
+    EXPECT_EQ(mem.hash(), mem.referenceHash());
+
+    // Overwrite after a digest query: the memoized old term must be
+    // retired correctly.
+    mem.write64(3 * Page::bytes, 0xfeedu);
+    EXPECT_EQ(mem.hash(), mem.referenceHash());
+}
+
+TEST(PagedMemory, HashIsStableAcrossSnapshotRestore)
+{
+    PagedMemory mem;
+    for (std::size_t pg = 0; pg < 16; ++pg)
+        mem.write64(pg * Page::bytes, pg + 100);
+    const std::uint64_t before = mem.hash();
+
+    MemSnapshot snap = mem.snapshot();
+    EXPECT_EQ(snap.hash(), before);
+
+    mem.write64(7 * Page::bytes, 0); // zero a page: digest changes
+    EXPECT_NE(mem.hash(), before);
+    EXPECT_EQ(mem.hash(), mem.referenceHash());
+
+    mem.restore(snap);
+    EXPECT_EQ(mem.hash(), before) << "restore adopts the snapshot digest";
+    EXPECT_EQ(mem.referenceHash(), before);
+}
+
+TEST(PagedMemory, ClearDirtyDoesNotDesyncDigest)
+{
+    PagedMemory mem;
+    mem.write64(0, 1);
+    mem.clearDirty(); // drops dirty tracking, not digest staleness
+    mem.write64(Page::bytes, 2);
+    EXPECT_EQ(mem.hash(), mem.referenceHash());
+    EXPECT_EQ(mem.dirtyPages().size(), 1u);
+}
+
+TEST(PagedMemory, SharedPageWriteAfterDigestQueryStaysCoherent)
+{
+    // A page can become shared *between* a digest query and the next
+    // write (Machine copies share pages CoW); the write must clone it
+    // and both digests must stay exact.
+    PagedMemory a;
+    a.write64(0, 11);
+    (void)a.hash();
+    MemSnapshot snap = a.snapshot();
+    PagedMemory b;
+    b.restore(snap);
+
+    a.write64(0, 22);
+    EXPECT_EQ(b.read64(0), 11u);
+    EXPECT_EQ(a.hash(), a.referenceHash());
+    EXPECT_EQ(b.hash(), b.referenceHash());
+    EXPECT_EQ(b.hash(), snap.hash());
+    EXPECT_NE(a.hash(), b.hash());
+}
+
 } // namespace
 } // namespace dp

@@ -200,6 +200,106 @@ TEST_P(RandomProgramsUnderFaults, SurvivingRecordingsReplayExactly)
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomProgramsUnderFaults,
                          ::testing::Range<std::uint64_t>(300, 316));
 
+/**
+ * The incremental digest must equal the from-scratch recompute after
+ * any interleaving of writes, snapshots, restores, dirty-tracking
+ * resets and diffs. referenceHash() is an independent computation
+ * path (it rehashes every resident page's bytes, bypassing both the
+ * memo and the running XOR), so equality here is a real oracle.
+ */
+class IncrementalDigestProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(IncrementalDigestProperty, MatchesReferenceUnderRandomOps)
+{
+    Rng rng(GetParam() * 0x2545f4914f6cdd1dull + 11);
+    PagedMemory mem;
+    std::vector<MemSnapshot> snaps;
+    constexpr std::uint64_t kPageSpan = 96; // keep footprints modest
+
+    auto random_addr = [&] {
+        return rng.below(kPageSpan) * Page::bytes +
+               rng.below(Page::bytes);
+    };
+
+    for (int op = 0; op < 400; ++op) {
+        switch (rng.below(10)) {
+        case 0: case 1: case 2: case 3: // scalar writes dominate
+            mem.write64(random_addr(), rng.next());
+            break;
+        case 4:
+            mem.write8(random_addr(),
+                       static_cast<std::uint8_t>(rng.next()));
+            break;
+        case 5: { // bulk write, possibly page-crossing
+            std::vector<std::uint8_t> buf(rng.range(1, 3 * Page::bytes));
+            for (auto &b : buf)
+                b = static_cast<std::uint8_t>(rng.next());
+            mem.writeBytes(random_addr(), buf);
+            break;
+        }
+        case 6: // zero a whole page: must digest like absent
+            for (std::size_t i = 0; i < Page::bytes; i += 8)
+                mem.write64(rng.below(kPageSpan) * Page::bytes + i, 0);
+            break;
+        case 7:
+            snaps.push_back(mem.snapshot());
+            EXPECT_EQ(snaps.back().hash(), mem.referenceHash())
+                << "seed " << GetParam() << " op " << op;
+            break;
+        case 8:
+            if (!snaps.empty()) {
+                const MemSnapshot &s =
+                    snaps[rng.below(snaps.size())];
+                EXPECT_GE(mem.diffPages(s).size(), 0u);
+                mem.restore(s);
+                EXPECT_TRUE(mem.dirtyPages().empty());
+                EXPECT_EQ(mem.hash(), s.hash())
+                    << "seed " << GetParam() << " op " << op;
+            }
+            break;
+        case 9:
+            mem.clearDirty();
+            break;
+        }
+        if (op % 7 == 0) // query mid-stream: memo + fold paths
+            (void)mem.hash();
+        EXPECT_EQ(mem.hash(), mem.referenceHash())
+            << "seed " << GetParam() << " op " << op;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IncrementalDigestProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(IncrementalDigestProperty, TornCaptureRetryLoopStaysCoherent)
+{
+    // The recorder's torn-capture recovery path: captureTorn yields a
+    // checkpoint whose digest disagrees with the machine; detection
+    // (consistentWith) and recapture must leave the incremental digest
+    // exact, and the recaptured checkpoint must restore byte- and
+    // digest-identically.
+    GuestProgram prog =
+        testprogs::randomProgram(42, {.allowRaces = false});
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner r(m, os, {}, {});
+    EXPECT_NE(r.run(), StopReason::Deadlock);
+
+    for (std::uint64_t salt = 1; salt <= 4; ++salt) {
+        Checkpoint torn = Checkpoint::captureTorn(m, salt);
+        EXPECT_FALSE(torn.consistentWith(m)) << "salt " << salt;
+        EXPECT_EQ(m.mem.hash(), m.mem.referenceHash());
+        Checkpoint good = Checkpoint::capture(m);
+        ASSERT_TRUE(good.consistentWith(m)) << "salt " << salt;
+
+        Machine other = good.materialize(prog, {});
+        EXPECT_EQ(other.stateHash(), good.stateHash());
+        EXPECT_EQ(other.mem.hash(), other.mem.referenceHash());
+    }
+}
+
 TEST(RandomPrograms, UniprocessorExecutionIsDeterministic)
 {
     for (std::uint64_t seed = 200; seed < 208; ++seed) {
