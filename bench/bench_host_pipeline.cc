@@ -1,19 +1,30 @@
 /**
  * @file
- * E12 (extension) — host-parallel record pipeline.
+ * E12 (extension) — host execution engine behind the record pipeline.
  *
- * Beyond the paper's evaluation: the recorder can execute the
- * epoch-parallel runs on real host threads concurrently with the
- * thread-parallel run, the way a deployment would. Recordings are
- * byte-identical to the synchronous reference mode (tested in
- * parallel_record_test); this bench shows the wall-clock overlap the
- * pipeline buys on this machine and verifies result equivalence.
+ * Beyond the paper's evaluation: record and replay now share one
+ * persistent worker-pool design (src/exec). This bench measures the
+ * two wall-clock effects that engine exists for:
+ *
+ *   1. Record: epoch-parallel runs execute as pool tasks overlapping
+ *      the thread-parallel run. Sweep hostWorkers {0, 2, 4}; the
+ *      artifact stays byte-identical (verified here per run and
+ *      pinned in exec_test/parallel_record_test).
+ *   2. Replay: replayParallel fans out on a persistent pool, so
+ *      repeated replays (the live-replica shape) stop paying a
+ *      thread-spawn tax per call. Compare pool reuse against a fresh
+ *      pool per call.
+ *
+ * JSON rows (dp-bench-v1): `overhead` holds speedup-1 relative to the
+ * row's baseline (hostWorkers=0 / fresh-pool); `logBytes` holds the
+ * measured wall-clock in microseconds.
  */
 
 #include <chrono>
 
 #include "bench_common.hh"
 #include "replay/recording_io.hh"
+#include "replay/replayer.hh"
 
 using namespace dp;
 using namespace dp::bench;
@@ -21,11 +32,23 @@ using namespace dp::bench;
 namespace
 {
 
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
 struct HostRun
 {
     double wallMs = 0.0;
     bool ok = false;
     std::uint64_t artifactHash = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t threadsSpawned = 0;
 };
 
 HostRun
@@ -37,18 +60,19 @@ recordHost(const workloads::WorkloadBundle &b, unsigned host_workers)
     opts.hostWorkers = host_workers;
     opts.keepCheckpoints = false;
 
-    auto t0 = std::chrono::steady_clock::now();
+    auto t0 = Clock::now();
     UniparallelRecorder rec(b.program, b.config, opts);
     RecordOutcome out = rec.record();
-    auto t1 = std::chrono::steady_clock::now();
 
     HostRun r;
-    r.wallMs =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.wallMs = msSince(t0);
     r.ok = out.ok;
-    if (out.ok)
+    if (out.ok) {
         r.artifactHash =
             fastHash64(serializeRecording(out.recording));
+        r.epochs = out.recording.epochs.size();
+        r.threadsSpawned = out.execStats.threadsSpawned;
+    }
     return r;
 }
 
@@ -58,32 +82,115 @@ int
 main()
 {
     banner("E12 (extension: host pipeline)",
-           "wall-clock record time, synchronous vs host-parallel "
-           "epoch execution",
-           "[extension] beyond the paper's eval; recordings are "
-           "byte-identical across modes");
+           "record wall-clock across host pool sizes; parallel-replay "
+           "pool reuse vs per-call spawn",
+           "[extension] beyond the paper's eval; artifacts are "
+           "byte-identical across every pool shape");
 
-    Table t({"benchmark", "sync ms", "2-worker ms", "speedup",
-             "identical"});
+    std::vector<BenchResult> rows;
 
+    // --- record sweep: hostWorkers 0 / 2 / 4 ----------------------
+    Table t({"benchmark", "sync ms", "2-worker ms", "4-worker ms",
+             "best speedup", "identical"});
     for (const char *name : {"pbzip2", "mysql", "fft", "ocean"}) {
         const workloads::Workload *w = workloads::findWorkload(name);
         workloads::WorkloadBundle b =
             w->make({.threads = 2, .scale = 24});
-        HostRun sync_run = recordHost(b, 0);
-        HostRun par_run = recordHost(b, 2);
-        if (!sync_run.ok || !par_run.ok) {
+        const HostRun sync_run = recordHost(b, 0);
+        const HostRun w2 = recordHost(b, 2);
+        const HostRun w4 = recordHost(b, 4);
+        if (!sync_run.ok || !w2.ok || !w4.ok) {
             std::cerr << "record failed for " << name << "\n";
             return 1;
         }
+        const bool identical =
+            sync_run.artifactHash == w2.artifactHash &&
+            sync_run.artifactHash == w4.artifactHash;
+        const double best = std::min(w2.wallMs, w4.wallMs);
         t.addRow({name, Table::num(sync_run.wallMs, 1),
-                  Table::num(par_run.wallMs, 1),
-                  Table::num(sync_run.wallMs / par_run.wallMs, 2) +
-                      "x",
-                  sync_run.artifactHash == par_run.artifactHash
-                      ? "yes"
-                      : "NO"});
+                  Table::num(w2.wallMs, 1), Table::num(w4.wallMs, 1),
+                  Table::num(sync_run.wallMs / best, 2) + "x",
+                  identical ? "yes" : "NO"});
+        if (!identical) {
+            std::cerr << "artifact divergence for " << name << "\n";
+            return 1;
+        }
+        for (const HostRun *r : {&sync_run, &w2, &w4}) {
+            BenchResult row;
+            row.name = std::string("record:") + name + "@w" +
+                       std::to_string(r->threadsSpawned);
+            row.workload = name;
+            row.workers =
+                static_cast<std::uint32_t>(r->threadsSpawned);
+            row.overhead =
+                r->wallMs > 0 ? sync_run.wallMs / r->wallMs - 1.0
+                              : 0.0;
+            row.logBytes =
+                static_cast<std::uint64_t>(r->wallMs * 1000.0);
+            row.epochs = r->epochs;
+            rows.push_back(row);
+        }
     }
     t.print(std::cout);
-    return 0;
+
+    // --- replay: persistent pool vs fresh pool per call -----------
+    const workloads::Workload *w = workloads::findWorkload("fft");
+    workloads::WorkloadBundle b = w->make({.threads = 2, .scale = 24});
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 150'000;
+    UniparallelRecorder rec(b.program, b.config, opts);
+    RecordOutcome out = rec.record();
+    if (!out.ok) {
+        std::cerr << "record failed for replay bench\n";
+        return 1;
+    }
+    const unsigned tracks = 4;
+    constexpr int iters = 20;
+
+    auto t0 = Clock::now();
+    {
+        Replayer reuse(out.recording); // pool persists across calls
+        for (int i = 0; i < iters; ++i)
+            if (!reuse.replayParallel(tracks).ok) {
+                std::cerr << "replay verdict flipped (reuse)\n";
+                return 1;
+            }
+    }
+    const double reuse_ms = msSince(t0);
+
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        Replayer fresh(out.recording); // pool torn down every call
+        if (!fresh.replayParallel(tracks).ok) {
+            std::cerr << "replay verdict flipped (fresh)\n";
+            return 1;
+        }
+    }
+    const double fresh_ms = msSince(t0);
+
+    Table rt({"replay mode", "total ms (" + std::to_string(iters) +
+                                 " calls)",
+              "per call ms"});
+    rt.addRow({"persistent pool", Table::num(reuse_ms, 1),
+               Table::num(reuse_ms / iters, 2)});
+    rt.addRow({"fresh pool/call", Table::num(fresh_ms, 1),
+               Table::num(fresh_ms / iters, 2)});
+    rt.print(std::cout);
+
+    for (const auto &[label, ms, base] :
+         {std::tuple<const char *, double, double>{
+              "replay:reuse", reuse_ms, fresh_ms},
+          {"replay:spawn", fresh_ms, fresh_ms}}) {
+        BenchResult row;
+        row.name = label;
+        row.workload = "fft";
+        row.workers = tracks;
+        row.overhead = ms > 0 ? base / ms - 1.0 : 0.0;
+        row.logBytes = static_cast<std::uint64_t>(ms * 1000.0);
+        row.epochs = out.recording.epochs.size();
+        rows.push_back(row);
+    }
+
+    return emitBenchJson("host_pipeline", rows) ? 0 : 1;
 }

@@ -1,7 +1,7 @@
 #include "core/recorder.hh"
 
+#include <algorithm>
 #include <deque>
-#include <future>
 #include <memory>
 
 #include "common/bytes.hh"
@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "core/epoch_replay.hh"
 #include "core/epoch_runner.hh"
+#include "exec/executor.hh"
 #include "os/multicpu_sim.hh"
 #include "os/simos.hh"
 #include "trace/trace.hh"
@@ -138,7 +139,6 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
                                 std::vector<EpochRecord> *prefix)
 {
     RecordOutcome out{Recording(*prog_, cfg_)};
-    Recording &rec = out.recording;
 
     out.optionError = validateRecorderOptions(opts_);
     if (out.optionError != OptionError::None) {
@@ -148,8 +148,31 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         return out;
     }
 
-    // Observability sink; nullptr (the default) short-circuits every
-    // emit to a pointer test. Nothing is ever read back from it.
+    // The session's host execution engine: every epoch-parallel run
+    // executes as a task on this one persistent pool. hostWorkers == 0
+    // spawns nothing and runs tasks inline on this thread (the
+    // synchronous reference mode); both modes produce byte-identical
+    // recordings. Capacity covers a full window plus one recovery
+    // re-execution, so the recorder itself never blocks on the queue.
+    Executor exec(opts_.hostWorkers,
+                  {.queueCapacity = std::size_t{opts_.maxInFlight} + 1,
+                   .trace = opts_.trace});
+    // The pipeline body below returns through this wrapper so the
+    // pool's counters land in the outcome on every exit path.
+    runPipeline(out, exec, observer, prefix);
+    // Future-waits only cover task results; drain() is the pool's
+    // quiescence point (trace emits and counter tallies included).
+    exec.drain();
+    out.execStats = exec.stats();
+    return out;
+}
+
+void
+UniparallelRecorder::runPipeline(RecordOutcome &out, Executor &exec,
+                                 const RecordObserver *observer,
+                                 std::vector<EpochRecord> *prefix)
+{
+    Recording &rec = out.recording;
     TraceRecorder *const tr = opts_.trace;
 
     Machine m(*prog_, cfg_);
@@ -282,7 +305,7 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
                 out.prefixVerifyFailed = true;
                 out.tpReason = StopReason::Stalled;
                 rec.checkpoints.clear();
-                return out;
+                return;
             }
             // The tp clock telescopes across committed epochs (a
             // rollback resumes it at the diverged boundary), so the
@@ -306,20 +329,20 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
             Checkpoint final_state;
             if (!capture_boundary(m, final_state, tp_next_index)) {
                 out.tpReason = StopReason::Stalled;
-                return out;
+                return;
             }
             rec.finalStateHash = final_state.stateHash();
             out.ok = true;
             if (!m.threads.empty())
                 out.mainExitCode = m.threads[0].exitCode;
-            return out;
+            return;
         }
     }
 
     Checkpoint current;
     if (!capture_boundary(m, current, tp_next_index)) {
         out.tpReason = StopReason::Stalled;
-        return out;
+        return;
     }
 
     // Advance the thread-parallel run by one epoch: run to the next
@@ -403,6 +426,22 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         return res;
     };
 
+    // Run one epoch through the executor and wait for the result.
+    // Used where the pipeline needs the answer before it can proceed
+    // (the synchronous reference mode and recovery re-executions):
+    // the work still flows through the pool, so host-thread
+    // accounting stays uniform across modes. With hostWorkers == 0
+    // the submit degenerates to a plain call on this thread.
+    auto run_epoch_task = [&](const Checkpoint &start,
+                              const TpEpoch &tp,
+                              std::uint32_t slot) -> EpochRunResult {
+        return exec
+            .submit([&run_epoch, &start, &tp,
+                     slot] { return run_epoch(start, tp, slot); },
+                    {.label = "epoch-run"})
+            .get();
+    };
+
     // Accept an epoch-parallel result at delivery time, injecting
     // worker deaths per the fault plan. A death discards the delivered
     // result; the epoch is re-executed (EpochRetry) up to
@@ -410,8 +449,10 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
     // execution (SequentialFallback) that is shielded from further
     // death faults. Decisions are made on the retiring thread in
     // commit order, so the stream is deterministic in both pipeline
-    // modes. Re-execution is deterministic, so the recording is
-    // byte-identical with or without the deaths.
+    // modes; re-executions run as fresh pool tasks (the "dead" worker
+    // is gone — a live one picks the retry up). Re-execution is
+    // deterministic, so the recording is byte-identical with or
+    // without the deaths.
     auto deliver_epoch = [&](const Checkpoint &start,
                              const TpEpoch &tp, std::uint32_t slot,
                              EpochRunResult er) -> EpochRunResult {
@@ -426,12 +467,12 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
                 ++retries;
                 ++rec.stats.epochRetries;
                 notify_recovery(RecoveryKind::EpochRetry, index);
-                er = run_epoch(start, tp, slot);
+                er = run_epoch_task(start, tp, slot);
                 continue;
             }
             ++rec.stats.seqFallbacks;
             notify_recovery(RecoveryKind::SequentialFallback, index);
-            er = run_epoch(start, tp, slot);
+            er = run_epoch_task(start, tp, slot);
             break;
         }
         return er;
@@ -535,29 +576,29 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
             if (rec.epochs.size() >= opts_.maxEpochs) {
                 dp_warn("recorder hit the epoch fuse");
                 out.tpReason = StopReason::FuelExhausted;
-                return out;
+                return;
             }
             TpEpoch tp = run_tp_epoch();
             if (tp.reason == StopReason::Deadlock ||
                 tp.reason == StopReason::FuelExhausted) {
                 dp_warn("thread-parallel run stopped: ",
                         stopReasonName(tp.reason));
-                return out;
+                return;
             }
             if (tp.captureFailed) {
                 out.tpReason = StopReason::Stalled;
-                return out;
+                return;
             }
             if (tp.empty)
                 break;
 
             EpochRunResult er = deliver_epoch(
-                current, tp, 0, run_epoch(current, tp, 0));
+                current, tp, 0, run_epoch_task(current, tp, 0));
             Checkpoint next = tp.next;
             const Cycles boundary_clock = next.capturedAt();
             if (commit_epoch(current, tp, er)) {
                 if (!rollback(er.end, boundary_clock))
-                    return out;
+                    return;
                 if (m.allExited())
                     break;
                 continue;
@@ -567,24 +608,45 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
                 break;
         }
         finish(current);
-        return out;
+        return;
     }
 
     // ---- host-parallel pipeline ----
-    // The tp run stays on this thread; epoch runs execute as async
-    // tasks. Results are validated strictly in order; a divergence
-    // squashes every younger in-flight epoch (their checkpoints came
-    // from the now-discarded speculation).
+    // The tp run stays on this thread; epoch runs execute as pool
+    // tasks on the session executor. Results are validated strictly
+    // in order; a divergence squashes every younger in-flight epoch
+    // (their checkpoints came from the now-discarded speculation):
+    // still-queued tasks are cancelled and never execute, already-
+    // running ones finish and are discarded.
     struct InFlight
     {
-        // Owns the start checkpoint the async task points into;
+        // Owns the start checkpoint the pool task points into;
         // deque never relocates elements.
         Checkpoint start;
         TpEpoch tp;
         std::uint32_t slot = 0; ///< window-slot trace track
-        std::future<EpochRunResult> fut;
+        CancellationSource cancel;
+        TaskFuture<EpochRunResult> fut;
     };
     std::deque<InFlight> window;
+    // Pool tasks read start/tp out of their deque entry, and — unlike
+    // the std::async futures this window used to hold — TaskFuture
+    // destructors never block. Any exit from the loop below must
+    // therefore squash-and-drain whatever is still in flight before
+    // `window` is destroyed; this guard makes that hold on every
+    // path.
+    struct WindowDrain
+    {
+        std::deque<InFlight> &w;
+        ~WindowDrain()
+        {
+            for (InFlight &j : w)
+                j.cancel.cancel();
+            for (InFlight &j : w)
+                if (j.fut.valid())
+                    j.fut.wait();
+        }
+    } window_drain{window};
     bool tp_done = false;
     bool tp_failed = false;
 
@@ -625,14 +687,14 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
                 static_cast<std::uint32_t>(launch_seq++ %
                                            max_in_flight);
             window.push_back({current, std::move(tp), slot,
-                              std::future<EpochRunResult>{}});
+                              CancellationSource{},
+                              TaskFuture<EpochRunResult>{}});
             InFlight &inf = window.back();
-            inf.fut = std::async(std::launch::async,
-                                 [&run_epoch, &inf] {
-                                     return run_epoch(inf.start,
-                                                      inf.tp,
-                                                      inf.slot);
-                                 });
+            inf.fut = exec.submit(
+                [&run_epoch, &inf] {
+                    return run_epoch(inf.start, inf.tp, inf.slot);
+                },
+                {.token = inf.cancel.token(), .label = "epoch-run"});
             current = inf.tp.next;
             if (tr)
                 tr->counter(TraceStage::ThreadParallel, "inFlight",
@@ -641,13 +703,15 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
 
         if (window.empty()) {
             if (tp_failed)
-                return out;
+                return;
             break;
         }
 
-        // Retire the oldest epoch. The async task reads start/tp out
+        // Retire the oldest epoch. The pool task reads start/tp out
         // of the deque slot, so the future must complete before the
-        // slot is moved from.
+        // slot is moved from. The front is never cancelled — only a
+        // squash cancels, and a squash empties the window — so get()
+        // always yields a result here.
         EpochRunResult er = window.front().fut.get();
         InFlight inf = std::move(window.front());
         window.pop_front();
@@ -659,11 +723,16 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         const Cycles boundary_clock = inf.tp.next.capturedAt();
         if (commit_epoch(inf.start, inf.tp, er)) {
             // Divergence: every younger speculation is invalid.
+            // Cancel first so queued-but-unstarted epochs never
+            // execute (the pool drops them), then wait out whichever
+            // ones a worker had already started.
+            for (InFlight &junk : window)
+                junk.cancel.cancel();
             for (InFlight &junk : window)
                 junk.fut.wait();
             window.clear();
             if (!rollback(er.end, boundary_clock))
-                return out;
+                return;
             tp_done = m.allExited();
             tp_failed = false;
             continue;
@@ -674,11 +743,10 @@ UniparallelRecorder::runSession(const RecordObserver *observer,
         if (rec.epochs.size() >= opts_.maxEpochs && !tp_done) {
             dp_warn("recorder hit the epoch fuse");
             out.tpReason = StopReason::FuelExhausted;
-            return out;
+            return;
         }
     }
     finish(current);
-    return out;
 }
 
 } // namespace dp

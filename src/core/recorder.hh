@@ -28,6 +28,7 @@
 #include <functional>
 
 #include "core/recording.hh"
+#include "exec/executor.hh"
 #include "fault/fault.hh"
 #include "os/machine.hh"
 #include "os/run_types.hh"
@@ -197,6 +198,14 @@ struct RecordOutcome
     /** resume() only: the recovered prefix failed replay verification
      *  (corrupt or mismatched journal); the session never started. */
     bool prefixVerifyFailed = false;
+    /**
+     * Host-execution counters of the session's worker pool. The
+     * no-thread-per-epoch contract lives here: threadsSpawned is
+     * exactly hostWorkers however many epochs ran, and
+     * tasksCancelled counts speculative epochs a divergence squashed
+     * before they ever executed.
+     */
+    ExecutorStats execStats = {};
 };
 
 /** Records a program with uniparallelism. */
@@ -234,6 +243,11 @@ class UniparallelRecorder
   private:
     RecordOutcome runSession(const RecordObserver *observer,
                              std::vector<EpochRecord> *prefix);
+    /** The pipeline body; runSession wraps it so @p exec's counters
+     *  land in the outcome on every exit path. */
+    void runPipeline(RecordOutcome &out, Executor &exec,
+                     const RecordObserver *observer,
+                     std::vector<EpochRecord> *prefix);
 
     const GuestProgram *prog_;
     MachineConfig cfg_;

@@ -1,0 +1,167 @@
+#include "exec/executor.hh"
+
+#include "common/logging.hh"
+#include "trace/trace.hh"
+
+namespace dp
+{
+
+const char *
+taskStateName(TaskState s)
+{
+    switch (s) {
+    case TaskState::Pending: return "pending";
+    case TaskState::Running: return "running";
+    case TaskState::Done: return "done";
+    case TaskState::Cancelled: return "cancelled";
+    case TaskState::Failed: return "failed";
+    }
+    return "?";
+}
+
+Executor::Executor(unsigned workers, ExecutorOptions opts)
+    : workers_(workers),
+      capacity_(opts.queueCapacity ? opts.queueCapacity : 1),
+      trace_(opts.trace)
+{
+    stats_.workers = workers_;
+    threads_.reserve(workers_);
+    for (unsigned i = 0; i < workers_; ++i) {
+        ++stats_.threadsSpawned;
+        threads_.emplace_back(&Executor::workerLoop, this, i);
+    }
+}
+
+Executor::~Executor()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    notEmpty_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+Executor::enqueue(std::function<TaskState(const TaskContext &)> run,
+                  std::function<void()> drop, const TaskOptions &opts)
+{
+    QueuedTask t{std::move(run), std::move(drop), opts.token,
+                 opts.label};
+    if (workers_ == 0) {
+        // Inline mode: the caller's thread is the pool. Counted like
+        // any other dispatch so the spawn/execution contract is
+        // checkable uniformly across modes.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.tasksSubmitted;
+            ++outstanding_;
+        }
+        dispatch(std::move(t), 0);
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    dp_assert(!stop_, "submit on a stopped executor");
+    if (queue_.size() >= capacity_) {
+        ++stats_.backpressureWaits;
+        notFull_.wait(lock,
+                      [&] { return queue_.size() < capacity_; });
+    }
+    ++stats_.tasksSubmitted;
+    ++outstanding_;
+    queue_.push_back(std::move(t));
+    stats_.peakQueueDepth =
+        std::max<std::uint64_t>(stats_.peakQueueDepth,
+                                queue_.size());
+    lock.unlock();
+    notEmpty_.notify_one();
+}
+
+void
+Executor::dispatch(QueuedTask t, unsigned worker)
+{
+    TaskState outcome;
+    if (t.token.cancelled()) {
+        t.drop();
+        outcome = TaskState::Cancelled;
+        if (trace_)
+            trace_->instant(TraceStage::Exec, worker, "task-squash",
+                            "exec");
+    } else {
+        ScopedTraceSpan span(trace_, TraceStage::Exec, worker,
+                             t.label, "exec");
+        outcome = t.run(TaskContext{worker});
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (outcome == TaskState::Cancelled)
+            ++stats_.tasksCancelled;
+        else
+            ++stats_.tasksExecuted;
+        if (outcome == TaskState::Failed)
+            ++stats_.tasksFailed;
+        --outstanding_;
+    }
+    idle_.notify_all();
+}
+
+void
+Executor::workerLoop(unsigned index)
+{
+    if (trace_)
+        trace_->instant(TraceStage::Exec, index, "worker-start",
+                        "exec");
+    for (;;) {
+        QueuedTask t;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notEmpty_.wait(
+                lock, [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                break; // stop_ and nothing left to do
+            t = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        notFull_.notify_one();
+        dispatch(std::move(t), index);
+    }
+    if (trace_)
+        trace_->instant(TraceStage::Exec, index, "worker-exit",
+                        "exec");
+}
+
+void
+Executor::drain() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+ExecutorStats
+Executor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+JsonValue
+Executor::metricsSnapshot() const
+{
+    const ExecutorStats st = stats();
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue::str("dp-exec-v1"));
+    doc.set("workers", JsonValue::number(st.workers));
+    doc.set("threadsSpawned", JsonValue::number(st.threadsSpawned));
+    doc.set("tasksSubmitted", JsonValue::number(st.tasksSubmitted));
+    doc.set("tasksExecuted", JsonValue::number(st.tasksExecuted));
+    doc.set("tasksCancelled", JsonValue::number(st.tasksCancelled));
+    doc.set("tasksFailed", JsonValue::number(st.tasksFailed));
+    doc.set("peakQueueDepth", JsonValue::number(st.peakQueueDepth));
+    doc.set("backpressureWaits",
+            JsonValue::number(st.backpressureWaits));
+    return doc;
+}
+
+} // namespace dp

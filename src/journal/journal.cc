@@ -73,12 +73,44 @@ JournalWriter::JournalWriter(std::vector<std::uint8_t> valid_prefix,
 
 JournalWriter::~JournalWriter()
 {
+    // Drain and join the committer before the file closes: every
+    // append handed off before destruction lands on disk.
+    committer_.reset();
     if (file_)
         std::fclose(file_);
 }
 
 void
+JournalWriter::enableAsyncCommit()
+{
+    if (committer_)
+        return;
+    // One worker keeps commits FIFO — the crash guarantee *is* the
+    // ordering. Capacity 2 is the bounded double-buffer: one frame
+    // committing, one queued, then appendEpoch back-pressures. The
+    // pool is deliberately untraced: journal-append spans already
+    // cover the work, and a second pool on the Exec stage would
+    // interleave with the session executor's track 0.
+    committer_ = std::make_unique<Executor>(
+        1, ExecutorOptions{.queueCapacity = 2});
+}
+
+void
 JournalWriter::appendEpoch(const EpochRecord &e, EpochId index)
+{
+    if (!committer_) {
+        commitEpoch(e, index);
+        return;
+    }
+    // Hand off a copy in append order; the single worker preserves
+    // FIFO, so the commit-side ordering assert guards exactly the
+    // same misuse it does synchronously.
+    committer_->submit([this, e, index] { commitEpoch(e, index); },
+                       {.label = "journal-commit"});
+}
+
+void
+JournalWriter::commitEpoch(const EpochRecord &e, EpochId index)
 {
     if (!alive_)
         return;
@@ -136,6 +168,8 @@ JournalWriter::appendEpoch(const EpochRecord &e, EpochId index)
 bool
 JournalWriter::streamTo(const std::string &path)
 {
+    // Settle any in-flight commits before the file handle moves.
+    flush();
     if (file_) {
         std::fclose(file_);
         file_ = nullptr;

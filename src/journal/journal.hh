@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/recording.hh"
+#include "exec/executor.hh"
 #include "fault/fault.hh"
 
 namespace dp
@@ -93,26 +94,70 @@ class JournalWriter
 
     /** Append epoch @p index's frame; consults the journal fault
      *  sites. Appends after a fatal fault are dropped, exactly as a
-     *  dead writer process would drop them. */
+     *  dead writer process would drop them. In asynchronous mode
+     *  (enableAsyncCommit) this hands the epoch off and returns; the
+     *  frame commits on the committer thread, still in append
+     *  order. */
     void appendEpoch(const EpochRecord &e, EpochId index);
+
+    /**
+     * Move frame serialization, checksumming and file streaming onto
+     * a dedicated committer thread: appendEpoch() then costs the
+     * producer one EpochRecord copy instead of a CRC over the whole
+     * frame. A bounded double-buffer (one frame committing, one
+     * queued) back-pressures the producer past two outstanding
+     * appends. Frames still commit strictly in append order, so the
+     * committed-prefix crash guarantee is unchanged and the journal
+     * bytes are identical to synchronous mode. Call before the first
+     * append; idempotent.
+     */
+    void enableAsyncCommit();
+
+    /** Block until every handed-off append has committed (and
+     *  streamed, if a file is attached). No-op in synchronous mode;
+     *  every accessor below flushes first, so readers never see a
+     *  half-committed state. */
+    void
+    flush() const
+    {
+        if (committer_)
+            committer_->drain();
+    }
 
     /** False once a JournalCrash / TornFrameWrite fault killed the
      *  writer. */
-    bool alive() const { return alive_; }
+    bool
+    alive() const
+    {
+        flush();
+        return alive_;
+    }
 
     /** The journal image as it exists on "disk" — including any torn
      *  tail or bit flip the fault sites produced. */
-    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    const std::vector<std::uint8_t> &
+    bytes() const
+    {
+        flush();
+        return buf_;
+    }
 
     /** Journal size after each fully-committed frame; frameEnds()[0]
      *  is the header frame's end. Crash-sweep tests cut here. */
-    const std::vector<std::size_t> &frameEnds() const
+    const std::vector<std::size_t> &
+    frameEnds() const
     {
+        flush();
         return frameEnds_;
     }
 
     /** Epoch frames this writer has committed (prefix included). */
-    std::uint64_t epochsWritten() const { return nextIndex_; }
+    std::uint64_t
+    epochsWritten() const
+    {
+        flush();
+        return nextIndex_;
+    }
 
     /** Stream the journal to @p path: rewrites the bytes so far and
      *  flushes every future frame as it commits. False (with a
@@ -125,6 +170,9 @@ class JournalWriter
     void setTrace(TraceRecorder *tr) { trace_ = tr; }
 
   private:
+    /** The synchronous append body; in asynchronous mode it runs on
+     *  the committer thread, strictly FIFO. */
+    void commitEpoch(const EpochRecord &e, EpochId index);
     void flushTail();
 
     std::vector<std::uint8_t> buf_;
@@ -135,6 +183,10 @@ class JournalWriter
     TraceRecorder *trace_ = nullptr;
     std::FILE *file_ = nullptr;
     std::size_t flushed_ = 0;
+    /** Single-worker commit pool (enableAsyncCommit); null in the
+     *  synchronous default. All writer state above is touched only
+     *  under its FIFO order — readers synchronize via flush(). */
+    std::unique_ptr<Executor> committer_;
 };
 
 /** Why a journal scan stopped (or could not start). */

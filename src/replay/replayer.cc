@@ -1,8 +1,6 @@
 #include "replay/replayer.hh"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/logging.hh"
 #include "os/simos.hh"
@@ -47,14 +45,16 @@ Replayer::replaySequential(const ReplayObserver *observer) const
 }
 
 ReplayResult
-Replayer::replayParallel(unsigned host_threads) const
+Replayer::replayParallel(unsigned tracks, unsigned jobs) const
 {
     ReplayResult res;
     if (!rec_->hasCheckpoints()) {
         dp_warn("parallel replay requires retained checkpoints");
         return res;
     }
-    host_threads = std::max(1u, host_threads);
+    tracks = std::max(1u, tracks);
+    if (jobs == 0)
+        jobs = tracks;
 
     const auto n = static_cast<std::uint32_t>(rec_->epochs.size());
     if (n == 0) {
@@ -65,48 +65,64 @@ Replayer::replayParallel(unsigned host_threads) const
         res.stdoutBytes = m.stdoutBytes();
         return res;
     }
+
+    // The host pool the epochs fan out over. The owned pool outlives
+    // this call on purpose — repeat replays (the debugger's bisect
+    // loop, the bench harness) reuse the same workers instead of
+    // spawning a fresh pool per call.
+    Executor *exec = exec_;
+    if (!exec) {
+        if (!pool_ || pool_->workerCount() != jobs)
+            pool_ = std::make_unique<Executor>(
+                jobs, ExecutorOptions{.trace = trace_});
+        exec = pool_.get();
+    }
+
     std::vector<std::uint8_t> ok(n, 0);
     std::vector<Cycles> cycles(n, 0);
     std::vector<std::uint64_t> instrs(n, 0);
-    std::atomic<std::uint32_t> next{0};
     // The last epoch's end machine holds the run's complete final
     // state (each checkpoint carries the stdout written so far), so
-    // the worker that replays it reconstructs the whole-run verdict
-    // material; exactly one worker claims that index.
+    // the task that replays it reconstructs the whole-run verdict
+    // material; exactly one task owns that index.
     std::uint64_t final_hash = 0;
     std::vector<std::uint8_t> final_stdout;
 
-    auto worker = [&](std::uint32_t track) {
-        for (;;) {
-            std::uint32_t i = next.fetch_add(1);
-            if (i >= n)
-                return;
-            ScopedTraceSpan span(trace_, TraceStage::Replay, track,
-                                 "replay-epoch", "replay");
-            span.arg("epoch", i);
-            Machine m = rec_->checkpoints[i].materialize(
-                rec_->program(), rec_->config());
-            ok[i] = replayEpochOn(m, rec_->epochs[i], cycles[i],
-                                  instrs[i]);
-            if (i == n - 1) {
-                final_hash = m.stateHash();
-                final_stdout = m.stdoutBytes();
-            }
-        }
-    };
+    // One task per epoch; every slot an epoch's task touches is its
+    // own, so tasks never contend. Submission back-pressures against
+    // the pool's bounded queue; the waits below are the barrier.
+    std::vector<TaskFuture<void>> futs;
+    futs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        futs.push_back(exec->submit(
+            [&, i](const TaskContext &ctx) {
+                ScopedTraceSpan span(trace_, TraceStage::Replay,
+                                     ctx.worker, "replay-epoch",
+                                     "replay");
+                span.arg("epoch", i);
+                Machine m = rec_->checkpoints[i].materialize(
+                    rec_->program(), rec_->config());
+                ok[i] = replayEpochOn(m, rec_->epochs[i], cycles[i],
+                                      instrs[i]);
+                if (i == n - 1) {
+                    final_hash = m.stateHash();
+                    final_stdout = m.stdoutBytes();
+                }
+            },
+            {.label = "replay-epoch"}));
+    for (const TaskFuture<void> &f : futs)
+        f.wait();
+    // Quiesce the pool before returning: a future completes before
+    // its worker's trace span and stats tally land, and callers may
+    // read (or destroy) the trace sink the moment we return.
+    exec->drain();
 
-    std::vector<std::thread> pool;
-    pool.reserve(host_threads);
-    for (unsigned t = 0; t < host_threads; ++t)
-        pool.emplace_back(worker, t);
-    for (std::thread &t : pool)
-        t.join();
-
-    // Modeled makespan: longest-processing-time list scheduling of the
-    // epoch durations over the worker count.
+    // Modeled makespan: longest-processing-time list scheduling of
+    // the epoch durations over the *modeled* worker count — the host
+    // pool size never shapes reported cycles.
     std::vector<Cycles> sorted(cycles.begin(), cycles.end());
     std::sort(sorted.rbegin(), sorted.rend());
-    std::vector<Cycles> load(host_threads, 0);
+    std::vector<Cycles> load(tracks, 0);
     for (Cycles c : sorted)
         *std::min_element(load.begin(), load.end()) += c;
     res.replayCycles =

@@ -17,10 +17,12 @@
 #define DP_REPLAY_REPLAYER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/epoch_replay.hh"
 #include "core/recording.hh"
+#include "exec/executor.hh"
 #include "timing/cost_model.hh"
 
 namespace dp
@@ -56,8 +58,19 @@ class Replayer
     /** Attach an observability sink (nullptr = off). The replayer
      *  emits one "replay-epoch" span per epoch — tid 0 sequentially,
      *  one tid per host worker in parallel replay. Observe-only:
-     *  never affects results. */
-    void setTrace(TraceRecorder *tr) { trace_ = tr; }
+     *  never affects results. (Resets the owned worker pool so the
+     *  sink reaches its executor spans too.) */
+    void
+    setTrace(TraceRecorder *tr)
+    {
+        trace_ = tr;
+        pool_.reset();
+    }
+
+    /** Run parallel replay on @p exec instead of the replayer's own
+     *  pool (nullptr restores the owned pool). Lets one session
+     *  executor serve record and replay alike. */
+    void setExecutor(Executor *exec) { exec_ = exec; }
 
     /** Whole-run replay from the initial state; verifies every epoch
      *  digest and the recorded syscall result stream. @p observer
@@ -66,12 +79,21 @@ class Replayer
     replaySequential(const ReplayObserver *observer = nullptr) const;
 
     /**
-     * Replay all epochs concurrently from their checkpoints on
-     * @p host_threads OS threads. Requires the recording to have
-     * retained checkpoints. replayCycles is the modeled makespan with
-     * @p host_threads single-CPU workers.
+     * Replay all epochs concurrently from their checkpoints.
+     * Requires the recording to have retained checkpoints.
+     * @p tracks is the modeled replay-worker count: replayCycles is
+     * the LPT makespan of the epoch durations over @p tracks
+     * single-CPU virtual workers. @p jobs is the real host thread
+     * count the epochs fan out over (0, the default, means
+     * jobs = tracks); it affects host wall-clock only, never the
+     * verdict or the modeled cycles. Epochs execute as tasks on the
+     * host executor — the one attached with setExecutor(), else an
+     * owned pool sized to @p jobs that persists across calls (reuse
+     * is the point: no per-call thread spawning). Not safe to call
+     * concurrently on one Replayer.
      */
-    ReplayResult replayParallel(unsigned host_threads) const;
+    ReplayResult replayParallel(unsigned tracks,
+                                unsigned jobs = 0) const;
 
     /**
      * Re-execute a single epoch on @p m (which must hold the epoch's
@@ -99,6 +121,11 @@ class Replayer
     const Recording *rec_;
     CostModel costs_;
     TraceRecorder *trace_ = nullptr;
+    /** External executor (setExecutor); wins over the owned pool. */
+    Executor *exec_ = nullptr;
+    /** Owned pool, built lazily by replayParallel and kept across
+     *  calls; rebuilt only when the requested size changes. */
+    mutable std::unique_ptr<Executor> pool_;
 };
 
 } // namespace dp

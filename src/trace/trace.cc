@@ -16,6 +16,7 @@ traceStageName(TraceStage s)
     case TraceStage::EpochParallel: return "epoch-parallel workers";
     case TraceStage::Journal: return "epoch journal";
     case TraceStage::Replay: return "replay";
+    case TraceStage::Exec: return "host executor";
     }
     return "?";
 }
@@ -70,7 +71,8 @@ TraceRecorder::toChromeJson() const
     bool first = true;
     for (TraceStage s :
          {TraceStage::ThreadParallel, TraceStage::EpochParallel,
-          TraceStage::Journal, TraceStage::Replay}) {
+          TraceStage::Journal, TraceStage::Replay,
+          TraceStage::Exec}) {
         if (!first)
             out += ',';
         first = false;

@@ -39,6 +39,7 @@ enum class TraceStage : std::uint32_t
     EpochParallel = 2,  ///< epoch-run workers (one tid per slot)
     Journal = 3,        ///< durable epoch journal appends
     Replay = 4,         ///< sequential / parallel replay workers
+    Exec = 5,           ///< host executor pool (one tid per worker)
 };
 
 /** Stable display name of @p s (Chrome process_name metadata). */

@@ -153,6 +153,48 @@ TEST_F(ToolsCli, RecordWithTraceIsByteIdenticalAndTraceIsValid)
     EXPECT_NE(rep.output.find("verified"), std::string::npos);
 }
 
+TEST_F(ToolsCli, ReplayJobsControlsHostPoolNotVerdict)
+{
+    const std::string artifact = path("jobs.bin");
+    ASSERT_EQ(
+        uniplay("record pfscan -t 2 -s 4 -o " + artifact).exitCode,
+        0);
+
+    // --jobs resizes the host pool only; the verdict is unchanged.
+    for (const char *jobs : {"1", "2", "8"}) {
+        CmdResult r = uniplay("replay " + artifact +
+                              " --parallel 4 --jobs " + jobs);
+        EXPECT_EQ(r.exitCode, 0) << "--jobs " << jobs << ": "
+                                 << r.output;
+        EXPECT_NE(r.output.find("verified"), std::string::npos)
+            << r.output;
+    }
+}
+
+TEST_F(ToolsCli, ReplayJobsMisuseIsUsageError)
+{
+    const std::string artifact = path("jobs-err.bin");
+    ASSERT_EQ(
+        uniplay("record pfscan -t 2 -s 4 -o " + artifact).exitCode,
+        0);
+
+    // Zero host threads cannot run anything.
+    CmdResult zero =
+        uniplay("replay " + artifact + " --parallel 2 --jobs 0");
+    EXPECT_EQ(zero.exitCode, 2) << zero.output;
+    EXPECT_NE(zero.output.find("--jobs"), std::string::npos);
+
+    // --jobs without --parallel has nothing to size.
+    CmdResult alone = uniplay("replay " + artifact + " --jobs 2");
+    EXPECT_EQ(alone.exitCode, 2) << alone.output;
+    EXPECT_NE(alone.output.find("--parallel"), std::string::npos);
+
+    // Other subcommands reject it by name.
+    CmdResult rec = uniplay("record pfscan --jobs 2");
+    EXPECT_EQ(rec.exitCode, 2) << rec.output;
+    EXPECT_NE(rec.output.find("--jobs"), std::string::npos);
+}
+
 TEST_F(ToolsCli, StatsEmitsParsableMetricsSnapshot)
 {
     const std::string artifact = path("stats.bin");

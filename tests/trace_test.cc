@@ -172,7 +172,7 @@ TEST_P(ByteIdentity, TracingChangesNothingObservable)
         ASSERT_NE(pid, nullptr);
         const double p = pid->asNumber();
         EXPECT_GE(p, 0.0);
-        EXPECT_LE(p, 4.0);
+        EXPECT_LE(p, 5.0); // TraceStage::Exec is the highest stage
     }
 }
 

@@ -24,11 +24,13 @@
  * chrome://tracing. Tracing never changes the recorded bytes.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/profiler.hh"
@@ -62,7 +64,8 @@ usage()
         << "  uniplay record-asm <file.s> [-t N] [-e EPOCHLEN] "
            "[--fault-plan SPEC --fault-seed N] [-o FILE] "
            "[--journal FILE [--resume]] [--trace FILE]\n"
-        << "  uniplay replay FILE [--parallel N] [--trace FILE]\n"
+        << "  uniplay replay FILE [--parallel N [--jobs N]] "
+           "[--trace FILE]\n"
         << "  uniplay recover JOURNAL [-o FILE]\n"
         << "  uniplay verify FILE\n"
         << "  uniplay races FILE\n"
@@ -104,6 +107,10 @@ struct Args
     Cycles epochLength = 100'000;
     std::string outFile;
     unsigned parallel = 0;
+    /** Host threads for parallel replay; 0 with jobsSet is a usage
+     *  error, 0 without means "pick a default". */
+    unsigned jobs = 0;
+    bool jobsSet = false;
     std::string faultPlan;
     std::uint64_t faultSeed = 0;
     std::string journalFile;
@@ -138,6 +145,10 @@ parseArgs(int argc, char **argv, int first)
         else if (s == "--parallel")
             a.parallel =
                 static_cast<unsigned>(std::stoul(next()));
+        else if (s == "-j" || s == "--jobs") {
+            a.jobs = static_cast<unsigned>(std::stoul(next()));
+            a.jobsSet = true;
+        }
         else if (s == "--fault-plan")
             a.faultPlan = next();
         else if (s == "--fault-seed")
@@ -221,6 +232,11 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
         dp_fatal("cannot write journal file ", args.journalFile);
     if (journal && tracer)
         journal->setTrace(tracer.get());
+    if (journal)
+        // Serialize + checksum + stream on a committer thread; the
+        // record pipeline only pays the epoch hand-off. Byte-identical
+        // to synchronous appends (frames commit in hand-off order).
+        journal->enableAsyncCommit();
 
     RecordObserver obs;
     obs.onRecovery = [](RecoveryKind kind, EpochId index) {
@@ -368,6 +384,15 @@ cmdReplay(const Args &args)
         rep.setTrace(tracer.get());
     }
     unsigned par = args.parallel;
+    if (args.jobsSet && args.jobs == 0) {
+        std::cerr << "--jobs needs at least one host thread\n";
+        return usage();
+    }
+    if (args.jobsSet && par == 0) {
+        std::cerr << "--jobs needs --parallel N (it sizes the host "
+                     "pool parallel replay fans out over)\n";
+        return usage();
+    }
     if (par > 0 && !loaded.recording->hasCheckpoints()) {
         // Artifacts hold logs only; parallel replay needs the
         // retained epoch checkpoints (in-process recordings).
@@ -375,7 +400,14 @@ cmdReplay(const Args &args)
                      "replaying sequentially\n";
         par = 0;
     }
-    ReplayResult r = par > 0 ? rep.replayParallel(par)
+    // Host threads backing the fan-out: default to the machine's
+    // concurrency, clamped to the modeled track count — more host
+    // threads than tracks would change nothing but idle workers.
+    unsigned jobs = args.jobs;
+    if (!args.jobsSet)
+        jobs = std::min(
+            std::max(1u, std::thread::hardware_concurrency()), par);
+    ReplayResult r = par > 0 ? rep.replayParallel(par, jobs)
                              : rep.replaySequential();
     if (tracer) {
         if (tracer->writeChromeJson(args.traceFile))
@@ -592,6 +624,11 @@ main(int argc, char **argv)
         cmd != "record-asm" && cmd != "replay") {
         std::cerr << "--trace is not supported by '" << cmd
                   << "' (record, record-asm and replay only)\n";
+        return usage();
+    }
+    if (args.jobsSet && cmd != "replay") {
+        std::cerr << "--jobs is not supported by '" << cmd
+                  << "' (replay only)\n";
         return usage();
     }
     if (cmd == "record")
