@@ -24,6 +24,12 @@ dp_add_bench(bench_scalability)
 dp_add_bench(bench_ckpt_cost)
 dp_add_bench(bench_host_pipeline)
 
+# bench_journal_scale links the journal layer directly: it measures
+# sharded commit throughput and partitioned recovery, not the record
+# pipeline itself.
+dp_add_bench(bench_journal_scale)
+target_link_libraries(bench_journal_scale PRIVATE dp_journal)
+
 # bench_micro also links the harness: after the google-benchmark
 # suites it emits the BENCH_micro.json summary row.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)

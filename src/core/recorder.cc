@@ -526,10 +526,16 @@ UniparallelRecorder::runPipeline(RecordOutcome &out, Executor &exec,
                 {{"epoch", rec.epochs.size() - 1},
                  {"diverged", diverged ? 1u : 0u},
                  {"logBytes", rec.epochs.back().totalLogBytes()}});
-        if (observer && observer->onEpochCommitted)
-            observer->onEpochCommitted(
-                rec.epochs.back(),
-                static_cast<EpochId>(rec.epochs.size() - 1));
+        if (observer) {
+            const EpochId committed =
+                static_cast<EpochId>(rec.epochs.size() - 1);
+            if (observer->onEpochCommitted)
+                observer->onEpochCommitted(rec.epochs.back(),
+                                           committed);
+            for (const auto &sink : observer->epochSinks)
+                if (sink)
+                    sink(rec.epochs.back(), committed);
+        }
         return diverged;
     };
 

@@ -174,6 +174,23 @@ struct RecordObserver
     std::function<void(const EpochRecord &, EpochId index)>
         onEpochCommitted;
     /**
+     * Additional commit listeners, invoked after onEpochCommitted in
+     * registration order. One record session can fan a commit out to
+     * several consumers (a journal, a live replica, a metrics probe)
+     * without the consumers having to chain each other's callbacks.
+     */
+    std::vector<
+        std::function<void(const EpochRecord &, EpochId index)>>
+        epochSinks;
+
+    /** Register an additional commit listener. */
+    void
+    addEpochSink(
+        std::function<void(const EpochRecord &, EpochId)> sink)
+    {
+        epochSinks.push_back(std::move(sink));
+    }
+    /**
      * A recovery action was taken while producing epoch @p index
      * (the index the epoch will commit at). Together with
      * FaultInjector::onFault this is the full fault/recovery event

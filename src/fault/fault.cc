@@ -13,9 +13,10 @@ namespace
 {
 
 constexpr const char *siteNames[numFaultSites] = {
-    "netrecv-fail",    "netrecv-short", "gettime-fail",
-    "file-short-read", "torn-ckpt",     "worker-death",
-    "torn-frame",      "journal-crash", "journal-bitflip",
+    "netrecv-fail",      "netrecv-short", "gettime-fail",
+    "file-short-read",   "torn-ckpt",     "worker-death",
+    "torn-frame",        "journal-crash", "journal-bitflip",
+    "stream-torn-frame", "stream-crash",  "stream-bitflip",
 };
 
 constexpr std::uint64_t ppmDenominator = 1'000'000;

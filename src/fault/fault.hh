@@ -58,6 +58,15 @@ enum class FaultSite : std::uint8_t
     /** A bit flips inside an already-committed journal frame (storage
      *  corruption); recovery must detect it via the frame CRC. */
     JournalBitFlip,
+    /** One stream of a sharded journal dies mid-frame, leaving a torn
+     *  tail on that stream only — its siblings keep committing. */
+    StreamTornWrite,
+    /** One stream's committer dies cleanly between frames; the stream
+     *  ends at a frame boundary while its siblings run on. */
+    StreamCrash,
+    /** A bit flips inside a committed frame of one stream (per-stream
+     *  storage corruption). */
+    StreamBitFlip,
     NumSites
 };
 

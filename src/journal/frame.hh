@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Frame primitives shared by the single-stream journal writer
+ * (journal.cc) and the sharded multi-stream writer/recovery
+ * (sharded.cc). Internal to src/journal — the frame wire format is
+ * not a public API.
+ *
+ * Every committed frame, in every journal version, has the shape
+ *
+ *   frame := u8 kind | varu payloadLen | payload
+ *            | u64fixed crc32c(kind || payload) | u8 0x5A
+ *
+ * so one parser serves both formats; the version-specific structure
+ * lives entirely inside the payloads.
+ */
+
+#ifndef DP_JOURNAL_FRAME_HH
+#define DP_JOURNAL_FRAME_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/crc32.hh"
+#include "common/logging.hh"
+#include "journal/journal.hh"
+
+namespace dp::journal_detail
+{
+
+inline std::uint32_t
+frameCrc(std::uint8_t kind, std::span<const std::uint8_t> payload)
+{
+    return crc32c(payload, crc32c({&kind, 1}));
+}
+
+/** Assemble one committed frame around @p payload. */
+inline std::vector<std::uint8_t>
+makeFrame(std::uint8_t kind, std::vector<std::uint8_t> payload)
+{
+    ByteWriter w;
+    w.u8(kind);
+    w.varu(payload.size());
+    std::vector<std::uint8_t> frame = w.take();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    std::uint32_t crc = frameCrc(kind, payload);
+    for (int i = 0; i < 8; ++i)
+        frame.push_back(static_cast<std::uint8_t>(
+            std::uint64_t{crc} >> (8 * i)));
+    frame.push_back(journalCommitMarker);
+    return frame;
+}
+
+/** Scan abort: why, where, and what. */
+struct FrameScanError
+{
+    JournalError error;
+    std::size_t offset;
+    std::string detail;
+};
+
+struct Frame
+{
+    std::uint8_t kind = 0;
+    std::span<const std::uint8_t> payload;
+};
+
+/**
+ * Validate the frame starting at @p pos and advance @p pos past it.
+ * Throws FrameScanError; every check precedes any use of the bytes it
+ * guards, so arbitrary garbage cannot fault.
+ */
+inline Frame
+parseFrame(std::span<const std::uint8_t> all, std::size_t &pos)
+{
+    std::size_t start = pos;
+    auto need = [&](std::uint64_t n, const char *what) {
+        if (all.size() - pos < n)
+            throw FrameScanError{
+                JournalError::TruncatedFrame, pos,
+                detail::concat("image ends inside a frame's ", what)};
+    };
+
+    need(1, "kind byte");
+    std::uint8_t kind = all[pos++];
+    if (kind != journalHeaderKind && kind != journalEpochKind)
+        throw FrameScanError{
+            JournalError::BadFrameKind, start,
+            detail::concat("unknown frame kind ", int(kind))};
+
+    std::uint64_t len = 0;
+    int shift = 0;
+    for (;;) {
+        need(1, "length");
+        std::uint8_t b = all[pos++];
+        len |= std::uint64_t{b & 0x7fu} << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+        if (shift >= 64)
+            throw FrameScanError{JournalError::BadPayload, pos,
+                                 "overlong frame length varint"};
+    }
+    need(len, "payload");
+    std::span<const std::uint8_t> payload =
+        all.subspan(pos, static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+
+    need(9, "trailer");
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= std::uint64_t{all[pos++]} << (8 * i);
+    std::uint8_t marker = all[pos++];
+    if (stored != frameCrc(kind, payload))
+        throw FrameScanError{JournalError::BadChecksum, start,
+                             "frame CRC mismatch"};
+    if (marker != journalCommitMarker)
+        throw FrameScanError{JournalError::BadCommitMarker, pos - 1,
+                             "frame commit marker missing"};
+    return {kind, payload};
+}
+
+inline void
+reportScanStop(RecoveryReport &rep, const FrameScanError &f)
+{
+    rep.tailError = f.error;
+    rep.errorOffset = f.offset;
+    rep.detail = f.detail;
+}
+
+} // namespace dp::journal_detail
+
+#endif // DP_JOURNAL_FRAME_HH

@@ -4,6 +4,8 @@
 #include "common/crc32.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "journal/frame.hh"
+#include "journal/sharded.hh"
 #include "os/machine.hh"
 #include "replay/recording_io.hh"
 #include "trace/trace.hh"
@@ -11,31 +13,14 @@
 namespace dp
 {
 
+using journal_detail::Frame;
+using journal_detail::FrameScanError;
+using journal_detail::makeFrame;
+using journal_detail::parseFrame;
+using journal_detail::reportScanStop;
+
 namespace
 {
-
-std::uint32_t
-frameCrc(std::uint8_t kind, std::span<const std::uint8_t> payload)
-{
-    return crc32c(payload, crc32c({&kind, 1}));
-}
-
-/** Assemble one committed frame around @p payload. */
-std::vector<std::uint8_t>
-makeFrame(std::uint8_t kind, std::vector<std::uint8_t> payload)
-{
-    ByteWriter w;
-    w.u8(kind);
-    w.varu(payload.size());
-    std::vector<std::uint8_t> frame = w.take();
-    frame.insert(frame.end(), payload.begin(), payload.end());
-    std::uint32_t crc = frameCrc(kind, payload);
-    for (int i = 0; i < 8; ++i)
-        frame.push_back(static_cast<std::uint8_t>(
-            std::uint64_t{crc} >> (8 * i)));
-    frame.push_back(journalCommitMarker);
-    return frame;
-}
 
 std::vector<std::uint8_t>
 headerPayload(const GuestProgram &prog, const MachineConfig &cfg,
@@ -221,95 +206,23 @@ journalErrorName(JournalError e)
         return "bad-payload";
       case JournalError::BadEpochIndex:
         return "bad-epoch-index";
+      case JournalError::StreamMismatch:
+        return "stream-mismatch";
+      case JournalError::InconsistentCut:
+        return "inconsistent-cut";
     }
     return "invalid";
 }
 
-namespace
-{
-
-/** Scan abort: why, where, and what. */
-struct FrameScanError
-{
-    JournalError error;
-    std::size_t offset;
-    std::string detail;
-};
-
-struct Frame
-{
-    std::uint8_t kind = 0;
-    std::span<const std::uint8_t> payload;
-};
-
-/**
- * Validate the frame starting at @p pos and advance @p pos past it.
- * Throws FrameScanError; every check precedes any use of the bytes it
- * guards, so arbitrary garbage cannot fault.
- */
-Frame
-parseFrame(std::span<const std::uint8_t> all, std::size_t &pos)
-{
-    std::size_t start = pos;
-    auto need = [&](std::uint64_t n, const char *what) {
-        if (all.size() - pos < n)
-            throw FrameScanError{
-                JournalError::TruncatedFrame, pos,
-                detail::concat("image ends inside a frame's ", what)};
-    };
-
-    need(1, "kind byte");
-    std::uint8_t kind = all[pos++];
-    if (kind != journalHeaderKind && kind != journalEpochKind)
-        throw FrameScanError{
-            JournalError::BadFrameKind, start,
-            detail::concat("unknown frame kind ", int(kind))};
-
-    std::uint64_t len = 0;
-    int shift = 0;
-    for (;;) {
-        need(1, "length");
-        std::uint8_t b = all[pos++];
-        len |= std::uint64_t{b & 0x7fu} << shift;
-        if (!(b & 0x80))
-            break;
-        shift += 7;
-        if (shift >= 64)
-            throw FrameScanError{JournalError::BadPayload, pos,
-                                 "overlong frame length varint"};
-    }
-    need(len, "payload");
-    std::span<const std::uint8_t> payload =
-        all.subspan(pos, static_cast<std::size_t>(len));
-    pos += static_cast<std::size_t>(len);
-
-    need(9, "trailer");
-    std::uint64_t stored = 0;
-    for (int i = 0; i < 8; ++i)
-        stored |= std::uint64_t{all[pos++]} << (8 * i);
-    std::uint8_t marker = all[pos++];
-    if (stored != frameCrc(kind, payload))
-        throw FrameScanError{JournalError::BadChecksum, start,
-                             "frame CRC mismatch"};
-    if (marker != journalCommitMarker)
-        throw FrameScanError{JournalError::BadCommitMarker, pos - 1,
-                             "frame commit marker missing"};
-    return {kind, payload};
-}
-
-void
-reportScanStop(RecoveryReport &rep, const FrameScanError &f)
-{
-    rep.tailError = f.error;
-    rep.errorOffset = f.offset;
-    rep.detail = f.detail;
-}
-
-} // namespace
-
 RecoveredJournal
 recoverJournal(std::span<const std::uint8_t> bytes)
 {
+    // A v3 stream is one shard of a sharded journal: scan it for a
+    // per-stream report, but only recoverShardedJournal() can merge
+    // shards back into a Recording.
+    if (peekStreamInfo(bytes))
+        return journal_detail::recoverStreamReport(bytes);
+
     RecoveredJournal out;
     RecoveryReport &rep = out.report;
     rep.bytesDiscarded = bytes.size();
@@ -442,16 +355,24 @@ verifyImage(std::span<const std::uint8_t> bytes)
         out.kind = UniplayFileKind::Journal;
         RecoveredJournal rj = recoverJournal(bytes);
         out.epochs = rj.report.framesRecovered;
+        // A lone v3 stream names its place in the sharded set so the
+        // verdict points the user at recovering the whole set.
+        const std::string what =
+            rj.report.streamCount > 1
+                ? detail::concat("journal stream ",
+                                 rj.report.streamIndex, "/",
+                                 rj.report.streamCount)
+                : std::string("journal");
         if (rj.report.clean()) {
             out.ok = true;
             out.detail = detail::concat(
-                "journal: ", rj.report.framesRecovered,
+                what, ": ", rj.report.framesRecovered,
                 " committed epoch frame(s), ",
                 rj.report.committedBytes,
                 " bytes, every checksum valid");
         } else {
             out.detail = detail::concat(
-                "journal: ", journalErrorName(rj.report.tailError),
+                what, ": ", journalErrorName(rj.report.tailError),
                 " at byte ", rj.report.errorOffset, " (",
                 rj.report.detail, "); ", rj.report.framesRecovered,
                 " epoch frame(s) committed, ",

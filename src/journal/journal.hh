@@ -50,6 +50,12 @@ class TraceRecorder;
 inline constexpr std::uint32_t journalMagic = 0x44504a4c;
 /** v2: epoch frames carry tpInstrs (so recovered stats are exact). */
 inline constexpr std::uint32_t journalVersion = 2;
+/** v3: one stream of a sharded journal (sharded.hh). The header
+ *  additionally carries (streamIndex, streamCount, baseEpoch) and
+ *  epoch payloads a per-stream sequence number, so recovery can merge
+ *  streams back into a total epoch order. Single-stream journals keep
+ *  writing v2 — v3 only ever appears with streamCount > 1. */
+inline constexpr std::uint32_t journalVersion3 = 3;
 
 /** Frame kinds (first byte of every frame). */
 inline constexpr std::uint8_t journalHeaderKind = 1;
@@ -213,6 +219,14 @@ enum class JournalError : std::uint8_t
     BadPayload,
     /** An epoch frame is out of sequence. */
     BadEpochIndex,
+    /** Sharded recovery: a stream contradicts its siblings (wrong
+     *  stream index, different program/config/fingerprint, or a
+     *  stream count that disagrees with the set presented). */
+    StreamMismatch,
+    /** Sharded recovery: every stream is individually clean, but one
+     *  stream's committed prefix ends behind its siblings', so frames
+     *  beyond the consistent cut were discarded. */
+    InconsistentCut,
 };
 
 /** Stable human-readable name of @p e (e.g. "truncated-frame"). */
@@ -233,10 +247,22 @@ struct RecoveryReport
     /** Why the scan stopped; None means a clean, fully-committed
      *  journal. */
     JournalError tailError = JournalError::None;
-    /** Byte offset (within the image) of the damage, if any. */
+    /** Byte offset (within the image) of the damage, if any. For a
+     *  merged sharded report, the offset is within stream
+     *  streamIndex's image. */
     std::size_t errorOffset = 0;
     /** Diagnostic: what was malformed. */
     std::string detail;
+    /** Which stream this report describes — or, in a merged sharded
+     *  report, the stream that limited the consistent cut. Always 0
+     *  for a v2 journal. */
+    std::uint32_t streamIndex = 0;
+    /** Streams in the sharded set this stream belongs to (1 for a v2
+     *  journal). */
+    std::uint32_t streamCount = 1;
+    /** First epoch index the journal carries; non-zero once covered
+     *  segments have been truncated away. */
+    std::uint64_t baseEpoch = 0;
 
     /** Every frame validated and nothing was discarded. */
     bool clean() const
@@ -250,8 +276,11 @@ struct RecoveredJournal
 {
     /** The committed prefix as a replayable Recording (its
      *  finalStateHash is the last committed epoch's digest, so it
-     *  replay-verifies as-is). Non-null exactly when
-     *  report.headerOk. */
+     *  replay-verifies as-is). Non-null exactly when report.headerOk
+     *  and the image is a whole journal (report.streamCount == 1) —
+     *  a lone v3 stream scans to a report only; merge the full set
+     *  with recoverShardedJournal() (sharded.hh) to get a
+     *  Recording. */
     std::unique_ptr<Recording> recording;
     /** RecorderOptions fingerprint stored in the header frame;
      *  resume refuses to continue under mismatched options. */

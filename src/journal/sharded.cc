@@ -1,0 +1,1038 @@
+#include "journal/sharded.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bytes.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "journal/frame.hh"
+#include "os/machine.hh"
+#include "replay/recording_io.hh"
+#include "trace/trace.hh"
+
+namespace dp
+{
+
+using journal_detail::Frame;
+using journal_detail::FrameScanError;
+using journal_detail::makeFrame;
+using journal_detail::parseFrame;
+using journal_detail::reportScanStop;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+streamHeaderPayload(std::uint32_t stream, std::uint32_t count,
+                    std::uint64_t base, const GuestProgram &prog,
+                    const MachineConfig &cfg, std::uint64_t fingerprint)
+{
+    ByteWriter p;
+    p.u64fixed((std::uint64_t{journalMagic} << 32) | journalVersion3);
+    p.varu(stream);
+    p.varu(count);
+    p.varu(base);
+    writeGuestProgram(p, prog);
+    writeMachineConfig(p, cfg);
+    p.u64fixed(fingerprint);
+    return p.take();
+}
+
+/** First epoch index >= @p base owned by stream @p s of @p n. */
+std::uint64_t
+firstIndexOwned(std::uint64_t base, unsigned s, unsigned n)
+{
+    return base + (s + n - base % n) % n;
+}
+
+/** Epochs in [base, limit) owned by stream @p s of @p n. */
+std::uint64_t
+epochsOwnedBelow(std::uint64_t base, std::uint64_t limit, unsigned s,
+                 unsigned n)
+{
+    std::uint64_t first = firstIndexOwned(base, s, n);
+    return limit > first ? (limit - first + n - 1) / n : 0;
+}
+
+/** One validated epoch frame, located for the decode phase. */
+struct FrameRef
+{
+    std::uint64_t index = 0;       ///< global epoch index
+    std::size_t payloadOff = 0;    ///< within the stream image
+    std::size_t payloadLen = 0;
+    std::size_t frameEnd = 0;      ///< end offset of the whole frame
+};
+
+/** Everything phase A learns about one stream, CRC-verified. */
+struct StreamScan
+{
+    RecoveryReport report;
+    std::uint32_t version = 0;
+    std::uint64_t fingerprint = 0;
+    std::optional<GuestProgram> prog;
+    std::optional<MachineConfig> cfg;
+    /** Header payload after the streamIndex varint — byte-identical
+     *  across the streams of one journal (v2: the whole payload). */
+    std::vector<std::uint8_t> sharedSuffix;
+    std::vector<FrameRef> frames;
+    std::uint64_t firstSeq = 0;
+    std::size_t headerEnd = 0;
+    std::size_t imageSize = 0;
+};
+
+/**
+ * Phase A: validate one stream image — frame envelopes, CRCs, and the
+ * sequence/index dependency metadata — without decoding epoch bodies.
+ * Fail-closed; the report mirrors recoverJournal's verdicts.
+ */
+StreamScan
+scanStream(std::span<const std::uint8_t> bytes)
+{
+    StreamScan sc;
+    RecoveryReport &rep = sc.report;
+    sc.imageSize = bytes.size();
+    rep.bytesDiscarded = bytes.size();
+    if (bytes.empty()) {
+        rep.tailError = JournalError::MissingHeader;
+        rep.detail = "empty journal image";
+        return sc;
+    }
+
+    std::size_t pos = 0;
+    try {
+        Frame header = parseFrame(bytes, pos);
+        if (header.kind != journalHeaderKind)
+            throw FrameScanError{JournalError::MissingHeader, 0,
+                                 "first frame is not a header frame"};
+        ByteReader p(header.payload);
+        std::uint64_t magic = p.u64fixed();
+        if (magic >> 32 != journalMagic)
+            throw FrameScanError{JournalError::BadMagic, 0,
+                                 "not a uniplay epoch journal"};
+        sc.version = static_cast<std::uint32_t>(magic & 0xffffffff);
+        if (sc.version != journalVersion &&
+            sc.version != journalVersion3)
+            throw FrameScanError{
+                JournalError::BadVersion, 0,
+                detail::concat("unsupported journal version ",
+                               sc.version)};
+        if (sc.version == journalVersion3) {
+            std::uint64_t stream = p.varu();
+            sc.sharedSuffix.assign(
+                header.payload.begin() + p.pos(),
+                header.payload.end());
+            std::uint64_t count = p.varu();
+            if (count == 0 || stream >= count)
+                throw FrameScanError{
+                    JournalError::BadPayload, 0,
+                    detail::concat("stream ", stream, " of ", count,
+                                   " is not a valid stream identity")};
+            rep.streamIndex = static_cast<std::uint32_t>(stream);
+            rep.streamCount = static_cast<std::uint32_t>(count);
+            rep.baseEpoch = p.varu();
+        } else {
+            sc.sharedSuffix.assign(header.payload.begin(),
+                                   header.payload.end());
+        }
+        sc.prog = readGuestProgram(p);
+        sc.cfg = readMachineConfig(p);
+        sc.fingerprint = p.u64fixed();
+        if (!p.atEnd())
+            throw FrameScanError{
+                JournalError::BadPayload, pos,
+                "trailing bytes in the header payload"};
+    } catch (const FrameScanError &f) {
+        reportScanStop(rep, f);
+        return sc;
+    } catch (const RecordingDecodeError &f) {
+        reportScanStop(rep, {JournalError::BadPayload, f.offset,
+                             f.detail});
+        return sc;
+    } catch (const ByteStreamError &e) {
+        reportScanStop(rep, {JournalError::BadPayload, e.offset,
+                             "header payload ended early"});
+        return sc;
+    } catch (const std::bad_alloc &) {
+        reportScanStop(rep, {JournalError::BadPayload, 0,
+                             "allocation rejected while recovering"});
+        return sc;
+    }
+
+    rep.headerOk = true;
+    rep.committedBytes = pos;
+    sc.headerEnd = pos;
+    sc.firstSeq =
+        sc.version == journalVersion3
+            ? firstIndexOwned(rep.baseEpoch, rep.streamIndex,
+                              rep.streamCount) /
+                  rep.streamCount
+            : 0;
+    try {
+        while (pos < bytes.size()) {
+            std::size_t frame_start = pos;
+            Frame f = parseFrame(bytes, pos);
+            if (f.kind != journalEpochKind)
+                throw FrameScanError{
+                    JournalError::BadFrameKind, frame_start,
+                    "header frame after frame 0"};
+            ByteReader p(f.payload);
+            std::uint64_t index = p.varu();
+            if (sc.version == journalVersion3) {
+                std::uint64_t seq = p.varu();
+                std::uint64_t expect = sc.firstSeq + sc.frames.size();
+                if (index % rep.streamCount != rep.streamIndex)
+                    throw FrameScanError{
+                        JournalError::BadEpochIndex, frame_start,
+                        detail::concat("epoch ", index,
+                                       " does not belong to stream ",
+                                       rep.streamIndex)};
+                if (seq != index / rep.streamCount)
+                    throw FrameScanError{
+                        JournalError::BadEpochIndex, frame_start,
+                        detail::concat("sequence ", seq,
+                                       " contradicts epoch ", index)};
+                if (seq != expect)
+                    throw FrameScanError{
+                        JournalError::BadEpochIndex, frame_start,
+                        detail::concat("stream sequence ", seq,
+                                       " where ", expect,
+                                       " expected")};
+            } else if (index != sc.frames.size()) {
+                throw FrameScanError{
+                    JournalError::BadEpochIndex, frame_start,
+                    detail::concat("epoch frame ", index, " where ",
+                                   sc.frames.size(), " expected")};
+            }
+            sc.frames.push_back(
+                {index,
+                 static_cast<std::size_t>(f.payload.data() -
+                                          bytes.data()),
+                 f.payload.size(), pos});
+            rep.committedBytes = pos;
+            ++rep.framesRecovered;
+        }
+    } catch (const FrameScanError &f) {
+        reportScanStop(rep, f);
+    } catch (const ByteStreamError &e) {
+        reportScanStop(rep, {JournalError::BadPayload, e.offset,
+                             "epoch payload ended early"});
+    } catch (const std::bad_alloc &) {
+        reportScanStop(rep, {JournalError::BadPayload, pos,
+                             "allocation rejected while recovering"});
+    }
+    rep.bytesDiscarded = bytes.size() - rep.committedBytes;
+    return sc;
+}
+
+/** Lowest-epoch decode failure (phase B), merged across workers. */
+struct DecodeFailure
+{
+    std::uint64_t epoch = 0;
+    JournalError error = JournalError::BadPayload;
+    std::size_t offset = 0;
+    std::string detail;
+};
+
+} // namespace
+
+std::optional<StreamInfo>
+peekStreamInfo(std::span<const std::uint8_t> bytes)
+{
+    if (bytes.empty() || bytes[0] != journalHeaderKind)
+        return std::nullopt;
+    try {
+        std::size_t pos = 0;
+        Frame header = parseFrame(bytes, pos);
+        if (header.kind != journalHeaderKind)
+            return std::nullopt;
+        ByteReader p(header.payload);
+        std::uint64_t magic = p.u64fixed();
+        if (magic >> 32 != journalMagic ||
+            (magic & 0xffffffff) != journalVersion3)
+            return std::nullopt;
+        StreamInfo si;
+        si.streamIndex = static_cast<std::uint32_t>(p.varu());
+        si.streamCount = static_cast<std::uint32_t>(p.varu());
+        si.baseEpoch = p.varu();
+        if (si.streamCount == 0 || si.streamIndex >= si.streamCount)
+            return std::nullopt;
+        return si;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+namespace journal_detail
+{
+
+RecoveredJournal
+recoverStreamReport(std::span<const std::uint8_t> bytes)
+{
+    StreamScan sc = scanStream(bytes);
+    RecoveredJournal out;
+    out.report = std::move(sc.report);
+    out.optionsFingerprint = sc.fingerprint;
+    return out;
+}
+
+} // namespace journal_detail
+
+// ---------------------------------------------------------------------------
+// ShardedJournalWriter
+
+ShardedJournalWriter::ShardedJournalWriter(
+    const GuestProgram &prog, const MachineConfig &cfg,
+    std::uint64_t options_fingerprint, ShardedJournalOptions opts,
+    FaultInjector *faults)
+    : streams_(opts.streams ? opts.streams : 1),
+      segmentEpochs_(opts.segmentEpochs), faults_(faults),
+      prog_(prog), cfg_(cfg), fingerprint_(options_fingerprint)
+{
+    if (streams_ == 1) {
+        v2_ = std::make_unique<JournalWriter>(
+            prog, cfg, options_fingerprint, faults);
+        return;
+    }
+    shards_.resize(streams_);
+    for (unsigned s = 0; s < streams_; ++s) {
+        shards_[s].buf = makeFrame(
+            journalHeaderKind,
+            streamHeaderPayload(s, streams_, base_, prog, cfg,
+                                options_fingerprint));
+        shards_[s].frameEnds.push_back(shards_[s].buf.size());
+        shards_[s].nextSeq = firstIndexOwned(base_, s, streams_) /
+                             streams_;
+    }
+}
+
+ShardedJournalWriter::ShardedJournalWriter(
+    std::vector<std::vector<std::uint8_t>> valid_prefixes,
+    ShardedJournalOptions opts, FaultInjector *faults)
+    : streams_(opts.streams ? opts.streams : 1),
+      segmentEpochs_(opts.segmentEpochs), faults_(faults)
+{
+    dp_assert(valid_prefixes.size() == streams_,
+              "resume prefixes must match the stream count");
+    if (streams_ == 1) {
+        // A v2 prefix: recoverJournal rederives the epoch cursor and
+        // header ingredients from the (trusted valid) bytes.
+        RecoveredJournal rj = recoverJournal(valid_prefixes[0]);
+        dp_assert(rj.report.clean(),
+                  "resume prefix must be a validated journal prefix");
+        prog_ = rj.recording->program();
+        cfg_ = rj.recording->config();
+        fingerprint_ = rj.optionsFingerprint;
+        nextIndex_ = rj.report.framesRecovered;
+        v2_ = std::make_unique<JournalWriter>(
+            std::move(valid_prefixes[0]), nextIndex_, faults);
+        return;
+    }
+    shards_.resize(streams_);
+    // Pass 1: scan the surviving prefixes. Any survivor can donate
+    // the shared header ingredients — recovery already cross-checked
+    // that all survivors agree on them.
+    std::vector<StreamScan> scans(streams_);
+    bool have_shared = false;
+    for (unsigned s = 0; s < streams_; ++s) {
+        if (valid_prefixes[s].empty())
+            continue;
+        scans[s] = scanStream(valid_prefixes[s]);
+        const StreamScan &sc = scans[s];
+        dp_assert(sc.report.clean() &&
+                      sc.version == journalVersion3 &&
+                      sc.report.streamIndex == s &&
+                      sc.report.streamCount == streams_,
+                  "resume prefix must be a validated stream prefix");
+        if (!have_shared) {
+            have_shared = true;
+            base_ = sc.report.baseEpoch;
+            prog_ = std::move(scans[s].prog);
+            cfg_ = std::move(scans[s].cfg);
+            fingerprint_ = sc.fingerprint;
+        }
+    }
+    dp_assert(have_shared,
+              "resume needs at least one surviving stream");
+    std::uint64_t next = 0;
+    for (unsigned s = 0; s < streams_; ++s) {
+        Stream &st = shards_[s];
+        if (valid_prefixes[s].empty()) {
+            // A stream whose prefix was entirely lost is reborn
+            // header-only. The consistent cut is at or below its
+            // first owned index, so the reborn stream owes no epoch
+            // the resumed session will not re-append.
+            st.buf = makeFrame(
+                journalHeaderKind,
+                streamHeaderPayload(s, streams_, base_, *prog_,
+                                    *cfg_, fingerprint_));
+            st.frameEnds.push_back(st.buf.size());
+            st.nextSeq =
+                firstIndexOwned(base_, s, streams_) / streams_;
+        } else {
+            StreamScan &sc = scans[s];
+            st.buf = std::move(valid_prefixes[s]);
+            st.frameEnds.push_back(sc.headerEnd);
+            for (const FrameRef &f : sc.frames)
+                st.frameEnds.push_back(f.frameEnd);
+            st.nextSeq = sc.firstSeq + sc.frames.size();
+        }
+        // The global append cursor resumes at the consistent cut: the
+        // smallest epoch index missing from its owning stream.
+        std::uint64_t missing = st.nextSeq * streams_ + s;
+        next = s == 0 ? missing : std::min(next, missing);
+    }
+    nextIndex_ = next;
+}
+
+ShardedJournalWriter::~ShardedJournalWriter()
+{
+    // Drain and join the strands before the files close: every append
+    // handed off before destruction lands on disk.
+    pool_.reset();
+    for (Stream &st : shards_)
+        if (st.file)
+            std::fclose(st.file);
+}
+
+std::uint64_t
+ShardedJournalWriter::seqOf(std::uint64_t index) const
+{
+    return index / streams_;
+}
+
+std::uint64_t
+ShardedJournalWriter::firstIndexOf(unsigned s) const
+{
+    return firstIndexOwned(base_, s, streams_);
+}
+
+std::string
+ShardedJournalWriter::streamPath(const std::string &base, unsigned s,
+                                 unsigned n)
+{
+    return n == 1 ? base : detail::concat(base, ".s", s);
+}
+
+void
+ShardedJournalWriter::enableAsyncCommit()
+{
+    if (v2_) {
+        v2_->enableAsyncCommit();
+        return;
+    }
+    if (pool_)
+        return;
+    // One strand per stream on a shared pool: same-stream commits
+    // stay FIFO (the crash guarantee is per stream), different
+    // streams overlap — that overlap is the commit-throughput
+    // scaling. At most one drain task per stream is ever queued, so
+    // capacity == streams_ means submit() never blocks.
+    pool_ = std::make_unique<Executor>(
+        streams_, ExecutorOptions{.queueCapacity = streams_});
+}
+
+void
+ShardedJournalWriter::appendEpoch(const EpochRecord &e, EpochId index)
+{
+    dp_assert(index == nextIndex_,
+              "journal epochs must append in commit order");
+    ++nextIndex_;
+    if (v2_) {
+        v2_->appendEpoch(e, index);
+        return;
+    }
+    const unsigned s = static_cast<unsigned>(index % streams_);
+    if (!pool_) {
+        commitToStream(s, e, index);
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    // Mirror the v2 bounded double-buffer per stream: one epoch
+    // committing, one queued, then the producer back-pressures.
+    room_.wait(lock,
+               [&] { return shards_[s].pending.size() < 2; });
+    shards_[s].pending.emplace_back(e, index);
+    if (!shards_[s].running) {
+        shards_[s].running = true;
+        lock.unlock();
+        pool_->submit([this, s] { drainStream(s); },
+                      {.label = "journal-commit"});
+    }
+}
+
+void
+ShardedJournalWriter::drainStream(unsigned s)
+{
+    Stream &st = shards_[s];
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (st.pending.empty()) {
+            st.running = false;
+            idle_.notify_all();
+            return;
+        }
+        auto [e, index] = std::move(st.pending.front());
+        st.pending.pop_front();
+        room_.notify_all();
+        lock.unlock();
+        commitToStream(s, e, index);
+    }
+}
+
+void
+ShardedJournalWriter::commitToStream(unsigned s, const EpochRecord &e,
+                                     EpochId index)
+{
+    Stream &st = shards_[s];
+    if (!st.aliveFlag)
+        return;
+    const std::uint64_t seq = seqOf(index);
+    dp_assert(seq == st.nextSeq,
+              "stream epochs must append in sequence order");
+    ScopedTraceSpan span(trace_, TraceStage::Journal, s,
+                         "journal-append", "journal");
+    span.arg("epoch", index);
+    span.arg("stream", s);
+
+    if (faults_ && faults_->fire(FaultSite::StreamCrash, index)) {
+        st.aliveFlag = false;
+        return;
+    }
+
+    ByteWriter p;
+    p.varu(index);
+    p.varu(seq);
+    p.varu(e.dirtyPages);
+    p.varu(e.tpInstrs);
+    writeEpochRecord(p, e);
+    std::vector<std::uint8_t> frame =
+        makeFrame(journalEpochKind, p.take());
+    span.arg("bytes", frame.size());
+
+    if (faults_ &&
+        faults_->fire(FaultSite::StreamTornWrite, index)) {
+        // Died mid-write on this stream only: a deterministic strict
+        // prefix lands, siblings keep committing.
+        std::size_t torn =
+            1 + static_cast<std::size_t>(
+                    mix64(0x7042f6a3c01d58b9ull ^
+                          (index * 0x9e3779b97f4a7c15ull)) %
+                    (frame.size() - 1));
+        st.buf.insert(st.buf.end(), frame.begin(),
+                      frame.begin() + torn);
+        st.aliveFlag = false;
+        flushTail(st);
+        return;
+    }
+
+    st.buf.insert(st.buf.end(), frame.begin(), frame.end());
+    if (faults_ && faults_->fire(FaultSite::StreamBitFlip, index)) {
+        std::uint64_t h = mix64(0xb17f11b2d9c04e6full ^
+                                (index * 0x9e3779b97f4a7c15ull));
+        std::size_t pos = st.buf.size() - frame.size() +
+                          static_cast<std::size_t>(h % frame.size());
+        st.buf[pos] ^=
+            static_cast<std::uint8_t>(1u << ((h >> 32) % 8));
+    }
+    st.nextSeq = seq + 1;
+    st.frameEnds.push_back(st.buf.size());
+    flushTail(st);
+}
+
+void
+ShardedJournalWriter::flush() const
+{
+    if (v2_) {
+        v2_->flush();
+        return;
+    }
+    if (!pool_)
+        return;
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] {
+        for (const Stream &st : shards_)
+            if (st.running || !st.pending.empty())
+                return false;
+        return true;
+    });
+}
+
+bool
+ShardedJournalWriter::alive() const
+{
+    if (v2_)
+        return v2_->alive();
+    flush();
+    for (const Stream &st : shards_)
+        if (!st.aliveFlag)
+            return false;
+    return true;
+}
+
+bool
+ShardedJournalWriter::streamAlive(unsigned s) const
+{
+    if (v2_)
+        return v2_->alive();
+    flush();
+    return shards_[s].aliveFlag;
+}
+
+std::uint64_t
+ShardedJournalWriter::epochsWritten() const
+{
+    return nextIndex_;
+}
+
+const std::vector<std::uint8_t> &
+ShardedJournalWriter::streamBytes(unsigned s) const
+{
+    if (v2_)
+        return v2_->bytes();
+    flush();
+    return shards_[s].buf;
+}
+
+const std::vector<std::size_t> &
+ShardedJournalWriter::streamFrameEnds(unsigned s) const
+{
+    if (v2_)
+        return v2_->frameEnds();
+    flush();
+    return shards_[s].frameEnds;
+}
+
+std::vector<std::vector<std::uint8_t>>
+ShardedJournalWriter::imageSet() const
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(streams_);
+    for (unsigned s = 0; s < streams_; ++s)
+        out.push_back(streamBytes(s));
+    return out;
+}
+
+std::size_t
+ShardedJournalWriter::truncateCoveredSegments(
+    std::uint64_t durable_epoch)
+{
+    if (v2_ || segmentEpochs_ == 0)
+        return 0;
+    // Nothing beyond the append cursor exists to be covered, and
+    // truncating past it would leave stream headers claiming a base
+    // ahead of their next frame's sequence number.
+    durable_epoch = std::min(durable_epoch, nextIndex_);
+    const std::uint64_t new_base =
+        durable_epoch / segmentEpochs_ * segmentEpochs_;
+    if (new_base <= base_)
+        return 0;
+    flush();
+    std::size_t dropped = 0;
+    for (unsigned s = 0; s < streams_; ++s) {
+        Stream &st = shards_[s];
+        // Frames below the new base, oldest first — per-stream frames
+        // are in epoch order, so they are exactly a prefix.
+        const std::uint64_t in_buf = st.frameEnds.size() - 1;
+        const std::uint64_t first_seq = firstIndexOf(s) / streams_;
+        const std::uint64_t keep_from_seq =
+            firstIndexOwned(new_base, s, streams_) / streams_;
+        const std::uint64_t drop = std::min<std::uint64_t>(
+            in_buf, keep_from_seq - first_seq);
+
+        std::vector<std::uint8_t> fresh = makeFrame(
+            journalHeaderKind,
+            streamHeaderPayload(s, streams_, new_base, *prog_, *cfg_,
+                                fingerprint_));
+        const std::size_t header_end = fresh.size();
+        const std::size_t cut = st.frameEnds[drop];
+        fresh.insert(fresh.end(), st.buf.begin() + cut,
+                     st.buf.end());
+        if (st.buf.size() > fresh.size())
+            dropped += st.buf.size() - fresh.size();
+
+        std::vector<std::size_t> ends;
+        ends.push_back(header_end);
+        for (std::size_t k = drop + 1; k < st.frameEnds.size(); ++k)
+            ends.push_back(st.frameEnds[k] - cut + header_end);
+        st.buf = std::move(fresh);
+        st.frameEnds = std::move(ends);
+    }
+    base_ = new_base;
+    // Restream the rewritten shards so the on-disk set matches.
+    if (!basePath_.empty())
+        streamTo(basePath_);
+    return dropped;
+}
+
+bool
+ShardedJournalWriter::streamTo(const std::string &base)
+{
+    if (v2_) {
+        basePath_ = base;
+        return v2_->streamTo(base);
+    }
+    flush();
+    basePath_ = base;
+    bool ok = true;
+    for (unsigned s = 0; s < streams_; ++s) {
+        Stream &st = shards_[s];
+        if (st.file) {
+            std::fclose(st.file);
+            st.file = nullptr;
+        }
+        const std::string path = streamPath(base, s, streams_);
+        st.file = std::fopen(path.c_str(), "wb");
+        if (!st.file) {
+            dp_warn("cannot open journal stream file ", path);
+            ok = false;
+            continue;
+        }
+        st.flushed = 0;
+        flushTail(st);
+    }
+    return ok;
+}
+
+void
+ShardedJournalWriter::flushTail(Stream &st)
+{
+    if (!st.file)
+        return;
+    if (st.flushed < st.buf.size()) {
+        std::fwrite(st.buf.data() + st.flushed, 1,
+                    st.buf.size() - st.flushed, st.file);
+        st.flushed = st.buf.size();
+    }
+    std::fflush(st.file);
+}
+
+void
+ShardedJournalWriter::setTrace(TraceRecorder *tr)
+{
+    if (v2_) {
+        v2_->setTrace(tr);
+        return;
+    }
+    trace_ = tr;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned recovery
+
+RecoveredShardedJournal
+recoverShardedJournal(
+    const std::vector<std::span<const std::uint8_t>> &streams,
+    unsigned jobs, Executor *pool)
+{
+    RecoveredShardedJournal out;
+    const unsigned n = static_cast<unsigned>(streams.size());
+    out.streamCount = n;
+    if (n == 0) {
+        out.report.tailError = JournalError::MissingHeader;
+        out.report.detail = "no journal streams";
+        return out;
+    }
+
+    std::unique_ptr<Executor> own;
+    Executor *ex = nullptr;
+    if (jobs > 1) {
+        if (pool) {
+            ex = pool;
+        } else {
+            own = std::make_unique<Executor>(
+                jobs,
+                ExecutorOptions{.queueCapacity =
+                                    std::max<std::size_t>(64, n)});
+            ex = own.get();
+        }
+    }
+
+    // Phase A: scan every stream independently — envelope, CRC,
+    // sequence metadata. Pure per stream, so streams scan
+    // concurrently; the per-stream verdicts cannot depend on jobs.
+    std::vector<StreamScan> scans(n);
+    if (ex && n > 1) {
+        std::vector<TaskFuture<void>> waits;
+        waits.reserve(n);
+        for (unsigned s = 0; s < n; ++s)
+            waits.push_back(ex->submit(
+                [&scans, &streams, s] {
+                    scans[s] = scanStream(streams[s]);
+                },
+                {.label = "journal-scan"}));
+        for (TaskFuture<void> &w : waits)
+            w.get();
+    } else {
+        for (unsigned s = 0; s < n; ++s)
+            scans[s] = scanStream(streams[s]);
+    }
+
+    std::size_t total_bytes = 0;
+    for (const StreamScan &sc : scans)
+        total_bytes += sc.imageSize;
+
+    // Cross-stream header validation. A stream is usable when its own
+    // header validated, it sits in the right slot, and it agrees with
+    // the canonical header suffix (majority wins; tie goes to the
+    // group holding the lowest stream index).
+    std::vector<bool> usable(n, false);
+    for (unsigned s = 0; s < n; ++s) {
+        StreamScan &sc = scans[s];
+        if (!sc.report.headerOk)
+            continue;
+        if (sc.report.streamCount != n ||
+            sc.report.streamIndex != s) {
+            sc.report.tailError = JournalError::StreamMismatch;
+            sc.report.errorOffset = 0;
+            sc.report.detail = detail::concat(
+                "stream header claims stream ", sc.report.streamIndex,
+                " of ", sc.report.streamCount, " in slot ", s,
+                " of a ", n, "-stream set");
+            continue;
+        }
+        usable[s] = true;
+    }
+    std::map<std::vector<std::uint8_t>, std::vector<unsigned>> groups;
+    for (unsigned s = 0; s < n; ++s)
+        if (usable[s])
+            groups[scans[s].sharedSuffix].push_back(s);
+    const std::vector<unsigned> *majority = nullptr;
+    for (const auto &[suffix, members] : groups) {
+        if (!majority || members.size() > majority->size() ||
+            (members.size() == majority->size() &&
+             members.front() < majority->front()))
+            majority = &members;
+    }
+    if (majority)
+        for (unsigned s = 0; s < n; ++s) {
+            if (!usable[s])
+                continue;
+            if (scans[s].sharedSuffix !=
+                scans[(*majority)[0]].sharedSuffix) {
+                usable[s] = false;
+                scans[s].report.tailError =
+                    JournalError::StreamMismatch;
+                scans[s].report.errorOffset = 0;
+                scans[s].report.detail =
+                    "stream header disagrees with its siblings";
+            }
+        }
+
+    out.streams.resize(n);
+    for (unsigned s = 0; s < n; ++s)
+        out.streams[s].report = scans[s].report;
+
+    if (!majority) {
+        // Not one trustworthy header: fail closed, nothing usable.
+        const RecoveryReport &worst = scans[0].report;
+        out.report = worst;
+        out.report.headerOk = false;
+        out.report.framesRecovered = 0;
+        out.report.committedBytes = 0;
+        out.report.bytesDiscarded = total_bytes;
+        out.report.streamIndex = 0;
+        out.report.streamCount = n;
+        if (n > 1)
+            out.report.detail =
+                detail::concat("stream 0: ", worst.detail);
+        return out;
+    }
+
+    const unsigned canonical = (*majority)[0];
+    const std::uint64_t base = scans[canonical].report.baseEpoch;
+    out.baseEpoch = base;
+    out.optionsFingerprint = scans[canonical].fingerprint;
+    out.report.headerOk = true;
+    out.report.streamCount = n;
+    out.report.baseEpoch = base;
+
+    // The consistent cut E: the smallest epoch index missing from its
+    // owning stream. Everything below E merges into a total order;
+    // everything at or above it is unusable — fail closed.
+    std::uint64_t cut = 0;
+    unsigned limiting = 0;
+    for (unsigned s = 0; s < n; ++s) {
+        const std::uint64_t first_seq =
+            firstIndexOwned(base, s, n) / n;
+        const std::uint64_t committed =
+            usable[s] ? scans[s].frames.size() : 0;
+        const std::uint64_t missing =
+            (first_seq + committed) * n + s;
+        if (s == 0 || missing < cut) {
+            cut = missing;
+            limiting = s;
+        }
+    }
+
+    // Phase B: decode the kept epochs, partitioned across the pool.
+    // Writes land in disjoint slots; failures are merged to the
+    // lowest epoch afterwards, so the result is independent of jobs.
+    const std::uint64_t count = cut - base;
+    std::vector<EpochRecord> epochs(
+        static_cast<std::size_t>(count));
+    std::mutex failures_mu;
+    std::optional<DecodeFailure> failure;
+    auto decodeRange = [&](std::uint64_t lo, std::uint64_t hi) {
+        std::optional<DecodeFailure> local;
+        for (std::uint64_t i = lo; i < hi && !local; ++i) {
+            const unsigned s = static_cast<unsigned>(i % n);
+            const StreamScan &sc = scans[s];
+            const FrameRef &fr =
+                sc.frames[static_cast<std::size_t>(i / n -
+                                                   sc.firstSeq)];
+            std::span<const std::uint8_t> payload =
+                streams[s].subspan(fr.payloadOff, fr.payloadLen);
+            try {
+                ByteReader p(payload);
+                p.varu(); // epoch index — validated by the scan
+                if (sc.version == journalVersion3)
+                    p.varu(); // stream sequence — likewise
+                std::uint64_t dirty = p.varu();
+                std::uint64_t tp_instrs = p.varu();
+                EpochRecord e = readEpochRecord(p, i);
+                if (!p.atEnd())
+                    throw FrameScanError{
+                        JournalError::BadPayload, fr.payloadOff,
+                        "trailing bytes in an epoch payload"};
+                e.dirtyPages = dirty;
+                e.tpInstrs = tp_instrs;
+                epochs[static_cast<std::size_t>(i - base)] =
+                    std::move(e);
+            } catch (const FrameScanError &f) {
+                local = DecodeFailure{i, f.error, f.offset, f.detail};
+            } catch (const RecordingDecodeError &f) {
+                local = DecodeFailure{i, JournalError::BadPayload,
+                                      fr.payloadOff + f.offset,
+                                      f.detail};
+            } catch (const ByteStreamError &e2) {
+                local = DecodeFailure{i, JournalError::BadPayload,
+                                      fr.payloadOff + e2.offset,
+                                      "epoch payload ended early"};
+            } catch (const std::bad_alloc &) {
+                local = DecodeFailure{
+                    i, JournalError::BadPayload, fr.payloadOff,
+                    "allocation rejected while recovering"};
+            }
+        }
+        if (local) {
+            std::lock_guard<std::mutex> lock(failures_mu);
+            if (!failure || local->epoch < failure->epoch)
+                failure = std::move(local);
+        }
+    };
+    if (ex && jobs > 1 && count > 1) {
+        const std::uint64_t chunks =
+            std::min<std::uint64_t>(jobs, count);
+        const std::uint64_t per = (count + chunks - 1) / chunks;
+        std::vector<TaskFuture<void>> waits;
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+            const std::uint64_t lo = base + c * per;
+            const std::uint64_t hi =
+                std::min<std::uint64_t>(lo + per, cut);
+            waits.push_back(
+                ex->submit([&, lo, hi] { decodeRange(lo, hi); },
+                           {.label = "journal-decode"}));
+        }
+        for (TaskFuture<void> &w : waits)
+            w.get();
+    } else {
+        decodeRange(base, cut);
+    }
+    if (failure) {
+        cut = failure->epoch;
+        limiting = static_cast<unsigned>(cut % n);
+        epochs.resize(static_cast<std::size_t>(cut - base));
+    }
+    out.consistentEpochs = cut;
+
+    // Per-stream kept prefixes under the (possibly shrunk) cut.
+    std::size_t committed_bytes = 0;
+    bool any_beyond_cut = false;
+    bool all_clean = true;
+    for (unsigned s = 0; s < n; ++s) {
+        StreamRecovery &sr = out.streams[s];
+        if (!usable[s]) {
+            all_clean = false;
+            any_beyond_cut = true;
+            continue;
+        }
+        sr.framesKept = epochsOwnedBelow(base, cut, s, n);
+        sr.keptBytes =
+            sr.framesKept == 0
+                ? scans[s].headerEnd
+                : scans[s]
+                      .frames[static_cast<std::size_t>(
+                          sr.framesKept - 1)]
+                      .frameEnd;
+        committed_bytes += sr.keptBytes;
+        if (scans[s].frames.size() > sr.framesKept)
+            any_beyond_cut = true;
+        if (sr.report.tailError != JournalError::None)
+            all_clean = false;
+    }
+    out.report.framesRecovered = cut - base;
+    out.report.committedBytes = committed_bytes;
+    out.report.bytesDiscarded = total_bytes - committed_bytes;
+
+    if (failure) {
+        out.report.tailError = failure->error;
+        out.report.errorOffset = failure->offset;
+        out.report.streamIndex = limiting;
+        out.report.detail =
+            n > 1 ? detail::concat("stream ", limiting, ": ",
+                                   failure->detail)
+                  : failure->detail;
+    } else if (all_clean && !any_beyond_cut) {
+        out.report.tailError = JournalError::None;
+        out.report.streamIndex = limiting;
+    } else {
+        const RecoveryReport &lr = out.streams[limiting].report;
+        out.report.streamIndex = limiting;
+        if (lr.tailError != JournalError::None) {
+            out.report.tailError = lr.tailError;
+            out.report.errorOffset = lr.errorOffset;
+            out.report.detail =
+                n > 1 ? detail::concat("stream ", limiting, ": ",
+                                       lr.detail)
+                      : lr.detail;
+        } else {
+            // Every stream is individually intact but one stopped
+            // behind its siblings: frames beyond the cut were
+            // discarded to keep the total order contiguous.
+            out.report.tailError = JournalError::InconsistentCut;
+            out.report.errorOffset =
+                out.streams[limiting].keptBytes;
+            out.report.detail = detail::concat(
+                "stream ", limiting, " ends at epoch ", cut,
+                " behind its siblings");
+        }
+    }
+
+    // Reassemble the replayable prefix (or, for a truncated journal,
+    // the tail to apply on top of the covering checkpoint).
+    if (base > 0) {
+        out.tailEpochs = std::move(epochs);
+        return out;
+    }
+    out.recording = std::make_unique<Recording>(
+        *scans[canonical].prog, *scans[canonical].cfg);
+    Recording &rec = *out.recording;
+    rec.epochs = std::move(epochs);
+    rec.stats.epochs = static_cast<std::uint32_t>(rec.epochs.size());
+    for (const EpochRecord &e : rec.epochs) {
+        rec.stats.rollbacks += e.diverged ? 1 : 0;
+        rec.stats.checkpointPages += e.dirtyPages;
+        rec.stats.tpTotalCycles += e.tpCycles;
+        rec.stats.epTotalCycles += e.epCycles;
+        rec.stats.tpInstrs += e.tpInstrs;
+        rec.stats.epInstrs += e.epInstrs;
+    }
+    rec.finalStateHash =
+        rec.epochs.empty()
+            ? Machine(rec.program(), rec.config()).stateHash()
+            : rec.epochs.back().endStateHash;
+    return out;
+}
+
+} // namespace dp

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Sharded epoch journal: N per-stream append-only logs with
+ * partitioned parallel recovery.
+ *
+ * The single-stream journal (journal.hh) serializes every commit
+ * through one CRC pipeline and recovers by scanning one image end to
+ * end — the exact sequential-logging bottleneck DoublePlay's epoch
+ * parallelism is supposed to remove. The sharded journal splits the
+ * epoch stream round-robin across N stand-alone logs (epoch i lives
+ * in stream i % N), each committed by its own strand on a shared
+ * Executor, in the style of Taurus's per-worker log streams.
+ *
+ * Each stream is a self-describing journalVersion3 image reusing the
+ * v2 frame envelope (frame.hh):
+ *
+ *   header payload := u64fixed((magic << 32) | 3)
+ *                     | varu streamIndex | varu streamCount
+ *                     | varu baseEpoch
+ *                     | guestProgram | machineConfig
+ *                     | u64fixed optionsFingerprint
+ *   epoch payload  := varu epochIndex | varu streamSeq
+ *                     | varu dirtyPages | varu tpInstrs
+ *                     | epochRecord
+ *
+ * streamSeq = epochIndex / streamCount is the per-stream sequence
+ * number: inside one stream it must be contiguous, and together with
+ * epochIndex % streamCount == streamIndex it is the dependency
+ * metadata that lets recovery rebuild the total epoch order from
+ * independently-scanned shards. Everything after streamIndex in the
+ * header payload is byte-identical across the streams of one journal
+ * — recovery cross-checks it to catch mixed-up stream sets.
+ *
+ * Consistent-cut recovery rule: scan every stream independently
+ * (envelope + CRC + sequence metadata, concurrently across streams),
+ * then keep epochs [baseEpoch, E) where E is the smallest epoch index
+ * missing from its owning stream's committed prefix. Frames beyond E
+ * on other streams are discarded (fail-closed: the total order breaks
+ * at the first hole), and reported as InconsistentCut when every
+ * stream was individually clean. Decoding the kept epochs is then
+ * partitioned across the exec pool — recovery wall-clock scales with
+ * jobs, the result never does.
+ *
+ * With streams == 1 the writer delegates to JournalWriter and emits
+ * byte-identical version-2 journals, and recoverShardedJournal
+ * accepts a v2 image — the read-compat path.
+ */
+
+#ifndef DP_JOURNAL_SHARDED_HH
+#define DP_JOURNAL_SHARDED_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "journal/journal.hh"
+
+namespace dp
+{
+
+/** Shape of a sharded journal. */
+struct ShardedJournalOptions
+{
+    /** Stream count N; 1 writes a plain version-2 journal. */
+    unsigned streams = 1;
+    /** Global epochs per segment (0 = one unbounded segment).
+     *  truncateCoveredSegments() can only drop whole segments, so the
+     *  retained base epoch is always a multiple of this. */
+    std::uint64_t segmentEpochs = 0;
+};
+
+/**
+ * Streams a sharded journal as a record session progresses. Epoch i
+ * commits to stream i % N; wire appendEpoch() into
+ * RecordObserver::onEpochCommitted exactly like JournalWriter.
+ *
+ * enableAsyncCommit() runs one committer strand per stream on a
+ * shared Executor: commits to the same stream stay FIFO (the crash
+ * guarantee), different streams commit concurrently — this is where
+ * the commit-throughput scaling comes from. Stream bytes are
+ * identical between synchronous and asynchronous modes.
+ *
+ * Per-stream fault sites (StreamCrash / StreamTornWrite /
+ * StreamBitFlip, scope = epoch index) kill or corrupt one stream
+ * while its siblings keep running, reproducing the partial-failure
+ * shapes the cross-stream recovery tests pin.
+ */
+class ShardedJournalWriter
+{
+  public:
+    /** Start a fresh sharded journal; every stream's header frame is
+     *  emitted immediately. */
+    ShardedJournalWriter(const GuestProgram &prog,
+                         const MachineConfig &cfg,
+                         std::uint64_t options_fingerprint,
+                         ShardedJournalOptions opts = {},
+                         FaultInjector *faults = nullptr);
+
+    /**
+     * Continue from recovered stream prefixes. @p valid_prefixes must
+     * be the per-stream committed prefixes recoverShardedJournal()
+     * validated, truncated to their keptBytes (for streams == 1, the
+     * one v2 prefix recoverJournal() validated). The next epoch index
+     * and per-stream sequence numbers are rederived by re-scanning
+     * the prefixes, which are trusted to be valid. An empty prefix
+     * (a stream whose bytes were entirely lost; keptBytes == 0) is
+     * reborn as a fresh header-only stream, provided at least one
+     * sibling survived to donate the shared header ingredients.
+     */
+    ShardedJournalWriter(
+        std::vector<std::vector<std::uint8_t>> valid_prefixes,
+        ShardedJournalOptions opts = {},
+        FaultInjector *faults = nullptr);
+
+    ShardedJournalWriter(const ShardedJournalWriter &) = delete;
+    ShardedJournalWriter &
+    operator=(const ShardedJournalWriter &) = delete;
+    ~ShardedJournalWriter();
+
+    /** Append epoch @p index's frame to its stream. Epochs must
+     *  append in global commit order; appends to a dead stream are
+     *  dropped, exactly as that stream's dead committer would drop
+     *  them (its siblings are unaffected). */
+    void appendEpoch(const EpochRecord &e, EpochId index);
+
+    /** Switch to one committer strand per stream on a shared pool.
+     *  Call before the first append; idempotent. */
+    void enableAsyncCommit();
+
+    /** Block until every handed-off append has committed (and
+     *  streamed, if files are attached). */
+    void flush() const;
+
+    /** Stream count N. */
+    unsigned streams() const { return streams_; }
+
+    /** First epoch index the journal still carries (advanced by
+     *  truncateCoveredSegments). */
+    std::uint64_t baseEpoch() const { return base_; }
+
+    /** False once any stream's fault site killed its committer. */
+    bool alive() const;
+    /** False once stream @p s's committer died. */
+    bool streamAlive(unsigned s) const;
+
+    /** Epoch frames handed to the writer (== the next global epoch
+     *  index to append). */
+    std::uint64_t epochsWritten() const;
+
+    /** Stream @p s's image as it exists on "disk", damage included. */
+    const std::vector<std::uint8_t> &streamBytes(unsigned s) const;
+
+    /** Stream @p s's image size after each fully-committed frame;
+     *  [0] is the header frame's end (resume prefixes are rescanned,
+     *  so their frame boundaries appear too). Crash-sweep tests cut
+     *  here. */
+    const std::vector<std::size_t> &streamFrameEnds(unsigned s) const;
+
+    /** Copies of all stream images, index-aligned. */
+    std::vector<std::vector<std::uint8_t>> imageSet() const;
+
+    /**
+     * Drop every whole segment of epochs below @p durable_epoch (all
+     * its epochs are covered by a durable checkpoint, so the journal
+     * no longer needs them for recovery). Rewrites each stream as a
+     * fresh header with the advanced baseEpoch plus the retained
+     * frames, and restreams attached files. Returns bytes dropped
+     * across all streams; 0 when segmentEpochs is 0, streams is 1
+     * (v2 has no baseEpoch), or no whole segment is covered yet.
+     */
+    std::size_t truncateCoveredSegments(std::uint64_t durable_epoch);
+
+    /** Stream every shard to streamPath(base, s, N). False (with a
+     *  warning) if any file cannot be opened. */
+    bool streamTo(const std::string &base);
+
+    /** On-disk name of stream @p s of @p n: the base path itself for
+     *  n == 1, otherwise base + ".s<s>". */
+    static std::string streamPath(const std::string &base, unsigned s,
+                                  unsigned n);
+
+    /** Attach an observability sink (nullptr = off). */
+    void setTrace(TraceRecorder *tr);
+
+  private:
+    struct Stream
+    {
+        std::vector<std::uint8_t> buf;
+        std::vector<std::size_t> frameEnds;
+        /** Next per-stream sequence number to commit. */
+        std::uint64_t nextSeq = 0;
+        bool aliveFlag = true;
+        std::FILE *file = nullptr;
+        std::size_t flushed = 0;
+        /** Strand state (async mode): queued appends + whether a
+         *  drain task is in flight. */
+        std::deque<std::pair<EpochRecord, EpochId>> pending;
+        bool running = false;
+    };
+
+    /** Per-stream sequence number owning epoch @p index. */
+    std::uint64_t seqOf(std::uint64_t index) const;
+    /** First epoch index >= base_ owned by stream @p s. */
+    std::uint64_t firstIndexOf(unsigned s) const;
+    void commitToStream(unsigned s, const EpochRecord &e,
+                        EpochId index);
+    void drainStream(unsigned s);
+    void flushTail(Stream &st);
+
+    unsigned streams_ = 1;
+    std::uint64_t segmentEpochs_ = 0;
+    std::uint64_t base_ = 0;
+    std::uint64_t nextIndex_ = 0; ///< producer-side append cursor
+    FaultInjector *faults_ = nullptr;
+    TraceRecorder *trace_ = nullptr;
+    /** Header ingredients, kept so truncation can rebuild stream
+     *  headers with an advanced baseEpoch. */
+    std::optional<GuestProgram> prog_;
+    std::optional<MachineConfig> cfg_;
+    std::uint64_t fingerprint_ = 0;
+    /** streamTo() base path; truncation restreams through it. */
+    std::string basePath_;
+    /** streams_ == 1: the whole journal is this v2 writer. */
+    std::unique_ptr<JournalWriter> v2_;
+    std::vector<Stream> shards_;
+    std::unique_ptr<Executor> pool_;
+    mutable std::mutex mu_;
+    mutable std::condition_variable room_; ///< strand back-pressure
+    mutable std::condition_variable idle_; ///< flush() waits here
+};
+
+/** One stream's contribution to a sharded recovery. */
+struct StreamRecovery
+{
+    /** The stream's own scan verdict (before the cross-stream cut). */
+    RecoveryReport report;
+    /** Frames of this stream inside the consistent cut. */
+    std::uint64_t framesKept = 0;
+    /** Valid prefix length: resume truncates this stream here. 0 for
+     *  a stream recovery rejected outright (StreamMismatch). */
+    std::size_t keptBytes = 0;
+};
+
+/** Result of recoverShardedJournal(). */
+struct RecoveredShardedJournal
+{
+    /** The recovered epoch prefix [0, consistentEpochs) as a
+     *  replayable Recording. Non-null exactly when report.headerOk
+     *  and baseEpoch == 0 (a truncated journal no longer carries its
+     *  early epochs; see tailEpochs). */
+    std::unique_ptr<Recording> recording;
+    /** Fingerprint from the canonical header. */
+    std::uint64_t optionsFingerprint = 0;
+    /** Streams in the set (the input arity). */
+    std::uint32_t streamCount = 0;
+    /** First epoch the journal carries (non-zero after segment
+     *  truncation). */
+    std::uint64_t baseEpoch = 0;
+    /** The consistent cut E: epochs [baseEpoch, E) were recovered;
+     *  epoch E is the first one missing from its owning stream. */
+    std::uint64_t consistentEpochs = 0;
+    /** Merged verdict. clean() means every stream validated fully
+     *  *and* the streams agree on a cut that discards nothing. */
+    RecoveryReport report;
+    /** Per-stream verdicts and kept prefixes, index-aligned. */
+    std::vector<StreamRecovery> streams;
+    /** When baseEpoch > 0: the decoded epochs [baseEpoch, E) — the
+     *  recovery tail to apply on top of the covering checkpoint. */
+    std::vector<EpochRecord> tailEpochs;
+};
+
+/**
+ * Recover a sharded journal from its per-stream images (pass exactly
+ * the full set, index-aligned; a lost stream file is an empty span).
+ * A single v2 journal image passes through the same machinery, so
+ * this is also the parallel-recovery path for unsharded journals.
+ *
+ * Streams are scanned concurrently and the kept epochs decoded in
+ * partitioned ranges across @p jobs workers on @p pool (nullptr: a
+ * private pool of @p jobs workers; jobs <= 1 runs inline). The result
+ * — recording bytes, reports, cut — is identical for every jobs
+ * value; only wall-clock changes. Fail-closed like recoverJournal:
+ * never panics, whatever the bytes.
+ */
+RecoveredShardedJournal recoverShardedJournal(
+    const std::vector<std::span<const std::uint8_t>> &streams,
+    unsigned jobs = 1, Executor *pool = nullptr);
+
+/** Identity a v3 stream header claims. */
+struct StreamInfo
+{
+    std::uint32_t streamIndex = 0;
+    std::uint32_t streamCount = 1;
+    std::uint64_t baseEpoch = 0;
+};
+
+/** If @p bytes begins with a valid v3 stream header frame, its
+ *  claimed identity; nullopt for v2 journals, artifacts, garbage. */
+std::optional<StreamInfo>
+peekStreamInfo(std::span<const std::uint8_t> bytes);
+
+namespace journal_detail
+{
+/** Scan one v3 stream image into a per-stream RecoveryReport (used
+ *  by recoverJournal on a lone stream; recording stays null). */
+RecoveredJournal recoverStreamReport(std::span<const std::uint8_t> bytes);
+} // namespace journal_detail
+
+} // namespace dp
+
+#endif // DP_JOURNAL_SHARDED_HH

@@ -25,6 +25,10 @@
 #error "DP_BENCH_CKPT_BIN must point at the bench_ckpt_cost binary"
 #endif
 
+#ifndef DP_BENCH_JOURNAL_BIN
+#error "DP_BENCH_JOURNAL_BIN must point at bench_journal_scale"
+#endif
+
 namespace dp
 {
 namespace
@@ -171,6 +175,39 @@ TEST(BenchSmoke, CkptCostEmitsSchemaValidJson)
     }
     EXPECT_TRUE(saw_sparse)
         << "sweep no longer covers the sparse-dirty config";
+
+    std::remove(path.c_str());
+    rmdir(dir.c_str());
+}
+
+TEST(BenchSmoke, JournalScaleEmitsSchemaValidJson)
+{
+    char tmpl[] = "/tmp/dp-bench-smoke-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    const std::string dir = tmpl;
+    const std::string path = dir + "/BENCH_journal_scale.json";
+
+    const std::string cmd = "DP_BENCH_JSON_DIR=" + dir + " " +
+                            DP_BENCH_JOURNAL_BIN " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    JsonValue doc = loadBenchJson(path, "journal_scale");
+    const JsonValue *rows = doc.find("rows");
+    ASSERT_NE(rows, nullptr);
+
+    // Both sweeps must be present: commit throughput at 1/2/4
+    // streams and recovery at 1/2/4 jobs. The bench exits nonzero on
+    // any byte divergence across shapes, so the exit check above
+    // already covers the identity contract.
+    for (const char *want :
+         {"commit:pfscan@s1", "commit:pfscan@s2", "commit:pfscan@s4",
+          "recover:pfscan@j1", "recover:pfscan@j2",
+          "recover:pfscan@j4"}) {
+        bool saw = false;
+        for (const JsonValue &row : rows->items())
+            saw = saw || row.find("name")->asString() == want;
+        EXPECT_TRUE(saw) << "missing row " << want;
+    }
 
     std::remove(path.c_str());
     rmdir(dir.c_str());

@@ -9,8 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bytes.hh"
 #include "common/rng.hh"
 #include "core/recorder.hh"
+#include "journal/frame.hh"
+#include "journal/sharded.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "testprogs.hh"
@@ -256,6 +259,285 @@ TEST(Corruption, CrossRecordingSplicesFail)
     a.recording.epochs[1] = b.recording.epochs[1];
     Replayer rep(a.recording);
     EXPECT_FALSE(rep.replaySequential().ok);
+}
+
+// ----------------------------------------------------------------
+// Cross-stream journal corruption: a sharded journal set must fail
+// closed — a damaged or foreign stream can only move the consistent
+// cut, never shorten a sibling's valid prefix beyond it, and never
+// panic.
+
+/** A recorded session appended through a sharded journal writer. */
+struct ShardedSet
+{
+    std::vector<std::vector<std::uint8_t>> images;
+    /** Per stream: [0] = header end, [k] = end of k-th epoch frame. */
+    std::vector<std::vector<std::size_t>> frameEnds;
+    std::uint64_t epochs = 0;
+};
+
+ShardedSet
+makeShardedSet(unsigned streams, std::uint64_t appends,
+               std::uint32_t iters = 200)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, iters);
+    RecorderOptions opts;
+    opts.epochLength = 15'000;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    EXPECT_TRUE(out.ok);
+    const Recording &r = out.recording;
+    ShardedJournalWriter w(r.program(), r.config(),
+                           recorderOptionsFingerprint(opts),
+                           {.streams = streams});
+    for (std::uint64_t i = 0; i < appends; ++i)
+        w.appendEpoch(r.epochs[i % r.epochs.size()],
+                      static_cast<EpochId>(i));
+    ShardedSet set;
+    set.epochs = appends;
+    for (unsigned s = 0; s < streams; ++s)
+        set.frameEnds.push_back(w.streamFrameEnds(s));
+    set.images = w.imageSet();
+    return set;
+}
+
+std::vector<std::span<const std::uint8_t>>
+spansOf(const std::vector<std::vector<std::uint8_t>> &images)
+{
+    return {images.begin(), images.end()};
+}
+
+/** Epochs below @p cut owned by stream @p s of @p n (base 0). */
+std::uint64_t
+ownedBelow(std::uint64_t cut, unsigned s, unsigned n)
+{
+    return cut > s ? (cut - 1 - s) / n + 1 : 0;
+}
+
+TEST(ShardedCorruption, LaggingStreamLimitsTheCutNotItsSiblings)
+{
+    // Truncate one stream at a frame boundary so it falls behind:
+    // the cut lands at its first missing epoch, and every sibling
+    // keeps exactly its frames below the cut — no more, no less.
+    ShardedSet set = makeShardedSet(4, 12);
+    set.images[2].resize(set.frameEnds[2][1]); // header + 1 epoch
+    // Stream 2 owns epochs 2, 6, 10; with one frame left its first
+    // missing epoch is 6.
+    const std::uint64_t cut = 6;
+    for (unsigned jobs : {1u, 2u}) {
+        RecoveredShardedJournal rj =
+            recoverShardedJournal(spansOf(set.images), jobs);
+        EXPECT_TRUE(rj.report.headerOk);
+        EXPECT_EQ(rj.consistentEpochs, cut);
+        ASSERT_NE(rj.recording, nullptr);
+        EXPECT_EQ(rj.recording->epochs.size(), cut);
+        for (unsigned s = 0; s < 4; ++s) {
+            const StreamRecovery &sr = rj.streams[s];
+            EXPECT_TRUE(sr.report.clean()) << "stream " << s;
+            EXPECT_EQ(sr.framesKept, ownedBelow(cut, s, 4));
+            EXPECT_EQ(sr.keptBytes,
+                      set.frameEnds[s][static_cast<std::size_t>(
+                          sr.framesKept)])
+                << "stream " << s
+                << " prefix shortened beyond the consistent cut";
+        }
+        EXPECT_EQ(rj.report.tailError, JournalError::InconsistentCut);
+        EXPECT_EQ(rj.report.streamIndex, 2u);
+        EXPECT_NE(rj.report.detail.find("behind its siblings"),
+                  std::string::npos)
+            << rj.report.detail;
+    }
+}
+
+TEST(ShardedCorruption, TamperedSequenceMetadataFailsTheStreamClosed)
+{
+    // Rewrite one epoch frame's dependency metadata (epoch index /
+    // stream sequence) with a *valid* CRC: the sequencing checks, not
+    // the checksum, must stop the stream at the tampered frame.
+    ShardedSet set = makeShardedSet(4, 12);
+    struct Tamper
+    {
+        std::uint64_t indexDelta, seqDelta;
+        const char *expectDetail;
+    };
+    for (const Tamper &t :
+         {Tamper{0, 1, "contradicts"},
+          Tamper{1, 0, "does not belong"}}) {
+        std::vector<std::vector<std::uint8_t>> images = set.images;
+        const std::vector<std::uint8_t> &orig = set.images[1];
+        // Stream 1's second epoch frame carries epoch 5, sequence 1.
+        std::size_t pos = set.frameEnds[1][1];
+        journal_detail::Frame f = journal_detail::parseFrame(
+            std::span<const std::uint8_t>(orig), pos);
+        ASSERT_EQ(pos, set.frameEnds[1][2]);
+        ByteReader p(f.payload);
+        const std::uint64_t index = p.varu();
+        const std::uint64_t seq = p.varu();
+        ByteWriter wp;
+        wp.varu(index + t.indexDelta);
+        wp.varu(seq + t.seqDelta);
+        std::vector<std::uint8_t> payload = wp.take();
+        payload.insert(payload.end(), f.payload.begin() + p.pos(),
+                       f.payload.end());
+        std::vector<std::uint8_t> frame = journal_detail::makeFrame(
+            journalEpochKind, std::move(payload));
+        std::vector<std::uint8_t> &img = images[1];
+        img.erase(img.begin() + set.frameEnds[1][1],
+                  img.begin() + set.frameEnds[1][2]);
+        img.insert(img.begin() + set.frameEnds[1][1], frame.begin(),
+                   frame.end());
+
+        RecoveredShardedJournal rj =
+            recoverShardedJournal(spansOf(images), 2);
+        // Stream 1 keeps only epoch 1; the cut is its next owned
+        // epoch, 5.
+        const std::uint64_t cut = 5;
+        EXPECT_TRUE(rj.report.headerOk);
+        EXPECT_EQ(rj.consistentEpochs, cut);
+        ASSERT_NE(rj.recording, nullptr);
+        EXPECT_EQ(rj.recording->epochs.size(), cut);
+        const StreamRecovery &bad = rj.streams[1];
+        EXPECT_EQ(bad.report.tailError, JournalError::BadEpochIndex);
+        EXPECT_EQ(bad.report.framesRecovered, 1u);
+        EXPECT_NE(bad.report.detail.find(t.expectDetail),
+                  std::string::npos)
+            << bad.report.detail;
+        for (unsigned s : {0u, 2u, 3u}) {
+            EXPECT_TRUE(rj.streams[s].report.clean());
+            EXPECT_EQ(rj.streams[s].framesKept,
+                      ownedBelow(cut, s, 4));
+            EXPECT_EQ(rj.streams[s].keptBytes,
+                      set.frameEnds[s][static_cast<std::size_t>(
+                          rj.streams[s].framesKept)]);
+        }
+        EXPECT_EQ(rj.report.tailError, JournalError::BadEpochIndex);
+        EXPECT_EQ(rj.report.streamIndex, 1u);
+        EXPECT_EQ(rj.report.detail.rfind("stream 1: ", 0), 0u)
+            << rj.report.detail;
+    }
+}
+
+TEST(ShardedCorruption, SwappedStreamSlotsFailClosedInPlace)
+{
+    // Two streams presented in each other's slots: both fail closed
+    // (their frames cannot be trusted to sit at the claimed epochs),
+    // the cut stops at the first epoch a mismatched slot owns, and
+    // the well-placed siblings are untouched.
+    ShardedSet set = makeShardedSet(4, 12);
+    std::vector<std::vector<std::uint8_t>> images = set.images;
+    std::swap(images[1], images[2]);
+    RecoveredShardedJournal rj =
+        recoverShardedJournal(spansOf(images), 2);
+    EXPECT_TRUE(rj.report.headerOk);
+    EXPECT_EQ(rj.consistentEpochs, 1u); // stream 1's first epoch
+    ASSERT_NE(rj.recording, nullptr);
+    EXPECT_EQ(rj.recording->epochs.size(), 1u);
+    for (unsigned s : {1u, 2u}) {
+        EXPECT_EQ(rj.streams[s].report.tailError,
+                  JournalError::StreamMismatch);
+        EXPECT_NE(rj.streams[s].report.detail.find("claims stream"),
+                  std::string::npos);
+        EXPECT_EQ(rj.streams[s].framesKept, 0u);
+        EXPECT_EQ(rj.streams[s].keptBytes, 0u);
+    }
+    EXPECT_TRUE(rj.streams[0].report.clean());
+    EXPECT_EQ(rj.streams[0].framesKept, 1u);
+    EXPECT_TRUE(rj.streams[3].report.clean());
+    EXPECT_EQ(rj.streams[3].framesKept, 0u);
+    EXPECT_EQ(rj.streams[3].keptBytes, set.frameEnds[3][0]);
+    EXPECT_EQ(rj.report.tailError, JournalError::StreamMismatch);
+    EXPECT_EQ(rj.report.streamIndex, 1u);
+
+    // Every slot wrong: no trustworthy header at all — recover
+    // nothing rather than guess.
+    ShardedSet two = makeShardedSet(2, 6);
+    std::swap(two.images[0], two.images[1]);
+    RecoveredShardedJournal none =
+        recoverShardedJournal(spansOf(two.images), 2);
+    EXPECT_FALSE(none.report.headerOk);
+    EXPECT_EQ(none.recording, nullptr);
+    EXPECT_EQ(none.report.bytesDiscarded,
+              two.images[0].size() + two.images[1].size());
+}
+
+TEST(ShardedCorruption, ForeignStreamIsOutvotedBySiblings)
+{
+    // A stream from a *different* session in an otherwise healthy
+    // set: its header parses and sits in the right slot, but its
+    // shared suffix (program, config, fingerprint) loses the majority
+    // vote — it fails closed without dragging the siblings down.
+    ShardedSet a = makeShardedSet(4, 12, 200);
+    ShardedSet b = makeShardedSet(4, 12, 300);
+    std::vector<std::vector<std::uint8_t>> images = a.images;
+    images[2] = b.images[2];
+    RecoveredShardedJournal rj =
+        recoverShardedJournal(spansOf(images), 2);
+    const std::uint64_t cut = 2; // stream 2's first owned epoch
+    EXPECT_TRUE(rj.report.headerOk);
+    EXPECT_EQ(rj.consistentEpochs, cut);
+    ASSERT_NE(rj.recording, nullptr);
+    EXPECT_EQ(rj.recording->epochs.size(), cut);
+    EXPECT_EQ(rj.streams[2].report.tailError,
+              JournalError::StreamMismatch);
+    EXPECT_NE(rj.streams[2].report.detail.find(
+                  "disagrees with its siblings"),
+              std::string::npos);
+    EXPECT_EQ(rj.streams[2].framesKept, 0u);
+    EXPECT_EQ(rj.streams[2].keptBytes, 0u);
+    for (unsigned s : {0u, 1u, 3u}) {
+        EXPECT_TRUE(rj.streams[s].report.clean());
+        EXPECT_EQ(rj.streams[s].framesKept, ownedBelow(cut, s, 4));
+        EXPECT_EQ(rj.streams[s].keptBytes,
+                  a.frameEnds[s][static_cast<std::size_t>(
+                      rj.streams[s].framesKept)]);
+    }
+}
+
+TEST(ShardedCorruption, RandomFlipsInOneStreamNeverShortenSiblings)
+{
+    // Single-byte flips confined to one stream, recovered in-process:
+    // recovery must never panic, the damaged stream's loss must be
+    // fully explained by its own report, and the undamaged streams
+    // must keep exactly their frames below the consistent cut.
+    ShardedSet set = makeShardedSet(4, 12);
+    Rng rng(0xC0441);
+    for (int round = 0; round < 60; ++round) {
+        std::vector<std::vector<std::uint8_t>> images = set.images;
+        std::vector<std::uint8_t> &img = images[2];
+        const std::size_t pos = rng.below(img.size());
+        img[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+
+        RecoveredShardedJournal rj =
+            recoverShardedJournal(spansOf(images), 2);
+        // Three healthy streams always outvote the damaged one.
+        EXPECT_TRUE(rj.report.headerOk);
+        ASSERT_NE(rj.recording, nullptr);
+
+        // Every byte of every frame is covered by structure or CRC:
+        // the flip can never pass unnoticed.
+        const RecoveryReport &r2 = rj.streams[2].report;
+        EXPECT_FALSE(rj.streams[2].report.clean())
+            << "flip at byte " << pos << " went undetected";
+        std::uint64_t kept2 = r2.headerOk ? r2.framesRecovered : 0;
+        if (r2.tailError == JournalError::StreamMismatch)
+            kept2 = 0;
+        const std::uint64_t cut =
+            std::min<std::uint64_t>(12, kept2 * 4 + 2);
+        EXPECT_EQ(rj.consistentEpochs, cut)
+            << "flip at byte " << pos;
+        EXPECT_EQ(rj.recording->epochs.size(), cut);
+        for (unsigned s : {0u, 1u, 3u}) {
+            EXPECT_TRUE(rj.streams[s].report.clean());
+            EXPECT_EQ(rj.streams[s].report.framesRecovered, 3u);
+            EXPECT_EQ(rj.streams[s].framesKept,
+                      ownedBelow(cut, s, 4));
+            EXPECT_EQ(rj.streams[s].keptBytes,
+                      set.frameEnds[s][static_cast<std::size_t>(
+                          rj.streams[s].framesKept)])
+                << "stream " << s << " shortened by a flip at byte "
+                << pos << " of stream 2";
+        }
+    }
 }
 
 } // namespace

@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "common/rng.hh"
 #include "core/recorder.hh"
 #include "fault/fault.hh"
 #include "journal/journal.hh"
+#include "journal/sharded.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "testprogs.hh"
@@ -522,6 +525,396 @@ TEST(VerifyImage, FlagsDamagedArtifactsAndJournals)
     EXPECT_EQ(jnl.kind, UniplayFileKind::Journal);
     EXPECT_FALSE(jnl.ok);
     EXPECT_EQ(jnl.epochs, run.epochs - 1);
+}
+
+// =====================================================================
+// Sharded journal (DESIGN.md §13): N per-stream logs with sequence
+// metadata, consistent-cut recovery, partitioned parallel decode.
+
+std::vector<std::span<const std::uint8_t>>
+spansOf(const std::vector<std::vector<std::uint8_t>> &images)
+{
+    return {images.begin(), images.end()};
+}
+
+/** One journaled record session through the sharded writer. */
+struct ShardedRun
+{
+    std::vector<std::uint8_t> artifact;
+    std::vector<std::vector<std::uint8_t>> images;
+    std::vector<std::vector<std::size_t>> frameEnds;
+    std::size_t epochs = 0;
+};
+
+ShardedRun
+recordSharded(const GuestProgram &prog, const RecorderOptions &opts,
+              unsigned streams, FaultInjector *faults = nullptr,
+              bool *writer_alive = nullptr, bool async = false)
+{
+    ShardedJournalWriter jw(prog, {},
+                            recorderOptionsFingerprint(opts),
+                            {.streams = streams}, faults);
+    if (async)
+        jw.enableAsyncCommit();
+    RecordObserver obs;
+    obs.addEpochSink([&](const EpochRecord &e, EpochId index) {
+        jw.appendEpoch(e, index);
+    });
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record(&obs);
+    EXPECT_TRUE(out.ok);
+    jw.flush();
+    if (writer_alive)
+        *writer_alive = jw.alive();
+    ShardedRun r;
+    r.artifact = serializeRecording(out.recording);
+    r.images = jw.imageSet();
+    for (unsigned s = 0; s < streams; ++s)
+        r.frameEnds.push_back(jw.streamFrameEnds(s));
+    r.epochs = out.recording.epochs.size();
+    return r;
+}
+
+/** Epochs below @p cut owned by stream @p s of @p n (base 0). */
+std::uint64_t
+ownedBelow(std::uint64_t cut, unsigned s, unsigned n)
+{
+    return cut > s ? (cut - 1 - s) / n + 1 : 0;
+}
+
+/** The consistent cut a from-scratch oracle predicts: the smallest
+ *  epoch index missing from its owning stream, given each stream's
+ *  kept frame count (base 0). */
+std::uint64_t
+oracleCut(const std::vector<std::uint64_t> &kept)
+{
+    const unsigned n = static_cast<unsigned>(kept.size());
+    std::uint64_t cut = kept[0] * n;
+    for (unsigned s = 1; s < n; ++s)
+        cut = std::min(cut, kept[s] * n + s);
+    return cut;
+}
+
+/** Recover @p images, resume the session from the recovered prefix
+ *  (truncating each stream to its keptBytes first, as the CLI does),
+ *  and return the finished artifact. */
+std::vector<std::uint8_t>
+resumeShardedToArtifact(const GuestProgram &prog,
+                        const RecorderOptions &opts,
+                        std::vector<std::vector<std::uint8_t>> images)
+{
+    const unsigned n = static_cast<unsigned>(images.size());
+    RecoveredShardedJournal rj =
+        recoverShardedJournal(spansOf(images));
+    EXPECT_TRUE(rj.report.headerOk);
+    EXPECT_NE(rj.recording, nullptr);
+    if (!rj.recording)
+        return {};
+    for (unsigned s = 0; s < n; ++s)
+        images[s].resize(rj.streams[s].keptBytes);
+    ShardedJournalWriter resumed(std::move(images), {.streams = n});
+    EXPECT_EQ(resumed.epochsWritten(), rj.consistentEpochs);
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.resume(std::move(rj.recording->epochs));
+    EXPECT_TRUE(out.ok);
+    EXPECT_FALSE(out.prefixVerifyFailed);
+    return serializeRecording(out.recording);
+}
+
+TEST(ShardedJournal, SingleStreamIsByteIdenticalToVersionTwo)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun v2 = recordJournaled(prog, opts);
+    ShardedRun one = recordSharded(prog, opts, 1);
+    ASSERT_EQ(one.images.size(), 1u);
+    // The read-compat contract: N == 1 emits a version-2 journal,
+    // byte for byte.
+    EXPECT_EQ(one.images[0], v2.journal);
+    EXPECT_EQ(one.frameEnds[0], v2.frameEnds);
+}
+
+TEST(ShardedJournal, AsyncCommitBytesMatchSynchronousCommits)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    for (unsigned n : {1u, 2u, 4u}) {
+        SCOPED_TRACE(testing::Message() << n << " streams");
+        ShardedRun sync_run = recordSharded(prog, opts, n);
+        ShardedRun async_run = recordSharded(prog, opts, n, nullptr,
+                                             nullptr, true);
+        EXPECT_EQ(sync_run.artifact, async_run.artifact);
+        // Same-stream FIFO on the committer strands: every stream's
+        // image is identical to the synchronous writer's.
+        EXPECT_EQ(sync_run.images, async_run.images);
+    }
+}
+
+TEST(ShardedJournal, RecoversTheSameArtifactAcrossStreamAndJobShapes)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    JournaledRun v2 = recordJournaled(prog, opts);
+    for (unsigned n : {1u, 2u, 4u}) {
+        SCOPED_TRACE(testing::Message() << n << " streams");
+        ShardedRun run = recordSharded(prog, opts, n);
+        ASSERT_GE(run.epochs, 3u);
+        for (unsigned jobs : {1u, 2u, 4u}) {
+            RecoveredShardedJournal rj =
+                recoverShardedJournal(spansOf(run.images), jobs);
+            ASSERT_TRUE(rj.report.clean())
+                << jobs << " jobs: " << rj.report.detail;
+            EXPECT_EQ(rj.streamCount, n);
+            EXPECT_EQ(rj.consistentEpochs, run.epochs);
+            EXPECT_EQ(rj.report.framesRecovered, run.epochs);
+            EXPECT_EQ(rj.report.bytesDiscarded, 0u);
+            EXPECT_EQ(rj.optionsFingerprint,
+                      recorderOptionsFingerprint(opts));
+            ASSERT_NE(rj.recording, nullptr);
+            // The one artifact, whatever the stream count or the
+            // recovery parallelism.
+            EXPECT_EQ(serializeRecording(*rj.recording), v2.artifact);
+        }
+    }
+}
+
+// The sharded crash matrix: for N in {1, 2, 4}, kill the writer at
+// *every* per-stream frame boundary (the other streams keep their
+// full images). Recovery must keep exactly the consistent cut the
+// oracle predicts, and the resumed session must finish byte-identical
+// to the uninterrupted run.
+TEST(ShardedJournal, CrashAtEveryStreamFrameBoundaryResumesByteIdentical)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    for (unsigned n : {1u, 2u, 4u}) {
+        ShardedRun run = recordSharded(prog, opts, n);
+        ASSERT_GE(run.epochs, 3u);
+        std::vector<std::uint64_t> full(n);
+        for (unsigned s = 0; s < n; ++s)
+            full[s] = run.frameEnds[s].size() - 1;
+        for (unsigned s = 0; s < n; ++s) {
+            for (std::size_t b = 0; b < run.frameEnds[s].size();
+                 ++b) {
+                SCOPED_TRACE(testing::Message()
+                             << n << " streams, stream " << s
+                             << " cut at frame boundary " << b);
+                std::vector<std::vector<std::uint8_t>> images =
+                    run.images;
+                images[s].resize(run.frameEnds[s][b]);
+                std::vector<std::uint64_t> kept = full;
+                kept[s] = b; // frame 0 is the header
+                const std::uint64_t cut = oracleCut(kept);
+
+                RecoveredShardedJournal rj =
+                    recoverShardedJournal(spansOf(images));
+                ASSERT_TRUE(rj.report.headerOk);
+                EXPECT_EQ(rj.consistentEpochs, cut);
+                EXPECT_EQ(rj.report.framesRecovered, cut);
+                // The cut stream itself is clean — the crash landed
+                // between frames.
+                EXPECT_EQ(rj.streams[s].report.tailError,
+                          JournalError::None);
+                bool any_beyond = false;
+                for (unsigned t = 0; t < n; ++t)
+                    any_beyond |= kept[t] > ownedBelow(cut, t, n);
+                EXPECT_EQ(rj.report.tailError,
+                          any_beyond ? JournalError::InconsistentCut
+                                     : JournalError::None);
+                EXPECT_EQ(resumeShardedToArtifact(prog, opts,
+                                                  std::move(images)),
+                          run.artifact);
+            }
+        }
+    }
+}
+
+// Torn tails, sharded: cut one stream at seeded offsets strictly
+// inside each of its frames. The damaged stream reports a torn tail,
+// its complete frames survive, siblings keep their prefixes up to the
+// consistent cut, and the resumed session is byte-identical.
+TEST(ShardedJournal, TornStreamTailAtSeededOffsetsResumesByteIdentical)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    Rng rng(0x5'4a7d'3d01);
+    for (unsigned n : {1u, 2u, 4u}) {
+        ShardedRun run = recordSharded(prog, opts, n);
+        ASSERT_GE(run.epochs, 3u);
+        std::vector<std::uint64_t> full(n);
+        for (unsigned s = 0; s < n; ++s)
+            full[s] = run.frameEnds[s].size() - 1;
+        for (unsigned s = 0; s < n; ++s) {
+            const std::vector<std::size_t> &ends = run.frameEnds[s];
+            for (std::size_t f = 0; f + 1 < ends.size(); ++f) {
+                std::size_t lo = ends[f];
+                std::size_t hi = ends[f + 1];
+                for (int k = 0; k < 2; ++k) {
+                    std::size_t cut_at =
+                        lo + 1 + rng.below(hi - lo - 1);
+                    SCOPED_TRACE(testing::Message()
+                                 << n << " streams, stream " << s
+                                 << " torn at byte " << cut_at
+                                 << " inside frame " << f + 1);
+                    std::vector<std::vector<std::uint8_t>> images =
+                        run.images;
+                    images[s].resize(cut_at);
+                    std::vector<std::uint64_t> kept = full;
+                    kept[s] = f;
+                    const std::uint64_t cut = oracleCut(kept);
+
+                    RecoveredShardedJournal rj =
+                        recoverShardedJournal(spansOf(images));
+                    ASSERT_TRUE(rj.report.headerOk);
+                    EXPECT_EQ(rj.streams[s].report.tailError,
+                              JournalError::TruncatedFrame);
+                    EXPECT_EQ(rj.consistentEpochs, cut);
+                    EXPECT_EQ(rj.report.framesRecovered, cut);
+                    EXPECT_GT(rj.report.bytesDiscarded, 0u);
+                    EXPECT_NE(rj.report.tailError,
+                              JournalError::None);
+                    EXPECT_EQ(resumeShardedToArtifact(
+                                  prog, opts, std::move(images)),
+                              run.artifact);
+                }
+            }
+        }
+    }
+}
+
+TEST(ShardedJournal, TruncationDropsCoveredSegmentsAndKeepsTheTail)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok);
+    const std::vector<EpochRecord> &epochs = out.recording.epochs;
+    const auto total = static_cast<std::uint64_t>(epochs.size());
+    ASSERT_GE(total, 5u);
+
+    ShardedJournalWriter jw(prog, {},
+                            recorderOptionsFingerprint(opts),
+                            {.streams = 2, .segmentEpochs = 2});
+    for (std::uint64_t i = 0; i < total; ++i)
+        jw.appendEpoch(epochs[i], static_cast<EpochId>(i));
+
+    // Epochs below 4 are covered by a durable checkpoint: both whole
+    // segments below it can go.
+    const std::size_t dropped = jw.truncateCoveredSegments(4);
+    EXPECT_GT(dropped, 0u);
+    EXPECT_EQ(jw.baseEpoch(), 4u);
+    // Appends continue against the advanced base... and recovery
+    // returns the tail epochs, not a whole Recording.
+    RecoveredShardedJournal rj =
+        recoverShardedJournal(spansOf(jw.imageSet()));
+    ASSERT_TRUE(rj.report.headerOk);
+    EXPECT_EQ(rj.baseEpoch, 4u);
+    EXPECT_EQ(rj.recording, nullptr);
+    EXPECT_EQ(rj.consistentEpochs, total);
+    ASSERT_EQ(rj.tailEpochs.size(), total - 4);
+    for (std::size_t i = 0; i < rj.tailEpochs.size(); ++i) {
+        const EpochRecord &got = rj.tailEpochs[i];
+        const EpochRecord &want = epochs[4 + i];
+        EXPECT_EQ(got.endStateHash, want.endStateHash) << i;
+        EXPECT_TRUE(got.schedule == want.schedule &&
+                    got.syscalls == want.syscalls)
+            << "tail epoch " << i << " decoded differently";
+    }
+
+    // A durable epoch mid-segment only drops the whole segments
+    // below it; nothing else moves.
+    EXPECT_EQ(jw.truncateCoveredSegments(5), 0u);
+    EXPECT_EQ(jw.baseEpoch(), 4u);
+}
+
+TEST(ShardedJournal, VersionTwoFixtureRecoversIdentically)
+{
+    // Pinned bytes: a version-2 journal and the artifact its epochs
+    // serialize to, recorded by an earlier build (see
+    // tests/fixtures/README.md). The new recovery path must keep
+    // accepting the old format byte-for-byte.
+    auto read_fixture = [](const char *name) {
+        std::ifstream in(std::string(DP_JOURNAL_FIXTURE_DIR) + "/" +
+                             name,
+                         std::ios::binary);
+        EXPECT_TRUE(in.good()) << name;
+        return std::vector<std::uint8_t>(
+            std::istreambuf_iterator<char>(in), {});
+    };
+    std::vector<std::uint8_t> journal =
+        read_fixture("v2_journal.bin");
+    std::vector<std::uint8_t> artifact =
+        read_fixture("v2_artifact.bin");
+    ASSERT_FALSE(journal.empty());
+    ASSERT_FALSE(artifact.empty());
+
+    RecoveredJournal rj = recoverJournal(journal);
+    ASSERT_TRUE(rj.report.clean()) << rj.report.detail;
+    ASSERT_NE(rj.recording, nullptr);
+    EXPECT_EQ(serializeRecording(*rj.recording), artifact);
+
+    // And through the sharded entry point (the v2 read-compat path).
+    std::vector<std::vector<std::uint8_t>> images{journal};
+    for (unsigned jobs : {1u, 2u}) {
+        RecoveredShardedJournal srj =
+            recoverShardedJournal(spansOf(images), jobs);
+        ASSERT_TRUE(srj.report.clean()) << srj.report.detail;
+        EXPECT_EQ(srj.streamCount, 1u);
+        ASSERT_NE(srj.recording, nullptr);
+        EXPECT_EQ(serializeRecording(*srj.recording), artifact);
+    }
+}
+
+// Per-stream fault sites: the injected failure damages one stream;
+// siblings keep committing, recovery never panics, and the resumed
+// session still finishes byte-identical.
+TEST(ShardedJournalFaults, InjectedStreamFailuresRecoverAndResume)
+{
+    GuestProgram prog = testprogs::lockedCounter(2, 400);
+    RecorderOptions opts = testOpts();
+    ShardedRun base = recordSharded(prog, opts, 4);
+    ASSERT_GE(base.epochs, 3u);
+
+    for (FaultSite site :
+         {FaultSite::StreamTornWrite, FaultSite::StreamCrash,
+          FaultSite::StreamBitFlip}) {
+        bool found = false;
+        for (std::uint64_t seed = 1; seed <= 64 && !found; ++seed) {
+            FaultPlan plan;
+            plan.seed = seed;
+            plan.with(site, 0.3, 1);
+            FaultInjector fi(plan);
+            bool alive = true;
+            ShardedRun run =
+                recordSharded(prog, opts, 4, &fi, &alive);
+            EXPECT_EQ(run.artifact, base.artifact); // session unharmed
+            if (fi.count(site) == 0)
+                continue;
+            RecoveredShardedJournal rj =
+                recoverShardedJournal(spansOf(run.images));
+            ASSERT_TRUE(rj.report.headerOk)
+                << faultSiteName(site) << " seed " << seed;
+            if (rj.consistentEpochs == 0 ||
+                rj.consistentEpochs == base.epochs)
+                continue; // scan for a mid-journal failure
+            found = true;
+            // Damage stays confined to the streams whose epochs the
+            // injector hit — never more streams than fired faults.
+            unsigned damaged = 0;
+            for (unsigned s = 0; s < 4; ++s)
+                if (rj.streams[s].report.tailError !=
+                    JournalError::None)
+                    ++damaged;
+            EXPECT_LE(damaged, fi.count(site))
+                << faultSiteName(site);
+            EXPECT_EQ(resumeShardedToArtifact(prog, opts,
+                                              run.images),
+                      base.artifact)
+                << faultSiteName(site) << " seed " << seed;
+        }
+        EXPECT_TRUE(found) << faultSiteName(site);
+    }
 }
 
 } // namespace

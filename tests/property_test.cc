@@ -16,6 +16,7 @@
 #include "common/rng.hh"
 #include "core/recorder.hh"
 #include "fault/fault.hh"
+#include "journal/sharded.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "testprogs.hh"
@@ -299,6 +300,271 @@ TEST(IncrementalDigestProperty, TornCaptureRetryLoopStaysCoherent)
         EXPECT_EQ(other.mem.hash(), other.mem.referenceHash());
     }
 }
+
+/** Epochs below @p cut owned by stream @p s of @p n (base 0). */
+std::uint64_t
+shardOwnedBelow(std::uint64_t cut, unsigned s, unsigned n)
+{
+    return cut > s ? (cut - 1 - s) / n + 1 : 0;
+}
+
+/**
+ * Sharded-journal recovery against a from-scratch oracle: random
+ * stream counts, random crash points (byte-level torn tails), random
+ * bit flips. The oracle predicts the consistent cut from the frame
+ * geometry alone — a stream keeps the frames wholly below its first
+ * damaged byte, and the cut is the first epoch missing from its
+ * owner — independent of the recovery code under test. Recovery must
+ * match it exactly at every jobs count, byte-identically.
+ */
+class ShardedJournalRecoveryProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ShardedJournalRecoveryProperty, RecoveredPrefixMatchesOracle)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 13);
+
+    GuestProgram prog =
+        testprogs::randomProgram(seed, {.allowRaces = false});
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 4'000;
+    opts.seed = seed * 31 + 7;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok) << "seed " << seed;
+    const Recording &r = out.recording;
+
+    const unsigned n = 1 + static_cast<unsigned>(rng.below(4));
+    const std::uint64_t appends = rng.range(2 * n, 24);
+    ShardedJournalWriter w(r.program(), r.config(),
+                           recorderOptionsFingerprint(opts),
+                           {.streams = n});
+    if (rng.chance(1, 2))
+        w.enableAsyncCommit();
+    for (std::uint64_t i = 0; i < appends; ++i)
+        w.appendEpoch(r.epochs[i % r.epochs.size()],
+                      static_cast<EpochId>(i));
+    w.flush();
+    std::vector<std::vector<std::size_t>> frame_ends;
+    for (unsigned s = 0; s < n; ++s)
+        frame_ends.push_back(w.streamFrameEnds(s));
+    const std::vector<std::vector<std::uint8_t>> pristine =
+        w.imageSet();
+
+    for (int round = 0; round < 4; ++round) {
+        std::vector<std::vector<std::uint8_t>> images = pristine;
+        std::vector<std::size_t> damage; // first damaged byte
+        for (unsigned s = 0; s < n; ++s) {
+            std::size_t keep = images[s].size();
+            if (!rng.chance(1, 3))
+                keep = rng.below(images[s].size() + 1);
+            images[s].resize(keep);
+            damage.push_back(keep);
+        }
+        if (rng.chance(1, 2)) {
+            const unsigned t = static_cast<unsigned>(rng.below(n));
+            if (!images[t].empty()) {
+                const std::size_t pos = rng.below(images[t].size());
+                images[t][pos] ^=
+                    static_cast<std::uint8_t>(1 + rng.below(255));
+                damage[t] = std::min(damage[t], pos);
+            }
+        }
+
+        std::uint64_t expect_cut = 0;
+        bool any_usable = false;
+        for (unsigned s = 0; s < n; ++s) {
+            const std::vector<std::size_t> &ends = frame_ends[s];
+            std::uint64_t kept = 0;
+            if (damage[s] >= ends[0]) { // header survived
+                any_usable = true;
+                while (kept + 1 < ends.size() &&
+                       ends[kept + 1] <= damage[s])
+                    ++kept;
+            }
+            const std::uint64_t missing = kept * n + s;
+            if (s == 0 || missing < expect_cut)
+                expect_cut = missing;
+        }
+
+        std::vector<std::span<const std::uint8_t>> spans(
+            images.begin(), images.end());
+        std::vector<std::uint8_t> baseline;
+        for (unsigned jobs : {1u, 2u, 4u}) {
+            RecoveredShardedJournal rj =
+                recoverShardedJournal(spans, jobs);
+            if (!any_usable) {
+                // Not one trustworthy header: recover nothing.
+                EXPECT_FALSE(rj.report.headerOk)
+                    << "seed " << seed << " round " << round;
+                EXPECT_EQ(rj.recording, nullptr);
+                continue;
+            }
+            EXPECT_TRUE(rj.report.headerOk)
+                << "seed " << seed << " round " << round;
+            EXPECT_EQ(rj.consistentEpochs, expect_cut)
+                << "seed " << seed << " round " << round
+                << " jobs " << jobs;
+            ASSERT_NE(rj.recording, nullptr);
+            ASSERT_EQ(rj.recording->epochs.size(), expect_cut);
+            for (std::uint64_t i = 0; i < expect_cut; ++i) {
+                const EpochRecord &got = rj.recording->epochs[i];
+                const EpochRecord &src =
+                    r.epochs[i % r.epochs.size()];
+                EXPECT_EQ(got.endStateHash, src.endStateHash)
+                    << "seed " << seed << " epoch " << i;
+                EXPECT_TRUE(got.schedule == src.schedule);
+            }
+            for (unsigned s = 0; s < n; ++s) {
+                if (rj.streams[s].report.headerOk) {
+                    EXPECT_EQ(rj.streams[s].framesKept,
+                              shardOwnedBelow(expect_cut, s, n))
+                        << "seed " << seed << " stream " << s;
+                }
+            }
+            std::vector<std::uint8_t> bytes =
+                serializeRecording(*rj.recording);
+            if (jobs == 1)
+                baseline = std::move(bytes);
+            else
+                EXPECT_EQ(bytes, baseline)
+                    << "recovery diverged at jobs " << jobs;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShardedJournalRecoveryProperty,
+                         ::testing::Range<std::uint64_t>(500, 512));
+
+/** Random per-stream fault plan: torn writes, stream crashes, bit
+ *  flips at moderate probabilities under one master seed. */
+FaultPlan
+randomStreamFaultPlan(std::uint64_t seed)
+{
+    Rng rng(seed * 0x2545f4914f6cdd1dull + 29);
+    FaultPlan plan;
+    plan.seed = seed ^ 0x57e4a;
+    if (rng.chance(2, 3))
+        plan.with(FaultSite::StreamTornWrite, 0.02 * rng.range(1, 8),
+                  static_cast<std::uint32_t>(rng.range(1, 2)));
+    if (rng.chance(2, 3))
+        plan.with(FaultSite::StreamCrash, 0.02 * rng.range(1, 4), 1);
+    if (rng.chance(2, 3))
+        plan.with(FaultSite::StreamBitFlip, 0.02 * rng.range(1, 8),
+                  static_cast<std::uint32_t>(rng.range(1, 2)));
+    if (!plan.enabled()) // always inject *something*
+        plan.with(FaultSite::StreamTornWrite, 0.1, 1);
+    return plan;
+}
+
+/**
+ * Random stream-level fault plans during the append run: whatever the
+ * injector did, recovery must agree with itself at every jobs count,
+ * the cut must be exactly what the per-stream prefixes allow, and a
+ * resumed session over the recovered prefixes must complete the
+ * journal to a clean full recovery.
+ */
+class ShardedJournalUnderStreamFaults
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ShardedJournalUnderStreamFaults, RecoversMergesAndResumes)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 41);
+
+    GuestProgram prog =
+        testprogs::randomProgram(seed, {.allowRaces = false});
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 4'000;
+    opts.seed = seed * 17 + 5;
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record();
+    ASSERT_TRUE(out.ok) << "seed " << seed;
+    const Recording &r = out.recording;
+    const std::uint64_t fp = recorderOptionsFingerprint(opts);
+
+    const unsigned n = 2 + static_cast<unsigned>(rng.below(3));
+    const std::uint64_t appends = rng.range(8, 24);
+    FaultInjector inj(randomStreamFaultPlan(seed));
+    ShardedJournalWriter w(r.program(), r.config(), fp,
+                           {.streams = n}, &inj);
+    if (rng.chance(1, 2))
+        w.enableAsyncCommit();
+    for (std::uint64_t i = 0; i < appends; ++i)
+        w.appendEpoch(r.epochs[i % r.epochs.size()],
+                      static_cast<EpochId>(i));
+    w.flush();
+    std::vector<std::vector<std::uint8_t>> images = w.imageSet();
+    std::vector<std::span<const std::uint8_t>> spans(images.begin(),
+                                                     images.end());
+
+    std::uint64_t cut = 0;
+    std::vector<std::uint8_t> baseline;
+    for (unsigned jobs : {1u, 2u, 4u}) {
+        RecoveredShardedJournal rj =
+            recoverShardedJournal(spans, jobs);
+        // Stream faults only damage epoch frames; every header (and
+        // so the majority vote) survives.
+        EXPECT_TRUE(rj.report.headerOk) << "seed " << seed;
+        ASSERT_NE(rj.recording, nullptr);
+        // The merge is exactly the per-stream scans' consistent cut.
+        std::uint64_t expect = 0;
+        for (unsigned s = 0; s < n; ++s) {
+            const std::uint64_t missing =
+                rj.streams[s].report.framesRecovered * n + s;
+            if (s == 0 || missing < expect)
+                expect = missing;
+        }
+        EXPECT_EQ(rj.consistentEpochs, expect) << "seed " << seed;
+        for (unsigned s = 0; s < n; ++s)
+            EXPECT_EQ(rj.streams[s].framesKept,
+                      shardOwnedBelow(expect, s, n))
+                << "seed " << seed << " stream " << s;
+        std::vector<std::uint8_t> bytes =
+            serializeRecording(*rj.recording);
+        if (jobs == 1) {
+            cut = rj.consistentEpochs;
+            baseline = std::move(bytes);
+            for (unsigned s = 0; s < n; ++s)
+                images[s].resize(rj.streams[s].keptBytes);
+        } else {
+            EXPECT_EQ(rj.consistentEpochs, cut);
+            EXPECT_EQ(bytes, baseline)
+                << "recovery diverged at jobs " << jobs;
+        }
+    }
+
+    // Resume over the validated prefixes (no faults this time) and
+    // finish the run: the journal must recover clean and complete.
+    ShardedJournalWriter resumed(std::move(images), {.streams = n});
+    EXPECT_EQ(resumed.epochsWritten(), cut);
+    for (std::uint64_t i = cut; i < appends; ++i)
+        resumed.appendEpoch(r.epochs[i % r.epochs.size()],
+                            static_cast<EpochId>(i));
+    resumed.flush();
+    const std::vector<std::vector<std::uint8_t>> final_images =
+        resumed.imageSet();
+    std::vector<std::span<const std::uint8_t>> final_spans(
+        final_images.begin(), final_images.end());
+    RecoveredShardedJournal full =
+        recoverShardedJournal(final_spans, 2);
+    EXPECT_TRUE(full.report.clean()) << "seed " << seed;
+    EXPECT_EQ(full.consistentEpochs, appends);
+    ASSERT_NE(full.recording, nullptr);
+    ASSERT_EQ(full.recording->epochs.size(), appends);
+    for (std::uint64_t i = 0; i < appends; ++i)
+        EXPECT_EQ(full.recording->epochs[i].endStateHash,
+                  r.epochs[i % r.epochs.size()].endStateHash)
+            << "seed " << seed << " epoch " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShardedJournalUnderStreamFaults,
+                         ::testing::Range<std::uint64_t>(700, 710));
 
 TEST(RandomPrograms, UniprocessorExecutionIsDeterministic)
 {

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -193,6 +194,96 @@ TEST_F(ToolsCli, ReplayJobsMisuseIsUsageError)
     CmdResult rec = uniplay("record pfscan --jobs 2");
     EXPECT_EQ(rec.exitCode, 2) << rec.output;
     EXPECT_NE(rec.output.find("--jobs"), std::string::npos);
+}
+
+TEST_F(ToolsCli, JournalStreamsMisuseIsUsageError)
+{
+    // --journal-streams shapes how record *writes* the journal;
+    // every reader derives the shape from the files themselves.
+    for (const char *cmd : {"replay", "recover", "verify", "stats"}) {
+        CmdResult r = uniplay(std::string(cmd) +
+                              " nonexistent.bin --journal-streams 4");
+        EXPECT_EQ(r.exitCode, 2) << cmd << ": " << r.output;
+        EXPECT_NE(r.output.find("--journal-streams"),
+                  std::string::npos)
+            << cmd << " must name the rejected flag: " << r.output;
+    }
+
+    // Zero streams cannot hold a journal.
+    CmdResult zero = uniplay("record pfscan --journal " +
+                             path("z.dpj") + " --journal-streams 0");
+    EXPECT_EQ(zero.exitCode, 2) << zero.output;
+    EXPECT_NE(zero.output.find("--journal-streams"),
+              std::string::npos);
+}
+
+TEST_F(ToolsCli, RecoverJobsMisuseIsUsageError)
+{
+    // Rejected before any file access: zero host threads cannot
+    // recover anything.
+    CmdResult zero = uniplay("recover nonexistent.dpj --jobs 0");
+    EXPECT_EQ(zero.exitCode, 2) << zero.output;
+    EXPECT_NE(zero.output.find("--jobs"), std::string::npos);
+}
+
+TEST_F(ToolsCli, MultiStreamJournalRecoversByteIdenticalArtifact)
+{
+    const std::string artifact = path("sharded.bin");
+    const std::string recovered = path("recovered.bin");
+    const std::string journal = path("sharded.dpj");
+    for (int s = 0; s < 3; ++s)
+        path("sharded.dpj.s" + std::to_string(s));
+
+    CmdResult rec = uniplay("record pfscan -t 2 -s 4 -o " +
+                            artifact + " --journal " + journal +
+                            " --journal-streams 3");
+    ASSERT_EQ(rec.exitCode, 0) << rec.output;
+    EXPECT_NE(rec.output.find("across 3 streams"),
+              std::string::npos)
+        << rec.output;
+
+    CmdResult r = uniplay("recover " + journal + " --jobs 2 -o " +
+                          recovered);
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("streams:   3"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(slurp(recovered), slurp(artifact))
+        << "recovered artifact differs from the recorded one";
+}
+
+TEST_F(ToolsCli, VerifyAndStatsResolveShardedJournalSets)
+{
+    const std::string journal = path("vset.dpj");
+    for (int s = 0; s < 3; ++s)
+        path("vset.dpj.s" + std::to_string(s));
+    ASSERT_EQ(uniplay("record pfscan -t 2 -s 4 --journal " + journal +
+                      " --journal-streams 3")
+                  .exitCode,
+              0);
+
+    // The base path has no file of its own, only .s0..s2: verify
+    // must resolve the set instead of failing to open the base.
+    CmdResult v = uniplay("verify " + journal);
+    EXPECT_EQ(v.exitCode, 0) << v.output;
+    EXPECT_NE(v.output.find("3 stream(s)"), std::string::npos)
+        << v.output;
+    EXPECT_NE(v.output.find("intact"), std::string::npos) << v.output;
+
+    CmdResult st = uniplay("stats " + journal);
+    ASSERT_EQ(st.exitCode, 0) << st.output;
+    std::string err;
+    std::optional<JsonValue> doc = JsonValue::parse(st.output, &err);
+    ASSERT_TRUE(doc.has_value()) << err << "\noutput: " << st.output;
+    const JsonValue *schema = doc->find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->asString(), "dp-metrics-v1");
+
+    // Tear one stream: verify must fail closed and name the damage.
+    std::filesystem::resize_file(journal + ".s1", 40);
+    CmdResult torn = uniplay("verify " + journal);
+    EXPECT_EQ(torn.exitCode, 1) << torn.output;
+    EXPECT_NE(torn.output.find("stream"), std::string::npos)
+        << torn.output;
 }
 
 TEST_F(ToolsCli, StatsEmitsParsableMetricsSnapshot)

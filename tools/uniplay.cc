@@ -40,6 +40,7 @@
 #include "core/recorder.hh"
 #include "fault/fault.hh"
 #include "journal/journal.hh"
+#include "journal/sharded.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
 #include "trace/metrics.hh"
@@ -59,14 +60,16 @@ usage()
         << "usage:\n"
         << "  uniplay record <workload> [-t N] [-s SCALE] "
            "[-e EPOCHLEN] [--fault-plan SPEC --fault-seed N] "
-           "[-o FILE] [--journal FILE [--resume]] [--trace FILE]\n"
+           "[-o FILE] [--journal FILE [--resume] "
+           "[--journal-streams N]] [--trace FILE]\n"
         << "  uniplay run <file.s>\n"
         << "  uniplay record-asm <file.s> [-t N] [-e EPOCHLEN] "
            "[--fault-plan SPEC --fault-seed N] [-o FILE] "
-           "[--journal FILE [--resume]] [--trace FILE]\n"
+           "[--journal FILE [--resume] [--journal-streams N]] "
+           "[--trace FILE]\n"
         << "  uniplay replay FILE [--parallel N [--jobs N]] "
            "[--trace FILE]\n"
-        << "  uniplay recover JOURNAL [-o FILE]\n"
+        << "  uniplay recover JOURNAL [-o FILE] [--jobs N]\n"
         << "  uniplay verify FILE\n"
         << "  uniplay races FILE\n"
         << "  uniplay profile FILE\n"
@@ -114,6 +117,9 @@ struct Args
     std::string faultPlan;
     std::uint64_t faultSeed = 0;
     std::string journalFile;
+    /** Shards the journal splits across (record/record-asm only). */
+    unsigned journalStreams = 1;
+    bool journalStreamsSet = false;
     bool resume = false;
     std::string traceFile;
     /** First unrecognized '-' option (empty = none): flag typos must
@@ -155,6 +161,11 @@ parseArgs(int argc, char **argv, int first)
             a.faultSeed = std::stoull(next());
         else if (s == "--journal")
             a.journalFile = next();
+        else if (s == "--journal-streams") {
+            a.journalStreams =
+                static_cast<unsigned>(std::stoul(next()));
+            a.journalStreamsSet = true;
+        }
         else if (s == "--resume")
             a.resume = true;
         else if (s == "--trace")
@@ -166,6 +177,87 @@ parseArgs(int argc, char **argv, int first)
             a.positional.push_back(std::move(s));
     }
     return a;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return in.good();
+}
+
+/** A journal on disk: one v2 file, or a sharded set of streams. */
+struct JournalSet
+{
+    /** Per-stream images, index-aligned (one entry for a v2 file; a
+     *  lost stream file is an empty image). */
+    std::vector<std::vector<std::uint8_t>> images;
+    /** Base path (the .s<i> suffix stripped, if one was named). */
+    std::string base;
+    unsigned streams = 1;
+};
+
+/**
+ * Load the journal at @p path, following sharded-set naming: a v3
+ * stream file (or a base path whose "<base>.s0" exists) pulls in the
+ * whole "<base>.s0".."<base>.s<N-1>" set its header names.
+ */
+JournalSet
+loadJournalSet(const std::string &path)
+{
+    JournalSet js;
+    js.base = path;
+    std::string probe = path;
+    if (!fileExists(probe)) {
+        if (fileExists(path + ".s0"))
+            probe = path + ".s0";
+        else
+            dp_fatal("cannot open ", path);
+    }
+    std::vector<std::uint8_t> img = readFile(probe);
+    std::optional<StreamInfo> si = peekStreamInfo(img);
+    if (!si) {
+        // A v2 journal (or garbage — recovery will say which).
+        js.images.push_back(std::move(img));
+        return js;
+    }
+    std::string base = path;
+    if (probe == path) {
+        // The user named one stream file directly: strip ".s<i>".
+        const std::size_t dot = probe.rfind(".s");
+        bool digits = dot != std::string::npos &&
+                      dot + 2 < probe.size();
+        if (digits)
+            for (std::size_t k = dot + 2; k < probe.size(); ++k)
+                digits = digits && std::isdigit(
+                                       static_cast<unsigned char>(
+                                           probe[k]));
+        if (digits)
+            base = probe.substr(0, dot);
+    }
+    js.base = base;
+    js.streams = si->streamCount;
+    js.images.assign(js.streams, {});
+    for (unsigned s = 0; s < js.streams; ++s) {
+        const std::string p =
+            ShardedJournalWriter::streamPath(base, s, js.streams);
+        if (fileExists(p))
+            js.images[s] = readFile(p);
+        else
+            std::cerr << "warning: journal stream file " << p
+                      << " is missing; recovering without it\n";
+    }
+    return js;
+}
+
+std::vector<std::span<const std::uint8_t>>
+asSpans(const std::vector<std::vector<std::uint8_t>> &images)
+{
+    std::vector<std::span<const std::uint8_t>> spans;
+    spans.reserve(images.size());
+    for (const std::vector<std::uint8_t> &i : images)
+        spans.emplace_back(i);
+    return spans;
 }
 
 int
@@ -199,17 +291,29 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
     const std::uint64_t fingerprint =
         recorderOptionsFingerprint(opts);
 
-    std::unique_ptr<JournalWriter> journal;
+    std::unique_ptr<ShardedJournalWriter> journal;
     std::vector<EpochRecord> prefix;
+    std::string journalBase = args.journalFile;
     bool resuming = false;
     if (!args.journalFile.empty() && args.resume) {
-        std::vector<std::uint8_t> image =
-            readFile(args.journalFile);
-        RecoveredJournal rj = recoverJournal(image);
+        JournalSet js = loadJournalSet(args.journalFile);
+        journalBase = js.base;
+        if (args.journalStreamsSet &&
+            args.journalStreams != js.streams)
+            dp_fatal(args.journalFile, ": journal has ", js.streams,
+                     " stream(s); --journal-streams cannot change "
+                     "on resume");
+        RecoveredShardedJournal rj =
+            recoverShardedJournal(asSpans(js.images));
         if (!rj.report.headerOk)
             dp_fatal(args.journalFile, ": cannot recover journal: ",
                      journalErrorName(rj.report.tailError), " (",
                      rj.report.detail, ")");
+        if (!rj.recording)
+            dp_fatal(args.journalFile, ": journal base epoch is ",
+                     rj.baseEpoch,
+                     "; a truncated journal cannot seed a resume "
+                     "without its covering checkpoint");
         if (rj.optionsFingerprint != fingerprint)
             dp_fatal(args.journalFile,
                      ": journal was recorded under different "
@@ -218,18 +322,22 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
                   << " committed epoch(s), discarding "
                   << rj.report.bytesDiscarded
                   << " torn/corrupt byte(s)\n";
-        image.resize(rj.report.committedBytes);
-        journal = std::make_unique<JournalWriter>(
-            std::move(image), rj.report.framesRecovered,
+        for (unsigned s = 0; s < js.streams; ++s)
+            js.images[s].resize(rj.streams[s].keptBytes);
+        journal = std::make_unique<ShardedJournalWriter>(
+            std::move(js.images),
+            ShardedJournalOptions{.streams = js.streams},
             faults.get());
         prefix = std::move(rj.recording->epochs);
         resuming = true;
     } else if (!args.journalFile.empty()) {
-        journal = std::make_unique<JournalWriter>(
-            prog, cfg, fingerprint, faults.get());
+        journal = std::make_unique<ShardedJournalWriter>(
+            prog, cfg, fingerprint,
+            ShardedJournalOptions{.streams = args.journalStreams},
+            faults.get());
     }
-    if (journal && !journal->streamTo(args.journalFile))
-        dp_fatal("cannot write journal file ", args.journalFile);
+    if (journal && !journal->streamTo(journalBase))
+        dp_fatal("cannot write journal file ", journalBase);
     if (journal && tracer)
         journal->setTrace(tracer.get());
     if (journal)
@@ -244,10 +352,10 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
                   << " at epoch " << index << "\n";
     };
     if (journal)
-        obs.onEpochCommitted = [&](const EpochRecord &e,
-                                   EpochId index) {
-            journal->appendEpoch(e, index);
-        };
+        obs.addEpochSink(
+            [&](const EpochRecord &e, EpochId index) {
+                journal->appendEpoch(e, index);
+            });
 
     UniparallelRecorder rec(prog, cfg, opts);
     const RecordObserver *obsp =
@@ -271,14 +379,22 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
                   << st.epochRetries << " epoch retries, "
                   << st.seqFallbacks << " seq fallbacks\n";
     }
-    if (journal)
+    if (journal) {
+        journal->flush();
+        std::size_t jbytes = 0;
+        for (unsigned s = 0; s < journal->streams(); ++s)
+            jbytes += journal->streamBytes(s).size();
         std::cout << "journal: " << journal->epochsWritten()
-                  << " epoch frame(s), " << journal->bytes().size()
-                  << " bytes to " << args.journalFile
+                  << " epoch frame(s), " << jbytes << " bytes";
+        if (journal->streams() > 1)
+            std::cout << " across " << journal->streams()
+                      << " streams";
+        std::cout << " to " << journalBase
                   << (journal->alive()
                           ? ""
                           : " (writer died; continue with --resume)")
                   << "\n";
+    }
     if (tracer) {
         if (tracer->writeChromeJson(args.traceFile))
             std::cout << "trace: " << tracer->size()
@@ -433,12 +549,25 @@ cmdRecover(const Args &args)
 {
     if (args.positional.empty())
         return usage();
-    RecoveredJournal rj =
-        recoverJournal(readFile(args.positional[0]));
+    if (args.jobsSet && args.jobs == 0) {
+        std::cerr << "--jobs needs at least one host thread\n";
+        return usage();
+    }
+    const unsigned jobs = args.jobsSet ? args.jobs : 1;
+    JournalSet js = loadJournalSet(args.positional[0]);
+    RecoveredShardedJournal rj =
+        recoverShardedJournal(asSpans(js.images), jobs);
     const RecoveryReport &rep = rj.report;
     std::cout << "header:    " << (rep.headerOk ? "ok" : "invalid")
-              << "\n"
-              << "frames:    " << rep.framesRecovered
+              << "\n";
+    if (rj.streamCount > 1)
+        std::cout << "streams:   " << rj.streamCount
+                  << " (consistent cut at epoch "
+                  << rj.consistentEpochs << ")\n";
+    if (rj.baseEpoch > 0)
+        std::cout << "base:      epoch " << rj.baseEpoch
+                  << " (earlier segments truncated)\n";
+    std::cout << "frames:    " << rep.framesRecovered
               << " committed epoch(s)\n"
               << "committed: " << rep.committedBytes << " bytes\n"
               << "discarded: " << rep.bytesDiscarded << " bytes\n"
@@ -447,11 +576,25 @@ cmdRecover(const Args &args)
         std::cout << " at byte " << rep.errorOffset << " ("
                   << rep.detail << ")";
     std::cout << "\n";
+    if (rj.streamCount > 1)
+        for (std::size_t s = 0; s < rj.streams.size(); ++s) {
+            const StreamRecovery &sr = rj.streams[s];
+            std::cout << "  stream " << s << ": " << sr.framesKept
+                      << " epoch(s) kept, " << sr.keptBytes
+                      << " byte(s), tail "
+                      << journalErrorName(sr.report.tailError)
+                      << "\n";
+        }
     if (!rep.headerOk) {
         std::cerr << "nothing recoverable: " << rep.detail << "\n";
         return 1;
     }
     if (!args.outFile.empty()) {
+        if (!rj.recording)
+            dp_fatal(args.positional[0], ": journal base epoch is ",
+                     rj.baseEpoch,
+                     "; a truncated journal cannot serialize a "
+                     "whole recording");
         std::vector<std::uint8_t> bytes =
             serializeRecording(*rj.recording);
         writeFile(args.outFile, bytes);
@@ -466,8 +609,29 @@ cmdVerify(const Args &args)
 {
     if (args.positional.empty())
         return usage();
-    VerifyResult v = verifyImage(readFile(args.positional[0]));
-    std::cout << args.positional[0] << ": " << v.detail << "\n";
+    const std::string &file = args.positional[0];
+    if (!fileExists(file) && fileExists(file + ".s0")) {
+        // A sharded journal set has no base file, only per-stream
+        // files: verify them together under the consistent-cut rule.
+        JournalSet js = loadJournalSet(file);
+        RecoveredShardedJournal rj =
+            recoverShardedJournal(asSpans(js.images));
+        const RecoveryReport &rep = rj.report;
+        std::cout << file << ": sharded journal, " << js.streams
+                  << " stream(s): ";
+        if (rep.clean())
+            std::cout << "intact, " << rep.framesRecovered
+                      << " committed epoch(s)\n";
+        else
+            std::cout << journalErrorName(rep.tailError)
+                      << " at stream " << rep.streamIndex << " ("
+                      << rep.detail << "); " << rep.framesRecovered
+                      << " epoch(s) recoverable, "
+                      << rep.bytesDiscarded << " byte(s) lost\n";
+        return rep.clean() ? 0 : 1;
+    }
+    VerifyResult v = verifyImage(readFile(file));
+    std::cout << file << ": " << v.detail << "\n";
     return v.ok ? 0 : 1;
 }
 
@@ -532,18 +696,30 @@ cmdStats(const Args &args)
 {
     if (args.positional.empty())
         return usage();
-    std::vector<std::uint8_t> bytes = readFile(args.positional[0]);
-    VerifyResult v = verifyImage(bytes);
+    // A sharded journal set has no base file; route straight to
+    // journal recovery instead of sniffing a file that isn't there.
+    UniplayFileKind kind = UniplayFileKind::Journal;
+    if (fileExists(args.positional[0]) ||
+        !fileExists(args.positional[0] + ".s0")) {
+        std::vector<std::uint8_t> bytes = readFile(args.positional[0]);
+        kind = verifyImage(bytes).kind;
+    }
     std::unique_ptr<Recording> rec;
-    if (v.kind == UniplayFileKind::Artifact) {
+    if (kind == UniplayFileKind::Artifact) {
         LoadedRecording loaded = loadArtifact(args.positional[0]);
         rec = std::move(loaded.recording);
-    } else if (v.kind == UniplayFileKind::Journal) {
-        RecoveredJournal rj = recoverJournal(bytes);
+    } else if (kind == UniplayFileKind::Journal) {
+        JournalSet js = loadJournalSet(args.positional[0]);
+        RecoveredShardedJournal rj =
+            recoverShardedJournal(asSpans(js.images));
         if (!rj.report.headerOk)
             dp_fatal(args.positional[0],
                      ": cannot recover journal: ",
                      journalErrorName(rj.report.tailError));
+        if (!rj.recording)
+            dp_fatal(args.positional[0], ": journal base epoch is ",
+                     rj.baseEpoch,
+                     "; stats need the full epoch history");
         rec = std::move(rj.recording);
     } else {
         dp_fatal(args.positional[0],
@@ -626,9 +802,20 @@ main(int argc, char **argv)
                   << "' (record, record-asm and replay only)\n";
         return usage();
     }
-    if (args.jobsSet && cmd != "replay") {
+    if (args.jobsSet && cmd != "replay" && cmd != "recover") {
         std::cerr << "--jobs is not supported by '" << cmd
-                  << "' (replay only)\n";
+                  << "' (replay and recover only)\n";
+        return usage();
+    }
+    if (args.journalStreamsSet && cmd != "record" &&
+        cmd != "record-asm") {
+        std::cerr << "--journal-streams is not supported by '" << cmd
+                  << "' (record and record-asm only)\n";
+        return usage();
+    }
+    if (args.journalStreamsSet && args.journalStreams == 0) {
+        std::cerr << "--journal-streams needs at least one "
+                     "stream\n";
         return usage();
     }
     if (cmd == "record")
