@@ -30,6 +30,11 @@ dp_add_bench(bench_host_pipeline)
 dp_add_bench(bench_journal_scale)
 target_link_libraries(bench_journal_scale PRIVATE dp_journal)
 
+# bench_standby_lag drives the journal-shipping subsystem: standby
+# lag and failover time across epoch rate x link fault rate.
+dp_add_bench(bench_standby_lag)
+target_link_libraries(bench_standby_lag PRIVATE dp_ship)
+
 # bench_micro also links the harness: after the google-benchmark
 # suites it emits the BENCH_micro.json summary row.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)

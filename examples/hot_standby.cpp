@@ -1,19 +1,26 @@
 /**
  * @file
- * Fault tolerance via streamed replay: a hot standby.
+ * Fault tolerance via journal shipping: a hot standby.
  *
  * The paper observes that uniparallel logs are small enough to stream
  * to a second machine, which replays epochs as they commit and can
  * take over on failure. This example records the key-value-store
- * workload while streaming every committed epoch into a LiveReplica,
- * then "fails over": the standby machine finishes with the exact
- * state of the recorded execution.
+ * workload while a ShipSender streams the committed journal across a
+ * lossy (fault-injected) link to a StandbyApplier, which continuously
+ * replays behind a bounded lag. The primary then "dies" mid-session:
+ * the standby is promoted and its machine carries the exact state of
+ * the shipped journal prefix — verified against recovery of the same
+ * bytes.
  */
 
 #include <iostream>
 
 #include "core/recorder.hh"
-#include "replay/live_replica.hh"
+#include "fault/fault.hh"
+#include "journal/sharded.hh"
+#include "ship/link.hh"
+#include "ship/sender.hh"
+#include "ship/standby.hh"
 #include "workloads/registry.hh"
 
 using namespace dp;
@@ -26,49 +33,83 @@ main()
     workloads::WorkloadBundle b =
         mysql->make({.threads = 2, .scale = 2});
 
-    // The "standby machine": same program image, fed only logs.
-    LiveReplica standby(b.program, b.config);
-
     RecorderOptions opts;
     opts.workerCpus = 2;
     opts.epochLength = 60'000;
-    opts.keepCheckpoints = false; // the stream replaces checkpoints
-    UniparallelRecorder recorder(b.program, b.config, opts);
+    opts.keepCheckpoints = false; // the journal replaces checkpoints
 
-    std::uint64_t streamed_bytes = 0;
+    // The primary journals every committed epoch across two streams.
+    ShardedJournalWriter journal(
+        b.program, b.config, recorderOptionsFingerprint(opts),
+        {.streams = 2});
+
+    // The link misbehaves: seeded drops, duplicates, and torn
+    // batches — every failure is a replayable decision stream.
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.with(FaultSite::LinkDrop, 0.10)
+        .with(FaultSite::LinkDuplicate, 0.05)
+        .with(FaultSite::LinkTornBatch, 0.05);
+    FaultInjector faults(plan);
+
+    StandbyApplier standby({.lagBound = 4, .faults = &faults});
+    ShipLink link(standby, &faults);
+    ShipSender sender(
+        link, journal.streams(),
+        [&](unsigned s) -> std::span<const std::uint8_t> {
+            return journal.streamBytes(s); // flushes: durable bytes
+        });
+
     RecordObserver obs;
-    obs.onEpochCommitted = [&](const EpochRecord &e, EpochId idx) {
-        streamed_bytes += e.replayLogBytes();
-        if (!standby.apply(e)) {
-            std::cerr << "standby lost sync at epoch " << idx << "\n";
-            std::exit(1);
-        }
+    obs.addEpochSink([&](const EpochRecord &e, EpochId idx) {
+        journal.appendEpoch(e, idx);
+        sender.noteEpochCommitted();
+        sender.pump(); // back-pressured by the standby's lag bound
         if (idx % 5 == 0)
-            std::cout << "epoch " << idx << " committed; standby in "
-                      << "sync (stream so far: " << streamed_bytes
-                      << " bytes)\n";
-    };
+            std::cout << "epoch " << idx << " committed; standby at "
+                      << standby.replayedEpochs() << "/"
+                      << standby.persistedEpochs()
+                      << " replayed/persisted\n";
+    });
 
+    UniparallelRecorder recorder(b.program, b.config, opts);
     RecordOutcome out = recorder.record(&obs);
     if (!out.ok) {
         std::cerr << "recording failed\n";
         return 1;
     }
+    sender.pump(); // the primary's last bytes
+    if (sender.failed()) {
+        std::cerr << "shipping failed: the standby is stale\n";
+        return 1;
+    }
 
+    const ShipSenderStats &st = sender.stats();
     std::cout << "\nprimary finished: " << out.recording.epochs.size()
               << " epochs, exit code " << out.mainExitCode << "\n"
-              << "total log streamed: " << streamed_bytes
-              << " bytes (vs "
-              << b.program.dataSegments[0].second.size()
-              << "-byte initial table image)\n";
+              << "shipped " << st.bytesShipped << " journal bytes in "
+              << st.batchesAcked << " acked batches (" << st.retries
+              << " retries over the lossy link)\n";
 
-    // Fail over: the standby takes charge.
-    Machine taken = std::move(standby).takeOver();
-    std::cout << "standby state digest matches primary: "
-              << (taken.stateHash() == out.recording.finalStateHash
-                      ? "yes"
-                      : "NO")
-              << "\nstandby's exit code: " << taken.threads[0].exitCode
-              << " (expected " << b.expectedExit << ")\n";
-    return taken.stateHash() == out.recording.finalStateHash ? 0 : 1;
+    // The primary dies here. Promote the standby and verify its
+    // machine against recovery of the shipped journal bytes — the
+    // state a cold restart would have to rebuild the slow way.
+    Promotion p = standby.promote();
+    std::cout << p.report.describe() << "\n";
+    if (!p.report.promoted) {
+        std::cerr << "promotion refused\n";
+        return 1;
+    }
+
+    std::vector<std::vector<std::uint8_t>> images = journal.imageSet();
+    std::vector<std::span<const std::uint8_t>> spans(images.begin(),
+                                                     images.end());
+    RecoveredShardedJournal rj = recoverShardedJournal(spans);
+    bool match = rj.recording &&
+                 rj.recording->finalStateHash ==
+                     p.report.finalStateHash &&
+                 p.machine->threads[0].exitCode == b.expectedExit;
+    std::cout << "promoted standby matches recovered journal: "
+              << (match ? "yes" : "NO") << "\n";
+    return match ? 0 : 1;
 }

@@ -17,6 +17,8 @@ constexpr const char *siteNames[numFaultSites] = {
     "file-short-read",   "torn-ckpt",     "worker-death",
     "torn-frame",        "journal-crash", "journal-bitflip",
     "stream-torn-frame", "stream-crash",  "stream-bitflip",
+    "link-drop",         "link-dup",      "link-reorder",
+    "link-torn",         "link-disconnect", "standby-crash",
 };
 
 constexpr std::uint64_t ppmDenominator = 1'000'000;

@@ -67,6 +67,25 @@ enum class FaultSite : std::uint8_t
     /** A bit flips inside a committed frame of one stream (per-stream
      *  storage corruption). */
     StreamBitFlip,
+    /** The shipping link silently drops a batch: the standby never
+     *  sees it and the sender sees a timeout. */
+    LinkDrop,
+    /** The shipping link delivers a batch twice back to back; the
+     *  standby must apply it idempotently. */
+    LinkDuplicate,
+    /** The shipping link holds a batch and delivers it after a later
+     *  one — out-of-order arrival at the standby. */
+    LinkReorder,
+    /** The shipping link truncates a batch mid-flight; the batch CRC
+     *  fails at the standby and the whole batch is rejected. */
+    LinkTornBatch,
+    /** The shipping link goes down (in-flight batches lost) until the
+     *  sender reconnects. */
+    LinkDisconnect,
+    /** The standby process crashes, losing all volatile state; it
+     *  recovers from its persisted journal images via
+     *  recoverJournal/recoverShardedJournal and resyncs. */
+    StandbyCrash,
     NumSites
 };
 

@@ -1,25 +1,37 @@
 #include "replay/live_replica.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "replay/replayer.hh"
 
 namespace dp
 {
 
-bool
+std::string
+ApplyError::describe() const
+{
+    std::ostringstream out;
+    out << "epoch " << epoch << " digest mismatch: expected 0x"
+        << std::hex << expectedDigest << ", got 0x" << actualDigest;
+    return out.str();
+}
+
+std::optional<ApplyError>
 LiveReplica::apply(const EpochRecord &epoch)
 {
-    if (!healthy_) {
+    if (error_) {
         dp_warn("apply on an unhealthy replica ignored");
-        return false;
+        return error_;
     }
     if (!replayEpochOnMachine(machine_, epoch, costs_, cycles_,
                               instrs_)) {
-        healthy_ = false;
-        return false;
+        error_ = ApplyError{applied_, epoch.endStateHash,
+                            machine_.stateHash()};
+        return error_;
     }
     ++applied_;
-    return true;
+    return std::nullopt;
 }
 
 } // namespace dp

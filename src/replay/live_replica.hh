@@ -15,12 +15,30 @@
 #define DP_REPLAY_LIVE_REPLICA_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "core/recording.hh"
 #include "timing/cost_model.hh"
 
 namespace dp
 {
+
+/** Why a replica refused an epoch: the digest check failed. */
+struct ApplyError
+{
+    /** Index of the epoch (in apply order) that diverged. */
+    std::uint64_t epoch = 0;
+    /** Digest the recording says the epoch boundary should have. */
+    std::uint64_t expectedDigest = 0;
+    /** Digest the replica's machine actually reached. */
+    std::uint64_t actualDigest = 0;
+
+    bool operator==(const ApplyError &) const = default;
+
+    /** One-line human-readable rendering for logs and the CLI. */
+    std::string describe() const;
+};
 
 /** An incrementally-replayed standby of a recorded execution. */
 class LiveReplica
@@ -36,10 +54,11 @@ class LiveReplica
 
     /**
      * Replay @p epoch on the standby; must be called in commit
-     * order. Returns false (and marks the replica unhealthy) if the
-     * epoch fails digest verification.
+     * order. Returns std::nullopt on success, or the ApplyError that
+     * made the replica fail closed. Once an apply fails every later
+     * apply is refused with the same (first) error.
      */
-    bool apply(const EpochRecord &epoch);
+    std::optional<ApplyError> apply(const EpochRecord &epoch);
 
     /** The standby's state: the last committed epoch boundary. */
     const Machine &machine() const { return machine_; }
@@ -49,14 +68,16 @@ class LiveReplica
     Machine takeOver() && { return std::move(machine_); }
 
     std::uint32_t epochsApplied() const { return applied_; }
-    bool healthy() const { return healthy_; }
+    bool healthy() const { return !error_.has_value(); }
+    /** The first apply failure, if any (the replica is fail-closed). */
+    const std::optional<ApplyError> &error() const { return error_; }
     Cycles replayCycles() const { return cycles_; }
 
   private:
     Machine machine_;
     CostModel costs_;
     std::uint32_t applied_ = 0;
-    bool healthy_ = true;
+    std::optional<ApplyError> error_;
     Cycles cycles_ = 0;
     std::uint64_t instrs_ = 0;
 };

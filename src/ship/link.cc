@@ -1,0 +1,70 @@
+#include "ship/link.hh"
+
+#include "common/hash.hh"
+#include "ship/standby.hh"
+
+namespace dp
+{
+
+bool
+ShipLink::fire(FaultSite site, std::uint64_t scope)
+{
+    return faults_ && faults_->fire(site, scope);
+}
+
+std::optional<ShipAck>
+ShipLink::transmit(std::span<const std::uint8_t> wire,
+                   std::uint64_t scope)
+{
+    ++stats_.transmitted;
+    if (down_)
+        return std::nullopt;
+    if (fire(FaultSite::LinkDisconnect, scope)) {
+        down_ = true;
+        held_.reset(); // in-flight batches die with the link
+        ++stats_.disconnects;
+        return std::nullopt;
+    }
+    if (fire(FaultSite::LinkDrop, scope)) {
+        ++stats_.dropped;
+        return std::nullopt;
+    }
+    if (!held_ && fire(FaultSite::LinkReorder, scope)) {
+        held_.emplace(wire.begin(), wire.end());
+        ++stats_.reordered;
+        return std::nullopt;
+    }
+
+    std::vector<std::uint8_t> damaged;
+    std::span<const std::uint8_t> deliver = wire;
+    if (fire(FaultSite::LinkTornBatch, scope) && wire.size() > 1) {
+        // Deterministic mid-batch cut, like the journal's torn-frame
+        // shape: at least 1 byte arrives, at least 1 is lost.
+        std::size_t cut =
+            1 + static_cast<std::size_t>(
+                    mix64(0x9d5c8f2ab17e43d1ull ^
+                          scope * 0x9e3779b97f4a7c15ull) %
+                    (wire.size() - 1));
+        damaged.assign(wire.begin(), wire.begin() + cut);
+        deliver = damaged;
+        ++stats_.torn;
+    }
+    bool dup = fire(FaultSite::LinkDuplicate, scope);
+
+    ShipAck ack = standby_.receive(deliver);
+    ++stats_.delivered;
+    if (dup) {
+        ack = standby_.receive(deliver);
+        ++stats_.delivered;
+        ++stats_.duplicated;
+    }
+    if (held_) {
+        std::vector<std::uint8_t> late = std::move(*held_);
+        held_.reset();
+        ack = standby_.receive(late);
+        ++stats_.delivered;
+    }
+    return ack;
+}
+
+} // namespace dp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ShipLink: the fault-injectable in-process link between a ShipSender
+ * and a StandbyApplier.
+ *
+ * transmit() carries one wire batch to the standby and returns its
+ * ack — unless the link's fault sites intervene. Every link failure
+ * mode is a seeded FaultSite decision with scope = the batch's
+ * sequence number, so a failing shipping session replays exactly from
+ * its seed:
+ *
+ *   LinkDrop       — the batch vanishes; the sender sees a timeout.
+ *   LinkDuplicate  — the batch is delivered twice back to back.
+ *   LinkReorder    — the batch is held and delivered after the next
+ *                    one that crosses the link (at most one held).
+ *   LinkTornBatch  — the batch is truncated mid-flight at a
+ *                    deterministic cut; its CRC fails at the standby.
+ *   LinkDisconnect — the link goes down, losing any held batch, until
+ *                    the sender reconnect()s.
+ *   StandbyCrash   — consulted by the *standby* inside receive();
+ *                    listed here because it rides the same scope.
+ *
+ * The decision order per transmit (disconnect, drop, reorder, torn,
+ * duplicate) is fixed, so the fault stream is deterministic for a
+ * fixed plan and seed regardless of timing.
+ */
+
+#ifndef DP_SHIP_LINK_HH
+#define DP_SHIP_LINK_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "ship/ship.hh"
+
+namespace dp
+{
+
+class StandbyApplier;
+
+/** See file comment. */
+class ShipLink
+{
+  public:
+    explicit ShipLink(StandbyApplier &standby,
+                      FaultInjector *faults = nullptr)
+        : standby_(standby), faults_(faults)
+    {}
+
+    /**
+     * Carry one wire batch across the link. Returns the standby's ack
+     * — the *last* ack the standby produced if fault sites caused
+     * extra deliveries (a duplicate or a released held batch), so the
+     * watermarks the sender adopts are always the freshest. nullopt
+     * means the sender sees a timeout: the batch (or the link) was
+     * lost.
+     */
+    std::optional<ShipAck>
+    transmit(std::span<const std::uint8_t> wire, std::uint64_t scope);
+
+    /** The link is down; transmit() fails until reconnect(). */
+    bool down() const { return down_; }
+    /** Re-establish a dropped link. */
+    void reconnect() { down_ = false; }
+
+    const LinkStats &stats() const { return stats_; }
+
+  private:
+    bool fire(FaultSite site, std::uint64_t scope);
+
+    StandbyApplier &standby_;
+    FaultInjector *faults_;
+    bool down_ = false;
+    /** The batch LinkReorder is holding for late delivery. */
+    std::optional<std::vector<std::uint8_t>> held_;
+    LinkStats stats_;
+};
+
+} // namespace dp
+
+#endif // DP_SHIP_LINK_HH

@@ -1,0 +1,128 @@
+#include "ship/sender.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dp
+{
+
+ShipSender::ShipSender(ShipLink &link, unsigned streams,
+                       Source source, ShipSenderOptions opts)
+    : link_(link), streams_(streams), source_(std::move(source)),
+      opts_(opts), sent_(streams, 0)
+{
+    dp_assert(streams_ > 0, "a journal has at least one stream");
+    dp_assert(opts_.batchBytes > 0, "batches carry at least a byte");
+}
+
+void
+ShipSender::backoff(std::uint64_t seq, unsigned attempt)
+{
+    std::uint64_t shift = std::min<unsigned>(attempt, 16);
+    std::uint64_t ticks =
+        std::min(opts_.backoffCapTicks,
+                 opts_.backoffBaseTicks << shift);
+    Rng jitter(mix64(opts_.seed ^
+                     mix64(seq * 0x9e3779b97f4a7c15ull + attempt)));
+    stats_.backoffTicks +=
+        ticks + jitter.below(opts_.backoffBaseTicks + 1);
+}
+
+bool
+ShipSender::adopt(const ShipAck &ack)
+{
+    if (ack.failedClosed)
+        stats_.standbyFailed = true;
+    bool rewound = false;
+    for (unsigned t = 0;
+         t < streams_ && t < ack.streamOffsets.size(); ++t) {
+        if (ack.streamOffsets[t] < sent_[t])
+            rewound = true;
+        sent_[t] = ack.streamOffsets[t];
+    }
+    if (rewound)
+        ++stats_.resyncs;
+    stats_.ackedPersistedEpochs = ack.persistedEpochs;
+    stats_.ackedReplayedEpochs = ack.replayedEpochs;
+    return rewound;
+}
+
+bool
+ShipSender::shipOne(unsigned s)
+{
+    std::span<const std::uint8_t> src = source_(s);
+    const std::uint64_t off = sent_[s];
+    const std::size_t len = std::min<std::size_t>(
+        opts_.batchBytes,
+        static_cast<std::size_t>(src.size() - off));
+    ShipBatch b;
+    b.seq = nextSeq_++;
+    b.stream = s;
+    b.streamCount = streams_;
+    b.offset = off;
+    b.bytes.assign(src.begin() + static_cast<std::size_t>(off),
+                   src.begin() + static_cast<std::size_t>(off) + len);
+    std::vector<std::uint8_t> wire = encodeShipBatch(b);
+
+    for (unsigned attempt = 0;; ++attempt) {
+        if (attempt >= opts_.maxAttempts) {
+            stats_.linkFailed = true;
+            dp_warn("ship: batch ", b.seq, " exhausted ",
+                    opts_.maxAttempts,
+                    " attempts; declaring the link dead");
+            return false;
+        }
+        if (attempt) {
+            ++stats_.retries;
+            backoff(b.seq, attempt);
+        }
+        if (link_.down()) {
+            ++stats_.reconnects;
+            link_.reconnect();
+        }
+        ++stats_.batchesSent;
+        std::optional<ShipAck> ack = link_.transmit(wire, b.seq);
+        if (!ack) {
+            ++stats_.timeouts;
+            continue;
+        }
+        ++stats_.batchesAcked;
+        bool rewound = adopt(*ack);
+        if (stats_.standbyFailed)
+            return false;
+        if (sent_[s] >= off + len) {
+            stats_.bytesShipped += len;
+            return true;
+        }
+        if (rewound)
+            return true; // pump() recomputes from the new offsets
+        // Acked but no progress (a torn reject): burn an attempt.
+    }
+}
+
+bool
+ShipSender::pump()
+{
+    for (;;) {
+        if (failed())
+            return false;
+        unsigned next = streams_;
+        for (unsigned k = 0; k < streams_; ++k) {
+            unsigned s = (rr_ + k) % streams_;
+            if (sent_[s] < source_(s).size()) {
+                next = s;
+                break;
+            }
+        }
+        if (next == streams_)
+            return true; // fully caught up
+        rr_ = (next + 1) % streams_;
+        if (!shipOne(next))
+            return false;
+    }
+}
+
+} // namespace dp

@@ -1,0 +1,518 @@
+#include "ship/standby.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "journal/frame.hh"
+#include "journal/journal.hh"
+#include "journal/sharded.hh"
+#include "replay/recording_io.hh"
+
+namespace dp
+{
+
+std::string
+FailoverReport::describe() const
+{
+    std::ostringstream out;
+    if (failedClosed) {
+        out << "standby failed closed: " << failReason;
+    } else if (!promoted) {
+        out << "standby empty: nothing to promote";
+    } else {
+        out << "promoted at epoch " << replayedEpochs << " (persisted "
+            << persistedEpochs << "), state 0x" << std::hex
+            << finalStateHash;
+    }
+    if (crashesRecovered)
+        out << std::dec << "; survived " << crashesRecovered
+            << " standby crash(es)";
+    return out.str();
+}
+
+StandbyApplier::StandbyApplier(StandbyOptions opts)
+    : opts_(opts)
+{
+    if (opts_.pool) {
+        pool_ = opts_.pool;
+    } else {
+        ownPool_ = std::make_unique<Executor>(opts_.applyWorkers);
+        pool_ = ownPool_.get();
+    }
+}
+
+StandbyApplier::~StandbyApplier()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    waitForStrandIdleLocked(lock);
+}
+
+ShipAck
+StandbyApplier::ackLocked(std::uint64_t seq, bool accepted) const
+{
+    ShipAck ack;
+    ack.accepted = accepted;
+    ack.failedClosed = failed_;
+    ack.batchSeq = seq;
+    ack.streamOffsets.reserve(streams_.size());
+    for (const StreamState &st : streams_)
+        ack.streamOffsets.push_back(st.image.size());
+    ack.persistedEpochs = nextPersist_;
+    ack.replayedEpochs = replayed_;
+    return ack;
+}
+
+std::uint64_t
+StandbyApplier::lagLocked() const
+{
+    return nextPersist_ - baseEpoch_ - replayed_;
+}
+
+void
+StandbyApplier::failLocked(std::string reason)
+{
+    if (failed_)
+        return;
+    failed_ = true;
+    failReason_ = std::move(reason);
+    dp_warn("standby failed closed: ", failReason_);
+    lagCv_.notify_all();
+}
+
+void
+StandbyApplier::configureLocked(std::uint32_t stream_count)
+{
+    configured_ = true;
+    streams_.resize(stream_count);
+}
+
+void
+StandbyApplier::ingestLocked(unsigned s)
+{
+    StreamState &st = streams_[s];
+    const unsigned n = static_cast<unsigned>(streams_.size());
+    std::span<const std::uint8_t> all(st.image);
+    std::size_t pos = st.scanned;
+    try {
+        while (pos < all.size()) {
+            std::size_t frame_start = pos;
+            journal_detail::Frame f =
+                journal_detail::parseFrame(all, pos);
+            if (!st.headerSeen) {
+                if (f.kind != journalHeaderKind) {
+                    failLocked("stream " + std::to_string(s) +
+                               ": first frame is not a header frame");
+                    return;
+                }
+                ByteReader p(f.payload);
+                std::uint64_t magic = p.u64fixed();
+                if (magic >> 32 != journalMagic) {
+                    failLocked("stream " + std::to_string(s) +
+                               ": bad journal magic");
+                    return;
+                }
+                std::uint64_t version = magic & 0xffffffff;
+                if (version == journalVersion) {
+                    if (n != 1) {
+                        failLocked("v2 journal shipped as a multi-"
+                                   "stream set");
+                        return;
+                    }
+                    st.nextIndex = 0;
+                } else if (version == journalVersion3) {
+                    std::uint64_t stream = p.varu();
+                    if (stream != s) {
+                        failLocked(
+                            "stream " + std::to_string(s) +
+                            " carries a header claiming stream " +
+                            std::to_string(stream));
+                        return;
+                    }
+                    std::vector<std::uint8_t> suffix(
+                        f.payload.begin() + p.pos(),
+                        f.payload.end());
+                    if (headerSuffix_.empty()) {
+                        headerSuffix_ = suffix;
+                    } else if (suffix != headerSuffix_) {
+                        failLocked("stream " + std::to_string(s) +
+                                   ": header disagrees with its "
+                                   "siblings");
+                        return;
+                    }
+                    std::uint64_t count = p.varu();
+                    if (count != n) {
+                        failLocked(
+                            "stream " + std::to_string(s) +
+                            ": header claims " +
+                            std::to_string(count) + " streams, " +
+                            std::to_string(n) + " shipped");
+                        return;
+                    }
+                    baseEpoch_ = p.varu();
+                    if (baseEpoch_ != 0) {
+                        failLocked("cannot ship a truncated journal "
+                                   "(baseEpoch " +
+                                   std::to_string(baseEpoch_) + ")");
+                        return;
+                    }
+                    // First epoch index stream s owns.
+                    st.nextIndex = s;
+                } else {
+                    failLocked("unsupported journal version " +
+                               std::to_string(version));
+                    return;
+                }
+                if (!prog_) {
+                    GuestProgram prog = readGuestProgram(p);
+                    MachineConfig cfg = readMachineConfig(p);
+                    (void)p.u64fixed(); // options fingerprint
+                    prog_ = std::make_shared<const GuestProgram>(
+                        std::move(prog));
+                    cfg_ = cfg;
+                    replica_ = std::make_unique<LiveReplica>(*prog_,
+                                                             cfg_);
+                    nextPersist_ = baseEpoch_;
+                }
+                st.headerSeen = true;
+                st.scanned = pos;
+                continue;
+            }
+            if (f.kind != journalEpochKind) {
+                failLocked("stream " + std::to_string(s) +
+                           ": header frame after frame 0");
+                return;
+            }
+            ByteReader p(f.payload);
+            std::uint64_t index = p.varu();
+            if (index != st.nextIndex) {
+                failLocked("stream " + std::to_string(s) +
+                           ": epoch frame " + std::to_string(index) +
+                           " where " + std::to_string(st.nextIndex) +
+                           " expected");
+                return;
+            }
+            if (n > 1) {
+                std::uint64_t seq = p.varu();
+                if (index % n != s || seq != index / n) {
+                    failLocked(
+                        "stream " + std::to_string(s) +
+                        ": epoch " + std::to_string(index) +
+                        " carries stream sequence " +
+                        std::to_string(seq) + " (want " +
+                        std::to_string(index / n) + ")");
+                    return;
+                }
+            }
+            std::uint64_t dirty = p.varu();
+            std::uint64_t tp_instrs = p.varu();
+            EpochRecord e = readEpochRecord(p, index);
+            if (!p.atEnd()) {
+                failLocked("stream " + std::to_string(s) +
+                           ": trailing bytes in an epoch payload");
+                return;
+            }
+            e.dirtyPages = dirty;
+            e.tpInstrs = tp_instrs;
+            parsed_.emplace(index, std::move(e));
+            st.nextIndex += n;
+            st.scanned = pos;
+            (void)frame_start;
+        }
+    } catch (const journal_detail::FrameScanError &f) {
+        if (f.error == JournalError::TruncatedFrame)
+            return; // a batch boundary mid-frame: wait for the rest
+        failLocked("stream " + std::to_string(s) + ": " + f.detail);
+        return;
+    } catch (const RecordingDecodeError &f) {
+        failLocked("stream " + std::to_string(s) + ": " + f.detail);
+        return;
+    } catch (const ByteStreamError &) {
+        failLocked("stream " + std::to_string(s) +
+                   ": frame payload ended early");
+        return;
+    }
+}
+
+void
+StandbyApplier::advanceContiguousLocked()
+{
+    for (auto it = parsed_.find(nextPersist_); it != parsed_.end();
+         it = parsed_.find(nextPersist_)) {
+        applyQueue_.push_back(std::move(it->second));
+        parsed_.erase(it);
+        ++nextPersist_;
+    }
+    stats_.maxLag = std::max(stats_.maxLag, lagLocked());
+}
+
+void
+StandbyApplier::waitForStrandIdleLocked(
+    std::unique_lock<std::mutex> &lock)
+{
+    idleCv_.wait(lock, [&] { return !strandRunning_; });
+}
+
+void
+StandbyApplier::scheduleDrain(std::unique_lock<std::mutex> &lock)
+{
+    if (strandRunning_ || applyQueue_.empty() || failed_ ||
+        !replica_)
+        return;
+    strandRunning_ = true;
+    lock.unlock();
+    pool_->submit([this] { drainApplies(); },
+                  {.label = "standby-apply"});
+    lock.lock();
+}
+
+void
+StandbyApplier::drainApplies()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (applyQueue_.empty() || failed_ || !replica_) {
+            strandRunning_ = false;
+            idleCv_.notify_all();
+            lagCv_.notify_all();
+            return;
+        }
+        EpochRecord e = std::move(applyQueue_.front());
+        applyQueue_.pop_front();
+        LiveReplica *replica = replica_.get();
+        lock.unlock();
+        std::optional<ApplyError> err = replica->apply(e);
+        lock.lock();
+        if (err) {
+            applyError_ = err;
+            failLocked("apply: " + err->describe());
+        } else {
+            ++replayed_;
+        }
+        lagCv_.notify_all();
+    }
+}
+
+void
+StandbyApplier::crashLocked(std::unique_lock<std::mutex> &lock)
+{
+    // The process dies: wait out the in-flight apply (its effect is
+    // discarded with the replica below), then lose everything
+    // volatile. Only the persisted images survive.
+    waitForStrandIdleLocked(lock);
+    ++stats_.crashes;
+    parsed_.clear();
+    applyQueue_.clear();
+    replica_.reset();
+    prog_.reset();
+    headerSuffix_.clear();
+    replayed_ = 0;
+    nextPersist_ = 0;
+    baseEpoch_ = 0;
+
+    // Restart: recover our own images exactly the way a restarted
+    // standby process would, truncate to the committed prefix /
+    // consistent cut, and re-apply from scratch.
+    if (streams_.size() == 1) {
+        RecoveredJournal rj = recoverJournal(streams_[0].image);
+        std::size_t keep =
+            rj.report.headerOk ? rj.report.committedBytes : 0;
+        streams_[0].image.resize(keep);
+    } else {
+        std::vector<std::span<const std::uint8_t>> spans;
+        spans.reserve(streams_.size());
+        for (const StreamState &st : streams_)
+            spans.emplace_back(st.image);
+        RecoveredShardedJournal rsj = recoverShardedJournal(spans);
+        for (unsigned s = 0; s < streams_.size(); ++s)
+            streams_[s].image.resize(
+                s < rsj.streams.size() ? rsj.streams[s].keptBytes
+                                       : 0);
+    }
+    for (StreamState &st : streams_) {
+        st.scanned = 0;
+        st.headerSeen = false;
+        st.nextIndex = 0;
+    }
+    for (unsigned s = 0; s < streams_.size(); ++s) {
+        ingestLocked(s);
+        if (failed_)
+            return;
+    }
+    advanceContiguousLocked();
+}
+
+ShipAck
+StandbyApplier::receive(std::span<const std::uint8_t> wire)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.batchesReceived;
+
+    std::optional<ShipBatch> b = decodeShipBatch(wire);
+    if (!b) {
+        ++stats_.tornRejected;
+        return ackLocked(0, false);
+    }
+    if (failed_ || promoted_)
+        return ackLocked(b->seq, false);
+
+    if (opts_.faults &&
+        opts_.faults->fire(FaultSite::StandbyCrash, b->seq)) {
+        crashLocked(lock);
+        scheduleDrain(lock);
+        return ackLocked(b->seq, false);
+    }
+
+    if (!configured_) {
+        if (b->streamCount == 0)
+            return ackLocked(b->seq, false);
+        configureLocked(b->streamCount);
+    } else if (b->streamCount != streams_.size()) {
+        failLocked("stream count changed mid-ship: " +
+                   std::to_string(b->streamCount) + " after " +
+                   std::to_string(streams_.size()));
+        return ackLocked(b->seq, false);
+    }
+    if (b->stream >= streams_.size()) {
+        failLocked("batch names stream " + std::to_string(b->stream) +
+                   " of " + std::to_string(streams_.size()));
+        return ackLocked(b->seq, false);
+    }
+
+    StreamState &st = streams_[b->stream];
+    if (b->offset > st.image.size()) {
+        ++stats_.gapNacks;
+        return ackLocked(b->seq, false);
+    }
+    if (b->offset + b->bytes.size() <= st.image.size()) {
+        // Fully known bytes (a late reordered copy or a retransmit):
+        // absorbed idempotently.
+        ++stats_.duplicateBatches;
+        return ackLocked(b->seq, true);
+    }
+    std::size_t skip =
+        static_cast<std::size_t>(st.image.size() - b->offset);
+    st.image.insert(st.image.end(), b->bytes.begin() + skip,
+                    b->bytes.end());
+    ingestLocked(b->stream);
+    if (failed_)
+        return ackLocked(b->seq, false);
+    advanceContiguousLocked();
+    ++stats_.batchesAccepted;
+    scheduleDrain(lock);
+
+    // Bounded lag: hold the ack (and so the primary) while the
+    // replica is too far behind what we just persisted.
+    if (lagLocked() > opts_.lagBound) {
+        ++stats_.lagWaits;
+        lagCv_.wait(lock, [&] {
+            return failed_ || lagLocked() <= opts_.lagBound;
+        });
+    }
+    return ackLocked(b->seq, !failed_);
+}
+
+std::uint64_t
+StandbyApplier::persistedEpochs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return nextPersist_;
+}
+
+std::uint64_t
+StandbyApplier::replayedEpochs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return replayed_;
+}
+
+bool
+StandbyApplier::failedClosed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_;
+}
+
+std::optional<ApplyError>
+StandbyApplier::applyError() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return applyError_;
+}
+
+std::vector<std::uint64_t>
+StandbyApplier::imageOffsets() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::uint64_t> offs;
+    offs.reserve(streams_.size());
+    for (const StreamState &st : streams_)
+        offs.push_back(st.image.size());
+    return offs;
+}
+
+std::vector<std::vector<std::uint8_t>>
+StandbyApplier::imageSet() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::vector<std::uint8_t>> set;
+    set.reserve(streams_.size());
+    for (const StreamState &st : streams_)
+        set.push_back(st.image);
+    return set;
+}
+
+StandbyStats
+StandbyApplier::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    StandbyStats st = stats_;
+    st.persistedEpochs = nextPersist_;
+    st.replayedEpochs = replayed_;
+    return st;
+}
+
+void
+StandbyApplier::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        scheduleDrain(lock);
+        if (strandRunning_) {
+            waitForStrandIdleLocked(lock);
+            continue;
+        }
+        if (applyQueue_.empty() || failed_ || !replica_)
+            return;
+    }
+}
+
+Promotion
+StandbyApplier::promote()
+{
+    drain();
+    std::unique_lock<std::mutex> lock(mu_);
+    promoted_ = true;
+
+    Promotion p;
+    p.report.failedClosed = failed_;
+    p.report.applyError = applyError_;
+    p.report.failReason = failReason_;
+    p.report.persistedEpochs = nextPersist_;
+    p.report.replayedEpochs = replayed_;
+    p.report.crashesRecovered = stats_.crashes;
+    // Promotion rule: a machine comes out iff the standby never
+    // failed closed — after a digest mismatch the replica sits past
+    // the last verified boundary and must not serve.
+    if (!failed_ && replica_) {
+        p.program = prog_;
+        p.machine = std::make_unique<Machine>(
+            std::move(*replica_).takeOver());
+        replica_.reset();
+        p.report.finalStateHash = p.machine->stateHash();
+        p.report.promoted = true;
+    }
+    return p;
+}
+
+} // namespace dp

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * StandbyApplier: the receiving half of journal shipping.
+ *
+ * The standby persists shipped journal bytes into local per-stream
+ * images, incrementally parses committed frames out of them, and
+ * continuously replays completed epochs on a LiveReplica via an apply
+ * strand on the shared exec pool — so at any moment it maintains the
+ * watermark pair the ERMIA replication design tracks:
+ *
+ *   persisted  — epochs whose frames are durable in local images
+ *                (contiguous from the journal's base epoch);
+ *   replayed   — epochs the replica machine has applied.
+ *
+ * Bounded lag: receive() holds its ack while persisted - replayed
+ * exceeds the lag bound, which back-pressures the primary through the
+ * sender's synchronous ship path. The bound is enforced at batch
+ * granularity — the instantaneous lag can overshoot by the epochs one
+ * batch carries, but the primary cannot run ahead further than one
+ * unacked batch past the bound.
+ *
+ * Fail-closed rules: a digest mismatch during apply (LiveReplica's
+ * ApplyError), structurally corrupt journal bytes inside an accepted
+ * batch, or cross-stream identity mismatches all poison the standby —
+ * it refuses every further batch and promote() refuses to hand out a
+ * machine (the replica's state is past the last verified boundary).
+ * Torn batches, gaps, duplicates, and reorders are *not* failures:
+ * they are refused or absorbed idempotently and the ack's watermarks
+ * resynchronize the sender.
+ *
+ * StandbyCrash (a FaultSite) models the standby process dying: all
+ * volatile state — replica, decoded epochs, apply queue — is lost,
+ * and the standby recovers exactly the way a restarted process would:
+ * recoverJournal / recoverShardedJournal over its own persisted
+ * images, truncation to the committed prefix / consistent cut, and a
+ * from-scratch re-apply. The sender resyncs from the recovered
+ * offsets carried in the nack.
+ *
+ * promote() is failover: drain the apply strand, then hand out the
+ * replica's Machine plus a FailoverReport. Promotion rule: a machine
+ * is produced iff the standby never failed closed; its state hash
+ * then equals the digest of epoch (persisted-1)'s boundary — the same
+ * state recovery of the shipped journal prefix would reach.
+ */
+
+#ifndef DP_SHIP_STANDBY_HH
+#define DP_SHIP_STANDBY_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/recording.hh"
+#include "exec/executor.hh"
+#include "fault/fault.hh"
+#include "replay/live_replica.hh"
+#include "ship/ship.hh"
+
+namespace dp
+{
+
+/** Shape of a standby. */
+struct StandbyOptions
+{
+    /** Max persisted - replayed epochs before acks are held (the
+     *  back-pressure bound). */
+    std::uint64_t lagBound = 8;
+    /** Workers of the private apply pool when @p pool is null
+     *  (0 = applies run inline inside receive()). */
+    unsigned applyWorkers = 1;
+    /** Shared exec pool to run the apply strand on (null: the standby
+     *  owns a private pool of applyWorkers). */
+    Executor *pool = nullptr;
+    /** Fault injector consulted for StandbyCrash (scope = batch
+     *  sequence number). */
+    FaultInjector *faults = nullptr;
+};
+
+/** What failover found when the standby was promoted. */
+struct FailoverReport
+{
+    /** A machine was produced (the standby never failed closed and
+     *  had materialized a replica from the shipped header). */
+    bool promoted = false;
+    /** The standby refused promotion: digest mismatch or structural
+     *  corruption. */
+    bool failedClosed = false;
+    /** The digest mismatch, when that is what failed the standby. */
+    std::optional<ApplyError> applyError;
+    /** Human-readable cause when failedClosed. */
+    std::string failReason;
+    std::uint64_t persistedEpochs = 0;
+    std::uint64_t replayedEpochs = 0;
+    /** State hash of the promoted machine (0 when not promoted). */
+    std::uint64_t finalStateHash = 0;
+    /** StandbyCrash recoveries survived along the way. */
+    std::uint64_t crashesRecovered = 0;
+
+    /** One-line human-readable rendering. */
+    std::string describe() const;
+};
+
+/** The result of promote(). */
+struct Promotion
+{
+    /** Owns the guest program the machine points into. */
+    std::shared_ptr<const GuestProgram> program;
+    /** The promoted standby machine; null unless report.promoted. */
+    std::unique_ptr<Machine> machine;
+    FailoverReport report;
+};
+
+/** The receiving half of journal shipping (see file comment). */
+class StandbyApplier
+{
+  public:
+    explicit StandbyApplier(StandbyOptions opts = {});
+    StandbyApplier(const StandbyApplier &) = delete;
+    StandbyApplier &operator=(const StandbyApplier &) = delete;
+    ~StandbyApplier();
+
+    /**
+     * Deliver one wire batch (possibly damaged). Appends fresh bytes,
+     * parses any newly-completed frames, schedules epoch applies, and
+     * holds the ack while the lag bound is exceeded. Never throws;
+     * every failure shape becomes an ack.
+     */
+    ShipAck receive(std::span<const std::uint8_t> wire);
+
+    /** Epochs durably persisted in local images (contiguous). */
+    std::uint64_t persistedEpochs() const;
+    /** Epochs the replica has replayed. */
+    std::uint64_t replayedEpochs() const;
+    /** The standby refused service permanently. */
+    bool failedClosed() const;
+    /** The digest mismatch that failed the standby, if any. */
+    std::optional<ApplyError> applyError() const;
+    /** Authoritative per-stream image sizes. */
+    std::vector<std::uint64_t> imageOffsets() const;
+    /** Copies of the standby's persisted stream images. */
+    std::vector<std::vector<std::uint8_t>> imageSet() const;
+    StandbyStats stats() const;
+
+    /** Block until every persisted epoch has been applied (or the
+     *  standby failed closed). */
+    void drain();
+
+    /** Fail over: drain, then hand out the standby machine and the
+     *  report. The applier refuses all batches afterwards. */
+    Promotion promote();
+
+  private:
+    struct StreamState
+    {
+        /** Persisted bytes (survive a StandbyCrash). */
+        std::vector<std::uint8_t> image;
+        /** Bytes consumed by fully-parsed frames. */
+        std::size_t scanned = 0;
+        bool headerSeen = false;
+        /** Next epoch index this stream must deliver. */
+        std::uint64_t nextIndex = 0;
+    };
+
+    ShipAck ackLocked(std::uint64_t seq, bool accepted) const;
+    std::uint64_t lagLocked() const;
+    void failLocked(std::string reason);
+    void configureLocked(std::uint32_t stream_count);
+    /** Parse newly-completed frames of stream @p s and hand finished
+     *  epochs to the apply strand. */
+    void ingestLocked(unsigned s);
+    void advanceContiguousLocked();
+    /** Lose all volatile state and recover from the images. */
+    void crashLocked(std::unique_lock<std::mutex> &lock);
+    void waitForStrandIdleLocked(std::unique_lock<std::mutex> &lock);
+    void scheduleDrain(std::unique_lock<std::mutex> &lock);
+    void drainApplies();
+
+    StandbyOptions opts_;
+    std::unique_ptr<Executor> ownPool_;
+    Executor *pool_ = nullptr;
+
+    mutable std::mutex mu_;
+    std::condition_variable idleCv_; ///< strand went idle
+    std::condition_variable lagCv_;  ///< replayed advanced
+
+    bool configured_ = false;
+    std::vector<StreamState> streams_;
+    std::uint64_t baseEpoch_ = 0;
+    /** Canonical v3 header payload after the streamIndex varint —
+     *  byte-identical across the streams of one journal; the first
+     *  decoded header pins it and siblings must match. */
+    std::vector<std::uint8_t> headerSuffix_;
+    /** Next epoch index to mark persisted (contiguous). */
+    std::uint64_t nextPersist_ = 0;
+    /** Parsed epochs waiting for their predecessors. */
+    std::map<std::uint64_t, EpochRecord> parsed_;
+    std::deque<EpochRecord> applyQueue_;
+    bool strandRunning_ = false;
+    std::uint64_t replayed_ = 0;
+
+    /** Header ingredients (survive only as bytes across a crash —
+     *  rebuilt by re-scanning the images). */
+    std::shared_ptr<const GuestProgram> prog_;
+    MachineConfig cfg_{};
+    std::unique_ptr<LiveReplica> replica_;
+
+    bool failed_ = false;
+    std::string failReason_;
+    std::optional<ApplyError> applyError_;
+    bool promoted_ = false;
+    StandbyStats stats_;
+};
+
+} // namespace dp
+
+#endif // DP_SHIP_STANDBY_HH

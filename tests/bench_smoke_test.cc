@@ -29,6 +29,10 @@
 #error "DP_BENCH_JOURNAL_BIN must point at bench_journal_scale"
 #endif
 
+#ifndef DP_BENCH_STANDBY_BIN
+#error "DP_BENCH_STANDBY_BIN must point at bench_standby_lag"
+#endif
+
 namespace dp
 {
 namespace
@@ -203,6 +207,39 @@ TEST(BenchSmoke, JournalScaleEmitsSchemaValidJson)
          {"commit:pfscan@s1", "commit:pfscan@s2", "commit:pfscan@s4",
           "recover:pfscan@j1", "recover:pfscan@j2",
           "recover:pfscan@j4"}) {
+        bool saw = false;
+        for (const JsonValue &row : rows->items())
+            saw = saw || row.find("name")->asString() == want;
+        EXPECT_TRUE(saw) << "missing row " << want;
+    }
+
+    std::remove(path.c_str());
+    rmdir(dir.c_str());
+}
+
+TEST(BenchSmoke, StandbyLagEmitsSchemaValidJson)
+{
+    char tmpl[] = "/tmp/dp-bench-smoke-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    const std::string dir = tmpl;
+    const std::string path = dir + "/BENCH_standby_lag.json";
+
+    // The bench itself fails on any standby divergence, so the exit
+    // check is the correctness gate; the JSON check is the schema
+    // gate.
+    const std::string cmd = "DP_BENCH_JSON_DIR=" + dir + " " +
+                            DP_BENCH_STANDBY_BIN " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    JsonValue doc = loadBenchJson(path, "standby_lag");
+    const JsonValue *rows = doc.find("rows");
+    ASSERT_NE(rows, nullptr);
+
+    // The sweep must cover the clean link and a lossy one at both
+    // epoch rates.
+    for (const char *want :
+         {"ship:pfscan@e60k,f0", "ship:pfscan@e60k,f30",
+          "ship:pfscan@e150k,f0", "ship:pfscan@e150k,f30"}) {
         bool saw = false;
         for (const JsonValue &row : rows->items())
             saw = saw || row.find("name")->asString() == want;

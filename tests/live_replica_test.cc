@@ -30,7 +30,7 @@ TEST(LiveReplica, TracksEveryCommittedBoundary)
     RecordObserver obs;
     obs.onEpochCommitted = [&](const EpochRecord &e, EpochId idx) {
         EXPECT_EQ(idx, streamed);
-        ASSERT_TRUE(replica.apply(e));
+        ASSERT_FALSE(replica.apply(e).has_value());
         EXPECT_EQ(replica.machine().stateHash(), e.endStateHash)
             << "replica must sit exactly at the committed boundary";
         ++streamed;
@@ -57,7 +57,7 @@ TEST(LiveReplica, SurvivesRollbacks)
 
     RecordObserver obs;
     obs.onEpochCommitted = [&](const EpochRecord &e, EpochId) {
-        ASSERT_TRUE(replica.apply(e));
+        ASSERT_FALSE(replica.apply(e).has_value());
     };
     RecordOutcome out = rec.record(&obs);
     ASSERT_TRUE(out.ok);
@@ -78,7 +78,7 @@ TEST(LiveReplica, TakeOverYieldsTheFinalMachine)
     UniparallelRecorder rec(b.program, b.config, opts);
     RecordObserver obs;
     obs.onEpochCommitted = [&](const EpochRecord &e, EpochId) {
-        ASSERT_TRUE(replica.apply(e));
+        ASSERT_FALSE(replica.apply(e).has_value());
     };
     RecordOutcome out = rec.record(&obs);
     ASSERT_TRUE(out.ok);
@@ -99,7 +99,7 @@ TEST(LiveReplica, WorksUnderHostParallelRecording)
     UniparallelRecorder rec(prog, {}, opts);
     RecordObserver obs;
     obs.onEpochCommitted = [&](const EpochRecord &e, EpochId) {
-        ASSERT_TRUE(replica.apply(e));
+        ASSERT_FALSE(replica.apply(e).has_value());
     };
     RecordOutcome out = rec.record(&obs);
     ASSERT_TRUE(out.ok);
@@ -122,10 +122,24 @@ TEST(LiveReplica, RejectsOutOfOrderEpochs)
     LiveReplica replica(prog, {});
     // Feeding epoch 1 before epoch 0 must fail verification and
     // poison the replica.
-    EXPECT_FALSE(replica.apply(out.recording.epochs[1]));
+    std::optional<ApplyError> err =
+        replica.apply(out.recording.epochs[1]);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->epoch, 0u) << "the first apply diverged";
+    EXPECT_EQ(err->expectedDigest,
+              out.recording.epochs[1].endStateHash);
+    EXPECT_NE(err->actualDigest, err->expectedDigest);
     EXPECT_FALSE(replica.healthy());
-    EXPECT_FALSE(replica.apply(out.recording.epochs[0]))
+    ASSERT_TRUE(replica.error().has_value());
+    EXPECT_EQ(*replica.error(), *err) << "the first error sticks";
+    EXPECT_FALSE(err->describe().empty());
+
+    std::optional<ApplyError> again =
+        replica.apply(out.recording.epochs[0]);
+    ASSERT_TRUE(again.has_value())
         << "an unhealthy replica refuses further epochs";
+    EXPECT_EQ(*again, *err)
+        << "later applies report the original failure";
 }
 
 } // namespace

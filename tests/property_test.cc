@@ -19,6 +19,9 @@
 #include "journal/sharded.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
+#include "ship/link.hh"
+#include "ship/sender.hh"
+#include "ship/standby.hh"
 #include "testprogs.hh"
 
 namespace dp
@@ -565,6 +568,113 @@ TEST_P(ShardedJournalUnderStreamFaults, RecoversMergesAndResumes)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ShardedJournalUnderStreamFaults,
                          ::testing::Range<std::uint64_t>(700, 710));
+
+/**
+ * Journal shipping under randomized link-fault plans, stream counts,
+ * batch sizes, and lag bounds: the standby must converge or fail
+ * closed — never diverge silently. Whenever a machine is promoted,
+ * its state hash equals what recovery of the standby's own persisted
+ * images computes (the cut the paper's cold restart would reach);
+ * whenever the sender finishes cleanly, the standby holds the full
+ * source. A refused promotion is only legal when the standby failed
+ * closed or never materialized a replica.
+ */
+class ShipProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ShipProperty, RandomLinkFaultPlansConvergeOrFailClosed)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 53);
+
+    GuestProgram prog =
+        testprogs::randomProgram(seed, {.allowRaces = false});
+    RecorderOptions opts;
+    opts.workerCpus = 2;
+    opts.epochLength = 4'000;
+    opts.seed = seed * 17 + 3;
+    const unsigned n = rng.chance(1, 2) ? 1 : 3;
+    ShardedJournalWriter w(prog, {},
+                           recorderOptionsFingerprint(opts),
+                           {.streams = n});
+    RecordObserver obs;
+    obs.addEpochSink([&](const EpochRecord &e, EpochId index) {
+        w.appendEpoch(e, index);
+    });
+    UniparallelRecorder rec(prog, {}, opts);
+    RecordOutcome out = rec.record(&obs);
+    ASSERT_TRUE(out.ok) << "seed " << seed;
+    w.flush();
+    const std::vector<std::vector<std::uint8_t>> images =
+        w.imageSet();
+    const std::uint64_t total = out.recording.epochs.size();
+
+    const FaultSite linkSites[] = {
+        FaultSite::LinkDrop,      FaultSite::LinkDuplicate,
+        FaultSite::LinkReorder,   FaultSite::LinkTornBatch,
+        FaultSite::LinkDisconnect, FaultSite::StandbyCrash,
+    };
+    const double probs[] = {0.0, 0.05, 0.15, 0.35};
+    const std::uint64_t lagBounds[] = {1, 4, 16};
+
+    FaultPlan plan;
+    plan.seed = seed * 131 + 7;
+    for (FaultSite site : linkSites)
+        plan.with(site, probs[rng.below(4)]);
+    FaultInjector faults(plan);
+
+    StandbyApplier standby(
+        {.lagBound = lagBounds[rng.below(3)], .faults = &faults});
+    ShipLink link(standby, &faults);
+    ShipSenderOptions sopts;
+    sopts.batchBytes = rng.chance(1, 2) ? 512 : 4096;
+    sopts.maxAttempts = 8;
+    sopts.seed = seed + 1;
+    ShipSender sender(
+        link, n,
+        [&](unsigned s) -> std::span<const std::uint8_t> {
+            return images[s];
+        },
+        sopts);
+    const bool caughtUp = sender.pump();
+    Promotion p = standby.promote();
+
+    if (p.report.promoted) {
+        // Never silent divergence: the promoted machine's state is
+        // exactly what cold recovery of the standby's own images
+        // reaches.
+        std::vector<std::vector<std::uint8_t>> simages =
+            standby.imageSet();
+        std::vector<std::span<const std::uint8_t>> spans(
+            simages.begin(), simages.end());
+        RecoveredShardedJournal rj = recoverShardedJournal(spans);
+        ASSERT_NE(rj.recording, nullptr) << "seed " << seed;
+        EXPECT_EQ(p.report.replayedEpochs, rj.consistentEpochs)
+            << "seed " << seed;
+        EXPECT_EQ(p.report.finalStateHash,
+                  rj.recording->finalStateHash)
+            << "seed " << seed;
+        ASSERT_NE(p.machine, nullptr);
+        EXPECT_EQ(p.machine->stateHash(), p.report.finalStateHash);
+    } else {
+        EXPECT_TRUE(p.report.failedClosed ||
+                    p.report.replayedEpochs == 0)
+            << "seed " << seed
+            << ": a refused promotion needs a reason";
+    }
+    if (caughtUp && !sender.failed()) {
+        // A clean sender finish means nothing was lost: the standby
+        // holds and replayed the full source.
+        EXPECT_TRUE(p.report.promoted) << "seed " << seed;
+        EXPECT_EQ(p.report.replayedEpochs, total) << "seed " << seed;
+        EXPECT_EQ(p.report.finalStateHash,
+                  out.recording.finalStateHash)
+            << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShipProperty,
+                         ::testing::Range<std::uint64_t>(900, 912));
 
 TEST(RandomPrograms, UniprocessorExecutionIsDeterministic)
 {

@@ -217,6 +217,62 @@ TEST_F(ToolsCli, JournalStreamsMisuseIsUsageError)
               std::string::npos);
 }
 
+TEST_F(ToolsCli, ShipFlagMisuseIsUsageError)
+{
+    // ship replicates an existing journal; it has no positional.
+    CmdResult noj = uniplay("ship");
+    EXPECT_EQ(noj.exitCode, 2) << noj.output;
+    EXPECT_NE(noj.output.find("--journal"), std::string::npos);
+
+    // --ship is a record-side flag, --lag needs a shipping session.
+    for (const char *cmd : {"replay", "recover", "stats"}) {
+        CmdResult r =
+            uniplay(std::string(cmd) + " nonexistent.bin --ship");
+        EXPECT_EQ(r.exitCode, 2) << cmd << ": " << r.output;
+        EXPECT_NE(r.output.find("--ship"), std::string::npos)
+            << cmd << " must name the rejected flag: " << r.output;
+    }
+    CmdResult lag = uniplay("record pfscan --lag 4 -o " +
+                            path("x.bin"));
+    EXPECT_EQ(lag.exitCode, 2) << lag.output;
+    EXPECT_NE(lag.output.find("--lag"), std::string::npos);
+}
+
+TEST_F(ToolsCli, ShipReplicatesAJournalAndReportsConvergence)
+{
+    const std::string journal = path("ship.dpj");
+    CmdResult rec = uniplay("record pfscan -t 2 -s 4 --journal " +
+                            journal + " --journal-streams 2");
+    ASSERT_EQ(rec.exitCode, 0) << rec.output;
+    cleanup_.push_back(journal + ".s0");
+    cleanup_.push_back(journal + ".s1");
+
+    CmdResult ship = uniplay(
+        "ship --journal " + journal +
+        " --lag 4 --fault-plan link-drop=0.2,link-torn=0.1 "
+        "--fault-seed 9");
+    EXPECT_EQ(ship.exitCode, 0) << ship.output;
+    EXPECT_NE(ship.output.find("standby converged: yes"),
+              std::string::npos)
+        << ship.output;
+    EXPECT_NE(ship.output.find("dp-metrics-v1"), std::string::npos)
+        << ship.output;
+    EXPECT_NE(ship.output.find("promoted at epoch"),
+              std::string::npos)
+        << ship.output;
+}
+
+TEST_F(ToolsCli, RecordShipRunsAnInProcessStandby)
+{
+    CmdResult r = uniplay("record pfscan -t 2 -s 4 --ship --lag 8");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("standby converged: yes"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("dp-metrics-v1"), std::string::npos)
+        << r.output;
+}
+
 TEST_F(ToolsCli, RecoverJobsMisuseIsUsageError)
 {
     // Rejected before any file access: zero host threads cannot

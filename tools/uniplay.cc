@@ -43,6 +43,9 @@
 #include "journal/sharded.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
+#include "ship/link.hh"
+#include "ship/sender.hh"
+#include "ship/standby.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 #include "vm/text_asm.hh"
@@ -61,15 +64,18 @@ usage()
         << "  uniplay record <workload> [-t N] [-s SCALE] "
            "[-e EPOCHLEN] [--fault-plan SPEC --fault-seed N] "
            "[-o FILE] [--journal FILE [--resume] "
-           "[--journal-streams N]] [--trace FILE]\n"
+           "[--journal-streams N]] [--ship [--lag N]] "
+           "[--trace FILE]\n"
         << "  uniplay run <file.s>\n"
         << "  uniplay record-asm <file.s> [-t N] [-e EPOCHLEN] "
            "[--fault-plan SPEC --fault-seed N] [-o FILE] "
            "[--journal FILE [--resume] [--journal-streams N]] "
-           "[--trace FILE]\n"
+           "[--ship [--lag N]] [--trace FILE]\n"
         << "  uniplay replay FILE [--parallel N [--jobs N]] "
            "[--trace FILE]\n"
         << "  uniplay recover JOURNAL [-o FILE] [--jobs N]\n"
+        << "  uniplay ship --journal FILE [--lag N] "
+           "[--fault-plan SPEC --fault-seed N]\n"
         << "  uniplay verify FILE\n"
         << "  uniplay races FILE\n"
         << "  uniplay profile FILE\n"
@@ -121,6 +127,12 @@ struct Args
     unsigned journalStreams = 1;
     bool journalStreamsSet = false;
     bool resume = false;
+    /** Ship committed epochs to an in-process hot standby
+     *  (record/record-asm only). */
+    bool ship = false;
+    /** Standby lag bound in epochs (ship / record --ship). */
+    std::uint64_t lag = 8;
+    bool lagSet = false;
     std::string traceFile;
     /** First unrecognized '-' option (empty = none): flag typos must
      *  be a usage error, not a silently ignored positional. */
@@ -168,6 +180,12 @@ parseArgs(int argc, char **argv, int first)
         }
         else if (s == "--resume")
             a.resume = true;
+        else if (s == "--ship")
+            a.ship = true;
+        else if (s == "--lag") {
+            a.lag = std::stoull(next());
+            a.lagSet = true;
+        }
         else if (s == "--trace")
             a.traceFile = next();
         else if (!s.empty() && s[0] == '-' && s.size() > 1) {
@@ -264,8 +282,10 @@ int
 doRecord(const GuestProgram &prog, const MachineConfig &cfg,
          const Args &args)
 {
-    if (args.outFile.empty() && args.journalFile.empty())
-        dp_fatal("record needs -o FILE and/or --journal FILE");
+    if (args.outFile.empty() && args.journalFile.empty() &&
+        !args.ship)
+        dp_fatal(
+            "record needs -o FILE, --journal FILE and/or --ship");
     RecorderOptions opts;
     opts.workerCpus = args.threads;
     opts.epochLength = args.epochLength;
@@ -330,13 +350,16 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
             faults.get());
         prefix = std::move(rj.recording->epochs);
         resuming = true;
-    } else if (!args.journalFile.empty()) {
+    } else if (!args.journalFile.empty() || args.ship) {
+        // --ship without --journal ships from an in-memory journal:
+        // the standby is the durability story in that configuration.
         journal = std::make_unique<ShardedJournalWriter>(
             prog, cfg, fingerprint,
             ShardedJournalOptions{.streams = args.journalStreams},
             faults.get());
     }
-    if (journal && !journal->streamTo(journalBase))
+    if (journal && !journalBase.empty() &&
+        !journal->streamTo(journalBase))
         dp_fatal("cannot write journal file ", journalBase);
     if (journal && tracer)
         journal->setTrace(tracer.get());
@@ -356,6 +379,27 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
             [&](const EpochRecord &e, EpochId index) {
                 journal->appendEpoch(e, index);
             });
+
+    // record --ship: stream every committed epoch to an in-process
+    // hot standby over the (optionally fault-injected) link.
+    std::unique_ptr<StandbyApplier> standby;
+    std::unique_ptr<ShipLink> link;
+    std::unique_ptr<ShipSender> sender;
+    if (args.ship) {
+        standby = std::make_unique<StandbyApplier>(StandbyOptions{
+            .lagBound = args.lag, .faults = faults.get()});
+        link = std::make_unique<ShipLink>(*standby, faults.get());
+        sender = std::make_unique<ShipSender>(
+            *link, journal->streams(),
+            [jp = journal.get()](
+                unsigned s) -> std::span<const std::uint8_t> {
+                return jp->streamBytes(s);
+            });
+        obs.addEpochSink([&](const EpochRecord &, EpochId) {
+            sender->noteEpochCommitted();
+            sender->pump();
+        });
+    }
 
     UniparallelRecorder rec(prog, cfg, opts);
     const RecordObserver *obsp =
@@ -389,8 +433,11 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
         if (journal->streams() > 1)
             std::cout << " across " << journal->streams()
                       << " streams";
-        std::cout << " to " << journalBase
-                  << (journal->alive()
+        if (journalBase.empty())
+            std::cout << " (in-memory)";
+        else
+            std::cout << " to " << journalBase;
+        std::cout << (journal->alive()
                           ? ""
                           : " (writer died; continue with --resume)")
                   << "\n";
@@ -424,6 +471,24 @@ doRecord(const GuestProgram &prog, const MachineConfig &cfg,
         std::cout << "wrote " << bytes.size() << " bytes to "
                   << args.outFile << "\n";
     }
+    if (sender) {
+        sender->pump(); // the primary's last committed bytes
+        Promotion p = standby->promote();
+        std::cout << "ship: " << p.report.describe() << "\n"
+                  << shipMetricsSnapshot(sender->stats(),
+                                         standby->stats(),
+                                         link->stats())
+                         .dump()
+                  << "\n";
+        const bool converged =
+            p.report.promoted && !sender->failed() &&
+            p.report.replayedEpochs == out.recording.epochs.size() &&
+            p.report.finalStateHash == out.recording.finalStateHash;
+        std::cout << "standby converged: " << (converged ? "yes" : "NO")
+                  << "\n";
+        if (!converged)
+            return 1;
+    }
     return 0;
 }
 
@@ -445,6 +510,68 @@ loadArtifact(const std::string &path)
                  loadErrorName(r.error), " at byte ", r.errorOffset,
                  " (", r.detail, ")");
     return {std::move(r.recording)};
+}
+
+/**
+ * Offline shipping drill: replicate a journal file set to a fresh
+ * standby over the (optionally fault-injected) in-process link,
+ * promote the standby, and verify the promoted machine against a
+ * direct recovery of the same bytes — the state a cold restart would
+ * rebuild the slow way. Exit 0 when the standby converged on the
+ * full consistent prefix, 1 when it is stale or failed closed.
+ */
+int
+cmdShip(const Args &args)
+{
+    if (!args.positional.empty())
+        return usage();
+    if (args.journalFile.empty()) {
+        std::cerr << "ship needs --journal FILE\n";
+        return usage();
+    }
+    JournalSet js = loadJournalSet(args.journalFile);
+    RecoveredShardedJournal rj =
+        recoverShardedJournal(asSpans(js.images));
+    if (!rj.report.headerOk)
+        dp_fatal(args.journalFile, ": cannot recover journal: ",
+                 journalErrorName(rj.report.tailError), " (",
+                 rj.report.detail, ")");
+    if (!rj.recording)
+        dp_fatal(args.journalFile, ": journal base epoch is ",
+                 rj.baseEpoch, "; cannot ship a truncated journal");
+
+    std::unique_ptr<FaultInjector> faults;
+    if (!args.faultPlan.empty()) {
+        faults = std::make_unique<FaultInjector>(
+            FaultPlan::parse(args.faultPlan, args.faultSeed));
+        std::cout << "fault plan: " << faults->plan().describe()
+                  << "\n";
+    }
+
+    StandbyApplier standby(
+        {.lagBound = args.lag, .faults = faults.get()});
+    ShipLink link(standby, faults.get());
+    ShipSender sender(
+        link, js.streams,
+        [&](unsigned s) -> std::span<const std::uint8_t> {
+            return js.images[s];
+        });
+    sender.noteEpochCommitted(rj.consistentEpochs);
+    sender.pump();
+
+    Promotion p = standby.promote();
+    std::cout << p.report.describe() << "\n"
+              << shipMetricsSnapshot(sender.stats(), standby.stats(),
+                                     link.stats())
+                     .dump()
+              << "\n";
+    const bool converged =
+        p.report.promoted && !sender.failed() &&
+        p.report.replayedEpochs == rj.consistentEpochs &&
+        p.report.finalStateHash == rj.recording->finalStateHash;
+    std::cout << "standby converged: " << (converged ? "yes" : "NO")
+              << "\n";
+    return converged ? 0 : 1;
 }
 
 int
@@ -818,6 +945,18 @@ main(int argc, char **argv)
                      "stream\n";
         return usage();
     }
+    if (args.ship && cmd != "record" && cmd != "record-asm") {
+        std::cerr << "--ship is not supported by '" << cmd
+                  << "' (record and record-asm only)\n";
+        return usage();
+    }
+    if (args.lagSet && cmd != "ship" && !args.ship) {
+        std::cerr << "--lag needs the ship command or record "
+                     "--ship\n";
+        return usage();
+    }
+    if (cmd == "ship")
+        return cmdShip(args);
     if (cmd == "record")
         return cmdRecord(args);
     if (cmd == "run")
