@@ -8,18 +8,35 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench_common.hh"
 #include "common/bytes.hh"
+#include "common/crc32.hh"
+#include "common/hash.hh"
+#include "common/rng.hh"
 #include "log/logs.hh"
 #include "mem/paged_memory.hh"
 #include "os/simos.hh"
 #include "os/uni_runner.hh"
 #include "vm/assembler.hh"
+#include "vm/interp.hh"
 
 namespace
 {
 
 using namespace dp;
+
+std::vector<std::uint8_t>
+randomBytes(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<std::uint8_t>(rng.next());
+    return v;
+}
 
 GuestProgram
 arithProgram(std::int64_t iters)
@@ -125,6 +142,64 @@ BM_StateHash(benchmark::State &state)
 BENCHMARK(BM_StateHash);
 
 void
+BM_PageHashWide(benchmark::State &state)
+{
+    // The page-hash kernel exactly as Page::computeHash runs it: the
+    // 8-lane unrolled wideHash64 over one 4 KiB page.
+    std::vector<std::uint8_t> page = randomBytes(Page::bytes, 0xbe9c);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wideHash64(page));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(page.size()));
+}
+BENCHMARK(BM_PageHashWide);
+
+void
+BM_PageHashSerial(benchmark::State &state)
+{
+    // Baseline: the serial byte-at-a-time fastHash64 that page
+    // hashing used before the wide kernel.
+    std::vector<std::uint8_t> page = randomBytes(Page::bytes, 0xbe9c);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fastHash64(page));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(page.size()));
+}
+BENCHMARK(BM_PageHashSerial);
+
+void
+BM_Crc32cHw(benchmark::State &state)
+{
+    if (!crc32cHwAvailable()) {
+        state.SkipWithError("no SSE4.2 CRC on this machine/build");
+        return;
+    }
+    std::vector<std::uint8_t> buf = randomBytes(64 * 1024, 0xc4c);
+    std::uint32_t c = 0;
+    for (auto _ : state) {
+        c = crc32c(buf, c);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc32cHw);
+
+void
+BM_Crc32cTable(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf = randomBytes(64 * 1024, 0xc4c);
+    std::uint32_t c = 0;
+    for (auto _ : state) {
+        c = crc32cScalar(buf, c);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc32cTable);
+
+void
 BM_ScheduleLogRoundTrip(benchmark::State &state)
 {
     ScheduleLog log;
@@ -151,6 +226,114 @@ BM_VarintEncode(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_VarintEncode);
+
+/** Best-of-@p reps wall time of @p fn, in seconds. */
+template <typename Fn>
+double
+bestSeconds(Fn &&fn, int reps = 3)
+{
+    using Clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+        const Clock::time_point t0 = Clock::now();
+        fn();
+        const Clock::time_point t1 = Clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+/**
+ * Self-timed kernel rows for BENCH_micro.json, so the dispatch and
+ * hashing speedups are machine-diffable across builds (the threaded
+ * vs switch and sse4.2 vs table configurations land under different
+ * row names). Kernel rows reuse the dp-bench-v1 fields: `overhead`
+ * carries throughput in units/s (instrs/s for dispatch, bytes/s for
+ * hashing), `logBytes` the work per measurement, `epochs` the
+ * repetition count.
+ */
+std::vector<bench::BenchResult>
+kernelRows()
+{
+    std::vector<bench::BenchResult> rows;
+    const auto row = [&rows](std::string name, double unitsPerSec,
+                             std::uint64_t work, std::uint64_t reps) {
+        bench::BenchResult r;
+        r.name = std::move(name);
+        r.workload = "kernel";
+        r.workers = 1;
+        r.overhead = unitsPerSec;
+        r.logBytes = work;
+        r.epochs = reps;
+        rows.push_back(std::move(r));
+    };
+
+    // Dispatch: guest instructions retired per host second through
+    // the full UniRunner slice loop (block dispatch included).
+    {
+        GuestProgram prog = arithProgram(400'000);
+        std::uint64_t instrs = 0;
+        const double secs = bestSeconds([&] {
+            Machine mach(prog, {});
+            SimOS os;
+            UniRunner runner(mach, os, {}, {});
+            if (runner.run() != StopReason::AllExited)
+                std::abort();
+            instrs = runner.stats().instrs;
+        });
+        row(std::string("dispatch-") +
+                Interpreter::dispatchKindName(),
+            static_cast<double>(instrs) / secs, instrs, 1);
+    }
+
+    // Page hashing: bytes per second over a resident 4 KiB page.
+    const std::vector<std::uint8_t> page =
+        randomBytes(Page::bytes, 0xbe9c);
+    constexpr int hashReps = 4096;
+    const auto hashRow = [&](const char *name, auto &&hash) {
+        const double secs = bestSeconds([&] {
+            std::uint64_t sink = 0;
+            for (int i = 0; i < hashReps; ++i)
+                sink ^= hash(page);
+            benchmark::DoNotOptimize(sink);
+        });
+        row(name,
+            static_cast<double>(hashReps) * page.size() / secs,
+            std::uint64_t{hashReps} * page.size(), hashReps);
+    };
+    hashRow("pagehash-wide", [](std::span<const std::uint8_t> b) {
+        return wideHash64(b);
+    });
+    hashRow("pagehash-serial", [](std::span<const std::uint8_t> b) {
+        return fastHash64(b);
+    });
+
+    // CRC-32C: the journal-frame checksum, hardware vs table.
+    const std::vector<std::uint8_t> buf =
+        randomBytes(64 * 1024, 0xc4c);
+    constexpr int crcReps = 64;
+    const auto crcRow = [&](const char *name, auto &&crc) {
+        const double secs = bestSeconds([&] {
+            std::uint32_t c = 0;
+            for (int i = 0; i < crcReps; ++i)
+                c = crc(buf, c);
+            benchmark::DoNotOptimize(c);
+        });
+        row(name, static_cast<double>(crcReps) * buf.size() / secs,
+            std::uint64_t{crcReps} * buf.size(), crcReps);
+    };
+    if (crc32cHwAvailable())
+        crcRow("crc32c-sse4.2",
+               [](std::span<const std::uint8_t> b, std::uint32_t s) {
+                   return crc32c(b, s);
+               });
+    crcRow("crc32c-table",
+           [](std::span<const std::uint8_t> b, std::uint32_t s) {
+               return crc32cScalar(b, s);
+           });
+    return rows;
+}
 
 } // namespace
 
@@ -181,7 +364,10 @@ main(int argc, char **argv)
         std::cerr << "record failed for " << w->name << "\n";
         return 1;
     }
-    if (!bench::emitBenchJson("micro", {bench::toBenchResult(m)}))
+    std::vector<bench::BenchResult> rows{bench::toBenchResult(m)};
+    for (bench::BenchResult &r : kernelRows())
+        rows.push_back(std::move(r));
+    if (!bench::emitBenchJson("micro", rows))
         return 1;
     return 0;
 }

@@ -2,10 +2,22 @@
  * @file
  * CRC-32C (Castagnoli) over byte spans.
  *
- * Used by the epoch journal to guard every frame: a torn tail or a
- * flipped bit yields a CRC mismatch, so recovery can distinguish the
- * committed prefix from damage without trusting any frame contents.
- * Table-driven, one table per process, no dependencies.
+ * Used by the epoch journal and the shipping codec to guard every
+ * frame: a torn tail or a flipped bit yields a CRC mismatch, so
+ * recovery can distinguish the committed prefix from damage without
+ * trusting any frame contents.
+ *
+ * Two implementations of the same function:
+ *  - crc32cScalar(): table-driven, one table per process, portable.
+ *  - a hardware path using SSE4.2 `crc32` instructions, selected at
+ *    runtime by cpuid (see crc32.cc) and compiled in only on x86-64
+ *    builds without DP_NO_HW_CRC.
+ *
+ * crc32c() dispatches between them. Both produce bit-identical
+ * results for every (bytes, seed) input — CRC-32C is one fixed
+ * function — which common_test pins with known-answer vectors,
+ * seed-chaining sweeps, and hw/sw cross-checks. Artifact bytes
+ * therefore never depend on which path a build or a machine takes.
  */
 
 #ifndef DP_COMMON_CRC32_HH
@@ -39,9 +51,10 @@ crc32cTable()
 
 } // namespace detail
 
-/** CRC-32C of @p bytes, continuing from @p seed (0 to start). */
+/** Table-driven CRC-32C of @p bytes, continuing from @p seed (0 to
+ *  start). The portable reference path; crc32c() is the entry point. */
 inline std::uint32_t
-crc32c(std::span<const std::uint8_t> bytes, std::uint32_t seed = 0)
+crc32cScalar(std::span<const std::uint8_t> bytes, std::uint32_t seed = 0)
 {
     const auto &table = detail::crc32cTable();
     std::uint32_t c = ~seed;
@@ -49,6 +62,24 @@ crc32c(std::span<const std::uint8_t> bytes, std::uint32_t seed = 0)
         c = table[(c ^ b) & 0xff] ^ (c >> 8);
     return ~c;
 }
+
+/** True when the SSE4.2 hardware CRC path is compiled in and the CPU
+ *  supports it (cpuid probed once per process). */
+bool crc32cHwAvailable();
+
+/** Force crc32c() onto the table path even when hardware is available
+ *  (identity tests and the ci-speed fallback checks). Not thread-safe
+ *  against concurrent crc32c() calls; flip it between sessions. */
+void crc32cForceScalar(bool force);
+
+/** "sse4.2" or "table": the path crc32c() currently dispatches to. */
+const char *crc32cBackendName();
+
+/** CRC-32C of @p bytes, continuing from @p seed (0 to start). Uses the
+ *  hardware path when available, the table otherwise; both paths are
+ *  bit-identical. */
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes,
+                     std::uint32_t seed = 0);
 
 } // namespace dp
 

@@ -63,11 +63,13 @@ struct Page
 
     /** Content digest recomputed from the bytes, bypassing (and not
      *  touching) the memo. Reference path for cross-checks and for
-     *  measuring the full-rehash cost. */
+     *  measuring the full-rehash cost. Uses the 8-lane wideHash64
+     *  kernel (common/hash.hh); its reference and unrolled forms are
+     *  the same function, so the digest never depends on the build. */
     std::uint64_t
     computeHash() const
     {
-        return fastHash64(std::span<const std::uint8_t>(data));
+        return wideHash64(std::span<const std::uint8_t>(data));
     }
 
     /** Drop the memoized digest; the next hash() recomputes. Called by

@@ -278,25 +278,52 @@ UniRunner::runSlice(ThreadId tid, std::uint64_t budget,
             continue;
         }
 
-        if (hooks_.onMemAccess && isMemOp(op)) {
-            auto [maddr, mwrite] = interp_.nextMemAccess(tc);
-            hooks_.onMemAccess(tid, maddr, memAccessSize(op), mwrite,
-                               isAtomicOp(op));
+        if (isAtomicOp(op) || (hooks_.onMemAccess && isMemOp(op))) {
+            // Observed instructions execute one at a time: the access
+            // hook fires before, the sync hook after, each one.
+            if (hooks_.onMemAccess && isMemOp(op)) {
+                auto [maddr, mwrite] = interp_.nextMemAccess(tc);
+                hooks_.onMemAccess(tid, maddr, memAccessSize(op),
+                                   mwrite, isAtomicOp(op));
+            }
+            const SyncKey atomic_key =
+                isAtomicOp(op) ? interp_.nextAtomicAddr(tc) : 0;
+            StepKind k = interp_.step(tc, m_.mem);
+            charge(cm.instrCycles);
+            ++res.instrs;
+            ++stats_.instrs;
+            res.progress = true;
+            if (isAtomicOp(op)) {
+                ++stats_.syncOps;
+                if (hooks_.onSync)
+                    hooks_.onSync(tid, SyncKind::Atomic, atomic_key);
+            }
+            if (k == StepKind::Halted || k == StepKind::Fault)
+                break;
+            continue;
         }
-        const SyncKey atomic_key =
-            isAtomicOp(op) ? interp_.nextAtomicAddr(tc) : 0;
-        StepKind k = interp_.step(tc, m_.mem);
-        charge(cm.instrCycles);
-        ++res.instrs;
-        ++stats_.instrs;
-        res.progress = true;
-        if (isAtomicOp(op)) {
-            ++stats_.syncOps;
-            if (hooks_.onSync)
-                hooks_.onSync(tid, SyncKind::Atomic, atomic_key);
-        }
-        if (k == StepKind::Halted || k == StepKind::Fault)
+
+        // Plain instructions run in one tight block up to the next
+        // boundary. Everything this loop observes per instruction —
+        // signal delivery, sync permits, yields, the hooks above —
+        // can only trigger at a syscall, atomic, or (when hooked)
+        // memory op, and the stop mask halts the block before any of
+        // those executes. Deliverability cannot change mid-block: the
+        // signal state only moves through syscalls, and no other
+        // thread runs during the slice.
+        std::uint8_t stop_mask = ClsAtomic;
+        if (hooks_.onMemAccess)
+            stop_mask |= ClsMem;
+        Interpreter::BlockResult b = interp_.runBlock(
+            tc, m_.mem, budget - res.instrs, stop_mask);
+        charge(cm.instrCycles * b.instrs);
+        res.instrs += b.instrs;
+        stats_.instrs += b.instrs;
+        res.progress |= b.instrs > 0;
+        if (b.last == StepKind::Halted || b.last == StepKind::Fault)
             break;
+        if (b.instrs == 0)
+            break; // defensive: a boundary op slipped past the checks
     }
 
     // The owed blocking attempt at the end of an exactly-consumed

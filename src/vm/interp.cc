@@ -14,199 +14,582 @@ constexpr std::uint64_t faultExitCode = 0xdead;
 
 } // namespace
 
+// The decode table (decode.cc) allocates one handler slot per opcode
+// plus a trailing fault slot; adding an opcode means adding a handler
+// to BOTH dispatch variants below.
+static_assert(static_cast<unsigned>(Opcode::NumOpcodes) == 48,
+              "opcode count changed: update the dispatch tables");
+
+#if defined(DP_THREADED_DISPATCH) && defined(__GNUC__)
+#define DP_DISPATCH_THREADED 1
+#else
+#define DP_DISPATCH_THREADED 0
+#endif
+
+#if DP_DISPATCH_THREADED
+
+namespace
+{
+
+/**
+ * The threaded (computed-goto) block runner. Handler label addresses
+ * are function-local, so the same function doubles as the table
+ * exporter: called with @p tc == nullptr it returns the label table
+ * (indexed by opcode, trailing slot = fault) without executing
+ * anything; otherwise it runs and fills @p *out, returning nullptr.
+ *
+ * Semantics are identical to the portable switch fallback below —
+ * the two are maintained as a pair.
+ */
+const void *const *
+threadedBlockRun(ThreadContext *tc, PagedMemory *memp,
+                 std::uint64_t max, std::uint8_t stop,
+                 const DecodedInstr *code, std::size_t code_size,
+                 Interpreter::BlockResult *out)
+{
+    // Must match Opcode declaration order exactly; the static_assert
+    // above guards the count.
+    static const void *const table[] = {
+        &&h_Nop,
+        &&h_Li, &&h_Mov,
+        &&h_Add, &&h_Sub, &&h_Mul, &&h_Divu, &&h_Remu,
+        &&h_And, &&h_Or, &&h_Xor,
+        &&h_Shl, &&h_Shr, &&h_Sar,
+        &&h_SltU, &&h_SltS, &&h_Seq,
+        &&h_Addi, &&h_Andi, &&h_Ori, &&h_Xori,
+        &&h_Shli, &&h_Shri, &&h_Muli,
+        &&h_Ld8, &&h_Ld16, &&h_Ld32, &&h_Ld64,
+        &&h_St8, &&h_St16, &&h_St32, &&h_St64,
+        &&h_Beq, &&h_Bne, &&h_BltU, &&h_BltS, &&h_BgeU, &&h_BgeS,
+        &&h_Beqz, &&h_Bnez,
+        &&h_Jmp, &&h_Jal, &&h_Jr,
+        &&h_Cas, &&h_FetchAdd, &&h_Xchg,
+        &&h_Syscall, &&h_Halt,
+        &&h_fault, // Opcode::NumOpcodes: invalid encodings
+    };
+    static_assert(sizeof(table) / sizeof(table[0]) ==
+                  static_cast<std::size_t>(Opcode::NumOpcodes) + 1);
+
+    if (tc == nullptr)
+        return table;
+
+    PagedMemory &mem = *memp;
+    std::uint64_t *const regs = tc->regs.data();
+    std::uint64_t pc = tc->pc;
+    std::uint64_t n = 0;
+    const DecodedInstr *ip = nullptr;
+    StepKind last = StepKind::Ok;
+
+#define DP_IMM(i) static_cast<std::uint64_t>((i)->imm)
+#define DP_NEXT()                                                       \
+    do {                                                                \
+        if (n == max)                                                   \
+            goto stop_budget;                                           \
+        if (pc >= code_size)                                            \
+            goto h_fault;                                               \
+        ip = code + pc;                                                 \
+        if (ip->cls & stop)                                             \
+            goto stop_class;                                            \
+        goto *const_cast<void *>(ip->handler);                          \
+    } while (0)
+
+    DP_NEXT();
+
+h_Nop:
+    ++pc; ++n; DP_NEXT();
+h_Li:
+    regs[ip->rd] = DP_IMM(ip);
+    ++pc; ++n; DP_NEXT();
+h_Mov:
+    regs[ip->rd] = regs[ip->rs1];
+    ++pc; ++n; DP_NEXT();
+
+h_Add:
+    regs[ip->rd] = regs[ip->rs1] + regs[ip->rs2];
+    ++pc; ++n; DP_NEXT();
+h_Sub:
+    regs[ip->rd] = regs[ip->rs1] - regs[ip->rs2];
+    ++pc; ++n; DP_NEXT();
+h_Mul:
+    regs[ip->rd] = regs[ip->rs1] * regs[ip->rs2];
+    ++pc; ++n; DP_NEXT();
+h_Divu:
+    // RISC-V semantics: division by zero yields all ones.
+    regs[ip->rd] = regs[ip->rs2] == 0 ? ~std::uint64_t{0}
+                                      : regs[ip->rs1] / regs[ip->rs2];
+    ++pc; ++n; DP_NEXT();
+h_Remu:
+    regs[ip->rd] = regs[ip->rs2] == 0 ? regs[ip->rs1]
+                                      : regs[ip->rs1] % regs[ip->rs2];
+    ++pc; ++n; DP_NEXT();
+h_And:
+    regs[ip->rd] = regs[ip->rs1] & regs[ip->rs2];
+    ++pc; ++n; DP_NEXT();
+h_Or:
+    regs[ip->rd] = regs[ip->rs1] | regs[ip->rs2];
+    ++pc; ++n; DP_NEXT();
+h_Xor:
+    regs[ip->rd] = regs[ip->rs1] ^ regs[ip->rs2];
+    ++pc; ++n; DP_NEXT();
+h_Shl:
+    regs[ip->rd] = regs[ip->rs1] << (regs[ip->rs2] & 63);
+    ++pc; ++n; DP_NEXT();
+h_Shr:
+    regs[ip->rd] = regs[ip->rs1] >> (regs[ip->rs2] & 63);
+    ++pc; ++n; DP_NEXT();
+h_Sar:
+    regs[ip->rd] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(regs[ip->rs1]) >>
+        (regs[ip->rs2] & 63));
+    ++pc; ++n; DP_NEXT();
+h_SltU:
+    regs[ip->rd] = regs[ip->rs1] < regs[ip->rs2] ? 1 : 0;
+    ++pc; ++n; DP_NEXT();
+h_SltS:
+    regs[ip->rd] = static_cast<std::int64_t>(regs[ip->rs1]) <
+                           static_cast<std::int64_t>(regs[ip->rs2])
+                       ? 1
+                       : 0;
+    ++pc; ++n; DP_NEXT();
+h_Seq:
+    regs[ip->rd] = regs[ip->rs1] == regs[ip->rs2] ? 1 : 0;
+    ++pc; ++n; DP_NEXT();
+
+h_Addi:
+    regs[ip->rd] = regs[ip->rs1] + DP_IMM(ip);
+    ++pc; ++n; DP_NEXT();
+h_Andi:
+    regs[ip->rd] = regs[ip->rs1] & DP_IMM(ip);
+    ++pc; ++n; DP_NEXT();
+h_Ori:
+    regs[ip->rd] = regs[ip->rs1] | DP_IMM(ip);
+    ++pc; ++n; DP_NEXT();
+h_Xori:
+    regs[ip->rd] = regs[ip->rs1] ^ DP_IMM(ip);
+    ++pc; ++n; DP_NEXT();
+h_Shli:
+    regs[ip->rd] = regs[ip->rs1] << (DP_IMM(ip) & 63);
+    ++pc; ++n; DP_NEXT();
+h_Shri:
+    regs[ip->rd] = regs[ip->rs1] >> (DP_IMM(ip) & 63);
+    ++pc; ++n; DP_NEXT();
+h_Muli:
+    regs[ip->rd] = regs[ip->rs1] * DP_IMM(ip);
+    ++pc; ++n; DP_NEXT();
+
+h_Ld8:
+    regs[ip->rd] = mem.read8(regs[ip->rs1] + DP_IMM(ip));
+    ++pc; ++n; DP_NEXT();
+h_Ld16:
+    regs[ip->rd] = mem.read16(regs[ip->rs1] + DP_IMM(ip));
+    ++pc; ++n; DP_NEXT();
+h_Ld32:
+    regs[ip->rd] = mem.read32(regs[ip->rs1] + DP_IMM(ip));
+    ++pc; ++n; DP_NEXT();
+h_Ld64:
+    regs[ip->rd] = mem.read64(regs[ip->rs1] + DP_IMM(ip));
+    ++pc; ++n; DP_NEXT();
+h_St8:
+    mem.write8(regs[ip->rs1] + DP_IMM(ip),
+               static_cast<std::uint8_t>(regs[ip->rs2]));
+    ++pc; ++n; DP_NEXT();
+h_St16:
+    mem.write16(regs[ip->rs1] + DP_IMM(ip),
+                static_cast<std::uint16_t>(regs[ip->rs2]));
+    ++pc; ++n; DP_NEXT();
+h_St32:
+    mem.write32(regs[ip->rs1] + DP_IMM(ip),
+                static_cast<std::uint32_t>(regs[ip->rs2]));
+    ++pc; ++n; DP_NEXT();
+h_St64:
+    mem.write64(regs[ip->rs1] + DP_IMM(ip), regs[ip->rs2]);
+    ++pc; ++n; DP_NEXT();
+
+h_Beq:
+    pc = regs[ip->rs1] == regs[ip->rs2] ? DP_IMM(ip) : pc + 1;
+    ++n; DP_NEXT();
+h_Bne:
+    pc = regs[ip->rs1] != regs[ip->rs2] ? DP_IMM(ip) : pc + 1;
+    ++n; DP_NEXT();
+h_BltU:
+    pc = regs[ip->rs1] < regs[ip->rs2] ? DP_IMM(ip) : pc + 1;
+    ++n; DP_NEXT();
+h_BltS:
+    pc = static_cast<std::int64_t>(regs[ip->rs1]) <
+                 static_cast<std::int64_t>(regs[ip->rs2])
+             ? DP_IMM(ip)
+             : pc + 1;
+    ++n; DP_NEXT();
+h_BgeU:
+    pc = regs[ip->rs1] >= regs[ip->rs2] ? DP_IMM(ip) : pc + 1;
+    ++n; DP_NEXT();
+h_BgeS:
+    pc = static_cast<std::int64_t>(regs[ip->rs1]) >=
+                 static_cast<std::int64_t>(regs[ip->rs2])
+             ? DP_IMM(ip)
+             : pc + 1;
+    ++n; DP_NEXT();
+h_Beqz:
+    pc = regs[ip->rs1] == 0 ? DP_IMM(ip) : pc + 1;
+    ++n; DP_NEXT();
+h_Bnez:
+    pc = regs[ip->rs1] != 0 ? DP_IMM(ip) : pc + 1;
+    ++n; DP_NEXT();
+h_Jmp:
+    pc = DP_IMM(ip);
+    ++n; DP_NEXT();
+h_Jal:
+    regs[ip->rd] = pc + 1;
+    pc = DP_IMM(ip);
+    ++n; DP_NEXT();
+h_Jr:
+    pc = regs[ip->rs1];
+    ++n; DP_NEXT();
+
+h_Cas: {
+    std::uint64_t addr = regs[ip->rs1];
+    std::uint64_t old = mem.read64(addr);
+    if (old == regs[ip->rd])
+        mem.write64(addr, regs[ip->rs2]);
+    regs[ip->rd] = old;
+    ++pc; ++n; DP_NEXT();
+}
+h_FetchAdd: {
+    std::uint64_t addr = regs[ip->rs1];
+    std::uint64_t old = mem.read64(addr);
+    mem.write64(addr, old + regs[ip->rs2]);
+    regs[ip->rd] = old;
+    ++pc; ++n; DP_NEXT();
+}
+h_Xchg: {
+    std::uint64_t addr = regs[ip->rs1];
+    std::uint64_t old = mem.read64(addr);
+    mem.write64(addr, regs[ip->rs2]);
+    regs[ip->rd] = old;
+    ++pc; ++n; DP_NEXT();
+}
+
+h_Syscall:
+    // Unreachable in practice: runBlock always puts ClsSyscall in the
+    // stop mask, so syscalls are caught at stop_class. Kept so the
+    // table stays total.
+    last = StepKind::SyscallTrap;
+    goto write_back;
+
+h_Halt:
+    tc->state = RunState::Exited;
+    tc->exitCode = regs[0];
+    ++n;
+    last = StepKind::Halted;
+    goto write_back;
+
+h_fault:
+    tc->state = RunState::Exited;
+    tc->exitCode = faultExitCode;
+    ++n;
+    last = StepKind::Fault;
+    goto write_back;
+
+stop_class:
+    last = (ip->cls & ClsSyscall) ? StepKind::SyscallTrap : StepKind::Ok;
+    goto write_back;
+
+stop_budget:
+    last = StepKind::Ok;
+
+write_back:
+    tc->pc = pc;
+    tc->retired += n;
+    out->instrs = n;
+    out->last = last;
+    return nullptr;
+
+#undef DP_NEXT
+#undef DP_IMM
+}
+
+} // namespace
+
+#else // !DP_DISPATCH_THREADED
+
+namespace
+{
+
+/**
+ * Portable switch-dispatch block runner: the exact semantics of the
+ * threaded variant above, for compilers without computed goto or
+ * builds with DP_THREADED_DISPATCH off.
+ */
+Interpreter::BlockResult
+switchBlockRun(ThreadContext &tc, PagedMemory &mem, std::uint64_t max,
+               std::uint8_t stop, const DecodedInstr *code,
+               std::size_t code_size)
+{
+    std::uint64_t *const regs = tc.regs.data();
+    std::uint64_t pc = tc.pc;
+    std::uint64_t n = 0;
+    StepKind last = StepKind::Ok;
+
+    for (;;) {
+        if (n == max)
+            break;
+        if (pc >= code_size) {
+            tc.state = RunState::Exited;
+            tc.exitCode = faultExitCode;
+            ++n;
+            last = StepKind::Fault;
+            break;
+        }
+        const DecodedInstr &in = code[pc];
+        if (in.cls & stop) {
+            last = (in.cls & ClsSyscall) ? StepKind::SyscallTrap
+                                         : StepKind::Ok;
+            break;
+        }
+
+        std::uint64_t imm = static_cast<std::uint64_t>(in.imm);
+        std::uint64_t next_pc = pc + 1;
+
+        switch (in.op) {
+          case Opcode::Nop:
+            break;
+          case Opcode::Li:
+            regs[in.rd] = imm;
+            break;
+          case Opcode::Mov:
+            regs[in.rd] = regs[in.rs1];
+            break;
+
+          case Opcode::Add: regs[in.rd] = regs[in.rs1] + regs[in.rs2]; break;
+          case Opcode::Sub: regs[in.rd] = regs[in.rs1] - regs[in.rs2]; break;
+          case Opcode::Mul: regs[in.rd] = regs[in.rs1] * regs[in.rs2]; break;
+          case Opcode::Divu:
+            // RISC-V semantics: division by zero yields all ones.
+            regs[in.rd] = regs[in.rs2] == 0
+                              ? ~std::uint64_t{0}
+                              : regs[in.rs1] / regs[in.rs2];
+            break;
+          case Opcode::Remu:
+            regs[in.rd] = regs[in.rs2] == 0
+                              ? regs[in.rs1]
+                              : regs[in.rs1] % regs[in.rs2];
+            break;
+          case Opcode::And: regs[in.rd] = regs[in.rs1] & regs[in.rs2]; break;
+          case Opcode::Or:  regs[in.rd] = regs[in.rs1] | regs[in.rs2]; break;
+          case Opcode::Xor: regs[in.rd] = regs[in.rs1] ^ regs[in.rs2]; break;
+          case Opcode::Shl:
+            regs[in.rd] = regs[in.rs1] << (regs[in.rs2] & 63);
+            break;
+          case Opcode::Shr:
+            regs[in.rd] = regs[in.rs1] >> (regs[in.rs2] & 63);
+            break;
+          case Opcode::Sar:
+            regs[in.rd] = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(regs[in.rs1]) >>
+                (regs[in.rs2] & 63));
+            break;
+          case Opcode::SltU:
+            regs[in.rd] = regs[in.rs1] < regs[in.rs2] ? 1 : 0;
+            break;
+          case Opcode::SltS:
+            regs[in.rd] = static_cast<std::int64_t>(regs[in.rs1]) <
+                                  static_cast<std::int64_t>(regs[in.rs2])
+                              ? 1
+                              : 0;
+            break;
+          case Opcode::Seq:
+            regs[in.rd] = regs[in.rs1] == regs[in.rs2] ? 1 : 0;
+            break;
+
+          case Opcode::Addi: regs[in.rd] = regs[in.rs1] + imm; break;
+          case Opcode::Andi: regs[in.rd] = regs[in.rs1] & imm; break;
+          case Opcode::Ori:  regs[in.rd] = regs[in.rs1] | imm; break;
+          case Opcode::Xori: regs[in.rd] = regs[in.rs1] ^ imm; break;
+          case Opcode::Shli: regs[in.rd] = regs[in.rs1] << (imm & 63); break;
+          case Opcode::Shri: regs[in.rd] = regs[in.rs1] >> (imm & 63); break;
+          case Opcode::Muli: regs[in.rd] = regs[in.rs1] * imm; break;
+
+          case Opcode::Ld8:
+            regs[in.rd] = mem.read8(regs[in.rs1] + imm);
+            break;
+          case Opcode::Ld16:
+            regs[in.rd] = mem.read16(regs[in.rs1] + imm);
+            break;
+          case Opcode::Ld32:
+            regs[in.rd] = mem.read32(regs[in.rs1] + imm);
+            break;
+          case Opcode::Ld64:
+            regs[in.rd] = mem.read64(regs[in.rs1] + imm);
+            break;
+          case Opcode::St8:
+            mem.write8(regs[in.rs1] + imm,
+                       static_cast<std::uint8_t>(regs[in.rs2]));
+            break;
+          case Opcode::St16:
+            mem.write16(regs[in.rs1] + imm,
+                        static_cast<std::uint16_t>(regs[in.rs2]));
+            break;
+          case Opcode::St32:
+            mem.write32(regs[in.rs1] + imm,
+                        static_cast<std::uint32_t>(regs[in.rs2]));
+            break;
+          case Opcode::St64:
+            mem.write64(regs[in.rs1] + imm, regs[in.rs2]);
+            break;
+
+          case Opcode::Beq:
+            if (regs[in.rs1] == regs[in.rs2])
+                next_pc = imm;
+            break;
+          case Opcode::Bne:
+            if (regs[in.rs1] != regs[in.rs2])
+                next_pc = imm;
+            break;
+          case Opcode::BltU:
+            if (regs[in.rs1] < regs[in.rs2])
+                next_pc = imm;
+            break;
+          case Opcode::BltS:
+            if (static_cast<std::int64_t>(regs[in.rs1]) <
+                static_cast<std::int64_t>(regs[in.rs2]))
+                next_pc = imm;
+            break;
+          case Opcode::BgeU:
+            if (regs[in.rs1] >= regs[in.rs2])
+                next_pc = imm;
+            break;
+          case Opcode::BgeS:
+            if (static_cast<std::int64_t>(regs[in.rs1]) >=
+                static_cast<std::int64_t>(regs[in.rs2]))
+                next_pc = imm;
+            break;
+          case Opcode::Beqz:
+            if (regs[in.rs1] == 0)
+                next_pc = imm;
+            break;
+          case Opcode::Bnez:
+            if (regs[in.rs1] != 0)
+                next_pc = imm;
+            break;
+          case Opcode::Jmp:
+            next_pc = imm;
+            break;
+          case Opcode::Jal:
+            regs[in.rd] = pc + 1;
+            next_pc = imm;
+            break;
+          case Opcode::Jr:
+            next_pc = regs[in.rs1];
+            break;
+
+          case Opcode::Cas: {
+            std::uint64_t addr = regs[in.rs1];
+            std::uint64_t old = mem.read64(addr);
+            if (old == regs[in.rd])
+                mem.write64(addr, regs[in.rs2]);
+            regs[in.rd] = old;
+            break;
+          }
+          case Opcode::FetchAdd: {
+            std::uint64_t addr = regs[in.rs1];
+            std::uint64_t old = mem.read64(addr);
+            mem.write64(addr, old + regs[in.rs2]);
+            regs[in.rd] = old;
+            break;
+          }
+          case Opcode::Xchg: {
+            std::uint64_t addr = regs[in.rs1];
+            std::uint64_t old = mem.read64(addr);
+            mem.write64(addr, regs[in.rs2]);
+            regs[in.rd] = old;
+            break;
+          }
+
+          case Opcode::Syscall:
+            // Unreachable in practice: ClsSyscall is always in the
+            // stop mask, so syscalls stop the block above.
+            last = StepKind::SyscallTrap;
+            goto out;
+
+          case Opcode::Halt:
+            tc.state = RunState::Exited;
+            tc.exitCode = regs[0];
+            ++n;
+            last = StepKind::Halted;
+            goto out;
+
+          default:
+            tc.state = RunState::Exited;
+            tc.exitCode = faultExitCode;
+            ++n;
+            last = StepKind::Fault;
+            goto out;
+        }
+
+        pc = next_pc;
+        ++n;
+    }
+
+out:
+    tc.pc = pc;
+    tc.retired += n;
+    return {n, last};
+}
+
+} // namespace
+
+#endif // DP_DISPATCH_THREADED
+
+const void *const *
+interpDispatchTable()
+{
+#if DP_DISPATCH_THREADED
+    return threadedBlockRun(nullptr, nullptr, 0, 0, nullptr, 0, nullptr);
+#else
+    return nullptr;
+#endif
+}
+
+const char *
+Interpreter::dispatchKindName()
+{
+#if DP_DISPATCH_THREADED
+    return "threaded";
+#else
+    return "switch";
+#endif
+}
+
+Interpreter::BlockResult
+Interpreter::runBlock(ThreadContext &tc, PagedMemory &mem,
+                      std::uint64_t max_instrs,
+                      std::uint8_t stop_mask) const
+{
+    dp_assert(tc.state == RunState::Runnable,
+              "running a non-runnable thread ", tc.tid);
+
+    const DecodedProgram &dec = ensureDecoded();
+    // Syscalls always stop a block: only the OS can complete them.
+    const std::uint8_t stop = stop_mask | ClsSyscall;
+
+    BlockResult out;
+#if DP_DISPATCH_THREADED
+    threadedBlockRun(&tc, &mem, max_instrs, stop, dec.code.data(),
+                     dec.code.size(), &out);
+#else
+    out = switchBlockRun(tc, mem, max_instrs, stop, dec.code.data(),
+                         dec.code.size());
+#endif
+    return out;
+}
+
 StepKind
 Interpreter::step(ThreadContext &tc, PagedMemory &mem) const
 {
-    dp_assert(tc.state == RunState::Runnable,
-              "stepping a non-runnable thread ", tc.tid);
-
-    if (tc.pc >= prog_->code.size()) {
-        tc.state = RunState::Exited;
-        tc.exitCode = faultExitCode;
-        return StepKind::Fault;
-    }
-
-    const Instr &in = prog_->code[tc.pc];
-    auto rs1 = [&] { return tc.reg(in.rs1); };
-    auto rs2 = [&] { return tc.reg(in.rs2); };
-    auto setRd = [&](std::uint64_t v) { tc.reg(in.rd) = v; };
-    std::uint64_t next_pc = tc.pc + 1;
-
-    switch (in.op) {
-      case Opcode::Nop:
-        break;
-      case Opcode::Li:
-        setRd(static_cast<std::uint64_t>(in.imm));
-        break;
-      case Opcode::Mov:
-        setRd(rs1());
-        break;
-
-      case Opcode::Add: setRd(rs1() + rs2()); break;
-      case Opcode::Sub: setRd(rs1() - rs2()); break;
-      case Opcode::Mul: setRd(rs1() * rs2()); break;
-      case Opcode::Divu:
-        // RISC-V semantics: division by zero yields all ones.
-        setRd(rs2() == 0 ? ~std::uint64_t{0} : rs1() / rs2());
-        break;
-      case Opcode::Remu:
-        setRd(rs2() == 0 ? rs1() : rs1() % rs2());
-        break;
-      case Opcode::And: setRd(rs1() & rs2()); break;
-      case Opcode::Or:  setRd(rs1() | rs2()); break;
-      case Opcode::Xor: setRd(rs1() ^ rs2()); break;
-      case Opcode::Shl: setRd(rs1() << (rs2() & 63)); break;
-      case Opcode::Shr: setRd(rs1() >> (rs2() & 63)); break;
-      case Opcode::Sar:
-        setRd(static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(rs1()) >> (rs2() & 63)));
-        break;
-      case Opcode::SltU: setRd(rs1() < rs2() ? 1 : 0); break;
-      case Opcode::SltS:
-        setRd(static_cast<std::int64_t>(rs1()) <
-                      static_cast<std::int64_t>(rs2())
-                  ? 1
-                  : 0);
-        break;
-      case Opcode::Seq: setRd(rs1() == rs2() ? 1 : 0); break;
-
-      case Opcode::Addi:
-        setRd(rs1() + static_cast<std::uint64_t>(in.imm));
-        break;
-      case Opcode::Andi:
-        setRd(rs1() & static_cast<std::uint64_t>(in.imm));
-        break;
-      case Opcode::Ori:
-        setRd(rs1() | static_cast<std::uint64_t>(in.imm));
-        break;
-      case Opcode::Xori:
-        setRd(rs1() ^ static_cast<std::uint64_t>(in.imm));
-        break;
-      case Opcode::Shli:
-        setRd(rs1() << (static_cast<std::uint64_t>(in.imm) & 63));
-        break;
-      case Opcode::Shri:
-        setRd(rs1() >> (static_cast<std::uint64_t>(in.imm) & 63));
-        break;
-      case Opcode::Muli:
-        setRd(rs1() * static_cast<std::uint64_t>(in.imm));
-        break;
-
-      case Opcode::Ld8:
-        setRd(mem.read8(rs1() + static_cast<std::uint64_t>(in.imm)));
-        break;
-      case Opcode::Ld16:
-        setRd(mem.read16(rs1() + static_cast<std::uint64_t>(in.imm)));
-        break;
-      case Opcode::Ld32:
-        setRd(mem.read32(rs1() + static_cast<std::uint64_t>(in.imm)));
-        break;
-      case Opcode::Ld64:
-        setRd(mem.read64(rs1() + static_cast<std::uint64_t>(in.imm)));
-        break;
-      case Opcode::St8:
-        mem.write8(rs1() + static_cast<std::uint64_t>(in.imm),
-                   static_cast<std::uint8_t>(rs2()));
-        break;
-      case Opcode::St16:
-        mem.write16(rs1() + static_cast<std::uint64_t>(in.imm),
-                    static_cast<std::uint16_t>(rs2()));
-        break;
-      case Opcode::St32:
-        mem.write32(rs1() + static_cast<std::uint64_t>(in.imm),
-                    static_cast<std::uint32_t>(rs2()));
-        break;
-      case Opcode::St64:
-        mem.write64(rs1() + static_cast<std::uint64_t>(in.imm), rs2());
-        break;
-
-      case Opcode::Beq:
-        if (rs1() == rs2())
-            next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::Bne:
-        if (rs1() != rs2())
-            next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::BltU:
-        if (rs1() < rs2())
-            next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::BltS:
-        if (static_cast<std::int64_t>(rs1()) <
-            static_cast<std::int64_t>(rs2()))
-            next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::BgeU:
-        if (rs1() >= rs2())
-            next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::BgeS:
-        if (static_cast<std::int64_t>(rs1()) >=
-            static_cast<std::int64_t>(rs2()))
-            next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::Beqz:
-        if (rs1() == 0)
-            next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::Bnez:
-        if (rs1() != 0)
-            next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::Jmp:
-        next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::Jal:
-        setRd(tc.pc + 1);
-        next_pc = static_cast<std::uint64_t>(in.imm);
-        break;
-      case Opcode::Jr:
-        next_pc = rs1();
-        break;
-
-      case Opcode::Cas: {
-        std::uint64_t addr = rs1();
-        std::uint64_t old = mem.read64(addr);
-        if (old == tc.reg(in.rd))
-            mem.write64(addr, rs2());
-        setRd(old);
-        break;
-      }
-      case Opcode::FetchAdd: {
-        std::uint64_t addr = rs1();
-        std::uint64_t old = mem.read64(addr);
-        mem.write64(addr, old + rs2());
-        setRd(old);
-        break;
-      }
-      case Opcode::Xchg: {
-        std::uint64_t addr = rs1();
-        std::uint64_t old = mem.read64(addr);
-        mem.write64(addr, rs2());
-        setRd(old);
-        break;
-      }
-
-      case Opcode::Syscall:
-        // The OS completes the call and advances pc/retired.
-        return StepKind::SyscallTrap;
-
-      case Opcode::Halt:
-        tc.state = RunState::Exited;
-        tc.exitCode = tc.reg(Reg::r0);
-        ++tc.retired;
-        return StepKind::Halted;
-
-      default:
-        tc.state = RunState::Exited;
-        tc.exitCode = faultExitCode;
-        return StepKind::Fault;
-    }
-
-    tc.pc = next_pc;
-    ++tc.retired;
-    return StepKind::Ok;
+    // One instruction is a block of one: the budget stops after a
+    // plain instruction (Ok), a syscall stops before executing
+    // (SyscallTrap), Halt/Fault terminate inside the block.
+    return runBlock(tc, mem, 1, 0).last;
 }
 
 } // namespace dp

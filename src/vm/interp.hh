@@ -2,17 +2,37 @@
  * @file
  * The guest instruction interpreter.
  *
- * The interpreter is stateless: all mutable state lives in the
+ * The interpreter is stateless apart from a memoized pointer to the
+ * program's decoded form: all mutable guest state lives in the
  * ThreadContext and PagedMemory it is given, so the same Interpreter
  * can drive any number of concurrent epoch executions.
+ *
+ * Execution has two granularities sharing one implementation:
+ *  - step(): exactly one instruction (engines that interleave
+ *    per-instruction bookkeeping, e.g. the thread-parallel run);
+ *  - runBlock(): a tight threaded-dispatch loop that retires plain
+ *    instructions until a boundary — budget, syscall, a class the
+ *    caller must observe per-instruction (atomics, memory ops with
+ *    an access hook), or thread termination. UniRunner's slices are
+ *    built on this, so free-running guest code no longer pays one
+ *    dispatch round-trip per instruction.
+ *
+ * Dispatch is computed-goto threaded code when DP_THREADED_DISPATCH
+ * is on (the default; GNU-compatible compilers), and a portable
+ * switch otherwise. Both variants execute identical semantics —
+ * recordings, journals, and shipped batches are byte-identical
+ * across them (pinned by the identity suites and the ci-speed CI
+ * preset).
  */
 
 #ifndef DP_VM_INTERP_HH
 #define DP_VM_INTERP_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "vm/context.hh"
+#include "vm/decode.hh"
 #include "vm/program.hh"
 
 namespace dp
@@ -26,7 +46,7 @@ enum class StepKind : std::uint8_t
     Ok,          ///< instruction retired normally
     SyscallTrap, ///< Syscall reached: OS must complete it (pc unchanged)
     Halted,      ///< Halt retired: thread exited with r0 as code
-    Fault,       ///< invalid pc or opcode: thread terminated
+    Fault,       ///< invalid pc or opcode: thread exited with 0xdead
 };
 
 /** Interprets guest code for one program. */
@@ -40,10 +60,47 @@ class Interpreter
      *
      * On Ok, pc and tc.retired advance. On SyscallTrap, pc and retired
      * are left untouched: the OS layer completes the call, writes the
-     * result to r0, and calls completeSyscall(). Halt and Fault mark
-     * the context Exited.
+     * result to r0, and calls completeSyscall().
+     *
+     * Halt and Fault share one exit contract: the context is marked
+     * Exited, the terminating attempt retires (pc frozen, retired
+     * advanced by one), and the exit code is r0 for Halt and 0xdead
+     * for Fault. The StepKind alone distinguishes them; callers treat
+     * both as "thread finished this slice".
      */
     StepKind step(ThreadContext &tc, PagedMemory &mem) const;
+
+    /** Why a runBlock() call stopped, and how much it retired. */
+    struct BlockResult
+    {
+        /** Instructions retired by the block (includes a terminating
+         *  Halt/Fault). */
+        std::uint64_t instrs = 0;
+        /**
+         * Ok: stopped at the budget or before an instruction matching
+         * the stop mask (pc at the unexecuted instruction).
+         * SyscallTrap: stopped before a Syscall (never executed in a
+         * block). Halted/Fault: the thread exited inside the block.
+         */
+        StepKind last = StepKind::Ok;
+    };
+
+    /**
+     * Retire up to @p max_instrs instructions of @p tc in one tight
+     * dispatch loop. Stops *before* any Syscall and before any
+     * instruction whose class intersects @p stop_mask (ClsAtomic,
+     * ClsMem — see decode.hh), so the caller can run its
+     * per-instruction hooks and then re-enter. Signal delivery,
+     * sync-order permits and cost accounting are the caller's
+     * business at block boundaries; a block must only be entered when
+     * none of those can trigger mid-block (see UniRunner::runSlice).
+     */
+    BlockResult runBlock(ThreadContext &tc, PagedMemory &mem,
+                         std::uint64_t max_instrs,
+                         std::uint8_t stop_mask) const;
+
+    /** "threaded" or "switch": the dispatch variant this build uses. */
+    static const char *dispatchKindName();
 
     /** Retire the trapped syscall: set the result and advance. */
     static void
@@ -97,7 +154,18 @@ class Interpreter
     const GuestProgram &program() const { return *prog_; }
 
   private:
+    /** The program's decoded code, revalidated against the code stamp
+     *  so an invalidateCode() between runs is always honored. */
+    const DecodedProgram &
+    ensureDecoded() const
+    {
+        if (!decoded_ || decoded_->stamp != prog_->codeStamp())
+            decoded_ = prog_->decoded();
+        return *decoded_;
+    }
+
     const GuestProgram *prog_;
+    mutable std::shared_ptr<const DecodedProgram> decoded_;
 };
 
 } // namespace dp

@@ -1,10 +1,47 @@
 #include "vm/program.hh"
 
+#include <atomic>
+#include <mutex>
+
 #include "common/hash.hh"
 #include "mem/paged_memory.hh"
+#include "vm/decode.hh"
 
 namespace dp
 {
+
+namespace detail
+{
+
+std::uint64_t
+nextCodeStamp()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void
+GuestProgram::invalidateCode()
+{
+    codeStamp_ = detail::nextCodeStamp();
+    decoded_.reset();
+}
+
+std::shared_ptr<const DecodedProgram>
+GuestProgram::decoded() const
+{
+    // One global lock: decoding happens once per program version, and
+    // concurrent epoch workers racing here would all build the same
+    // decode anyway — serializing the rare build is cheaper than a
+    // per-program lock in every copyable program object.
+    static std::mutex decode_mutex;
+    std::scoped_lock lock(decode_mutex);
+    if (!decoded_ || decoded_->stamp != codeStamp_)
+        decoded_ = DecodedProgram::build(*this);
+    return decoded_;
+}
 
 void
 GuestProgram::loadInto(PagedMemory &mem) const

@@ -7,6 +7,7 @@
 #define DP_VM_PROGRAM_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +19,13 @@ namespace dp
 {
 
 class PagedMemory;
+struct DecodedProgram;
+
+namespace detail
+{
+/** Globally unique, monotonically increasing code stamp. */
+std::uint64_t nextCodeStamp();
+} // namespace detail
 
 /**
  * Immutable program artifact produced by the Assembler. Code addresses
@@ -26,6 +34,30 @@ class PagedMemory;
  */
 struct GuestProgram
 {
+    GuestProgram() = default;
+    /** Copies carry the same code (and stamp) but start with an empty
+     *  decode memo: copying never touches the source's memo, so a
+     *  copy taken while another thread decodes the source is safe. */
+    GuestProgram(const GuestProgram &o)
+        : name(o.name), code(o.code), dataSegments(o.dataSegments),
+          entry(o.entry), codeStamp_(o.codeStamp_)
+    {}
+    GuestProgram &
+    operator=(const GuestProgram &o)
+    {
+        if (this != &o) {
+            name = o.name;
+            code = o.code;
+            dataSegments = o.dataSegments;
+            entry = o.entry;
+            codeStamp_ = o.codeStamp_;
+            decoded_.reset();
+        }
+        return *this;
+    }
+    GuestProgram(GuestProgram &&) = default;
+    GuestProgram &operator=(GuestProgram &&) = default;
+
     std::string name;
     std::vector<Instr> code;
 
@@ -40,6 +72,38 @@ struct GuestProgram
 
     /** Content digest over code + data (identifies the program). */
     std::uint64_t hash() const;
+
+    /**
+     * Identity of the current code contents. Every freshly
+     * constructed program gets a new stamp; invalidateCode() bumps
+     * it. The interpreter's decoded-instruction cache is keyed by
+     * this, so a decode built for stamp S is never dispatched once
+     * the stamp moves past S.
+     */
+    std::uint64_t codeStamp() const { return codeStamp_; }
+
+    /**
+     * Declare that `code` was edited in place (re-assembly into a
+     * live session, test surgery): bumps the stamp and drops this
+     * object's memoized decode. Construction sites that build a fresh
+     * GuestProgram need no call — a new object starts with a fresh
+     * stamp and an empty cache. Not thread-safe against concurrent
+     * execution of the same program; mutate between runs.
+     */
+    void invalidateCode();
+
+    /**
+     * The decoded (dispatch-ready) form of `code`, built on first use
+     * and memoized until the stamp moves. Thread-safe: concurrent
+     * epoch workers share one decode. Copies of a program share the
+     * memo (same contents); invalidateCode() detaches only the copy
+     * it is called on.
+     */
+    std::shared_ptr<const DecodedProgram> decoded() const;
+
+  private:
+    mutable std::shared_ptr<const DecodedProgram> decoded_;
+    std::uint64_t codeStamp_ = detail::nextCodeStamp();
 };
 
 } // namespace dp

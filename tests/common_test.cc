@@ -9,6 +9,7 @@
 #include <set>
 
 #include "common/bytes.hh"
+#include "common/crc32.hh"
 #include "common/hash.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -56,6 +57,107 @@ TEST(Hash, DigestIsOrderSensitive)
     b.word(2);
     b.word(1);
     EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Hash, WideHash64UnrolledMatchesReference)
+{
+    // The unrolled 8-lane kernel and the plain-loop reference are two
+    // spellings of one function; page hashes (and so every recorded
+    // endStateHash) depend on them never diverging.
+    Rng rng(0x51deb00c);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                          std::size_t{7}, std::size_t{8},
+                          std::size_t{63}, std::size_t{64},
+                          std::size_t{65}, std::size_t{127},
+                          std::size_t{512}, std::size_t{4096},
+                          std::size_t{4099}}) {
+        std::vector<std::uint8_t> v(n);
+        for (auto &b : v)
+            b = static_cast<std::uint8_t>(rng.next());
+        EXPECT_EQ(wideHash64(v), wideHash64Reference(v))
+            << "length " << n;
+        EXPECT_EQ(wideHash64(v, 123), wideHash64Reference(v, 123))
+            << "seeded, length " << n;
+    }
+}
+
+TEST(Hash, WideHash64DiscriminatesContentLengthAndSeed)
+{
+    std::vector<std::uint8_t> x(4096, 0);
+    std::vector<std::uint8_t> y(4096, 0);
+    EXPECT_EQ(wideHash64(x), wideHash64(y));
+    y[4095] = 1;
+    EXPECT_NE(wideHash64(x), wideHash64(y));
+    y[4095] = 0;
+    y[0] = 1;
+    EXPECT_NE(wideHash64(x), wideHash64(y));
+    std::vector<std::uint8_t> z(4095, 0);
+    EXPECT_NE(wideHash64(x), wideHash64(z));
+    EXPECT_NE(wideHash64(x), wideHash64(x, 1));
+
+    std::set<std::uint64_t> seen;
+    for (std::size_t n = 0; n < 130; ++n)
+        seen.insert(wideHash64(std::vector<std::uint8_t>(n, 0xcd)));
+    EXPECT_EQ(seen.size(), 130u) << "length must affect the digest";
+}
+
+TEST(Crc32, MatchesKnownAnswerVector)
+{
+    // The canonical CRC-32C check vector (RFC 3720 appendix).
+    const char *s = "123456789";
+    std::span<const std::uint8_t> bytes{
+        reinterpret_cast<const std::uint8_t *>(s), 9};
+    EXPECT_EQ(crc32c(bytes), 0xE3069283u);
+    EXPECT_EQ(crc32cScalar(bytes), 0xE3069283u);
+    EXPECT_EQ(crc32c(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, SeedChainingComposesAtEverySplit)
+{
+    // crc32c(a ++ b) == crc32c(b, crc32c(a)) for every split: journal
+    // frames chain the kind byte into the payload CRC this way, and
+    // the hardware path consumes 8/4/2/1-byte steps — so any split
+    // misbehavior would silently fork the two implementations.
+    Rng rng(0xc4c32c);
+    std::vector<std::uint8_t> v(97);
+    for (auto &b : v)
+        b = static_cast<std::uint8_t>(rng.next());
+    const std::uint32_t whole = crc32c(v);
+    for (std::size_t cut = 0; cut <= v.size(); ++cut) {
+        std::span<const std::uint8_t> head{v.data(), cut};
+        std::span<const std::uint8_t> tail{v.data() + cut,
+                                           v.size() - cut};
+        EXPECT_EQ(crc32c(tail, crc32c(head)), whole) << "cut " << cut;
+        EXPECT_EQ(crc32cScalar(tail, crc32cScalar(head)), whole)
+            << "scalar cut " << cut;
+    }
+}
+
+TEST(Crc32, HardwareAndScalarPathsAgree)
+{
+    if (!crc32cHwAvailable())
+        GTEST_SKIP() << "no SSE4.2 CRC on this machine/build";
+    EXPECT_STREQ(crc32cBackendName(), "sse4.2");
+    Rng rng(0xface);
+    for (std::size_t n = 0; n <= 64; ++n) {
+        std::vector<std::uint8_t> v(n);
+        for (auto &b : v)
+            b = static_cast<std::uint8_t>(rng.next());
+        EXPECT_EQ(crc32c(v), crc32cScalar(v)) << "length " << n;
+        EXPECT_EQ(crc32c(v, 77), crc32cScalar(v, 77))
+            << "seeded, length " << n;
+    }
+    std::vector<std::uint8_t> big(64 * 1024);
+    for (auto &b : big)
+        b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(crc32c(big), crc32cScalar(big));
+
+    // The force-scalar knob swings the dispatcher itself.
+    crc32cForceScalar(true);
+    EXPECT_STREQ(crc32cBackendName(), "table");
+    EXPECT_EQ(crc32c(big), crc32cScalar(big));
+    crc32cForceScalar(false);
+    EXPECT_STREQ(crc32cBackendName(), "sse4.2");
 }
 
 TEST(Rng, DeterministicPerSeed)

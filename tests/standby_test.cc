@@ -289,7 +289,12 @@ TEST(Standby, DigestMismatchFailsClosedWithStructuredError)
     jw.flush();
     std::vector<std::vector<std::uint8_t>> images = jw.imageSet();
 
-    Outcome o = ship(images);
+    // lag_bound 0 makes every ack wait for the apply strand, so the
+    // sender is guaranteed to see the failure before its last batch.
+    // Under a looser bound the mismatch is discovered asynchronously
+    // and only promote() is required to observe it (the pump may
+    // already have finished — host-timing dependent).
+    Outcome o = ship(images, nullptr, {}, 0);
     EXPECT_TRUE(o.sender.standbyFailed);
     EXPECT_FALSE(o.promotion.report.promoted);
     EXPECT_TRUE(o.promotion.report.failedClosed);

@@ -21,11 +21,13 @@
 #include <string_view>
 #include <vector>
 
+#include "common/crc32.hh"
 #include "core/recorder.hh"
 #include "fault/fault.hh"
 #include "journal/journal.hh"
 #include "replay/recording_io.hh"
 #include "replay/replayer.hh"
+#include "ship/ship.hh"
 #include "testprogs.hh"
 #include "trace/json.hh"
 #include "trace/metrics.hh"
@@ -197,6 +199,59 @@ TEST_P(ByteIdentity, TracingChangesNothingUnderFaultPlan)
     EXPECT_GT(countInstants(events, "epoch-retry") +
                   countInstants(events, "ckpt-recapture"),
               0u);
+}
+
+// The fast-path identity matrix: every artifact the pipeline emits —
+// recording bytes, journal image, replay results, shipped wire
+// batches — must be byte-identical whichever CRC-32C backend computed
+// it, at every host-parallelism level. (The dispatch axis of the
+// matrix, threaded vs switch, is cross-build: the ci-speed CI preset
+// runs this same suite with both fast paths forced off.)
+TEST_P(ByteIdentity, CrcBackendChangesNoArtifactBytes)
+{
+    RunConfig rc;
+    rc.hostWorkers = GetParam();
+
+    TraceRun hw = recordOnce(rc, nullptr); // hardware when available
+    crc32cForceScalar(true);
+    TraceRun sw = recordOnce(rc, nullptr);
+    crc32cForceScalar(false);
+
+    ASSERT_TRUE(hw.out.ok);
+    ASSERT_TRUE(sw.out.ok);
+    EXPECT_EQ(hw.artifact, sw.artifact);
+    EXPECT_EQ(hw.journal, sw.journal);
+    EXPECT_EQ(hw.out.recording.finalStateHash,
+              sw.out.recording.finalStateHash);
+
+    // Replaying a hardware-CRC'd recording on a scalar-only machine
+    // (the cross-host story) reproduces the same execution.
+    crc32cForceScalar(true);
+    ReplayResult r = Replayer(hw.out.recording).replaySequential();
+    crc32cForceScalar(false);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.epochsVerified, hw.out.recording.epochs.size());
+
+    // Shipped batches frame their payload with the same CRC family;
+    // the wire bytes must not depend on the backend either.
+    ShipBatch b;
+    b.seq = 1;
+    b.stream = 0;
+    b.streamCount = 1;
+    b.offset = 0;
+    b.bytes = hw.journal;
+    std::vector<std::uint8_t> wire_hw = encodeShipBatch(b);
+    crc32cForceScalar(true);
+    std::vector<std::uint8_t> wire_sw = encodeShipBatch(b);
+    crc32cForceScalar(false);
+    EXPECT_EQ(wire_hw, wire_sw);
+    // And a batch encoded by the hardware path decodes on the scalar
+    // path (CRC verification included).
+    crc32cForceScalar(true);
+    std::optional<ShipBatch> back = decodeShipBatch(wire_hw);
+    crc32cForceScalar(false);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->bytes, hw.journal);
 }
 
 INSTANTIATE_TEST_SUITE_P(HostWorkers, ByteIdentity,

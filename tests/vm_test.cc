@@ -252,6 +252,159 @@ TEST(Interp, RetiredCountsExactly)
     EXPECT_EQ(m.threads[0].retired, 6u);
 }
 
+// Regression: out-of-range pc and invalid opcode share one exit
+// contract — Exited, exit code 0xdead, the faulting attempt retired,
+// StepKind::Fault. (Faults previously did not retire, so the thread's
+// retired count disagreed with the slice's instruction count.)
+TEST(Interp, FaultContractIsUniform)
+{
+    // Invalid opcode: hand-build a program the assembler refuses.
+    GuestProgram bad;
+    bad.name = "badop";
+    bad.code.push_back({static_cast<Opcode>(0xee), r0, r0, r0, 0});
+    {
+        Machine m(bad, {});
+        Interpreter interp(bad);
+        EXPECT_EQ(interp.step(m.threads[0], m.mem), StepKind::Fault);
+        EXPECT_EQ(m.threads[0].state, RunState::Exited);
+        EXPECT_EQ(m.threads[0].exitCode, 0xdeadu);
+        EXPECT_EQ(m.threads[0].retired, 1u);
+    }
+
+    // Out-of-range pc, through the engine: jmp (1) + fault (1).
+    Assembler a;
+    Label far = a.newLabel();
+    a.jmp(far);
+    a.nop();
+    a.bind(far); // one past the last instruction
+    GuestProgram prog = a.finish("fall_off_counted");
+    Machine m(prog, {});
+    SimOS os;
+    UniRunner runner(m, os, {}, {});
+    EXPECT_EQ(runner.run(), StopReason::AllExited);
+    EXPECT_EQ(m.threads[0].exitCode, 0xdeadu);
+    EXPECT_EQ(m.threads[0].retired, 2u);
+}
+
+TEST(Interp, RunBlockStopsAtBoundaries)
+{
+    Assembler a;
+    a.li(r1, 1);           // 0
+    a.li(r9, 0x1000);      // 1
+    a.fetchAdd(r4, r9, r1); // 2: atomic
+    a.li(r5, 7);           // 3
+    a.sys(Sys::Exit);      // 4: li r0, 5: syscall
+    GuestProgram prog = a.finish("boundaries");
+    Machine m(prog, {});
+    Interpreter interp(prog);
+    ThreadContext &tc = m.threads[0];
+
+    // Budget stop: one instruction, pc at the next one.
+    auto b = interp.runBlock(tc, m.mem, 1, 0);
+    EXPECT_EQ(b.instrs, 1u);
+    EXPECT_EQ(b.last, StepKind::Ok);
+    EXPECT_EQ(tc.pc, 1u);
+    EXPECT_EQ(tc.retired, 1u);
+
+    // Class stop: halts before the atomic without executing it.
+    b = interp.runBlock(tc, m.mem, 100, ClsAtomic);
+    EXPECT_EQ(b.instrs, 1u);
+    EXPECT_EQ(b.last, StepKind::Ok);
+    EXPECT_EQ(tc.pc, 2u);
+
+    // No mask: runs the atomic but still stops before the syscall.
+    b = interp.runBlock(tc, m.mem, 100, 0);
+    EXPECT_EQ(b.instrs, 3u);
+    EXPECT_EQ(b.last, StepKind::SyscallTrap);
+    EXPECT_EQ(tc.pc, 5u);
+    EXPECT_EQ(tc.retired, 5u);
+    EXPECT_EQ(m.mem.read64(0x1000), 1u);
+
+    // Halt retires inside the block and freezes pc on it.
+    Assembler h;
+    h.li(r0, 42);
+    h.halt();
+    GuestProgram hprog = h.finish("halts");
+    Machine hm(hprog, {});
+    Interpreter hinterp(hprog);
+    b = hinterp.runBlock(hm.threads[0], hm.mem, 100, 0);
+    EXPECT_EQ(b.instrs, 2u);
+    EXPECT_EQ(b.last, StepKind::Halted);
+    EXPECT_EQ(hm.threads[0].exitCode, 42u);
+    EXPECT_EQ(hm.threads[0].retired, 2u);
+    EXPECT_EQ(hm.threads[0].pc, 1u);
+}
+
+TEST(Interp, DecodedProgramIsMemoizedPerStamp)
+{
+    Assembler a;
+    a.li(r0, 5);
+    a.halt();
+    GuestProgram prog = a.finish("memo");
+    auto d1 = prog.decoded();
+    auto d2 = prog.decoded();
+    EXPECT_EQ(d1.get(), d2.get());
+    EXPECT_EQ(d1->stamp, prog.codeStamp());
+    ASSERT_EQ(d1->code.size(), prog.code.size());
+    EXPECT_EQ(d1->code[0].op, Opcode::Li);
+    EXPECT_EQ(d1->code[0].cls, 0);
+    EXPECT_EQ(opcodeClass(Opcode::Syscall), ClsSyscall);
+    EXPECT_EQ(opcodeClass(Opcode::Cas), ClsAtomic | ClsMem);
+    EXPECT_EQ(opcodeClass(Opcode::Ld32), ClsMem);
+
+    const std::uint64_t old_stamp = prog.codeStamp();
+    prog.invalidateCode();
+    EXPECT_NE(prog.codeStamp(), old_stamp);
+    auto d3 = prog.decoded();
+    EXPECT_NE(d3.get(), d1.get());
+    EXPECT_EQ(d3->stamp, prog.codeStamp());
+}
+
+// The `record --resume` scenario: code is re-assembled in place while
+// an Interpreter that already memoized the old decode is still alive.
+// A stale cache would execute the old immediate and this test fails.
+TEST(Interp, CodeEditAfterInvalidateIsPickedUp)
+{
+    Assembler a;
+    a.li(r0, 5);
+    a.halt();
+    GuestProgram prog = a.finish("patched");
+    Interpreter interp(prog);
+
+    Machine m1(prog, {});
+    auto b = interp.runBlock(m1.threads[0], m1.mem, 10, 0);
+    EXPECT_EQ(b.last, StepKind::Halted);
+    EXPECT_EQ(m1.threads[0].exitCode, 5u);
+
+    prog.code[0].imm = 9; // the re-assembly
+    prog.invalidateCode();
+
+    Machine m2(prog, {});
+    b = interp.runBlock(m2.threads[0], m2.mem, 10, 0);
+    EXPECT_EQ(b.last, StepKind::Halted);
+    EXPECT_EQ(m2.threads[0].exitCode, 9u);
+
+    // And through a fresh engine (the actual resume path).
+    prog.code[0].imm = 13;
+    prog.invalidateCode();
+    Machine m3(prog, {});
+    SimOS os;
+    UniRunner runner(m3, os, {}, {});
+    EXPECT_EQ(runner.run(), StopReason::AllExited);
+    EXPECT_EQ(m3.threads[0].exitCode, 13u);
+}
+
+TEST(Interp, DispatchKindMatchesBuildConfiguration)
+{
+#ifdef DP_THREADED_DISPATCH
+    EXPECT_STREQ(Interpreter::dispatchKindName(), "threaded");
+    EXPECT_NE(interpDispatchTable(), nullptr);
+#else
+    EXPECT_STREQ(Interpreter::dispatchKindName(), "switch");
+    EXPECT_EQ(interpDispatchTable(), nullptr);
+#endif
+}
+
 TEST(Assembler, ForwardAndBackwardLabels)
 {
     Assembler a;
